@@ -1,0 +1,41 @@
+//! Engine throughput benches: packets/second through the single-link
+//! replay loop and events/second through the multi-hop simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pdd::netsim::{run_study_b, StudyBConfig};
+use pdd::qsim::{run_trace, Experiment};
+use pdd::sched::{SchedulerKind, Sdp};
+
+fn bench_qsim_throughput(c: &mut Criterion) {
+    let e = Experiment::paper(0.95, Sdp::paper_default(), 10_000, vec![1]);
+    let trace = e.trace_for_seed(1);
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("qsim_replay_packets", |b| {
+        b.iter(|| {
+            let mut s = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+            let mut n = 0u64;
+            run_trace(s.as_mut(), &trace, 1.0, |_| n += 1);
+            n
+        });
+    });
+    group.finish();
+}
+
+fn bench_netsim_throughput(c: &mut Criterion) {
+    c.bench_function("netsim_4hop_second_of_traffic", |b| {
+        b.iter(|| {
+            let mut cfg = StudyBConfig::paper(4, 0.95, 10, 200.0);
+            cfg.experiments = 1;
+            cfg.warmup_secs = 1.0;
+            run_study_b(&cfg)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_qsim_throughput, bench_netsim_throughput
+}
+criterion_main!(benches);

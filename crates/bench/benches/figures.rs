@@ -1,0 +1,50 @@
+//! Regeneration benches for the single-link figures: each bench runs the
+//! full pipeline (traffic generation → scheduling → statistics) that
+//! produces the corresponding figure, at bench scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{ablations, fig1, fig2, fig3, fig45, Scale};
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_delay_ratio_vs_utilization", |b| {
+        b.iter(|| fig1::run(Scale::Bench))
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_delay_ratio_vs_load_split", |b| {
+        b.iter(|| fig2::run(Scale::Bench))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_rd_percentiles_vs_timescale", |b| {
+        b.iter(|| fig3::run(Scale::Bench))
+    });
+}
+
+fn bench_fig45(c: &mut Criterion) {
+    c.bench_function("fig45_microscopic_views", |b| {
+        b.iter(|| fig45::run(Scale::Bench))
+    });
+}
+
+fn bench_ablation_schedulers(c: &mut Criterion) {
+    c.bench_function("ablation_scheduler_shootout", |b| {
+        b.iter(|| ablations::schedulers(Scale::Bench))
+    });
+}
+
+fn bench_ablation_feasibility(c: &mut Criterion) {
+    c.bench_function("ablation_feasibility_region", |b| {
+        b.iter(|| ablations::feasibility(Scale::Bench))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1, bench_fig2, bench_fig3, bench_fig45,
+              bench_ablation_schedulers, bench_ablation_feasibility
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Scheduler micro-benchmarks: enqueue/dequeue throughput under a
+//! saturated 4-class workload (the O(N)-per-decision claim of §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdd::sched::{SchedulerKind, Sdp};
+use pdd_bench::saturate;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_throughput");
+    const N: u64 = 10_000;
+    group.throughput(Throughput::Elements(N));
+    for kind in SchedulerKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut s = kind.build(&Sdp::paper_default(), 1.0);
+                    saturate(s.as_mut(), N)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

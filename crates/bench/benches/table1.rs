@@ -1,0 +1,33 @@
+//! Regeneration bench for Table 1: the multi-hop Study-B pipeline
+//! (Figure-6 topology, WTP at every hop, user experiments + analysis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{table1, Scale};
+use pdd::netsim::{analyze, packet_time_tolerance, run_study_b, StudyBConfig};
+
+/// One representative cell (K=4, ρ=0.95, F=10, R_u=200) at bench scale.
+fn bench_table1_cell(c: &mut Criterion) {
+    c.bench_function("table1_single_cell", |b| {
+        b.iter(|| {
+            let mut cfg = StudyBConfig::paper(4, 0.95, 10, 200.0);
+            cfg.experiments = 4;
+            cfg.warmup_secs = 2.0;
+            let records = run_study_b(&cfg);
+            analyze(&records, cfg.num_classes(), packet_time_tolerance(&cfg))
+        })
+    });
+}
+
+/// The full sixteen-cell grid at bench scale.
+fn bench_table1_grid(c: &mut Criterion) {
+    c.bench_function("table1_full_grid", |b| {
+        b.iter(|| table1::run(Scale::Bench))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1_cell, bench_table1_grid
+}
+criterion_main!(benches);

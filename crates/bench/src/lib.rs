@@ -1,0 +1,53 @@
+//! # pdd-bench — benchmark support
+//!
+//! The actual benches live in `benches/`:
+//!
+//! * `schedulers` — enqueue/dequeue throughput of every scheduler under a
+//!   saturated 4-class workload.
+//! * `figures` — regenerates Fig. 1, Fig. 2, Fig. 3, and Figs. 4–5 at
+//!   bench scale, timing the full pipeline (traffic generation →
+//!   scheduling → statistics).
+//! * `table1` — regenerates the Table-1 multi-hop study at bench scale.
+//!
+//! This library exposes the small shared helpers those benches use.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use pdd::sched::{Packet, Scheduler};
+use pdd::simcore::{Dur, Time};
+
+/// Pushes `n` packets (round-robin over 4 classes, mixed sizes) through a
+/// scheduler at full link speed and returns the number of departures
+/// (always `n`; returned so the optimizer cannot discard the work).
+pub fn saturate(s: &mut dyn Scheduler, n: u64) -> u64 {
+    let sizes = [40u32, 550, 550, 1500];
+    for i in 0..n {
+        s.enqueue(Packet::new(
+            i,
+            (i % 4) as u8,
+            sizes[(i % 4) as usize],
+            Time::from_ticks(i),
+        ));
+    }
+    let mut now = Time::from_ticks(n);
+    let mut count = 0;
+    while let Some(p) = s.dequeue(now) {
+        now += Dur::from_ticks(p.size as u64);
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdd::sched::{SchedulerKind, Sdp};
+
+    #[test]
+    fn saturate_drains_everything() {
+        for kind in SchedulerKind::ALL {
+            let mut s = kind.build(&Sdp::paper_default(), 1.0);
+            assert_eq!(saturate(s.as_mut(), 1000), 1000, "{}", kind.name());
+        }
+    }
+}

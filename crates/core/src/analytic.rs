@@ -1,0 +1,290 @@
+//! Analytic M/G/1 results for the schedulers the paper builds on.
+//!
+//! The paper evaluates with *non-Poisson* traffic precisely because no
+//! analytic tools exist there (§1), but under Poisson arrivals the mean
+//! waits of FCFS, strict priority, and WTP are classical results — and
+//! they make razor-sharp validation oracles for the simulator:
+//!
+//! * [`Mg1::fcfs_wait`] — Pollaczek–Khinchine: `W = W₀/(1−ρ)`.
+//! * [`Mg1::strict_priority_waits`] — Cobham's non-preemptive priority
+//!   formula.
+//! * [`Mg1::tdp_waits`] — Kleinrock's Time-Dependent Priorities (the WTP
+//!   discipline, §4.2 of the paper; Kleinrock 1964 / *Queueing Systems*
+//!   vol. II), solved by the upward recursion
+//!
+//!   ```text
+//!   W_p = [ W₀/(1−ρ) − Σ_{i<p} ρ_i W_i (1 − b_i/b_p) ]
+//!         / [ 1 − Σ_{i>p} ρ_i (1 − b_p/b_i) ]
+//!   ```
+//!
+//!   with slopes `b_1 ≤ … ≤ b_P` (the SDPs). The recursion reduces to
+//!   P–K when all slopes are equal, to Cobham as slope ratios diverge,
+//!   satisfies the conservation law `Σ ρ_p W_p = ρ·W₀/(1−ρ)` exactly, and
+//!   its heavy-traffic wait ratios tend to the inverse slope ratios —
+//!   Eq. (10)/(13) of the paper. All four properties are unit-tested, and
+//!   the integration tests check the simulator against these formulas.
+
+use std::fmt;
+
+/// Errors from [`Mg1`] construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mg1Error(String);
+
+impl fmt::Display for Mg1Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid M/G/1 parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for Mg1Error {}
+
+/// A multi-class M/G/1 queue: Poisson arrivals per class, a common service
+/// distribution given by its first two moments.
+/// # Example
+///
+/// ```
+/// use pdd::analytic::Mg1;
+///
+/// // M/D/1 at ρ = 0.8 split over two classes of 100-byte packets.
+/// let q = Mg1::new(&[0.004, 0.004], 100.0, 10_000.0).unwrap();
+/// assert!((q.fcfs_wait() - 200.0).abs() < 1e-9);        // Pollaczek–Khinchine
+/// let w = q.tdp_waits(&[1.0, 2.0]);                     // Kleinrock TDP (WTP)
+/// assert!(q.conservation_residual(&w).abs() < 1e-9);    // conservation law
+/// assert!(w[0] > w[1]);                                 // class ordering
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mg1 {
+    /// Per-class arrival rates λ_p (packets per tick).
+    lambda: Vec<f64>,
+    /// Mean service time E[S] (ticks).
+    es: f64,
+    /// Second moment of service time E[S²] (ticks²).
+    es2: f64,
+}
+
+impl Mg1 {
+    /// Creates a queue; requires stability (ρ < 1).
+    pub fn new(lambda: &[f64], es: f64, es2: f64) -> Result<Self, Mg1Error> {
+        if lambda.is_empty() || lambda.iter().any(|&l| l.is_nan() || l < 0.0 || !l.is_finite()) {
+            return Err(Mg1Error("rates must be finite and nonnegative".into()));
+        }
+        if !(es > 0.0 && es2 >= es * es && es2.is_finite()) {
+            return Err(Mg1Error(format!(
+                "service moments must satisfy E[S] > 0 and E[S²] ≥ E[S]², got {es}, {es2}"
+            )));
+        }
+        let rho: f64 = lambda.iter().sum::<f64>() * es;
+        if rho >= 1.0 {
+            return Err(Mg1Error(format!("unstable: ρ = {rho} ≥ 1")));
+        }
+        Ok(Mg1 {
+            lambda: lambda.to_vec(),
+            es,
+            es2,
+        })
+    }
+
+    /// Builds the queue from the paper's trimodal packet sizes at a given
+    /// utilization and class byte-shares (link rate 1 byte/tick).
+    pub fn paper_sizes(utilization: f64, fractions: &[f64]) -> Result<Self, Mg1Error> {
+        // Sizes 40/550/1500 B at 40/50/10 %: E[S] = 441, E[S²].
+        let es = 441.0;
+        let es2 = 0.4 * 40.0f64.powi(2) + 0.5 * 550.0f64.powi(2) + 0.1 * 1500.0f64.powi(2);
+        let lambda: Vec<f64> = fractions
+            .iter()
+            .map(|f| utilization * f / es)
+            .collect();
+        Mg1::new(&lambda, es, es2)
+    }
+
+    /// Per-class utilization `ρ_p = λ_p·E[S]`.
+    pub fn rho_p(&self, p: usize) -> f64 {
+        self.lambda[p] * self.es
+    }
+
+    /// Total utilization ρ.
+    pub fn rho(&self) -> f64 {
+        self.lambda.iter().sum::<f64>() * self.es
+    }
+
+    /// Mean residual work seen by an arrival: `W₀ = λ·E[S²]/2`.
+    pub fn w0(&self) -> f64 {
+        self.lambda.iter().sum::<f64>() * self.es2 / 2.0
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.lambda.len()
+    }
+
+    /// Pollaczek–Khinchine mean wait of the FCFS aggregate.
+    pub fn fcfs_wait(&self) -> f64 {
+        self.w0() / (1.0 - self.rho())
+    }
+
+    /// Cobham's non-preemptive static-priority waits; class P−1 (highest
+    /// index) has the highest priority, matching this crate's convention.
+    ///
+    /// `W_p = W₀ / ((1 − σ_{p+1})(1 − σ_p))` with `σ_p = Σ_{i≥p} ρ_i`.
+    pub fn strict_priority_waits(&self) -> Vec<f64> {
+        let n = self.num_classes();
+        let w0 = self.w0();
+        // σ_p = sum of utilizations of classes with priority ≥ p.
+        let sigma = |p: usize| -> f64 { (p..n).map(|i| self.rho_p(i)).sum() };
+        (0..n)
+            .map(|p| w0 / ((1.0 - sigma(p + 1)) * (1.0 - sigma(p))))
+            .collect()
+    }
+
+    /// Kleinrock's Time-Dependent Priority mean waits for slopes
+    /// `b[0] ≤ b[1] ≤ … ≤ b[P−1]` — the analytic model of WTP.
+    ///
+    /// # Panics
+    /// Panics if the slope vector length mismatches, or slopes are not
+    /// positive and nondecreasing.
+    pub fn tdp_waits(&self, slopes: &[f64]) -> Vec<f64> {
+        assert_eq!(slopes.len(), self.num_classes(), "one slope per class");
+        assert!(
+            slopes.iter().all(|&b| b > 0.0) && slopes.windows(2).all(|w| w[1] >= w[0]),
+            "slopes must be positive and nondecreasing"
+        );
+        let n = self.num_classes();
+        let base = self.w0() / (1.0 - self.rho());
+        let mut w = vec![0.0; n];
+        for p in 0..n {
+            let num = base
+                - (0..p)
+                    .map(|i| self.rho_p(i) * w[i] * (1.0 - slopes[i] / slopes[p]))
+                    .sum::<f64>();
+            let den = 1.0
+                - (p + 1..n)
+                    .map(|i| self.rho_p(i) * (1.0 - slopes[p] / slopes[i]))
+                    .sum::<f64>();
+            w[p] = num / den;
+        }
+        w
+    }
+
+    /// The conservation-law residual of a wait vector:
+    /// `Σ ρ_p W_p − ρ·W₀/(1−ρ)` (0 for any work-conserving discipline).
+    pub fn conservation_residual(&self, waits: &[f64]) -> f64 {
+        let lhs: f64 = waits
+            .iter()
+            .enumerate()
+            .map(|(p, &w)| self.rho_p(p) * w)
+            .sum();
+        lhs - self.rho() * self.fcfs_wait()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_class(rho: f64) -> Mg1 {
+        // Fixed 100-byte packets (M/D/1): E[S] = 100, E[S²] = 10⁴.
+        let l = rho / 2.0 / 100.0;
+        Mg1::new(&[l, l], 100.0, 10_000.0).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Mg1::new(&[], 1.0, 1.0).is_err());
+        assert!(Mg1::new(&[1.0], 0.0, 1.0).is_err());
+        assert!(Mg1::new(&[1.0], 2.0, 1.0).is_err()); // E[S²] < E[S]²
+        assert!(Mg1::new(&[0.02], 100.0, 10_000.0).is_err()); // ρ = 2
+        assert!(Mg1::new(&[0.004], 100.0, 10_000.0).is_ok());
+    }
+
+    #[test]
+    fn pk_formula_md1() {
+        // M/D/1 at ρ = 0.8: W = ρ·S/(2(1−ρ)) = 200.
+        let q = two_class(0.8);
+        assert!((q.fcfs_wait() - 200.0).abs() < 1e-9);
+        assert!((q.w0() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_slopes_reduce_to_fcfs() {
+        let q = two_class(0.9);
+        let w = q.tdp_waits(&[3.0, 3.0]);
+        for x in &w {
+            assert!((x - q.fcfs_wait()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn extreme_slope_ratio_approaches_cobham() {
+        let q = two_class(0.8);
+        let cobham = q.strict_priority_waits();
+        let tdp = q.tdp_waits(&[1.0, 1e9]);
+        for (a, b) in tdp.iter().zip(&cobham) {
+            assert!((a - b).abs() / b < 1e-6, "tdp {a} vs cobham {b}");
+        }
+    }
+
+    #[test]
+    fn cobham_two_class_hand_check() {
+        // ρ1 = ρ2 = 0.4, W0 = 40: low = 40/(0.6·0.2) = 333.3, high = 40/0.6.
+        let q = two_class(0.8);
+        let w = q.strict_priority_waits();
+        assert!((w[0] - 40.0 / (0.6 * 0.2)).abs() < 1e-9);
+        assert!((w[1] - 40.0 / 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tdp_satisfies_conservation_exactly() {
+        for rho in [0.5, 0.8, 0.95] {
+            let q = two_class(rho);
+            let w = q.tdp_waits(&[1.0, 2.0]);
+            assert!(
+                q.conservation_residual(&w).abs() < 1e-9,
+                "residual {} at rho {rho}",
+                q.conservation_residual(&w)
+            );
+        }
+        // And for four unevenly loaded classes.
+        let q = Mg1::paper_sizes(0.9, &[0.4, 0.3, 0.2, 0.1]).unwrap();
+        let w = q.tdp_waits(&[1.0, 2.0, 4.0, 8.0]);
+        let scale = q.rho() * q.fcfs_wait();
+        assert!(q.conservation_residual(&w).abs() < 1e-9 * scale);
+    }
+
+    #[test]
+    fn tdp_heavy_traffic_ratios_tend_to_slope_ratios() {
+        // Eq. (10)/(13): as ρ → 1, W_i/W_j → b_j/b_i.
+        let q = two_class(0.999);
+        let w = q.tdp_waits(&[1.0, 2.0]);
+        let ratio = w[0] / w[1];
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+        // At moderate load the ratio undershoots — the same qualitative
+        // behaviour the paper's Fig. 1 shows for bursty traffic.
+        let q = two_class(0.7);
+        let w = q.tdp_waits(&[1.0, 2.0]);
+        let ratio = w[0] / w[1];
+        assert!(ratio < 1.9 && ratio > 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn tdp_waits_are_class_ordered() {
+        let q = Mg1::paper_sizes(0.95, &[0.4, 0.3, 0.2, 0.1]).unwrap();
+        let w = q.tdp_waits(&[1.0, 2.0, 4.0, 8.0]);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1], "waits not ordered: {w:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn tdp_rejects_decreasing_slopes() {
+        two_class(0.5).tdp_waits(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn paper_sizes_moments() {
+        let q = Mg1::paper_sizes(0.95, &[0.4, 0.3, 0.2, 0.1]).unwrap();
+        assert!((q.rho() - 0.95).abs() < 1e-9);
+        // E[S²] = 0.4·1600 + 0.5·302500 + 0.1·2250000 = 376890.
+        assert!((q.es2 - 376_890.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,79 @@
+//! # pdd — Proportional Differentiated Services
+//!
+//! A from-scratch Rust reproduction of Dovrolis, Stiliadis & Ramanathan,
+//! *"Proportional Differentiated Services: Delay Differentiation and Packet
+//! Scheduling"*, ACM SIGCOMM 1999.
+//!
+//! The **proportional delay differentiation (PDD) model** (Eq. 1) fixes the
+//! *ratios* between class average queueing delays:
+//!
+//! ```text
+//! d̄_i / d̄_j = δ_i / δ_j      (δ_1 > δ_2 > … > δ_N > 0)
+//! ```
+//!
+//! so higher classes are consistently better, by a spacing the operator
+//! controls, independent of class loads. This crate bundles:
+//!
+//! * [`model`] — the model itself: validated DDPs, the Eq. (6) predicted
+//!   delays, the four §3 dynamics properties, and Eq. (7) feasibility via
+//!   subset-FCFS replay.
+//! * [`analytic`] — exact M/G/1 oracles (Pollaczek–Khinchine, Cobham,
+//!   Kleinrock's Time-Dependent Priorities) used to validate the
+//!   simulators under Poisson traffic.
+//! * [`design`] — the §7 operator question: the widest feasible DDP
+//!   spacing for a measured trace, and the narrowest spacing meeting a
+//!   top-class delay target.
+//! * [`PddSystem`] — a high-level builder for simulating a differentiated
+//!   link without touching the lower-level crates.
+//! * Re-exports of the substrate crates: [`simcore`], [`traffic`],
+//!   [`sched`], [`stats`], [`qsim`] (single-link Study A), and [`netsim`]
+//!   (multi-hop Study B).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pdd::PddSystem;
+//!
+//! let report = PddSystem::builder()
+//!     .classes(4)
+//!     .spacing_ratio(2.0)                 // d̄_i = 2 · d̄_{i+1}
+//!     .scheduler(pdd::sched::SchedulerKind::Wtp)
+//!     .utilization(0.95)
+//!     .horizon_punits(5_000)
+//!     .seeds(vec![1])
+//!     .build()
+//!     .expect("valid configuration");
+//! let result = report.run();
+//! // At 95% load WTP approximates the proportional model.
+//! assert!((result.ratios[0] - 2.0).abs() < 0.6);
+//! ```
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analytic;
+pub mod design;
+pub mod model;
+mod system;
+
+pub use analytic::{Mg1, Mg1Error};
+pub use model::{Ddp, DdpError, ProportionalModel};
+pub use system::{PddSystem, PddSystemBuilder, SystemError};
+
+pub use netsim;
+pub use qsim;
+pub use sched;
+pub use simcore;
+pub use stats;
+pub use traffic;
+
+/// Commonly used types in one import.
+pub mod prelude {
+    pub use crate::model::{Ddp, ProportionalModel};
+    pub use crate::system::PddSystem;
+    pub use netsim::{analyze, run_study_b, StudyBConfig};
+    pub use qsim::{Experiment, Microscope, ShortTimescale};
+    pub use sched::{Scheduler, SchedulerKind, Sdp};
+    pub use simcore::{Dur, Time};
+    pub use stats::{check_feasibility, Percentiles, Summary, Table};
+    pub use traffic::{ClassSource, IatDist, LoadPlan, SizeDist, Trace};
+}

@@ -1,0 +1,261 @@
+//! High-level builder API over the Study-A single-link simulator.
+
+use std::fmt;
+
+use qsim::{Experiment, ExperimentResult};
+use sched::{SchedulerKind, Sdp};
+
+/// Errors from [`PddSystemBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemError {
+    /// A parameter failed validation.
+    Invalid(String),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Invalid(msg) => write!(f, "invalid PDD system: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// A configured proportionally-differentiated link, ready to simulate.
+///
+/// Built with [`PddSystem::builder`]; see the crate-level example.
+#[derive(Debug, Clone)]
+pub struct PddSystem {
+    experiment: Experiment,
+    scheduler: SchedulerKind,
+}
+
+impl PddSystem {
+    /// Starts building a system with the paper's defaults (4 classes,
+    /// spacing ratio 2, WTP, ρ = 0.95, 40/30/20/10 % loads).
+    pub fn builder() -> PddSystemBuilder {
+        PddSystemBuilder::default()
+    }
+
+    /// The underlying Study-A experiment configuration.
+    pub fn experiment(&self) -> &Experiment {
+        &self.experiment
+    }
+
+    /// The configured scheduler.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
+    /// Runs the simulation and returns seed-averaged class delays and
+    /// ratios.
+    pub fn run(&self) -> ExperimentResult {
+        self.experiment.run(self.scheduler)
+    }
+
+    /// Runs the same traffic through several schedulers for comparison.
+    pub fn compare(&self, kinds: &[SchedulerKind]) -> Vec<ExperimentResult> {
+        self.experiment.run_many(kinds)
+    }
+}
+
+/// Builder for [`PddSystem`].
+#[derive(Debug, Clone)]
+pub struct PddSystemBuilder {
+    classes: usize,
+    spacing_ratio: f64,
+    sdp: Option<Sdp>,
+    scheduler: SchedulerKind,
+    utilization: f64,
+    class_fractions: Option<Vec<f64>>,
+    horizon_punits: u64,
+    seeds: Vec<u64>,
+}
+
+impl Default for PddSystemBuilder {
+    fn default() -> Self {
+        PddSystemBuilder {
+            classes: 4,
+            spacing_ratio: 2.0,
+            sdp: None,
+            scheduler: SchedulerKind::Wtp,
+            utilization: 0.95,
+            class_fractions: None,
+            horizon_punits: 50_000,
+            seeds: vec![1, 2, 3],
+        }
+    }
+}
+
+impl PddSystemBuilder {
+    /// Number of service classes (default 4).
+    pub fn classes(mut self, n: usize) -> Self {
+        self.classes = n;
+        self
+    }
+
+    /// Quality spacing between successive classes: `d̄_i = r · d̄_{i+1}`
+    /// (default 2). Ignored if [`Self::sdp`] is set explicitly.
+    pub fn spacing_ratio(mut self, r: f64) -> Self {
+        self.spacing_ratio = r;
+        self
+    }
+
+    /// Explicit SDPs, overriding the geometric spacing.
+    pub fn sdp(mut self, sdp: Sdp) -> Self {
+        self.sdp = Some(sdp);
+        self
+    }
+
+    /// Scheduler (default WTP).
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Aggregate link utilization ρ (default 0.95).
+    pub fn utilization(mut self, rho: f64) -> Self {
+        self.utilization = rho;
+        self
+    }
+
+    /// Per-class load fractions (default: the paper's 40/30/20/10 for four
+    /// classes, uniform otherwise).
+    pub fn class_fractions(mut self, fractions: Vec<f64>) -> Self {
+        self.class_fractions = Some(fractions);
+        self
+    }
+
+    /// Simulated horizon in p-units (mean packet transmission times).
+    pub fn horizon_punits(mut self, p: u64) -> Self {
+        self.horizon_punits = p;
+        self
+    }
+
+    /// Seeds to average over.
+    pub fn seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Validates and builds the system.
+    pub fn build(self) -> Result<PddSystem, SystemError> {
+        if !(self.utilization > 0.0 && self.utilization < 1.0) {
+            return Err(SystemError::Invalid(format!(
+                "utilization must be in (0,1), got {}",
+                self.utilization
+            )));
+        }
+        if self.seeds.is_empty() {
+            return Err(SystemError::Invalid("need at least one seed".into()));
+        }
+        if self.horizon_punits < 100 {
+            return Err(SystemError::Invalid(
+                "horizon below 100 p-units cannot produce stable averages".into(),
+            ));
+        }
+        let sdp = match self.sdp {
+            Some(s) => {
+                if s.num_classes() != self.classes {
+                    return Err(SystemError::Invalid(format!(
+                        "SDP has {} classes but {} were requested",
+                        s.num_classes(),
+                        self.classes
+                    )));
+                }
+                s
+            }
+            None => Sdp::geometric(self.classes, self.spacing_ratio)
+                .map_err(|e| SystemError::Invalid(e.to_string()))?,
+        };
+        let fractions = match self.class_fractions {
+            Some(f) => {
+                if f.len() != self.classes {
+                    return Err(SystemError::Invalid(format!(
+                        "{} fractions for {} classes",
+                        f.len(),
+                        self.classes
+                    )));
+                }
+                let sum: f64 = f.iter().sum();
+                if (sum - 1.0).abs() > 1e-6 || f.iter().any(|&x| x <= 0.0) {
+                    return Err(SystemError::Invalid(
+                        "fractions must be positive and sum to 1".into(),
+                    ));
+                }
+                f
+            }
+            None if self.classes == 4 => vec![0.4, 0.3, 0.2, 0.1],
+            None => vec![1.0 / self.classes as f64; self.classes],
+        };
+        let mut experiment =
+            Experiment::paper(self.utilization, sdp, self.horizon_punits, self.seeds);
+        experiment.class_fractions = fractions;
+        Ok(PddSystem {
+            experiment,
+            scheduler: self.scheduler,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build_and_run() {
+        let sys = PddSystem::builder()
+            .horizon_punits(3_000)
+            .seeds(vec![1])
+            .build()
+            .unwrap();
+        let r = sys.run();
+        assert_eq!(r.mean_delays.len(), 4);
+        assert_eq!(r.ratios.len(), 3);
+        assert_eq!(sys.scheduler(), SchedulerKind::Wtp);
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(PddSystem::builder().utilization(1.5).build().is_err());
+        assert!(PddSystem::builder().seeds(vec![]).build().is_err());
+        assert!(PddSystem::builder().horizon_punits(10).build().is_err());
+        assert!(PddSystem::builder()
+            .classes(3)
+            .sdp(Sdp::paper_default())
+            .build()
+            .is_err());
+        assert!(PddSystem::builder()
+            .class_fractions(vec![0.5, 0.5])
+            .build()
+            .is_err());
+        assert!(PddSystem::builder()
+            .class_fractions(vec![0.7, 0.2, 0.2, -0.1])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn uniform_fractions_for_nonstandard_class_count() {
+        let sys = PddSystem::builder()
+            .classes(3)
+            .horizon_punits(500)
+            .build()
+            .unwrap();
+        assert_eq!(sys.experiment().class_fractions.len(), 3);
+        let sum: f64 = sys.experiment().class_fractions.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_runs_on_shared_traces() {
+        let sys = PddSystem::builder()
+            .horizon_punits(2_000)
+            .seeds(vec![5])
+            .build()
+            .unwrap();
+        let rs = sys.compare(&[SchedulerKind::Fcfs, SchedulerKind::Fcfs]);
+        assert_eq!(rs[0].mean_delays, rs[1].mean_delays);
+    }
+}

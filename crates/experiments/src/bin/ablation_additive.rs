@@ -1,0 +1,8 @@
+//! The additive differentiation model (Eq. 3): constant delay differences.
+//!
+//! Usage: `ablation_additive [--paper|--bench]`.
+fn main() {
+    let scale = experiments::Scale::from_args();
+    let study = experiments::ablations::additive(scale);
+    println!("{}", experiments::ablations::render_additive(&study));
+}

@@ -1,0 +1,8 @@
+//! Simulator vs exact M/G/1 theory under Poisson arrivals.
+//!
+//! Usage: `ablation_analytic [--paper|--bench]`.
+fn main() {
+    let scale = experiments::Scale::from_args();
+    let check = experiments::ablations::analytic(scale);
+    println!("{}", experiments::ablations::render_analytic(&check));
+}

@@ -1,0 +1,8 @@
+//! Eq. (7) feasibility region sweep (DDP spacing x utilization).
+//!
+//! Usage: `ablation_feasibility [--paper|--bench]`.
+fn main() {
+    let scale = experiments::Scale::from_args();
+    let probes = experiments::ablations::feasibility(scale);
+    println!("{}", experiments::ablations::render_feasibility(&probes));
+}

@@ -1,0 +1,8 @@
+//! End-to-end differentiation with legacy FCFS hops on the path.
+//!
+//! Usage: `ablation_mixed_path [--paper|--bench]`.
+fn main() {
+    let scale = experiments::Scale::from_args();
+    let study = experiments::ablations::mixed_path(scale);
+    println!("{}", experiments::ablations::render_mixed_path(&study));
+}

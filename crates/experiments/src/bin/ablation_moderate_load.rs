@@ -1,0 +1,7 @@
+//! Moderate-load accuracy of WTP/BPR vs the PAD/HPD extensions.
+//!
+//! Usage: `ablation_moderate_load [--paper|--bench]`.
+fn main() {
+    let scale = experiments::Scale::from_args();
+    println!("{}", experiments::ablations::moderate_load(scale).render());
+}

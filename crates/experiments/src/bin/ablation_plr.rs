@@ -1,0 +1,8 @@
+//! Proportional loss-rate differentiation vs tail-drop on a lossy link.
+//!
+//! Usage: `ablation_plr [--paper|--bench]`.
+fn main() {
+    let scale = experiments::Scale::from_args();
+    let study = experiments::ablations::plr(scale);
+    println!("{}", experiments::ablations::render_plr(&study));
+}

@@ -1,0 +1,7 @@
+//! All ten schedulers on identical traffic (scheduler shoot-out ablation).
+//!
+//! Usage: `ablation_schedulers [--paper|--bench]`.
+fn main() {
+    let scale = experiments::Scale::from_args();
+    println!("{}", experiments::ablations::schedulers(scale).render());
+}

@@ -1,0 +1,5 @@
+//! Proposition 2 (WTP short-term starvation) demonstrated empirically.
+fn main() {
+    let probes = experiments::ablations::starvation();
+    println!("{}", experiments::ablations::render_starvation(&probes));
+}

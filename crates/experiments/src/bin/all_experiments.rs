@@ -1,0 +1,25 @@
+//! Runs every figure, table, and ablation in sequence.
+//!
+//! Usage: `all_experiments [--paper|--bench]` (default: quick scale).
+fn main() {
+    let scale = experiments::Scale::from_args();
+    println!("{}", experiments::fig1::run(scale).render());
+    println!("{}", experiments::fig2::run(scale).render());
+    println!("{}", experiments::fig3::run(scale).render());
+    println!("{}", experiments::fig45::run(scale).render());
+    println!("{}", experiments::table1::run(scale).render());
+    println!("{}", experiments::ablations::schedulers(scale).render());
+    let probes = experiments::ablations::feasibility(scale);
+    println!("{}", experiments::ablations::render_feasibility(&probes));
+    let st = experiments::ablations::starvation();
+    println!("{}", experiments::ablations::render_starvation(&st));
+    println!("{}", experiments::ablations::moderate_load(scale).render());
+    let plr = experiments::ablations::plr(scale);
+    println!("{}", experiments::ablations::render_plr(&plr));
+    let add = experiments::ablations::additive(scale);
+    println!("{}", experiments::ablations::render_additive(&add));
+    let an = experiments::ablations::analytic(scale);
+    println!("{}", experiments::ablations::render_analytic(&an));
+    let mp = experiments::ablations::mixed_path(scale);
+    println!("{}", experiments::ablations::render_mixed_path(&mp));
+}

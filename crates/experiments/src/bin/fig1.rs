@@ -1,0 +1,7 @@
+//! Regenerates Figure 1 (delay ratios vs utilization).
+//!
+//! Usage: `fig1 [--paper|--bench]` (default: quick scale).
+fn main() {
+    let scale = experiments::Scale::from_args();
+    println!("{}", experiments::fig1::run(scale).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 2 (delay ratios vs class load distribution).
+//!
+//! Usage: `fig2 [--paper|--bench]`.
+fn main() {
+    let scale = experiments::Scale::from_args();
+    println!("{}", experiments::fig2::run(scale).render());
+}

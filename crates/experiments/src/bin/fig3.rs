@@ -1,0 +1,7 @@
+//! Regenerates Figure 3 (R_D percentiles vs monitoring timescale).
+//!
+//! Usage: `fig3 [--paper|--bench]`.
+fn main() {
+    let scale = experiments::Scale::from_args();
+    println!("{}", experiments::fig3::run(scale).render());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figures 4-5 (microscopic views) and writes the raw series
+//! as CSVs under `out/` for plotting.
+//!
+//! Usage: `fig45 [--paper|--bench]`.
+fn main() {
+    let scale = experiments::Scale::from_args();
+    let f = experiments::fig45::run(scale);
+    println!("{}", f.render());
+    let dir = std::path::Path::new("out");
+    match f.write_csvs(dir) {
+        Ok(()) => println!("raw views written to {}/fig[45]_view[12].csv", dir.display()),
+        Err(e) => eprintln!("could not write CSVs: {e}"),
+    }
+}

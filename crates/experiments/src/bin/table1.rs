@@ -1,0 +1,8 @@
+//! Regenerates Table 1 (end-to-end R_D over the Figure-6 topology).
+//!
+//! Usage: `table1 [--paper|--bench]`. The paper scale runs 16 cells of
+//! 100 user experiments each and takes a few minutes.
+fn main() {
+    let scale = experiments::Scale::from_args();
+    println!("{}", experiments::table1::run(scale).render());
+}

@@ -1,0 +1,220 @@
+//! Workload trace utility: generate, inspect, replay, and feasibility-check
+//! CSV packet traces (`ticks,class,size` format, 1 tick = 1 byte at link
+//! rate 1).
+//!
+//! ```text
+//! trace_tool gen --out trace.csv [--rho 0.9] [--punits 50000] [--seed 1]
+//!                [--fractions 40,30,20,10] [--dist pareto|poisson]
+//! trace_tool stats trace.csv
+//! trace_tool replay trace.csv [--scheduler wtp] [--sdp 1,2,4,8]
+//! trace_tool feasibility trace.csv [--spacing 2.0]
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use pdd::model::{Ddp, ProportionalModel};
+use pdd::qsim::run_trace;
+use pdd::sched::{SchedulerKind, Sdp};
+use pdd::simcore::Time;
+use pdd::stats::{hurst_estimate, idc_curve, variance_time, Summary, Table};
+use pdd::traffic::{IatDist, LoadPlan, SizeDist, Trace};
+
+/// Prints to stdout, ignoring broken pipes (e.g. `trace_tool stats | head`).
+fn out(text: std::fmt::Arguments<'_>) {
+    let stdout = std::io::stdout();
+    let _ = writeln!(stdout.lock(), "{text}");
+}
+
+macro_rules! say {
+    ($($arg:tt)*) => { out(format_args!($($arg)*)) };
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("feasibility") => cmd_feasibility(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  trace_tool gen --out FILE [--rho 0.9] [--punits 50000] [--seed 1]
+                 [--fractions 40,30,20,10] [--dist pareto|poisson]
+  trace_tool stats FILE
+  trace_tool replay FILE [--scheduler wtp] [--sdp 1,2,4,8]
+  trace_tool feasibility FILE [--spacing 2.0]";
+
+/// Looks up `--key value` in an argument list.
+fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Option<&str> {
+    args.iter()
+        .enumerate()
+        .filter(|&(i, a)| {
+            !a.starts_with("--") && (i == 0 || !args[i - 1].starts_with("--"))
+        })
+        .map(|(_, a)| a.as_str())
+        .next()
+}
+
+fn parse_fractions(s: &str) -> Result<Vec<f64>, String> {
+    let parts: Result<Vec<f64>, _> = s.split(',').map(str::parse::<f64>).collect();
+    let parts = parts.map_err(|e| format!("bad fractions '{s}': {e}"))?;
+    let total: f64 = parts.iter().sum();
+    if total <= 0.0 {
+        return Err("fractions must sum to a positive value".into());
+    }
+    Ok(parts.iter().map(|f| f / total).collect())
+}
+
+fn parse_sdp(s: &str) -> Result<Sdp, String> {
+    let vals: Result<Vec<f64>, _> = s.split(',').map(str::parse::<f64>).collect();
+    Sdp::new(&vals.map_err(|e| format!("bad sdp '{s}': {e}"))?).map_err(|e| e.to_string())
+}
+
+fn load(args: &[String]) -> Result<Trace, String> {
+    let path = positional(args).ok_or("missing trace file argument")?;
+    Trace::load_csv(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let out = opt(args, "--out").ok_or("gen requires --out FILE")?;
+    let rho: f64 = opt(args, "--rho").unwrap_or("0.9").parse().map_err(|e| format!("bad --rho: {e}"))?;
+    let punits: u64 = opt(args, "--punits").unwrap_or("50000").parse().map_err(|e| format!("bad --punits: {e}"))?;
+    let seed: u64 = opt(args, "--seed").unwrap_or("1").parse().map_err(|e| format!("bad --seed: {e}"))?;
+    let fractions = parse_fractions(opt(args, "--fractions").unwrap_or("40,30,20,10"))?;
+    let dist = opt(args, "--dist").unwrap_or("pareto");
+
+    let plan = LoadPlan::new(1.0, rho, &fractions, SizeDist::paper()).map_err(|e| e.to_string())?;
+    let family = match dist {
+        "pareto" => IatDist::paper_pareto(1.0),
+        "poisson" => IatDist::exponential(1.0),
+        other => return Err(format!("unknown --dist '{other}' (pareto|poisson)")),
+    }
+    .map_err(|e| e.to_string())?;
+    let mut sources = plan.sources(&family).map_err(|e| e.to_string())?;
+    let horizon = Time::from_ticks(punits * 441);
+    let trace = Trace::generate_per_source(&mut sources, horizon, seed);
+    trace.save_csv(out).map_err(|e| format!("cannot write {out}: {e}"))?;
+    say!(
+        "wrote {} packets ({} bytes of traffic, load {:.3}) to {out}",
+        trace.len(),
+        trace.total_bytes(),
+        trace.rate_bytes_per_tick()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let trace = load(args)?;
+    if trace.is_empty() {
+        return Err("trace is empty".into());
+    }
+    say!("packets: {}", trace.len());
+    say!("bytes:   {}", trace.total_bytes());
+    say!("load:    {:.4} bytes/tick", trace.rate_bytes_per_tick());
+    let counts = trace.class_counts();
+    let mut t = Table::new(["class", "packets", "share"]);
+    for (c, n) in counts.iter().enumerate() {
+        t.row([
+            format!("{}", c + 1),
+            format!("{n}"),
+            format!("{:.1}%", 100.0 * *n as f64 / trace.len() as f64),
+        ]);
+    }
+    say!("{t}");
+    let times: Vec<u64> = trace.entries().iter().map(|e| e.at.ticks()).collect();
+    let curve = idc_curve(&times, 4410, 8);
+    if let (Some(first), Some(last)) = (curve.first(), curve.last()) {
+        say!(
+            "burstiness: IDC {:.2} -> {:.2} over windows {}..{} ticks",
+            first.1, last.1, first.0, last.0
+        );
+    }
+    if let Some(h) = hurst_estimate(&variance_time(&times, 4410, 8)) {
+        say!("Hurst estimate: {h:.2} (0.5 = Poisson-like)");
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let trace = load(args)?;
+    let kind: SchedulerKind = opt(args, "--scheduler")
+        .unwrap_or("wtp")
+        .parse()
+        .map_err(|e: String| e)?;
+    let sdp = parse_sdp(opt(args, "--sdp").unwrap_or("1,2,4,8"))?;
+    let max_class = trace.entries().iter().map(|e| e.class).max().unwrap_or(0) as usize;
+    if max_class >= sdp.num_classes() {
+        return Err(format!(
+            "trace uses class {} but SDP has only {} classes",
+            max_class + 1,
+            sdp.num_classes()
+        ));
+    }
+    let mut s = kind.build(&sdp, 1.0);
+    let mut acc = vec![Summary::new(); sdp.num_classes()];
+    run_trace(s.as_mut(), &trace, 1.0, |d| {
+        acc[d.packet.class as usize].push(d.wait().as_f64());
+    });
+    say!("scheduler: {}", kind.name());
+    let mut t = Table::new(["class", "packets", "mean wait (p-units)", "ratio to next"]);
+    for c in 0..sdp.num_classes() {
+        let ratio = if c + 1 < sdp.num_classes() && acc[c + 1].mean() > 0.0 {
+            format!("{:.2}", acc[c].mean() / acc[c + 1].mean())
+        } else {
+            "-".into()
+        };
+        t.row([
+            format!("{}", c + 1),
+            format!("{}", acc[c].count()),
+            format!("{:.1}", acc[c].mean() / 441.0),
+            ratio,
+        ]);
+    }
+    say!("{t}");
+    Ok(())
+}
+
+fn cmd_feasibility(args: &[String]) -> Result<(), String> {
+    let trace = load(args)?;
+    let spacing: f64 = opt(args, "--spacing")
+        .unwrap_or("2.0")
+        .parse()
+        .map_err(|e| format!("bad --spacing: {e}"))?;
+    let n = trace.entries().iter().map(|e| e.class).max().unwrap_or(0) as usize + 1;
+    if n < 2 {
+        return Err("need at least two classes for feasibility".into());
+    }
+    let arrivals: Vec<(u64, u8, u32)> = trace
+        .entries()
+        .iter()
+        .map(|e| (e.at.ticks(), e.class, e.size))
+        .collect();
+    let model = ProportionalModel::new(Ddp::geometric(n, spacing).map_err(|e| e.to_string())?);
+    let report = model.check_feasibility(&arrivals, 1.0);
+    say!("{report}");
+    Ok(())
+}

@@ -1,0 +1,182 @@
+//! # experiments — the table/figure regeneration harness
+//!
+//! One module per experiment in the paper's evaluation; each exposes a
+//! `run(scale)` returning structured results plus a `render()`d report that
+//! prints the same rows/series the paper shows. The `src/bin/*` binaries
+//! are thin wrappers, so the bench crate can regenerate the same
+//! experiments at [`Scale::Bench`].
+//!
+//! | module | reproduces |
+//! |--------|------------|
+//! | [`fig1`] | Fig. 1a/1b — delay ratios vs utilization |
+//! | [`fig2`] | Fig. 2a/2b — delay ratios vs class load distribution |
+//! | [`fig3`] | Fig. 3 — R_D percentiles vs monitoring timescale |
+//! | [`fig45`] | Figs. 4–5 — microscopic views, BPR sawtooth vs WTP |
+//! | [`table1`] | Table 1 — end-to-end R_D over the Fig.-6 topology |
+//! | [`ablations`] | scheduler shoot-out, feasibility region, starvation, moderate-load undershoot |
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig45;
+pub mod table1;
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full fidelity, close to the paper's own run lengths (release mode).
+    Paper,
+    /// A few× smaller, for interactive use.
+    Quick,
+    /// Small enough for a Criterion iteration.
+    Bench,
+    /// User-chosen horizon and seed count (`--punits N --seeds K`).
+    Custom {
+        /// Study-A horizon in p-units.
+        punits: u64,
+        /// Number of seeds to average over.
+        nseeds: u16,
+    },
+}
+
+impl Scale {
+    /// Parses the scale from argv: `--paper`, `--bench`, explicit
+    /// `--punits N` / `--seeds K` overrides, or the `Quick` default (so the
+    /// binaries finish in seconds).
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        let get = |key: &str| -> Option<u64> {
+            args.iter()
+                .position(|a| a == key)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+        };
+        let base = if args.iter().any(|a| a == "--paper") {
+            Scale::Paper
+        } else if args.iter().any(|a| a == "--bench") {
+            Scale::Bench
+        } else {
+            Scale::Quick
+        };
+        match (get("--punits"), get("--seeds")) {
+            (None, None) => base,
+            (p, k) => Scale::Custom {
+                punits: p.unwrap_or(base.punits()).max(100),
+                nseeds: k.unwrap_or(base.seeds().len() as u64).clamp(1, 1000) as u16,
+            },
+        }
+    }
+
+    /// Study-A horizon in p-units.
+    pub fn punits(self) -> u64 {
+        match self {
+            Scale::Paper => 90_000,
+            Scale::Quick => 30_000,
+            Scale::Bench => 6_000,
+            Scale::Custom { punits, .. } => punits,
+        }
+    }
+
+    /// Study-A seeds (the paper averages ten runs).
+    pub fn seeds(self) -> Vec<u64> {
+        match self {
+            Scale::Paper => (1..=10).collect(),
+            Scale::Quick => (1..=4).collect(),
+            Scale::Bench => vec![1],
+            Scale::Custom { nseeds, .. } => (1..=nseeds as u64).collect(),
+        }
+    }
+
+    /// Study-B `(experiments M, warmup seconds)`.
+    pub fn study_b(self) -> (u32, f64) {
+        match self {
+            Scale::Paper => (100, 100.0),
+            Scale::Quick => (30, 20.0),
+            Scale::Bench => (6, 4.0),
+            // Scale the experiment count with the requested horizon.
+            Scale::Custom { punits, .. } => {
+                let m = (punits / 1_000).clamp(4, 200) as u32;
+                (m, (m as f64 / 2.0).clamp(4.0, 100.0))
+            }
+        }
+    }
+}
+
+/// Prints a titled section banner.
+pub fn banner(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+/// Runs `jobs` closures on up to `std::thread::available_parallelism()`
+/// OS threads and returns their results in order.
+pub fn parallel_map<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let jobs: Vec<std::sync::Mutex<Option<F>>> =
+        jobs.into_iter().map(|j| std::sync::Mutex::new(Some(j))).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mx: Vec<std::sync::Mutex<&mut Option<T>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i].lock().expect("job mutex").take().expect("job taken once");
+                let out = job();
+                **results_mx[i].lock().expect("result mutex") = Some(out);
+            });
+        }
+    });
+    drop(results_mx);
+    results
+        .into_iter()
+        .map(|r| r.expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..20usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let got = parallel_map(jobs);
+        assert_eq!(got, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Paper.punits() > Scale::Quick.punits());
+        assert!(Scale::Quick.punits() > Scale::Bench.punits());
+        assert!(Scale::Paper.seeds().len() >= Scale::Quick.seeds().len());
+    }
+
+    #[test]
+    fn custom_scale_honors_overrides() {
+        let s = Scale::Custom {
+            punits: 12_345,
+            nseeds: 3,
+        };
+        assert_eq!(s.punits(), 12_345);
+        assert_eq!(s.seeds(), vec![1, 2, 3]);
+        let (m, warmup) = s.study_b();
+        assert!(m >= 4 && warmup >= 4.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Study-B configuration.
+
+use sched::{Sdp, SchedulerKind};
+
+use crate::TICKS_PER_SEC;
+
+/// How cross-traffic sources generate load.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrossModel {
+    /// Open-loop Pareto(α = 1.9) interarrivals at the rate that hits the
+    /// target utilization — the paper's §6 setup.
+    Pareto,
+    /// Closed-loop ECN-reacting sources (§3's "sources that adjust their
+    /// rate using the ECN bit"): each source sends periodically at its
+    /// current rate, halves the rate when it sees its link's queue above
+    /// `mark_threshold_bytes` (an ECN mark), and otherwise increases it
+    /// additively — a crude AIMD that sustains high utilization without
+    /// unbounded queues.
+    EcnAdaptive {
+        /// Queue depth that triggers a mark, in bytes.
+        mark_threshold_bytes: u64,
+        /// Additive increase per unmarked packet, in bits/s.
+        increase_bps: f64,
+        /// Lower bound on a source's rate as a fraction of its fair share.
+        min_rate_fraction: f64,
+    },
+}
+
+impl CrossModel {
+    /// A reasonable ECN configuration: mark above 64 kB of queue,
+    /// +50 kbit/s per unmarked packet, floor at 10 % of fair share.
+    pub fn default_ecn() -> Self {
+        CrossModel::EcnAdaptive {
+            mark_threshold_bytes: 64 * 1024,
+            increase_bps: 50_000.0,
+            min_rate_fraction: 0.1,
+        }
+    }
+}
+
+/// Parameters of one Study-B run (defaults = the paper's Table-1 setup).
+/// # Example
+///
+/// ```no_run
+/// use netsim::{analyze, packet_time_tolerance, run_study_b, StudyBConfig};
+///
+/// // One Table-1 cell, scaled down.
+/// let mut cfg = StudyBConfig::paper(4, 0.95, 10, 200.0);
+/// cfg.experiments = 10;
+/// cfg.warmup_secs = 5.0;
+/// let records = run_study_b(&cfg);
+/// let result = analyze(&records, cfg.num_classes(), packet_time_tolerance(&cfg));
+/// assert!((result.rd - 2.0).abs() < 0.6); // ideal 2.00
+/// ```
+#[derive(Debug, Clone)]
+pub struct StudyBConfig {
+    /// Number of congested hops K on the user path (4 or 8 in Table 1).
+    pub k_hops: usize,
+    /// Link bandwidth in bits per second (25 Mbps in the paper).
+    pub link_bps: f64,
+    /// Scheduler at every link (WTP in the paper).
+    pub scheduler: SchedulerKind,
+    /// Scheduler Differentiation Parameters (1, 2, 4, 8 in the paper).
+    pub sdp: Sdp,
+    /// Target utilization ρ of every link (0.85 or 0.95).
+    pub utilization: f64,
+    /// Cross-traffic sources per node (C = 8).
+    pub cross_sources: usize,
+    /// Cross-traffic class mix (40/30/20/10 % in the paper).
+    pub cross_class_fractions: Vec<f64>,
+    /// Packet size for both cross and user traffic, bytes (500).
+    pub packet_bytes: u32,
+    /// User-flow length F in packets (10 or 100).
+    pub flow_len: u32,
+    /// User-flow rate R_u in kbit/s (50 or 200).
+    pub flow_rate_kbps: f64,
+    /// Number of user experiments M (100), launched one per second.
+    pub experiments: u32,
+    /// Warm-up before the first experiment, seconds (100 in the paper).
+    pub warmup_secs: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cross-traffic generation model.
+    pub cross_model: CrossModel,
+    /// Per-link scheduler override (one entry per hop); `None` = use
+    /// `scheduler` everywhere. Lets experiments model partially deployed
+    /// differentiation (e.g. one legacy FCFS hop on the path).
+    pub link_schedulers: Option<Vec<SchedulerKind>>,
+    /// The user flows' path as `(entry_hop, exit_hop)`: packets enter the
+    /// queue of link `entry_hop` and leave the network after link
+    /// `exit_hop − 1`. `None` = the full chain `(0, k_hops)`.
+    pub user_path: Option<(usize, usize)>,
+    /// Per-link utilization override (one entry per hop); `None` = the
+    /// uniform `utilization` everywhere. Models a single bottleneck hop on
+    /// an otherwise lightly loaded path.
+    pub utilization_per_link: Option<Vec<f64>>,
+    /// Propagation delay per link, in ns. The paper sets this to zero and
+    /// excludes it from the delay metric (it is common to all classes);
+    /// the knob exists to show that queueing-delay differentiation is
+    /// unaffected by it.
+    pub propagation_ns: u64,
+}
+
+impl StudyBConfig {
+    /// The paper's Table-1 cell `(K, ρ, F, R_u)` with full-scale M and
+    /// warm-up.
+    pub fn paper(k_hops: usize, utilization: f64, flow_len: u32, flow_rate_kbps: f64) -> Self {
+        StudyBConfig {
+            k_hops,
+            link_bps: 25_000_000.0,
+            scheduler: SchedulerKind::Wtp,
+            sdp: Sdp::paper_default(),
+            utilization,
+            cross_sources: 8,
+            cross_class_fractions: vec![0.4, 0.3, 0.2, 0.1],
+            packet_bytes: 500,
+            flow_len,
+            flow_rate_kbps,
+            experiments: 100,
+            warmup_secs: 100.0,
+            seed: 1,
+            cross_model: CrossModel::Pareto,
+            link_schedulers: None,
+            user_path: None,
+            utilization_per_link: None,
+            propagation_ns: 0,
+        }
+    }
+
+    /// Number of service classes (one user flow per class).
+    pub fn num_classes(&self) -> usize {
+        self.sdp.num_classes()
+    }
+
+    /// Link rate in bytes per tick (bytes per ns).
+    pub fn link_bytes_per_tick(&self) -> f64 {
+        self.link_bps / 8.0 / TICKS_PER_SEC as f64
+    }
+
+    /// Gap between packets of one user flow, in ticks: `L·8 / R_u`.
+    pub fn user_packet_gap_ticks(&self) -> u64 {
+        let bits = self.packet_bytes as f64 * 8.0;
+        (bits / (self.flow_rate_kbps * 1000.0) * TICKS_PER_SEC as f64).round() as u64
+    }
+
+    /// Long-run average user-traffic rate in bits/s: one experiment per
+    /// second, each sending `num_classes · F` packets.
+    pub fn user_avg_bps(&self) -> f64 {
+        self.num_classes() as f64 * self.flow_len as f64 * self.packet_bytes as f64 * 8.0
+    }
+
+    /// Aggregate cross-traffic rate per node (bits/s) needed to hit the
+    /// target utilization given the user traffic on every link.
+    pub fn cross_total_bps(&self) -> f64 {
+        let cross = self.utilization * self.link_bps - self.user_avg_bps();
+        assert!(
+            cross > 0.0,
+            "user traffic alone exceeds the utilization target"
+        );
+        cross
+    }
+
+    /// Mean interarrival gap of one cross source of class share `frac`, in
+    /// ticks.
+    pub fn cross_gap_ticks(&self) -> f64 {
+        let per_source_bps = self.cross_total_bps() / self.cross_sources as f64;
+        let bits = self.packet_bytes as f64 * 8.0;
+        bits / per_source_bps * TICKS_PER_SEC as f64
+    }
+
+    /// The user flows' effective `(entry, exit)` hops.
+    pub fn user_hops(&self) -> (usize, usize) {
+        self.user_path.unwrap_or((0, self.k_hops))
+    }
+
+    /// The target utilization of link `l`.
+    pub fn utilization_for_link(&self, l: usize) -> f64 {
+        self.utilization_per_link
+            .as_ref()
+            .map(|v| v[l])
+            .unwrap_or(self.utilization)
+    }
+
+    /// Aggregate cross-traffic rate (bits/s) needed at node `l` to hit that
+    /// link's utilization target given the pass-through user traffic.
+    pub fn cross_total_bps_for_link(&self, l: usize) -> f64 {
+        let (entry, exit) = self.user_hops();
+        let user = if l >= entry && l < exit {
+            self.user_avg_bps()
+        } else {
+            0.0
+        };
+        let cross = self.utilization_for_link(l) * self.link_bps - user;
+        assert!(
+            cross > 0.0,
+            "user traffic alone exceeds link {l}'s utilization target"
+        );
+        cross
+    }
+
+    /// Mean interarrival gap of one cross source at node `l`, in ticks.
+    pub fn cross_gap_ticks_for_link(&self, l: usize) -> f64 {
+        let per_source_bps = self.cross_total_bps_for_link(l) / self.cross_sources as f64;
+        let bits = self.packet_bytes as f64 * 8.0;
+        bits / per_source_bps * TICKS_PER_SEC as f64
+    }
+
+    /// The scheduler for link `l`.
+    pub fn scheduler_for_link(&self, l: usize) -> SchedulerKind {
+        self.link_schedulers
+            .as_ref()
+            .map(|v| v[l])
+            .unwrap_or(self.scheduler)
+    }
+
+    /// Duration of one user flow in seconds.
+    pub fn flow_duration_secs(&self) -> f64 {
+        self.flow_len as f64 * self.user_packet_gap_ticks() as f64 / TICKS_PER_SEC as f64
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k_hops == 0 {
+            return Err("need at least one hop".into());
+        }
+        if !(self.utilization > 0.0 && self.utilization < 1.0) {
+            return Err(format!("utilization must be in (0,1), got {}", self.utilization));
+        }
+        let s: f64 = self.cross_class_fractions.iter().sum();
+        if (s - 1.0).abs() > 1e-6 || self.cross_class_fractions.len() != self.num_classes() {
+            return Err("cross-class fractions must sum to 1, one per class".into());
+        }
+        if self.flow_len == 0 || self.experiments == 0 {
+            return Err("flow_len and experiments must be positive".into());
+        }
+        if self.utilization * self.link_bps <= self.user_avg_bps() {
+            return Err("user traffic alone exceeds the utilization target".into());
+        }
+        if let Some(ls) = &self.link_schedulers {
+            if ls.len() != self.k_hops {
+                return Err(format!(
+                    "link_schedulers has {} entries for {} hops",
+                    ls.len(),
+                    self.k_hops
+                ));
+            }
+        }
+        if let Some(us) = &self.utilization_per_link {
+            if us.len() != self.k_hops {
+                return Err(format!(
+                    "utilization_per_link has {} entries for {} hops",
+                    us.len(),
+                    self.k_hops
+                ));
+            }
+            if us.iter().any(|&u| !(u > 0.0 && u < 1.0)) {
+                return Err("per-link utilizations must be in (0,1)".into());
+            }
+        }
+        let (entry, exit) = self.user_hops();
+        if entry >= exit || exit > self.k_hops {
+            return Err(format!(
+                "user_path ({entry}, {exit}) must satisfy entry < exit <= k_hops"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cell_derives_sane_parameters() {
+        let c = StudyBConfig::paper(4, 0.95, 100, 50.0);
+        assert!(c.validate().is_ok());
+        // 500 B at 25 Mbps = 160 µs.
+        assert!((c.link_bytes_per_tick() - 0.003125).abs() < 1e-12);
+        // 4000 bits at 50 kbps = 80 ms.
+        assert_eq!(c.user_packet_gap_ticks(), 80_000_000);
+        // User average: 4 flows × 100 pkts × 4000 bits per second = 1.6 Mbps.
+        assert!((c.user_avg_bps() - 1_600_000.0).abs() < 1e-6);
+        // Cross total: 0.95·25M − 1.6M = 22.15 Mbps.
+        assert!((c.cross_total_bps() - 22_150_000.0).abs() < 1.0);
+        // Flow duration: 100 × 80 ms = 8 s.
+        assert!((c.flow_duration_secs() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_catches_overload_by_user_traffic() {
+        let mut c = StudyBConfig::paper(4, 0.95, 100, 50.0);
+        c.link_bps = 1_500_000.0; // user 1.6 Mbps alone exceeds 0.95×1.5M
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_fractions() {
+        let mut c = StudyBConfig::paper(4, 0.9, 10, 50.0);
+        c.cross_class_fractions = vec![0.5, 0.5];
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn link_scheduler_overrides_validated() {
+        let mut c = StudyBConfig::paper(4, 0.9, 10, 50.0);
+        c.link_schedulers = Some(vec![SchedulerKind::Wtp; 3]);
+        assert!(c.validate().is_err());
+        c.link_schedulers = Some(vec![
+            SchedulerKind::Wtp,
+            SchedulerKind::Fcfs,
+            SchedulerKind::Wtp,
+            SchedulerKind::Wtp,
+        ]);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.scheduler_for_link(1), SchedulerKind::Fcfs);
+        assert_eq!(c.scheduler_for_link(0), SchedulerKind::Wtp);
+    }
+
+    #[test]
+    fn per_link_utilization_validated_and_applied() {
+        let mut c = StudyBConfig::paper(3, 0.85, 10, 50.0);
+        c.utilization_per_link = Some(vec![0.5, 0.95, 0.5]);
+        assert!(c.validate().is_ok());
+        assert!((c.utilization_for_link(1) - 0.95).abs() < 1e-12);
+        assert!(c.cross_total_bps_for_link(1) > c.cross_total_bps_for_link(0));
+        c.utilization_per_link = Some(vec![0.5, 0.95]);
+        assert!(c.validate().is_err());
+        c.utilization_per_link = Some(vec![0.5, 1.2, 0.5]);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn user_path_validated() {
+        let mut c = StudyBConfig::paper(4, 0.9, 10, 50.0);
+        c.user_path = Some((1, 3));
+        assert!(c.validate().is_ok());
+        c.user_path = Some((3, 3));
+        assert!(c.validate().is_err());
+        c.user_path = Some((0, 5));
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cross_gap_scales_with_sources() {
+        let c = StudyBConfig::paper(4, 0.95, 10, 50.0);
+        let mut c2 = c.clone();
+        c2.cross_sources = 4;
+        assert!((c2.cross_gap_ticks() / c.cross_gap_ticks() - 0.5).abs() < 1e-9);
+    }
+}

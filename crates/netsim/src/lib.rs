@@ -1,0 +1,33 @@
+//! # netsim — multi-hop network simulator for Study B (§6)
+//!
+//! Models the Figure-6 configuration: a chain of K congested 25 Mbps links,
+//! each running a WTP scheduler (or any other scheduler from `sched`).
+//! *User flows* — N identical flows, one per class — enter at the first
+//! node and traverse the whole path; *cross traffic* from C Pareto sources
+//! enters at every node and exits after one hop. Propagation delay is zero
+//! and only queueing delays are accumulated, exactly as the paper measures.
+//!
+//! Every second, a "user experiment" launches one flow per class; at the
+//! end of the run, the per-flow end-to-end delay percentiles are compared
+//! across classes to (a) count inconsistent-differentiation cases and
+//! (b) compute the Table-1 figure of merit R_D.
+//!
+//! Beyond the paper's chain, the [`mesh`] module simulates arbitrary
+//! topologies (flows routed over explicit link sequences) so crossing
+//! paths and shared bottlenecks can be studied.
+//!
+//! Time unit: 1 tick = 1 ns.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analysis;
+mod config;
+mod engine;
+pub mod mesh;
+
+pub use analysis::{analyze, packet_time_tolerance, ExperimentRecord, StudyBResult};
+pub use config::{CrossModel, StudyBConfig};
+pub use engine::{run_study_b, run_study_b_with_links, LinkStats};
+
+/// Ticks per second (1 tick = 1 ns).
+pub const TICKS_PER_SEC: u64 = 1_000_000_000;

@@ -1,0 +1,489 @@
+//! General-topology simulation: flows routed over arbitrary link sets.
+//!
+//! Study B's Figure-6 chain answers the paper's question for one path
+//! shape; this module generalizes the engine so *crossing* paths can be
+//! simulated — e.g. two user populations whose routes share a bottleneck
+//! link — and the §6 question ("consistent end-to-end differentiation,
+//! independent of the network path") can be probed on meshes.
+//!
+//! The model stays deliberately simple: unidirectional links, each with a
+//! capacity and a scheduler; flows carry an explicit route (a sequence of
+//! link indices); zero propagation delay; queueing waits accumulate per
+//! hop exactly as in the chain engine.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sched::{Packet, Scheduler, SchedulerKind, Sdp};
+use simcore::{Context, Dur, Model, Simulation, Time};
+use traffic::IatDist;
+
+/// One unidirectional link of the mesh.
+#[derive(Debug, Clone)]
+pub struct MeshLink {
+    /// Capacity in bits per second.
+    pub bps: f64,
+    /// The scheduler at this link's queue.
+    pub scheduler: SchedulerKind,
+}
+
+/// How a flow emits packets.
+#[derive(Debug, Clone)]
+pub enum FlowModel {
+    /// `count` packets spaced `gap_ticks` apart (a Study-B user flow).
+    Periodic {
+        /// Inter-packet gap, ticks.
+        gap_ticks: u64,
+        /// Number of packets.
+        count: u32,
+    },
+    /// Pareto(α = 1.9) arrivals with the given mean gap until the horizon
+    /// (background/cross traffic).
+    Pareto {
+        /// Mean inter-packet gap, ticks.
+        mean_gap_ticks: f64,
+        /// Last instant at which the flow may emit.
+        until_ticks: u64,
+    },
+}
+
+/// One flow: a class, a route, and an emission model.
+#[derive(Debug, Clone)]
+pub struct MeshFlow {
+    /// Ordered link indices the flow traverses.
+    pub route: Vec<usize>,
+    /// Service class.
+    pub class: u8,
+    /// Packet size in bytes.
+    pub packet_bytes: u32,
+    /// Emission model.
+    pub model: FlowModel,
+    /// Start of the first packet, ticks.
+    pub start_ticks: u64,
+}
+
+/// A mesh scenario.
+#[derive(Debug, Clone)]
+pub struct MeshConfig {
+    /// Scheduler Differentiation Parameters shared by all links.
+    pub sdp: Sdp,
+    /// The links.
+    pub links: Vec<MeshLink>,
+    /// The flows.
+    pub flows: Vec<MeshFlow>,
+    /// RNG seed for the Pareto flows.
+    pub seed: u64,
+}
+
+impl MeshConfig {
+    /// Validates routes, classes, and link parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.links.is_empty() {
+            return Err("mesh needs at least one link".into());
+        }
+        if self.links.iter().any(|l| !(l.bps > 0.0)) {
+            return Err("link capacities must be positive".into());
+        }
+        for (i, f) in self.flows.iter().enumerate() {
+            if f.route.is_empty() {
+                return Err(format!("flow {i} has an empty route"));
+            }
+            if f.route.iter().any(|&l| l >= self.links.len()) {
+                return Err(format!("flow {i} routes over an unknown link"));
+            }
+            if f.class as usize >= self.sdp.num_classes() {
+                return Err(format!("flow {i} uses class {} without an SDP", f.class));
+            }
+            if f.packet_bytes == 0 {
+                return Err(format!("flow {i} has zero-byte packets"));
+            }
+            match f.model {
+                FlowModel::Periodic { count, .. } if count == 0 => {
+                    return Err(format!("flow {i} emits no packets"));
+                }
+                FlowModel::Pareto { mean_gap_ticks, .. } if !(mean_gap_ticks > 0.0) => {
+                    return Err(format!("flow {i} has a nonpositive mean gap"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-flow outcome: one end-to-end queueing wait (ticks) per delivered
+/// packet, in delivery order.
+#[derive(Debug, Clone)]
+pub struct MeshOutcome {
+    /// `per_flow_waits[f]` = end-to-end waits of flow f's packets.
+    pub per_flow_waits: Vec<Vec<u64>>,
+    /// Packets transmitted per link.
+    pub link_departures: Vec<u64>,
+}
+
+impl MeshOutcome {
+    /// Mean end-to-end wait of flow `f` (0 if it delivered nothing).
+    pub fn mean_wait(&self, f: usize) -> f64 {
+        let w = &self.per_flow_waits[f];
+        if w.is_empty() {
+            0.0
+        } else {
+            w.iter().sum::<u64>() as f64 / w.len() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Flow `flow` emits packet `idx`.
+    Emit { flow: u32, idx: u32 },
+    /// Link finished its in-flight packet.
+    TxDone { link: u16 },
+}
+
+struct PacketMeta {
+    flow: u32,
+    hop: u16,
+    acc_wait: u64,
+}
+
+struct LinkState {
+    scheduler: Box<dyn Scheduler>,
+    rate: f64,
+    in_flight: Option<Packet>,
+    departures: u64,
+}
+
+struct Mesh {
+    cfg: MeshConfig,
+    links: Vec<LinkState>,
+    metas: Vec<PacketMeta>,
+    waits: Vec<Vec<u64>>,
+    /// Per-Pareto-flow (rng, cumulative clock).
+    pareto: Vec<Option<(StdRng, f64, IatDist)>>,
+}
+
+impl Mesh {
+    fn arrive(&mut self, link: usize, class: u8, size: u32, tag: u64, ctx: &mut Context<Ev>) {
+        let pkt = Packet {
+            seq: tag,
+            class,
+            size,
+            arrival: ctx.now(),
+            tag,
+        };
+        self.links[link].scheduler.enqueue(pkt);
+        if self.links[link].in_flight.is_none() {
+            self.start_tx(link, ctx);
+        }
+    }
+
+    fn start_tx(&mut self, link: usize, ctx: &mut Context<Ev>) {
+        let now = ctx.now();
+        let Some(pkt) = self.links[link].scheduler.dequeue(now) else {
+            return;
+        };
+        let wait = now.since(pkt.arrival).ticks();
+        self.metas[pkt.tag as usize].acc_wait += wait;
+        let tx = ((pkt.size as f64 / self.links[link].rate).round() as u64).max(1);
+        self.links[link].in_flight = Some(pkt);
+        ctx.schedule_in(Dur::from_ticks(tx), Ev::TxDone { link: link as u16 });
+    }
+}
+
+impl Model for Mesh {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, ctx: &mut Context<Ev>) {
+        match ev {
+            Ev::Emit { flow, idx } => {
+                let f = self.cfg.flows[flow as usize].clone();
+                let tag = self.metas.len() as u64;
+                self.metas.push(PacketMeta {
+                    flow,
+                    hop: 0,
+                    acc_wait: 0,
+                });
+                self.arrive(f.route[0], f.class, f.packet_bytes, tag, ctx);
+                // Schedule the next emission.
+                match f.model {
+                    FlowModel::Periodic { gap_ticks, count } => {
+                        if idx + 1 < count {
+                            ctx.schedule_in(
+                                Dur::from_ticks(gap_ticks),
+                                Ev::Emit { flow, idx: idx + 1 },
+                            );
+                        }
+                    }
+                    FlowModel::Pareto { until_ticks, .. } => {
+                        let slot = self.pareto[flow as usize]
+                            .as_mut()
+                            .expect("pareto state for pareto flow");
+                        slot.1 += slot.2.sample(&mut slot.0);
+                        let next = slot.1.round().max(ctx.now().ticks() as f64 + 1.0);
+                        if next as u64 <= until_ticks {
+                            ctx.schedule(
+                                Time::from_ticks(next as u64),
+                                Ev::Emit { flow, idx: idx + 1 },
+                            );
+                        }
+                    }
+                }
+            }
+            Ev::TxDone { link } => {
+                let link = link as usize;
+                let pkt = self.links[link]
+                    .in_flight
+                    .take()
+                    .expect("TxDone without in-flight packet");
+                self.links[link].departures += 1;
+                let meta = &mut self.metas[pkt.tag as usize];
+                meta.hop += 1;
+                let route = &self.cfg.flows[meta.flow as usize].route;
+                if (meta.hop as usize) < route.len() {
+                    let next_link = route[meta.hop as usize];
+                    let (class, size, tag) = (pkt.class, pkt.size, pkt.tag);
+                    self.arrive(next_link, class, size, tag, ctx);
+                } else {
+                    let (flow, acc) = (meta.flow, meta.acc_wait);
+                    self.waits[flow as usize].push(acc);
+                }
+                self.start_tx(link, ctx);
+            }
+        }
+    }
+}
+
+/// Runs a mesh scenario to completion (all finite flows delivered, all
+/// Pareto flows past their horizons, queues drained).
+///
+/// # Panics
+/// Panics if the configuration fails [`MeshConfig::validate`].
+pub fn run_mesh(cfg: &MeshConfig) -> MeshOutcome {
+    cfg.validate().expect("invalid mesh configuration");
+    let links: Vec<LinkState> = cfg
+        .links
+        .iter()
+        .map(|l| LinkState {
+            scheduler: l.scheduler.build(&cfg.sdp, l.bps / 8.0 / crate::TICKS_PER_SEC as f64),
+            rate: l.bps / 8.0 / crate::TICKS_PER_SEC as f64,
+            in_flight: None,
+            departures: 0,
+        })
+        .collect();
+    let pareto: Vec<Option<(StdRng, f64, IatDist)>> = cfg
+        .flows
+        .iter()
+        .enumerate()
+        .map(|(i, f)| match f.model {
+            FlowModel::Pareto { mean_gap_ticks, .. } => Some((
+                StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                f.start_ticks as f64,
+                IatDist::paper_pareto(mean_gap_ticks).expect("validated gap"),
+            )),
+            FlowModel::Periodic { .. } => None,
+        })
+        .collect();
+    let mesh = Mesh {
+        links,
+        metas: Vec::new(),
+        waits: vec![Vec::new(); cfg.flows.len()],
+        pareto,
+        cfg: cfg.clone(),
+    };
+    let mut sim = Simulation::new(mesh);
+    for (i, f) in cfg.flows.iter().enumerate() {
+        sim.schedule(
+            Time::from_ticks(f.start_ticks),
+            Ev::Emit {
+                flow: i as u32,
+                idx: 0,
+            },
+        );
+    }
+    sim.run();
+    let mesh = sim.into_model();
+    MeshOutcome {
+        per_flow_waits: mesh.waits,
+        link_departures: mesh.links.iter().map(|l| l.departures).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MBPS25: f64 = 25_000_000.0;
+
+    fn wtp_link() -> MeshLink {
+        MeshLink {
+            bps: MBPS25,
+            scheduler: SchedulerKind::Wtp,
+        }
+    }
+
+    fn probe(route: Vec<usize>, class: u8, start: u64) -> MeshFlow {
+        MeshFlow {
+            route,
+            class,
+            packet_bytes: 500,
+            model: FlowModel::Periodic {
+                gap_ticks: 20_000_000, // 200 kbps
+                count: 50,
+            },
+            start_ticks: start,
+        }
+    }
+
+    fn background(route: Vec<usize>, class: u8, load_fraction: f64, horizon: u64) -> MeshFlow {
+        // 500 B packets at `load_fraction` of 25 Mbps.
+        let gap = 500.0 * 8.0 / (load_fraction * MBPS25) * 1e9;
+        MeshFlow {
+            route,
+            class,
+            packet_bytes: 500,
+            model: FlowModel::Pareto {
+                mean_gap_ticks: gap,
+                until_ticks: horizon,
+            },
+            start_ticks: 1,
+        }
+    }
+
+    /// Background mix loading `link` to ~92% across 4 classes.
+    fn background_mix(link: usize, horizon: u64) -> Vec<MeshFlow> {
+        [0.36, 0.27, 0.18, 0.09]
+            .iter()
+            .enumerate()
+            .map(|(c, &frac)| background(vec![link], c as u8, frac, horizon))
+            .collect()
+    }
+
+    #[test]
+    fn unloaded_mesh_has_zero_waits() {
+        let cfg = MeshConfig {
+            sdp: Sdp::paper_default(),
+            links: vec![wtp_link(), wtp_link()],
+            flows: vec![probe(vec![0, 1], 3, 0)],
+            seed: 1,
+        };
+        let out = run_mesh(&cfg);
+        assert_eq!(out.per_flow_waits[0].len(), 50);
+        assert!(out.per_flow_waits[0].iter().all(|&w| w == 0));
+        assert_eq!(out.link_departures, vec![50, 50]);
+    }
+
+    #[test]
+    fn crossing_paths_both_keep_differentiation() {
+        // Y topology: path A = [0, 2], path B = [1, 2]; link 2 is the shared
+        // bottleneck. Each path carries a low-class and a high-class probe.
+        let horizon = 4 * crate::TICKS_PER_SEC;
+        let mut flows = vec![
+            probe(vec![0, 2], 0, 0),
+            probe(vec![0, 2], 3, 0),
+            probe(vec![1, 2], 0, 0),
+            probe(vec![1, 2], 3, 0),
+        ];
+        flows.extend(background_mix(2, horizon));
+        let cfg = MeshConfig {
+            sdp: Sdp::paper_default(),
+            links: vec![wtp_link(), wtp_link(), wtp_link()],
+            flows,
+            seed: 7,
+        };
+        let out = run_mesh(&cfg);
+        for f in 0..4 {
+            assert_eq!(out.per_flow_waits[f].len(), 50, "flow {f} incomplete");
+        }
+        // On each path the high class beats the low class end-to-end.
+        assert!(
+            out.mean_wait(0) > 1.5 * out.mean_wait(1),
+            "path A: low {} vs high {}",
+            out.mean_wait(0),
+            out.mean_wait(1)
+        );
+        assert!(
+            out.mean_wait(2) > 1.5 * out.mean_wait(3),
+            "path B: low {} vs high {}",
+            out.mean_wait(2),
+            out.mean_wait(3)
+        );
+    }
+
+    #[test]
+    fn shared_bottleneck_couples_the_paths() {
+        // Loading path A's private link should not change path B's delays
+        // much; loading the shared link hurts both.
+        let horizon = 3 * crate::TICKS_PER_SEC;
+        let base_flows = |extra: Vec<MeshFlow>| {
+            let mut flows = vec![probe(vec![0, 2], 0, 0), probe(vec![1, 2], 0, 0)];
+            flows.extend(extra);
+            flows
+        };
+        let mk = |extra| MeshConfig {
+            sdp: Sdp::paper_default(),
+            links: vec![wtp_link(), wtp_link(), wtp_link()],
+            flows: base_flows(extra),
+            seed: 3,
+        };
+        let private_loaded = run_mesh(&mk(background_mix(0, horizon)));
+        let shared_loaded = run_mesh(&mk(background_mix(2, horizon)));
+        // Flow 1 (path B) barely notices path A's private congestion...
+        assert!(
+            private_loaded.mean_wait(1) < private_loaded.mean_wait(0) / 4.0,
+            "B {} vs A {}",
+            private_loaded.mean_wait(1),
+            private_loaded.mean_wait(0)
+        );
+        // ...but suffers when the shared link is hot.
+        assert!(
+            shared_loaded.mean_wait(1) > 4.0 * private_loaded.mean_wait(1).max(1.0),
+            "shared {} vs private {}",
+            shared_loaded.mean_wait(1),
+            private_loaded.mean_wait(1)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let horizon = crate::TICKS_PER_SEC;
+        let mk = || {
+            let mut flows = vec![probe(vec![0], 2, 0)];
+            flows.extend(background_mix(0, horizon));
+            MeshConfig {
+                sdp: Sdp::paper_default(),
+                links: vec![wtp_link()],
+                flows,
+                seed: 11,
+            }
+        };
+        let a = run_mesh(&mk());
+        let b = run_mesh(&mk());
+        assert_eq!(a.per_flow_waits, b.per_flow_waits);
+    }
+
+    #[test]
+    fn validation_rejects_bad_meshes() {
+        let ok = MeshConfig {
+            sdp: Sdp::paper_default(),
+            links: vec![wtp_link()],
+            flows: vec![probe(vec![0], 0, 0)],
+            seed: 0,
+        };
+        assert!(ok.validate().is_ok());
+        let mut bad = ok.clone();
+        bad.flows[0].route = vec![];
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.flows[0].route = vec![5];
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.flows[0].class = 9;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.flows[0].packet_bytes = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.links.clear();
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! The Fig. 1 / Fig. 2 harness: long-run average-delay ratios.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sched::{Scheduler, SchedulerKind, Sdp};
+use simcore::Time;
+use stats::{P2Quantile, Summary};
+use traffic::{LoadPlan, SizeDist, Trace};
+
+use crate::server::run_trace;
+
+/// Configuration of one Study-A experiment point.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Target aggregate utilization ρ.
+    pub utilization: f64,
+    /// Per-class load fractions (sum to 1); the paper's default is
+    /// 40/30/20/10 %.
+    pub class_fractions: Vec<f64>,
+    /// Scheduler Differentiation Parameters.
+    pub sdp: Sdp,
+    /// Simulation horizon in ticks (the paper runs 10⁶ time units per
+    /// seed; 1 p-unit = 441 ticks here).
+    pub horizon_ticks: u64,
+    /// Departures before this time are discarded (warm-up).
+    pub warmup_ticks: u64,
+    /// Seeds to average over (the paper uses ten).
+    pub seeds: Vec<u64>,
+}
+
+impl Experiment {
+    /// The paper's Study-A defaults at the given utilization, scaled by
+    /// `p_units` mean-packet-transmission-times of simulated horizon.
+    pub fn paper(utilization: f64, sdp: Sdp, p_units: u64, seeds: Vec<u64>) -> Self {
+        let p = traffic::PAPER_MEAN_PACKET_BYTES as u64;
+        Experiment {
+            utilization,
+            class_fractions: vec![0.4, 0.3, 0.2, 0.1],
+            sdp,
+            horizon_ticks: p_units * p,
+            warmup_ticks: (p_units / 20) * p,
+            seeds,
+        }
+    }
+
+    fn plan(&self) -> LoadPlan {
+        LoadPlan::new(
+            1.0,
+            self.utilization,
+            &self.class_fractions,
+            SizeDist::paper(),
+        )
+        .expect("validated experiment parameters")
+    }
+
+    /// Generates the arrival trace for one seed.
+    pub fn trace_for_seed(&self, seed: u64) -> Trace {
+        let plan = self.plan();
+        let mut sources = plan.pareto_sources().expect("valid plan");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Trace::generate(
+            &mut sources,
+            Time::from_ticks(self.horizon_ticks),
+            &mut rng,
+        )
+    }
+
+    /// Runs one scheduler over one pre-generated trace.
+    pub fn run_one(&self, scheduler: &mut dyn Scheduler, trace: &Trace) -> SeedResult {
+        let n = self.sdp.num_classes();
+        let mut per_class = vec![Summary::new(); n];
+        let mut p95: Vec<P2Quantile> = (0..n).map(|_| P2Quantile::new(0.95)).collect();
+        let warmup = Time::from_ticks(self.warmup_ticks);
+        run_trace(scheduler, trace, 1.0, |d| {
+            if d.start >= warmup {
+                let c = d.packet.class as usize;
+                let w = d.wait().as_f64();
+                per_class[c].push(w);
+                p95[c].push(w);
+            }
+        });
+        SeedResult {
+            per_class,
+            p95: p95.iter().map(|q| q.estimate().unwrap_or(0.0)).collect(),
+        }
+    }
+
+    /// Runs the experiment for `kind` across all seeds and aggregates.
+    pub fn run(&self, kind: SchedulerKind) -> ExperimentResult {
+        let mut seed_results = Vec::with_capacity(self.seeds.len());
+        for &seed in &self.seeds {
+            let trace = self.trace_for_seed(seed);
+            let mut s = kind.build(&self.sdp, 1.0);
+            seed_results.push(self.run_one(s.as_mut(), &trace));
+        }
+        ExperimentResult::aggregate(kind, &self.sdp, seed_results)
+    }
+
+    /// Runs several schedulers on the *same* traces (one trace per seed),
+    /// returning results in the order of `kinds`.
+    pub fn run_many(&self, kinds: &[SchedulerKind]) -> Vec<ExperimentResult> {
+        let traces: Vec<Trace> = self.seeds.iter().map(|&s| self.trace_for_seed(s)).collect();
+        kinds
+            .iter()
+            .map(|&kind| {
+                let seed_results = traces
+                    .iter()
+                    .map(|tr| {
+                        let mut s = kind.build(&self.sdp, 1.0);
+                        self.run_one(s.as_mut(), tr)
+                    })
+                    .collect();
+                ExperimentResult::aggregate(kind, &self.sdp, seed_results)
+            })
+            .collect()
+    }
+}
+
+/// Per-class delay summaries from a single seed.
+#[derive(Debug, Clone)]
+pub struct SeedResult {
+    /// One summary of waiting delays (ticks) per class.
+    pub per_class: Vec<Summary>,
+    /// Streaming 95th-percentile estimate of each class's delay (ticks).
+    pub p95: Vec<f64>,
+}
+
+impl SeedResult {
+    /// Mean delay of each class in ticks.
+    pub fn mean_delays(&self) -> Vec<f64> {
+        self.per_class.iter().map(Summary::mean).collect()
+    }
+
+    /// Ratios `d̄_i / d̄_{i+1}` between successive classes.
+    pub fn successive_ratios(&self) -> Vec<f64> {
+        let d = self.mean_delays();
+        d.windows(2).map(|w| w[0] / w[1]).collect()
+    }
+}
+
+/// Seed-aggregated result of one (scheduler, ρ, load-split) point.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The scheduler measured.
+    pub kind: SchedulerKind,
+    /// Per-class mean delays in ticks, averaged over seeds.
+    pub mean_delays: Vec<f64>,
+    /// Successive-class delay ratios, averaged over seeds (each seed's
+    /// ratio computed first, then averaged — matching the paper's
+    /// per-run-then-average methodology).
+    pub ratios: Vec<f64>,
+    /// The per-pair target ratios s_{i+1}/s_i.
+    pub target_ratios: Vec<f64>,
+    /// Per-class delay standard deviation (ticks), averaged over seeds —
+    /// the jitter a delay-sensitive application would feel.
+    pub std_devs: Vec<f64>,
+    /// Per-class 95th-percentile delay (ticks), averaged over seeds.
+    pub p95s: Vec<f64>,
+}
+
+impl ExperimentResult {
+    fn aggregate(kind: SchedulerKind, sdp: &Sdp, seeds: Vec<SeedResult>) -> Self {
+        let n = sdp.num_classes();
+        let mut mean_delays = vec![0.0; n];
+        let mut ratios = vec![0.0; n - 1];
+        let mut std_devs = vec![0.0; n];
+        let mut p95s = vec![0.0; n];
+        let k = seeds.len() as f64;
+        for sr in &seeds {
+            for (acc, d) in mean_delays.iter_mut().zip(sr.mean_delays()) {
+                *acc += d / k;
+            }
+            for (acc, r) in ratios.iter_mut().zip(sr.successive_ratios()) {
+                *acc += r / k;
+            }
+            for (acc, s) in std_devs.iter_mut().zip(&sr.per_class) {
+                *acc += s.std_dev() / k;
+            }
+            for (acc, p) in p95s.iter_mut().zip(&sr.p95) {
+                *acc += p / k;
+            }
+        }
+        let target_ratios = (0..n - 1).map(|i| sdp.target_ratio(i)).collect();
+        ExperimentResult {
+            kind,
+            mean_delays,
+            ratios,
+            target_ratios,
+            std_devs,
+            p95s,
+        }
+    }
+
+    /// Mean delays converted to p-units (mean packet transmission times).
+    pub fn mean_delays_punits(&self) -> Vec<f64> {
+        self.mean_delays
+            .iter()
+            .map(|d| d / traffic::PAPER_MEAN_PACKET_BYTES)
+            .collect()
+    }
+
+    /// Mean absolute relative deviation of the measured ratios from their
+    /// targets — the scalar used to compare schedulers.
+    pub fn ratio_deviation(&self) -> f64 {
+        self.ratios
+            .iter()
+            .zip(&self.target_ratios)
+            .map(|(r, t)| (r - t).abs() / t)
+            .sum::<f64>()
+            / self.ratios.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(utilization: f64) -> Experiment {
+        Experiment::paper(
+            utilization,
+            Sdp::paper_default(),
+            20_000, // p-units — small but enough for a coarse signal
+            vec![1, 2],
+        )
+    }
+
+    #[test]
+    fn wtp_converges_toward_target_at_high_load() {
+        let e = small(0.95);
+        let r = e.run(SchedulerKind::Wtp);
+        for (ratio, target) in r.ratios.iter().zip(&r.target_ratios) {
+            assert!(
+                (ratio - target).abs() / target < 0.35,
+                "ratio {ratio} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn wtp_undershoots_at_moderate_load() {
+        // The paper: at ρ=0.70 the ratio is ~1.5 when it should be 2.
+        let e = small(0.70);
+        let r = e.run(SchedulerKind::Wtp);
+        let avg_ratio = r.ratios.iter().sum::<f64>() / r.ratios.len() as f64;
+        assert!(
+            avg_ratio < 1.85 && avg_ratio > 1.1,
+            "expected undershoot, got {avg_ratio}"
+        );
+    }
+
+    #[test]
+    fn fcfs_ratio_is_one() {
+        let e = small(0.9);
+        let r = e.run(SchedulerKind::Fcfs);
+        for ratio in &r.ratios {
+            assert!((ratio - 1.0).abs() < 0.25, "FCFS ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn run_many_shares_traces_across_schedulers() {
+        let e = small(0.9);
+        let results = e.run_many(&[SchedulerKind::Fcfs, SchedulerKind::Fcfs]);
+        assert_eq!(results[0].mean_delays, results[1].mean_delays);
+    }
+
+    #[test]
+    fn jitter_metrics_are_populated_and_ordered() {
+        let e = small(0.95);
+        let r = e.run(SchedulerKind::Wtp);
+        for c in 0..4 {
+            assert!(r.std_devs[c] > 0.0, "class {c} std dev missing");
+            assert!(
+                r.p95s[c] > r.mean_delays[c],
+                "class {c}: p95 {} should exceed mean {}",
+                r.p95s[c],
+                r.mean_delays[c]
+            );
+        }
+        // Higher classes have lower tail delays too.
+        for w in r.p95s.windows(2) {
+            assert!(w[0] > w[1], "p95 not class-ordered: {:?}", r.p95s);
+        }
+    }
+
+    #[test]
+    fn higher_class_has_lower_delay_under_wtp() {
+        let e = small(0.9);
+        let r = e.run(SchedulerKind::Wtp);
+        for w in r.mean_delays.windows(2) {
+            assert!(w[0] > w[1], "delays not ordered: {:?}", r.mean_delays);
+        }
+    }
+
+    #[test]
+    fn deviation_metric_is_zero_for_exact_ratios() {
+        let r = ExperimentResult {
+            kind: SchedulerKind::Wtp,
+            mean_delays: vec![8.0, 4.0, 2.0, 1.0],
+            ratios: vec![2.0, 2.0, 2.0],
+            target_ratios: vec![2.0, 2.0, 2.0],
+            std_devs: vec![0.0; 4],
+            p95s: vec![0.0; 4],
+        };
+        assert_eq!(r.ratio_deviation(), 0.0);
+    }
+}

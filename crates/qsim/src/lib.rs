@@ -1,0 +1,36 @@
+//! # qsim — the single-link class-based queueing simulator (Study A)
+//!
+//! Reproduces the §5 experimental setup: one work-conserving link served by
+//! a configurable scheduler, N packet sources (one per class) with Pareto
+//! interarrivals and the paper's trimodal packet sizes.
+//!
+//! The flow is deliberately trace-based: a [`traffic::Trace`] is generated
+//! once per seed and replayed through every scheduler under test, so
+//! scheduler comparisons (and the Eq. (7) feasibility replays) see
+//! *identical* input.
+//!
+//! * [`run_trace`] — the core replay loop (1 tick = 1 byte at link rate 1,
+//!   or any rate you pass).
+//! * [`Experiment`] — the Fig. 1/Fig. 2 harness: long-run per-class average
+//!   delays and successive-class ratios, averaged over seeds.
+//! * [`ShortTimescale`] — the Fig. 3 harness: R_D percentiles per
+//!   monitoring timescale τ.
+//! * [`Microscope`] — the Fig. 4/Fig. 5 harness: microscopic views I
+//!   (interval averages) and II (per-packet delays), plus a roughness
+//!   metric quantifying BPR's sawtooth noise.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod experiment;
+mod lossy;
+mod micro;
+mod server;
+mod shortts;
+mod streaming;
+
+pub use experiment::{Experiment, ExperimentResult, SeedResult};
+pub use lossy::{run_trace_lossy, LossMode, LossyReport};
+pub use micro::{MicroViews, Microscope};
+pub use server::{run_trace, Departure};
+pub use shortts::{ShortTimescale, TimescaleResult};
+pub use streaming::run_sources;

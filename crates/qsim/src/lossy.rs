@@ -1,0 +1,326 @@
+//! Finite-buffer (lossy) single-link operation — the §7 extension.
+//!
+//! The paper's evaluation assumes lossless operation with large buffers and
+//! ECN-regulated sources (§3) and defers coupled delay+loss differentiation
+//! to future work. This module provides the first step: a shared finite
+//! buffer in front of any scheduler, with either plain **tail-drop**
+//! (uncontrolled loss) or the **Proportional Loss Rate** dropper, which
+//! keeps per-class loss fractions ratioed to loss differentiation
+//! parameters σ — the loss-side mirror of Eq. (1).
+//!
+//! Push-out semantics: when an arrival overflows the buffer, PLR picks the
+//! class whose normalized loss fraction is furthest *below* its target and
+//! removes that class's most recent packet (falling back to dropping the
+//! arrival if the scheduler does not support removal).
+
+use sched::{Packet, PlrDropper, Scheduler};
+use simcore::{Dur, Time};
+use stats::Summary;
+use traffic::Trace;
+
+/// The drop policy for [`run_trace_lossy`].
+#[derive(Debug, Clone)]
+pub enum LossMode {
+    /// Drop the arriving packet when the buffer is full.
+    TailDrop,
+    /// Proportional Loss Rate push-out with the given dropper.
+    Plr(PlrDropper),
+}
+
+/// Outcome of a lossy run.
+#[derive(Debug, Clone)]
+pub struct LossyReport {
+    /// Per-class arrival counts.
+    pub arrivals: Vec<u64>,
+    /// Per-class dropped-packet counts.
+    pub drops: Vec<u64>,
+    /// Per-class waiting-delay summaries of *delivered* packets (ticks).
+    pub delays: Vec<Summary>,
+    /// Largest queued byte count observed (≤ the buffer limit).
+    pub max_backlog_bytes: u64,
+}
+
+impl LossyReport {
+    /// Loss fraction of `class` (0 if it had no arrivals).
+    pub fn loss_fraction(&self, class: usize) -> f64 {
+        if self.arrivals[class] == 0 {
+            0.0
+        } else {
+            self.drops[class] as f64 / self.arrivals[class] as f64
+        }
+    }
+
+    /// Ratio of loss fractions between two classes (`None` if the
+    /// denominator class lost nothing).
+    pub fn loss_ratio(&self, a: usize, b: usize) -> Option<f64> {
+        let fb = self.loss_fraction(b);
+        (fb > 0.0).then(|| self.loss_fraction(a) / fb)
+    }
+
+    /// Total packets dropped.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+}
+
+/// Replays `trace` through `scheduler` on a link of `rate` bytes/tick with
+/// a shared buffer of `buffer_bytes` (queued bytes only; the packet in
+/// service does not occupy buffer).
+///
+/// # Panics
+/// Panics if `buffer_bytes` cannot hold the largest packet in the trace,
+/// or `rate` is not positive.
+pub fn run_trace_lossy(
+    scheduler: &mut dyn Scheduler,
+    trace: &Trace,
+    rate: f64,
+    buffer_bytes: u64,
+    mut mode: LossMode,
+) -> LossyReport {
+    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+    let n = scheduler.num_classes();
+    let mut report = LossyReport {
+        arrivals: vec![0; n],
+        drops: vec![0; n],
+        delays: vec![Summary::new(); n],
+        max_backlog_bytes: 0,
+    };
+    let entries = trace.entries();
+    let mut next = 0usize;
+    let mut free = Time::ZERO;
+    let mut seq = 0u64;
+
+    // Admits (or drops) one arrival under the buffer policy.
+    let admit = |s: &mut dyn Scheduler, e: &traffic::TraceEntry, seq: u64, report: &mut LossyReport, mode: &mut LossMode| {
+        let class = e.class as usize;
+        assert!(
+            u64::from(e.size) <= buffer_bytes,
+            "buffer ({buffer_bytes} B) smaller than packet ({} B)",
+            e.size
+        );
+        report.arrivals[class] += 1;
+        if let LossMode::Plr(d) = mode {
+            d.on_arrival(class);
+        }
+        // Free space by push-out (PLR) or by dropping the arrival.
+        while s.total_backlog_bytes() + e.size as u64 > buffer_bytes {
+            match mode {
+                LossMode::TailDrop => {
+                    report.drops[class] += 1;
+                    return;
+                }
+                LossMode::Plr(d) => {
+                    let mut candidates: Vec<usize> =
+                        (0..s.num_classes()).filter(|&c| s.backlog_packets(c) > 0).collect();
+                    if !candidates.contains(&class) {
+                        candidates.push(class);
+                    }
+                    let victim = d.preview_victim(&candidates).expect("nonempty candidates");
+                    if victim == class {
+                        d.record_drop(class);
+                        report.drops[class] += 1;
+                        return;
+                    }
+                    match s.drop_newest(victim) {
+                        Some(v) => {
+                            d.record_drop(v.class as usize);
+                            report.drops[v.class as usize] += 1;
+                        }
+                        None => {
+                            // Scheduler without push-out support: fall back
+                            // to dropping the arrival.
+                            d.record_drop(class);
+                            report.drops[class] += 1;
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        s.enqueue(Packet::new(seq, e.class, e.size, e.at));
+    };
+
+    loop {
+        if scheduler.is_empty() {
+            if next >= entries.len() {
+                break;
+            }
+            let e = entries[next];
+            next += 1;
+            admit(scheduler, &e, seq, &mut report, &mut mode);
+            seq += 1;
+            free = free.max(e.at);
+            if scheduler.is_empty() {
+                continue; // the lone arrival was dropped
+            }
+        }
+        while next < entries.len() && entries[next].at <= free {
+            let e = entries[next];
+            next += 1;
+            admit(scheduler, &e, seq, &mut report, &mut mode);
+            seq += 1;
+        }
+        report.max_backlog_bytes = report.max_backlog_bytes.max(scheduler.total_backlog_bytes());
+        let Some(pkt) = scheduler.dequeue(free) else {
+            continue;
+        };
+        report.delays[pkt.class as usize].push(free.since(pkt.arrival).as_f64());
+        let tx = ((pkt.size as f64 / rate).round() as u64).max(1);
+        free += Dur::from_ticks(tx);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sched::{Sdp, SchedulerKind};
+    use traffic::{ClassSource, IatDist, SizeDist};
+
+    /// Overloaded two-class trace (offered load ≈ 1.3 on a 1 B/tick link).
+    fn overload_trace(seed: u64) -> Trace {
+        let mut sources = vec![
+            ClassSource::new(0, IatDist::paper_pareto(154.0).unwrap(), SizeDist::fixed(100)),
+            ClassSource::new(1, IatDist::paper_pareto(154.0).unwrap(), SizeDist::fixed(100)),
+        ];
+        let mut rng = StdRng::seed_from_u64(seed);
+        Trace::generate(&mut sources, Time::from_ticks(8_000_000), &mut rng)
+    }
+
+    #[test]
+    fn plr_holds_the_loss_ratio() {
+        let mut s = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        let mode = LossMode::Plr(PlrDropper::new(&[2.0, 1.0]).unwrap());
+        let r = run_trace_lossy(s.as_mut(), &overload_trace(3), 1.0, 4_000, mode);
+        assert!(r.total_drops() > 1000, "need real overload, got {} drops", r.total_drops());
+        let ratio = r.loss_ratio(0, 1).expect("both classes lose");
+        assert!((ratio - 2.0).abs() < 0.25, "loss ratio {ratio}");
+    }
+
+    #[test]
+    fn tail_drop_does_not_differentiate_loss() {
+        let mut s = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        let r = run_trace_lossy(s.as_mut(), &overload_trace(3), 1.0, 4_000, LossMode::TailDrop);
+        let ratio = r.loss_ratio(0, 1).expect("both classes lose");
+        assert!(
+            (ratio - 1.0).abs() < 0.35,
+            "tail-drop loss ratio should be ~1, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn buffer_limit_is_respected() {
+        let mut s = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        let r = run_trace_lossy(s.as_mut(), &overload_trace(5), 1.0, 2_000, LossMode::TailDrop);
+        assert!(r.max_backlog_bytes <= 2_000);
+        assert!(r.total_drops() > 0);
+    }
+
+    #[test]
+    fn huge_buffer_reproduces_lossless_run() {
+        let trace = overload_trace(7);
+        let mut lossy = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        let r = run_trace_lossy(lossy.as_mut(), &trace, 1.0, u64::MAX, LossMode::TailDrop);
+        assert_eq!(r.total_drops(), 0);
+        let mut lossless = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        let mut count = 0u64;
+        crate::run_trace(lossless.as_mut(), &trace, 1.0, |_| count += 1);
+        assert_eq!(count, r.delays.iter().map(|d| d.count()).sum::<u64>());
+    }
+
+    #[test]
+    fn plr_with_delay_differentiation_gives_coupled_service() {
+        // The §7 goal in miniature: WTP spaces delays while PLR spaces
+        // losses, on the same lossy link.
+        let mut s = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        let mode = LossMode::Plr(PlrDropper::new(&[2.0, 1.0]).unwrap());
+        let r = run_trace_lossy(s.as_mut(), &overload_trace(9), 1.0, 6_000, mode);
+        // Delays ordered by class...
+        assert!(r.delays[0].mean() > r.delays[1].mean());
+        // ...and losses too.
+        assert!(r.loss_fraction(0) > r.loss_fraction(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer")]
+    fn buffer_smaller_than_packet_panics() {
+        let mut s = SchedulerKind::Fcfs.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        run_trace_lossy(s.as_mut(), &overload_trace(1), 1.0, 10, LossMode::TailDrop);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use traffic::TraceEntry;
+
+        fn arrivals_strategy() -> impl Strategy<Value = Vec<(u64, u8, u32)>> {
+            prop::collection::vec(
+                (0u64..50_000, 0u8..4, prop_oneof![Just(40u32), Just(550), Just(1500)]),
+                1..300,
+            )
+            .prop_map(|mut v| {
+                v.sort_by_key(|e| e.0);
+                v
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Per-class packet conservation under any buffer size and both
+            /// drop policies: arrivals = delivered + dropped, and the buffer
+            /// bound is never exceeded.
+            #[test]
+            fn prop_lossy_conserves_packets(
+                arrivals in arrivals_strategy(),
+                buffer_kb in 2u64..64,
+                plr in proptest::bool::ANY,
+            ) {
+                let trace = Trace::from_entries(
+                    arrivals
+                        .iter()
+                        .map(|&(t, c, s)| TraceEntry {
+                            at: Time::from_ticks(t),
+                            class: c,
+                            size: s,
+                        })
+                        .collect(),
+                );
+                let buffer = buffer_kb * 1024;
+                for kind in [SchedulerKind::Wtp, SchedulerKind::Fcfs, SchedulerKind::Bpr] {
+                    let mode = if plr {
+                        LossMode::Plr(PlrDropper::new(&[4.0, 3.0, 2.0, 1.0]).unwrap())
+                    } else {
+                        LossMode::TailDrop
+                    };
+                    let mut s = kind.build(&Sdp::paper_default(), 1.0);
+                    let r = run_trace_lossy(s.as_mut(), &trace, 1.0, buffer, mode);
+                    prop_assert!(r.max_backlog_bytes <= buffer);
+                    let mut per_class_arrivals = [0u64; 4];
+                    for &(_, c, _) in &arrivals {
+                        per_class_arrivals[c as usize] += 1;
+                    }
+                    for (c, &expected) in per_class_arrivals.iter().enumerate() {
+                        prop_assert_eq!(
+                            r.arrivals[c],
+                            expected,
+                            "{} arrival count class {}",
+                            kind.name(),
+                            c
+                        );
+                        prop_assert_eq!(
+                            r.arrivals[c],
+                            r.delays[c].count() + r.drops[c],
+                            "{} conservation broke for class {}",
+                            kind.name(),
+                            c
+                        );
+                    }
+                    prop_assert!(s.is_empty(), "{} left a backlog", kind.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The Fig. 4 / Fig. 5 harness: microscopic views of per-class delays.
+//!
+//! View I (Figs. 4a/5a): per-class average queueing delay over consecutive
+//! 30-p-unit intervals across a long window. View II (Figs. 4b/5b): the
+//! queueing delay of every individual packet, by departure time, across a
+//! short overloaded window — the view in which BPR's sawtooth noise is
+//! visible while WTP tracks the proportional spacing smoothly.
+
+use sched::{Sdp, SchedulerKind};
+use simcore::Time;
+use stats::IntervalSeries;
+
+use crate::experiment::Experiment;
+use crate::server::run_trace;
+
+/// Configuration of the microscopic study (3 classes, s = 1, 2, 4,
+/// ρ = 0.95 in the paper).
+#[derive(Debug, Clone)]
+pub struct Microscope {
+    /// The traffic setup. The paper uses three classes here.
+    pub base: Experiment,
+    /// Width of view-I intervals, in ticks.
+    pub view1_interval_ticks: u64,
+}
+
+/// The two microscopic views plus summary roughness numbers.
+#[derive(Debug, Clone)]
+pub struct MicroViews {
+    /// The scheduler measured.
+    pub kind: SchedulerKind,
+    /// View I: `(interval_start_ticks, per-class average delay)` rows.
+    pub view1: Vec<(u64, Vec<Option<f64>>)>,
+    /// View II: `(departure_ticks, class, delay_ticks)` per packet.
+    pub view2: Vec<(u64, u8, f64)>,
+    /// Per-class roughness: mean |Δdelay| between consecutive departures of
+    /// the same class, normalized by that class's mean delay. BPR's
+    /// sawtooth makes this large; WTP keeps it small.
+    pub roughness: Vec<f64>,
+}
+
+impl Microscope {
+    /// The paper's Fig. 4/5 setup: 3 classes with s = 1, 2, 4, equal class
+    /// loads at ρ = 0.95, view-I intervals of 30 p-units.
+    pub fn paper(p_units: u64, seed: u64) -> Self {
+        let p = traffic::PAPER_MEAN_PACKET_BYTES as u64;
+        let sdp = Sdp::new(&[1.0, 2.0, 4.0]).expect("static");
+        let mut base = Experiment::paper(0.95, sdp, p_units, vec![seed]);
+        base.class_fractions = vec![0.4, 0.3, 0.3];
+        Microscope {
+            base,
+            view1_interval_ticks: 30 * p,
+        }
+    }
+
+    /// Runs one scheduler, producing both views over the whole run.
+    pub fn run(&self, kind: SchedulerKind) -> MicroViews {
+        let seed = self.base.seeds[0];
+        let trace = self.base.trace_for_seed(seed);
+        let n = self.base.sdp.num_classes();
+        let mut series = IntervalSeries::new(n, self.view1_interval_ticks);
+        let mut view2 = Vec::new();
+        let warmup = Time::from_ticks(self.base.warmup_ticks);
+        let mut last_delay: Vec<Option<f64>> = vec![None; n];
+        let mut rough_sum = vec![0.0f64; n];
+        let mut rough_cnt = vec![0u64; n];
+        let mut delay_sum = vec![0.0f64; n];
+        let mut delay_cnt = vec![0u64; n];
+        let mut s = kind.build(&self.base.sdp, 1.0);
+        run_trace(s.as_mut(), &trace, 1.0, |d| {
+            if d.start < warmup {
+                return;
+            }
+            let c = d.packet.class as usize;
+            let w = d.wait().as_f64();
+            series.record(d.start, c, w);
+            view2.push((d.start.ticks(), d.packet.class, w));
+            if let Some(prev) = last_delay[c] {
+                rough_sum[c] += (w - prev).abs();
+                rough_cnt[c] += 1;
+            }
+            last_delay[c] = Some(w);
+            delay_sum[c] += w;
+            delay_cnt[c] += 1;
+        });
+        let view1 = series
+            .iter_averages()
+            .enumerate()
+            .map(|(k, avgs)| (k as u64 * self.view1_interval_ticks, avgs))
+            .collect();
+        let roughness = (0..n)
+            .map(|c| {
+                if rough_cnt[c] == 0 || delay_cnt[c] == 0 {
+                    return 0.0;
+                }
+                let mean_delay = delay_sum[c] / delay_cnt[c] as f64;
+                if mean_delay <= 0.0 {
+                    0.0
+                } else {
+                    (rough_sum[c] / rough_cnt[c] as f64) / mean_delay
+                }
+            })
+            .collect();
+        MicroViews {
+            kind,
+            view1,
+            view2,
+            roughness,
+        }
+    }
+}
+
+impl MicroViews {
+    /// Mean roughness across classes — the scalar "noise" figure.
+    pub fn mean_roughness(&self) -> f64 {
+        if self.roughness.is_empty() {
+            0.0
+        } else {
+            self.roughness.iter().sum::<f64>() / self.roughness.len() as f64
+        }
+    }
+
+    /// Extracts the view-II rows inside `[from, to)` ticks — the paper
+    /// plots a ~1000-p-unit overloaded window.
+    pub fn view2_window(&self, from: u64, to: u64) -> Vec<(u64, u8, f64)> {
+        self.view2
+            .iter()
+            .copied()
+            .filter(|&(t, _, _)| t >= from && t < to)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bpr_is_noisier_than_wtp() {
+        let m = Microscope::paper(12_000, 7);
+        let wtp = m.run(SchedulerKind::Wtp);
+        let bpr = m.run(SchedulerKind::Bpr);
+        assert!(
+            bpr.mean_roughness() > wtp.mean_roughness(),
+            "BPR roughness {} should exceed WTP roughness {}",
+            bpr.mean_roughness(),
+            wtp.mean_roughness()
+        );
+    }
+
+    #[test]
+    fn views_are_populated_and_windowed() {
+        let m = Microscope::paper(4_000, 1);
+        let v = m.run(SchedulerKind::Wtp);
+        assert!(!v.view1.is_empty());
+        assert!(!v.view2.is_empty());
+        let (lo, hi) = (v.view2[0].0, v.view2[v.view2.len() - 1].0);
+        let win = v.view2_window(lo, lo + (hi - lo) / 2);
+        assert!(!win.is_empty() && win.len() < v.view2.len());
+    }
+
+    #[test]
+    fn class_delay_ordering_holds_in_view1_averages() {
+        let m = Microscope::paper(12_000, 3);
+        let v = m.run(SchedulerKind::Wtp);
+        // Count intervals where the ordering d0 >= d1 >= d2 holds among
+        // fully active intervals; it should be the vast majority.
+        let mut ok = 0;
+        let mut total = 0;
+        for (_, avgs) in &v.view1 {
+            if let (Some(d0), Some(d1), Some(d2)) = (avgs[0], avgs[1], avgs[2]) {
+                total += 1;
+                if d0 >= d1 && d1 >= d2 {
+                    ok += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            ok as f64 / total as f64 > 0.6,
+            "ordering held in only {ok}/{total} intervals"
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! The single-link replay loop.
+
+use sched::{Packet, Scheduler};
+use simcore::{Dur, Time};
+use traffic::Trace;
+
+/// One packet departure from the link.
+#[derive(Debug, Clone, Copy)]
+pub struct Departure {
+    /// The packet as the scheduler saw it.
+    pub packet: Packet,
+    /// When transmission began.
+    pub start: Time,
+    /// When transmission completed (start + size/rate).
+    pub finish: Time,
+}
+
+impl Departure {
+    /// Queueing (waiting) delay: arrival → start of transmission. This is
+    /// the paper's "queueing delay" metric.
+    pub fn wait(&self) -> Dur {
+        self.start - self.packet.arrival
+    }
+
+    /// Sojourn time: arrival → end of transmission.
+    pub fn sojourn(&self) -> Dur {
+        self.finish - self.packet.arrival
+    }
+}
+
+/// Transmission time of `size` bytes at `rate` bytes/tick, at least 1 tick.
+fn tx_ticks(size: u32, rate: f64) -> u64 {
+    ((size as f64 / rate).round() as u64).max(1)
+}
+
+/// Replays `trace` through `scheduler` on a link of `rate` bytes/tick,
+/// invoking `on_depart` for every departure in order.
+///
+/// Semantics (matching the paper's model):
+/// * non-preemptive: once transmission starts it completes;
+/// * work-conserving: the link never idles while a packet is queued;
+/// * arrivals at exactly a decision instant are enqueued *before* the
+///   decision (arrival-before-departure tie rule);
+/// * queues are unbounded (the §3 lossless ECN-regulated regime).
+/// # Example
+///
+/// ```
+/// use qsim::run_trace;
+/// use sched::{Sdp, SchedulerKind};
+/// use simcore::Time;
+/// use traffic::{Trace, TraceEntry};
+///
+/// // Two same-time arrivals: WTP serves the higher class first.
+/// let trace = Trace::from_entries(vec![
+///     TraceEntry { at: Time::ZERO, class: 0, size: 100 },
+///     TraceEntry { at: Time::ZERO, class: 1, size: 100 },
+/// ]);
+/// let mut sched = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+/// let mut order = Vec::new();
+/// run_trace(sched.as_mut(), &trace, 1.0, |d| order.push(d.packet.class));
+/// assert_eq!(order, vec![1, 0]);
+/// ```
+pub fn run_trace(
+    scheduler: &mut dyn Scheduler,
+    trace: &Trace,
+    rate: f64,
+    mut on_depart: impl FnMut(&Departure),
+) {
+    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+    let entries = trace.entries();
+    let mut next = 0usize;
+    let mut free = Time::ZERO;
+    let mut seq = 0u64;
+    loop {
+        if scheduler.is_empty() {
+            if next >= entries.len() {
+                break;
+            }
+            let e = entries[next];
+            next += 1;
+            scheduler.enqueue(Packet::new(seq, e.class, e.size, e.at));
+            seq += 1;
+            free = free.max(e.at);
+        }
+        while next < entries.len() && entries[next].at <= free {
+            let e = entries[next];
+            next += 1;
+            scheduler.enqueue(Packet::new(seq, e.class, e.size, e.at));
+            seq += 1;
+        }
+        let pkt = scheduler
+            .dequeue(free)
+            .expect("work-conserving scheduler with backlog must dequeue");
+        let finish = free + Dur::from_ticks(tx_ticks(pkt.size, rate));
+        on_depart(&Departure {
+            packet: pkt,
+            start: free,
+            finish,
+        });
+        free = finish;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched::{Fcfs, Sdp, SchedulerKind};
+    use traffic::TraceEntry;
+
+    fn trace(entries: &[(u64, u8, u32)]) -> Trace {
+        Trace::from_entries(
+            entries
+                .iter()
+                .map(|&(t, class, size)| TraceEntry {
+                    at: Time::from_ticks(t),
+                    class,
+                    size,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fcfs_waits_are_cumulative_backlog() {
+        let tr = trace(&[(0, 0, 100), (0, 1, 100), (0, 0, 100)]);
+        let mut s = Fcfs::new(2);
+        let mut waits = Vec::new();
+        run_trace(&mut s, &tr, 1.0, |d| waits.push(d.wait().ticks()));
+        assert_eq!(waits, vec![0, 100, 200]);
+    }
+
+    #[test]
+    fn idle_gaps_reset_the_clock() {
+        let tr = trace(&[(0, 0, 50), (500, 0, 50)]);
+        let mut s = Fcfs::new(1);
+        let mut starts = Vec::new();
+        run_trace(&mut s, &tr, 1.0, |d| starts.push(d.start.ticks()));
+        assert_eq!(starts, vec![0, 500]);
+    }
+
+    #[test]
+    fn rate_scales_transmission_time() {
+        let tr = trace(&[(0, 0, 100), (0, 0, 100)]);
+        let mut s = Fcfs::new(1);
+        let mut finishes = Vec::new();
+        run_trace(&mut s, &tr, 2.0, |d| finishes.push(d.finish.ticks()));
+        assert_eq!(finishes, vec![50, 100]);
+    }
+
+    #[test]
+    fn sojourn_includes_transmission() {
+        let tr = trace(&[(10, 0, 100)]);
+        let mut s = Fcfs::new(1);
+        run_trace(&mut s, &tr, 1.0, |d| {
+            assert_eq!(d.wait().ticks(), 0);
+            assert_eq!(d.sojourn().ticks(), 100);
+        });
+    }
+
+    #[test]
+    fn arrival_at_decision_instant_is_seen() {
+        // Packet B arrives exactly when A finishes; WTP must consider it.
+        let tr = trace(&[(0, 0, 100), (100, 1, 100)]);
+        let mut s = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        let mut count = 0;
+        run_trace(s.as_mut(), &tr, 1.0, |d| {
+            count += 1;
+            if d.packet.class == 1 {
+                assert_eq!(d.start.ticks(), 100);
+            }
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn all_schedulers_complete_the_same_trace() {
+        let tr = trace(&[
+            (0, 0, 550),
+            (10, 3, 40),
+            (20, 1, 1500),
+            (30, 2, 550),
+            (2000, 0, 40),
+        ]);
+        for kind in SchedulerKind::ALL {
+            let mut s = kind.build(&Sdp::paper_default(), 1.0);
+            let mut n = 0;
+            run_trace(s.as_mut(), &tr, 1.0, |_| n += 1);
+            assert_eq!(n, 5, "{} dropped packets", kind.name());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The Fig. 3 harness: short-timescale R_D percentiles.
+
+use sched::SchedulerKind;
+use simcore::Time;
+use stats::{IntervalSeries, Percentiles, RdCollector};
+use traffic::Trace;
+
+use crate::experiment::Experiment;
+use crate::server::run_trace;
+
+/// Configuration for the short-timescale study: a base experiment plus a
+/// list of monitoring timescales τ, expressed in p-units.
+#[derive(Debug, Clone)]
+pub struct ShortTimescale {
+    /// The traffic/SDP/seed setup (utilization 0.95 in the paper).
+    pub base: Experiment,
+    /// Monitoring timescales in p-units (the paper: 10, 100, 1000, 10000).
+    pub taus_punits: Vec<u64>,
+}
+
+/// R_D percentiles for one (scheduler, τ) combination.
+#[derive(Debug, Clone)]
+pub struct TimescaleResult {
+    /// The scheduler measured.
+    pub kind: SchedulerKind,
+    /// Monitoring timescale in p-units.
+    pub tau_punits: u64,
+    /// Five-number summary of R_D over all defined intervals:
+    /// [5 %, 25 %, 50 %, 75 %, 95 %].
+    pub five_number: [f64; 5],
+    /// Number of intervals with a defined R_D.
+    pub intervals: usize,
+}
+
+impl ShortTimescale {
+    /// The paper's Fig. 3 setup at ρ = 0.95 with SDP ratio 2.
+    pub fn paper(p_units: u64, seeds: Vec<u64>) -> Self {
+        ShortTimescale {
+            base: Experiment::paper(
+                0.95,
+                sched::Sdp::paper_default(),
+                p_units,
+                seeds,
+            ),
+            taus_punits: vec![10, 100, 1000, 10_000],
+        }
+    }
+
+    /// Runs one scheduler, returning one result per τ.
+    pub fn run(&self, kind: SchedulerKind) -> Vec<TimescaleResult> {
+        let p = traffic::PAPER_MEAN_PACKET_BYTES as u64;
+        let n = self.base.sdp.num_classes();
+        // One collector per τ, filled across all seeds.
+        let mut collectors: Vec<RdCollector> =
+            self.taus_punits.iter().map(|_| RdCollector::new()).collect();
+        for &seed in &self.base.seeds {
+            let trace: Trace = self.base.trace_for_seed(seed);
+            let mut series: Vec<IntervalSeries> = self
+                .taus_punits
+                .iter()
+                .map(|&tau| IntervalSeries::new(n, tau * p))
+                .collect();
+            let warmup = Time::from_ticks(self.base.warmup_ticks);
+            let mut s = kind.build(&self.base.sdp, 1.0);
+            run_trace(s.as_mut(), &trace, 1.0, |d| {
+                if d.start >= warmup {
+                    for ser in series.iter_mut() {
+                        ser.record(d.start, d.packet.class as usize, d.wait().as_f64());
+                    }
+                }
+            });
+            for (ser, coll) in series.iter().zip(collectors.iter_mut()) {
+                for avgs in ser.iter_averages() {
+                    coll.push_interval(&avgs);
+                }
+            }
+        }
+        self.taus_punits
+            .iter()
+            .zip(collectors)
+            .map(|(&tau, coll)| {
+                let intervals = coll.count();
+                let p: Percentiles = coll.into_percentiles();
+                TimescaleResult {
+                    kind,
+                    tau_punits: tau,
+                    five_number: p.five_number().unwrap_or([0.0; 5]),
+                    intervals,
+                }
+            })
+            .collect()
+    }
+}
+
+impl TimescaleResult {
+    /// Inter-quartile spread (75 % − 25 %) — the "tightness" of the
+    /// short-timescale differentiation.
+    pub fn iqr(&self) -> f64 {
+        self.five_number[3] - self.five_number[1]
+    }
+
+    /// Median R_D.
+    pub fn median(&self) -> f64 {
+        self.five_number[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ShortTimescale {
+        let mut st = ShortTimescale::paper(8_000, vec![3]);
+        st.taus_punits = vec![10, 1000];
+        st
+    }
+
+    #[test]
+    fn longer_timescales_tighten_rd_for_wtp() {
+        let st = small();
+        let results = st.run(SchedulerKind::Wtp);
+        assert_eq!(results.len(), 2);
+        let (short, long) = (&results[0], &results[1]);
+        assert!(short.intervals > long.intervals);
+        assert!(
+            long.iqr() <= short.iqr() + 1e-9,
+            "IQR should shrink with τ: short {} vs long {}",
+            short.iqr(),
+            long.iqr()
+        );
+    }
+
+    #[test]
+    fn medians_are_near_target_at_heavy_load() {
+        let st = small();
+        for kind in [SchedulerKind::Wtp, SchedulerKind::Bpr] {
+            let results = st.run(kind);
+            let long = &results[1];
+            assert!(
+                (long.median() - 2.0).abs() < 0.8,
+                "{} median {} at τ=1000",
+                kind.name(),
+                long.median()
+            );
+        }
+    }
+
+    #[test]
+    fn wtp_is_tighter_than_bpr_at_short_timescales() {
+        let st = small();
+        let wtp = &st.run(SchedulerKind::Wtp)[0];
+        let bpr = &st.run(SchedulerKind::Bpr)[0];
+        assert!(
+            wtp.iqr() < bpr.iqr() * 1.3,
+            "WTP IQR {} vs BPR IQR {}",
+            wtp.iqr(),
+            bpr.iqr()
+        );
+    }
+}

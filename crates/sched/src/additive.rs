@@ -1,0 +1,107 @@
+//! The additive differentiation scheduler — §2.1, Eq. (3).
+//!
+//! Head-of-line priority `p_i(t) = w_i(t) + s_i`: a waiting-time priority
+//! with an additive head start instead of a multiplicative gain. In heavy
+//! load it tends to *constant delay differences* `d̄_i − d̄_j = s_j − s_i`
+//! rather than constant ratios. The SDPs here are measured in ticks.
+
+use simcore::Time;
+
+use crate::class::Sdp;
+use crate::packet::Packet;
+use crate::scheduler::{argmax_backlogged, ClassQueues, Scheduler};
+
+/// The additive (waiting-time + constant) priority scheduler.
+#[derive(Debug, Clone)]
+pub struct Additive {
+    queues: ClassQueues,
+    sdp: Sdp,
+}
+
+impl Additive {
+    /// Creates an additive scheduler; `sdp` values are priority offsets in
+    /// ticks (higher class = larger offset).
+    pub fn new(sdp: Sdp) -> Self {
+        Additive {
+            queues: ClassQueues::new(sdp.num_classes()),
+            sdp,
+        }
+    }
+
+    /// The configured offsets.
+    pub fn sdp(&self) -> &Sdp {
+        &self.sdp
+    }
+}
+
+impl Scheduler for Additive {
+    fn num_classes(&self) -> usize {
+        self.queues.num_classes()
+    }
+
+    fn enqueue(&mut self, pkt: Packet) {
+        self.queues.push(pkt);
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        let winner = argmax_backlogged(&self.queues, |c| {
+            let head = self.queues.head(c).expect("backlogged head");
+            head.waiting(now).as_f64() + self.sdp.get(c)
+        })?;
+        self.queues.pop(winner)
+    }
+
+    fn backlog_packets(&self, class: usize) -> usize {
+        self.queues.len(class)
+    }
+
+    fn backlog_bytes(&self, class: usize) -> u64 {
+        self.queues.bytes(class)
+    }
+
+    fn drop_newest(&mut self, class: usize) -> Option<Packet> {
+        self.queues.pop_tail(class)
+    }
+
+    fn name(&self) -> &'static str {
+        "Additive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u64, class: u8, at: u64) -> Packet {
+        Packet::new(seq, class, 100, Time::from_ticks(at))
+    }
+
+    #[test]
+    fn offset_gives_fixed_head_start() {
+        // s = [10, 60]: the class-1 packet wins until the class-0 packet has
+        // waited 50 ticks longer than it.
+        let mut s = Additive::new(Sdp::new(&[10.0, 60.0]).unwrap());
+        s.enqueue(pkt(1, 0, 0));
+        s.enqueue(pkt(2, 1, 40));
+        // At t=80: p0 = 80+10 = 90, p1 = 40+60 = 100 → class 1.
+        assert_eq!(s.dequeue(Time::from_ticks(80)).unwrap().class, 1);
+    }
+
+    #[test]
+    fn old_low_class_packet_eventually_wins() {
+        let mut s = Additive::new(Sdp::new(&[10.0, 60.0]).unwrap());
+        s.enqueue(pkt(1, 0, 0));
+        s.enqueue(pkt(2, 1, 100));
+        // At t=200: p0 = 210, p1 = 160 → class 0 despite the offset.
+        assert_eq!(s.dequeue(Time::from_ticks(200)).unwrap().class, 0);
+    }
+
+    #[test]
+    fn tie_prefers_higher_class() {
+        let mut s = Additive::new(Sdp::new(&[10.0, 60.0]).unwrap());
+        s.enqueue(pkt(1, 0, 0));
+        s.enqueue(pkt(2, 1, 50));
+        // At t=100: p0 = 110, p1 = 110 → class 1.
+        assert_eq!(s.dequeue(Time::from_ticks(100)).unwrap().class, 1);
+    }
+}

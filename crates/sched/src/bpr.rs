@@ -1,0 +1,245 @@
+//! Backlog-Proportional Rate (BPR) — §4.1, packetized per Appendix 3.
+//!
+//! The fluid BPR server assigns each backlogged queue a service rate
+//! proportional to `s_i · q_i(t)` (Eq. 8), normalized to the link capacity
+//! (Eq. 9). The packetized approximation tracks, for each queue, a *virtual
+//! service function* `v_i` — the service the head packet would have received
+//! from the fluid server since it reached the head — and transmits the
+//! packet with the smallest remaining virtual work `L_i − v_i`, ties to the
+//! higher class.
+//!
+//! Two approximations are inherited from the paper: rates are held constant
+//! between departures, and `v_i` accrues from when the packet reaches the
+//! head of the queue in the *packet* scheduler.
+
+use simcore::Time;
+
+use crate::class::Sdp;
+use crate::packet::Packet;
+use crate::scheduler::{ClassQueues, Scheduler};
+
+/// The packetized Backlog-Proportional Rate scheduler.
+#[derive(Debug, Clone)]
+pub struct Bpr {
+    queues: ClassQueues,
+    sdp: Sdp,
+    /// Link capacity in bytes/tick; used to convert elapsed time into
+    /// virtual service (bytes).
+    link_rate: f64,
+    /// Virtual service accrued by each head packet, in bytes.
+    v: Vec<f64>,
+    /// Service rates (bytes/tick) computed at the last decision instant.
+    rates: Vec<f64>,
+    /// Time of the last decision (departure) instant.
+    last_decision: Time,
+}
+
+impl Bpr {
+    /// Creates a BPR scheduler with the given SDPs for a link of
+    /// `link_rate` bytes per tick.
+    ///
+    /// # Panics
+    /// Panics if `link_rate` is not positive and finite.
+    pub fn new(sdp: Sdp, link_rate: f64) -> Self {
+        assert!(
+            link_rate > 0.0 && link_rate.is_finite(),
+            "link_rate must be positive, got {link_rate}"
+        );
+        let n = sdp.num_classes();
+        Bpr {
+            queues: ClassQueues::new(n),
+            sdp,
+            link_rate,
+            v: vec![0.0; n],
+            rates: vec![0.0; n],
+            last_decision: Time::ZERO,
+        }
+    }
+
+    /// The configured SDPs.
+    pub fn sdp(&self) -> &Sdp {
+        &self.sdp
+    }
+
+    /// Recomputes per-class service rates from current backlogs
+    /// (Eq. 8 + 9): `r_i = R · s_i q_i / Σ_j s_j q_j` over backlogged
+    /// queues, 0 for empty queues.
+    fn recompute_rates(&mut self) {
+        let denom: f64 = self
+            .queues
+            .backlogged()
+            .map(|c| self.sdp.get(c) * self.queues.bytes(c) as f64)
+            .sum();
+        for c in 0..self.queues.num_classes() {
+            self.rates[c] = if denom > 0.0 && self.queues.len(c) > 0 {
+                self.link_rate * self.sdp.get(c) * self.queues.bytes(c) as f64 / denom
+            } else {
+                0.0
+            };
+        }
+    }
+
+    /// The current virtual-service vector (for tests/diagnostics).
+    pub fn virtual_service(&self) -> &[f64] {
+        &self.v
+    }
+}
+
+impl Scheduler for Bpr {
+    fn num_classes(&self) -> usize {
+        self.queues.num_classes()
+    }
+
+    fn enqueue(&mut self, pkt: Packet) {
+        self.queues.push(pkt);
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        if self.queues.is_empty() {
+            return None;
+        }
+        let elapsed = now.saturating_since(self.last_decision).as_f64();
+        // Update virtual service of every backlogged head (Appendix 3):
+        // reset if the head arrived after the previous decision instant.
+        for c in 0..self.queues.num_classes() {
+            match self.queues.head(c) {
+                Some(head) if head.arrival <= self.last_decision => {
+                    self.v[c] += self.rates[c] * elapsed;
+                }
+                Some(_) => self.v[c] = 0.0,
+                None => self.v[c] = 0.0,
+            }
+        }
+        // Choose argmin(L_i − v_i); ties favor the higher class.
+        let mut winner = None;
+        let mut best = f64::INFINITY;
+        for c in self.queues.backlogged() {
+            let head = self.queues.head(c).expect("backlogged head");
+            let remaining = head.size as f64 - self.v[c];
+            if remaining <= best {
+                best = remaining;
+                winner = Some(c);
+            }
+        }
+        let winner = winner?;
+        let pkt = self.queues.pop(winner);
+        // The departing head's successor starts with zero virtual service.
+        self.v[winner] = 0.0;
+        self.recompute_rates();
+        self.last_decision = now;
+        pkt
+    }
+
+    fn backlog_packets(&self, class: usize) -> usize {
+        self.queues.len(class)
+    }
+
+    fn backlog_bytes(&self, class: usize) -> u64 {
+        self.queues.bytes(class)
+    }
+
+    fn drop_newest(&mut self, class: usize) -> Option<Packet> {
+        let pkt = self.queues.pop_tail(class)?;
+        // Backlogs changed; refresh the fluid rates. If the dropped packet
+        // was the head, the stale v resets when a fresh head arrives (its
+        // arrival postdates the last decision instant).
+        self.recompute_rates();
+        Some(pkt)
+    }
+
+    fn name(&self) -> &'static str {
+        "BPR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u64, class: u8, size: u32, at: u64) -> Packet {
+        Packet::new(seq, class, size, Time::from_ticks(at))
+    }
+
+    #[test]
+    fn single_class_behaves_like_fifo() {
+        let mut s = Bpr::new(Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        for i in 0..5 {
+            s.enqueue(pkt(i, 0, 100, i));
+        }
+        let mut now = Time::from_ticks(10);
+        for i in 0..5 {
+            let p = s.dequeue(now).unwrap();
+            assert_eq!(p.seq, i);
+            now += simcore::Dur::from_ticks(100);
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn equal_backlogs_favor_higher_sdp_rate() {
+        // Two classes, same backlog, SDPs 1:3 => rates 0.25 : 0.75 of link.
+        // After the first departure, the high class accrues virtual service
+        // three times faster and must get the lion's share of departures.
+        let mut s = Bpr::new(Sdp::new(&[1.0, 3.0]).unwrap(), 1.0);
+        for i in 0..50 {
+            s.enqueue(pkt(2 * i, 0, 100, 0));
+            s.enqueue(pkt(2 * i + 1, 1, 100, 0));
+        }
+        let mut now = Time::ZERO;
+        let mut first20 = Vec::new();
+        for _ in 0..20 {
+            let p = s.dequeue(now).unwrap();
+            first20.push(p.class);
+            now += simcore::Dur::from_ticks(100);
+        }
+        let high = first20.iter().filter(|&&c| c == 1).count();
+        assert!(high >= 13, "expected high class to dominate, got {high}/20");
+    }
+
+    #[test]
+    fn ties_at_start_go_to_higher_class() {
+        let mut s = Bpr::new(Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        s.enqueue(pkt(1, 0, 100, 0));
+        s.enqueue(pkt(2, 1, 100, 0));
+        // Both v=0, both remaining 100 => higher class wins.
+        assert_eq!(s.dequeue(Time::ZERO).unwrap().class, 1);
+    }
+
+    #[test]
+    fn smaller_remaining_work_wins_over_class() {
+        let mut s = Bpr::new(Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        s.enqueue(pkt(1, 0, 40, 0));
+        s.enqueue(pkt(2, 1, 1500, 0));
+        // v=0 for both; remaining 40 < 1500 even though class 1 is higher.
+        assert_eq!(s.dequeue(Time::ZERO).unwrap().class, 0);
+    }
+
+    #[test]
+    fn virtual_service_resets_for_fresh_arrivals() {
+        let mut s = Bpr::new(Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        s.enqueue(pkt(1, 0, 100, 0));
+        s.enqueue(pkt(2, 1, 100, 0));
+        assert_eq!(s.dequeue(Time::ZERO).unwrap().class, 1);
+        // A packet arriving *after* the last decision must start at v=0.
+        s.enqueue(pkt(3, 1, 100, 50));
+        let _ = s.dequeue(Time::from_ticks(100));
+        // Heads that arrived post-decision were reset, not accrued.
+        assert!(s.virtual_service().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn work_conserving_with_sparse_queues() {
+        let mut s = Bpr::new(Sdp::paper_default(), 1.0);
+        s.enqueue(pkt(1, 3, 100, 0));
+        assert_eq!(s.dequeue(Time::ZERO).unwrap().seq, 1);
+        assert_eq!(s.dequeue(Time::from_ticks(100)), None);
+        s.enqueue(pkt(2, 0, 100, 200));
+        assert_eq!(s.dequeue(Time::from_ticks(200)).unwrap().seq, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "link_rate must be positive")]
+    fn rejects_bad_link_rate() {
+        let _ = Bpr::new(Sdp::paper_default(), 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The exact fluid BPR server — the model behind Proposition 1.
+//!
+//! In the fluid server, backlogs evolve as the coupled ODE system
+//! `dq_i/dt = −R·s_i·q_i / Σ_j s_j q_j` during busy periods without
+//! arrivals. Substituting `du = R·dt / Σ_j s_j q_j` decouples it:
+//! `q_i(u) = q_i(0)·e^{−s_i u}`, and real time maps back through
+//! `t(u) = (1/R)·Σ_j q_j(0)·(1 − e^{−s_j u})` (monotone in `u`, inverted by
+//! bisection). Because `t(∞) = W(0)/R`, the total backlog drains exactly at
+//! the work-conserving instant and — since every `q_i(u) > 0` for finite
+//! `u` — **all backlogged queues empty at the same moment** (Proposition 1).
+
+use crate::class::Sdp;
+
+/// Exact fluid Backlog-Proportional Rate server state.
+#[derive(Debug, Clone)]
+pub struct FluidBpr {
+    sdp: Sdp,
+    rate: f64,
+    q: Vec<f64>,
+}
+
+impl FluidBpr {
+    /// Creates an empty fluid server with capacity `rate` bytes/tick.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not positive and finite.
+    pub fn new(sdp: Sdp, rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        let n = sdp.num_classes();
+        FluidBpr {
+            sdp,
+            rate,
+            q: vec![0.0; n],
+        }
+    }
+
+    /// Adds `bytes` of fluid to `class` (an arrival impulse).
+    pub fn add(&mut self, class: usize, bytes: f64) {
+        assert!(bytes >= 0.0, "cannot add negative fluid");
+        self.q[class] += bytes;
+    }
+
+    /// Current backlog vector in bytes.
+    pub fn backlogs(&self) -> &[f64] {
+        &self.q
+    }
+
+    /// Total backlog in bytes.
+    pub fn total_backlog(&self) -> f64 {
+        self.q.iter().sum()
+    }
+
+    /// Instantaneous service rate of `class` (Eq. 8 + 9).
+    pub fn service_rate(&self, class: usize) -> f64 {
+        let denom: f64 = self
+            .q
+            .iter()
+            .enumerate()
+            .map(|(j, &qj)| self.sdp.get(j) * qj)
+            .sum();
+        if denom <= 0.0 || self.q[class] <= 0.0 {
+            0.0
+        } else {
+            self.rate * self.sdp.get(class) * self.q[class] / denom
+        }
+    }
+
+    /// Time until the server drains completely, assuming no further
+    /// arrivals. By work conservation this is exactly `W/R`.
+    pub fn drain_time(&self) -> f64 {
+        self.total_backlog() / self.rate
+    }
+
+    /// Advances the fluid system by `dt` ticks with no arrivals in between.
+    ///
+    /// Uses the exact solution via the change of variable described in the
+    /// module docs, so there is no integration error to tune.
+    pub fn advance(&mut self, dt: f64) {
+        assert!(dt >= 0.0 && dt.is_finite(), "dt must be nonnegative");
+        let w0 = self.total_backlog();
+        if w0 <= 0.0 || dt == 0.0 {
+            return;
+        }
+        if dt >= self.drain_time() - 1e-12 {
+            // Drained (all queues empty simultaneously — Proposition 1).
+            self.q.iter_mut().for_each(|q| *q = 0.0);
+            return;
+        }
+        // Solve t(u) = dt for u by bisection; t is increasing in u.
+        let t_of_u = |u: f64| -> f64 {
+            self.q
+                .iter()
+                .enumerate()
+                .map(|(j, &qj)| qj * (1.0 - (-self.sdp.get(j) * u).exp()))
+                .sum::<f64>()
+                / self.rate
+        };
+        let mut lo = 0.0_f64;
+        let mut hi = 1.0_f64;
+        while t_of_u(hi) < dt {
+            hi *= 2.0;
+            if hi > 1e18 {
+                break;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if t_of_u(mid) < dt {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let u = 0.5 * (lo + hi);
+        for (j, q) in self.q.iter_mut().enumerate() {
+            *q *= (-self.sdp.get(j) * u).exp();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> FluidBpr {
+        FluidBpr::new(Sdp::new(&[1.0, 2.0, 4.0]).unwrap(), 1.0)
+    }
+
+    #[test]
+    fn work_conservation_total_drains_linearly() {
+        let mut s = server();
+        s.add(0, 300.0);
+        s.add(1, 200.0);
+        s.add(2, 100.0);
+        let w0 = s.total_backlog();
+        s.advance(250.0);
+        assert!((s.total_backlog() - (w0 - 250.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn proposition_1_simultaneous_clearing() {
+        // Advance to just before the drain instant: every queue must still
+        // be strictly backlogged. One more epsilon drains them all at once.
+        let mut s = server();
+        s.add(0, 500.0);
+        s.add(1, 100.0);
+        s.add(2, 50.0);
+        let drain = s.drain_time();
+        s.advance(drain - 1e-3);
+        for (i, &q) in s.backlogs().iter().enumerate() {
+            assert!(q > 0.0, "queue {i} emptied early: {q}");
+        }
+        s.advance(2e-3);
+        for &q in s.backlogs() {
+            assert_eq!(q, 0.0);
+        }
+    }
+
+    #[test]
+    fn rates_are_backlog_and_sdp_proportional() {
+        let mut s = server();
+        s.add(0, 100.0);
+        s.add(1, 100.0);
+        // r1/r0 = s1*q1 / (s0*q0) = 2.
+        let r0 = s.service_rate(0);
+        let r1 = s.service_rate(1);
+        assert!((r1 / r0 - 2.0).abs() < 1e-12);
+        // Work conservation: rates sum to link capacity.
+        assert!((r0 + r1 + s.service_rate(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_queue_gets_zero_rate() {
+        let mut s = server();
+        s.add(1, 100.0);
+        assert_eq!(s.service_rate(0), 0.0);
+        assert!((s.service_rate(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_sdp_class_drains_proportionally_faster() {
+        let mut s = server();
+        s.add(0, 100.0);
+        s.add(2, 100.0);
+        s.advance(20.0);
+        let b = s.backlogs();
+        // Class 2 accrues service 4x faster while backlogs are equal, so it
+        // must be well below class 0.
+        assert!(b[2] < b[0], "b = {b:?}");
+        // Exact relation from the decoupled solution: q2/q2(0) = (q0/q0(0))^4.
+        let ratio0 = b[0] / 100.0;
+        let ratio2 = b[2] / 100.0;
+        assert!((ratio2 - ratio0.powi(4)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn advance_past_drain_is_idempotent() {
+        let mut s = server();
+        s.add(0, 10.0);
+        s.advance(1e9);
+        assert_eq!(s.total_backlog(), 0.0);
+        s.advance(5.0);
+        assert_eq!(s.total_backlog(), 0.0);
+    }
+
+    #[test]
+    fn sawtooth_mechanism_small_backlog_small_rate() {
+        // The paper's §4.1 pathology: a queue with a tiny relative backlog
+        // receives a tiny service rate, so its last bytes linger.
+        let mut s = server();
+        s.add(0, 1.0);
+        s.add(2, 1000.0);
+        let r0 = s.service_rate(0);
+        assert!(r0 < 0.001, "tiny backlog should get tiny rate, got {r0}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Scheduler construction by name — used by the experiment harness and the
+//! ablation binaries.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::additive::Additive;
+use crate::bpr::Bpr;
+use crate::class::Sdp;
+use crate::drr::Drr;
+use crate::fcfs::Fcfs;
+use crate::hpd::Hpd;
+use crate::pad::Pad;
+use crate::scfq::Scfq;
+use crate::scheduler::Scheduler;
+use crate::strict::StrictPriority;
+use crate::wf2q::Wf2q;
+use crate::wfq::Wfq;
+use crate::wtp::Wtp;
+
+/// Every scheduler this crate can build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// First-come-first-served (no differentiation).
+    Fcfs,
+    /// Strict static priority.
+    Strict,
+    /// Waiting-Time Priority (§4.2).
+    Wtp,
+    /// Backlog-Proportional Rate, packetized (§4.1, Appendix 3).
+    Bpr,
+    /// Weighted Fair Queueing (capacity differentiation).
+    Wfq,
+    /// Worst-case Fair WFQ (WF²Q+, capacity differentiation).
+    Wf2q,
+    /// Self-Clocked Fair Queueing (capacity differentiation).
+    Scfq,
+    /// Deficit Round Robin (capacity differentiation).
+    Drr,
+    /// Additive waiting-time priority (Eq. 3).
+    Additive,
+    /// Proportional Average Delay (extension).
+    Pad,
+    /// Hybrid Proportional Delay with g = 0.875 (extension).
+    Hpd,
+}
+
+impl SchedulerKind {
+    /// All kinds, in report order.
+    pub const ALL: [SchedulerKind; 11] = [
+        SchedulerKind::Fcfs,
+        SchedulerKind::Strict,
+        SchedulerKind::Wfq,
+        SchedulerKind::Wf2q,
+        SchedulerKind::Scfq,
+        SchedulerKind::Drr,
+        SchedulerKind::Additive,
+        SchedulerKind::Wtp,
+        SchedulerKind::Bpr,
+        SchedulerKind::Pad,
+        SchedulerKind::Hpd,
+    ];
+
+    /// Builds a boxed scheduler.
+    ///
+    /// `sdp` supplies the differentiation parameters (interpreted per
+    /// scheduler: gains for WTP/BPR/PAD/HPD, weights for WFQ/SCFQ/DRR, tick
+    /// offsets for Additive; ignored by FCFS/Strict except for the class
+    /// count). `link_rate` (bytes/tick) is needed by the rate-based
+    /// schedulers.
+    pub fn build(&self, sdp: &Sdp, link_rate: f64) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Fcfs => Box::new(Fcfs::new(sdp.num_classes())),
+            SchedulerKind::Strict => Box::new(StrictPriority::new(sdp.num_classes())),
+            SchedulerKind::Wtp => Box::new(Wtp::new(sdp.clone())),
+            SchedulerKind::Bpr => Box::new(Bpr::new(sdp.clone(), link_rate)),
+            SchedulerKind::Wfq => Box::new(Wfq::new(sdp.clone(), link_rate)),
+            SchedulerKind::Wf2q => Box::new(Wf2q::new(sdp.clone())),
+            SchedulerKind::Scfq => Box::new(Scfq::new(sdp.clone())),
+            SchedulerKind::Drr => Box::new(Drr::new(sdp.clone(), 1500)),
+            SchedulerKind::Additive => Box::new(Additive::new(sdp.clone())),
+            SchedulerKind::Pad => Box::new(Pad::new(sdp.clone())),
+            SchedulerKind::Hpd => Box::new(Hpd::with_default_g(sdp.clone())),
+        }
+    }
+
+    /// The scheduler's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Fcfs => "FCFS",
+            SchedulerKind::Strict => "Strict",
+            SchedulerKind::Wtp => "WTP",
+            SchedulerKind::Bpr => "BPR",
+            SchedulerKind::Wfq => "WFQ",
+            SchedulerKind::Wf2q => "WF2Q+",
+            SchedulerKind::Scfq => "SCFQ",
+            SchedulerKind::Drr => "DRR",
+            SchedulerKind::Additive => "Additive",
+            SchedulerKind::Pad => "PAD",
+            SchedulerKind::Hpd => "HPD",
+        }
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SchedulerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fcfs" => Ok(SchedulerKind::Fcfs),
+            "strict" => Ok(SchedulerKind::Strict),
+            "wtp" => Ok(SchedulerKind::Wtp),
+            "bpr" => Ok(SchedulerKind::Bpr),
+            "wfq" => Ok(SchedulerKind::Wfq),
+            "wf2q" | "wf2q+" => Ok(SchedulerKind::Wf2q),
+            "scfq" => Ok(SchedulerKind::Scfq),
+            "drr" => Ok(SchedulerKind::Drr),
+            "additive" => Ok(SchedulerKind::Additive),
+            "pad" => Ok(SchedulerKind::Pad),
+            "hpd" => Ok(SchedulerKind::Hpd),
+            other => Err(format!(
+                "unknown scheduler '{other}' (expected one of: fcfs, strict, wtp, bpr, wfq, wf2q, scfq, drr, additive, pad, hpd)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+    use simcore::Time;
+
+    #[test]
+    fn every_kind_builds_and_round_trips() {
+        let sdp = Sdp::paper_default();
+        for kind in SchedulerKind::ALL {
+            let mut s = kind.build(&sdp, 1.0);
+            assert_eq!(s.num_classes(), 4);
+            assert_eq!(s.name(), kind.name());
+            s.enqueue(Packet::new(1, 2, 100, Time::ZERO));
+            assert_eq!(s.dequeue(Time::from_ticks(5)).unwrap().seq, 1);
+            assert!(s.is_empty());
+            // Name string parses back to the same kind.
+            assert_eq!(kind.name().parse::<SchedulerKind>().unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_unknown() {
+        assert!("nope".parse::<SchedulerKind>().is_err());
+    }
+}

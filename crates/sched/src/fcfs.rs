@@ -1,0 +1,118 @@
+//! First-come-first-served — the undifferentiated reference server.
+//!
+//! FCFS is also the measurement instrument for the feasibility conditions:
+//! Eq. (5)/(7) compare any scheduler against "the aggregate traffic serviced
+//! by a work-conserving FCFS server of the same capacity".
+
+use std::collections::VecDeque;
+
+use simcore::Time;
+
+use crate::packet::Packet;
+use crate::scheduler::Scheduler;
+
+/// A single shared FIFO across all classes.
+#[derive(Debug, Clone)]
+pub struct Fcfs {
+    num_classes: usize,
+    queue: VecDeque<Packet>,
+    packets: Vec<usize>,
+    bytes: Vec<u64>,
+}
+
+impl Fcfs {
+    /// Creates an FCFS scheduler aware of `num_classes` (for accounting).
+    pub fn new(num_classes: usize) -> Self {
+        Fcfs {
+            num_classes,
+            queue: VecDeque::new(),
+            packets: vec![0; num_classes],
+            bytes: vec![0; num_classes],
+        }
+    }
+}
+
+impl Scheduler for Fcfs {
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn enqueue(&mut self, pkt: Packet) {
+        let c = pkt.class as usize;
+        assert!(c < self.num_classes, "class {c} out of range");
+        self.packets[c] += 1;
+        self.bytes[c] += pkt.size as u64;
+        self.queue.push_back(pkt);
+    }
+
+    fn dequeue(&mut self, _now: Time) -> Option<Packet> {
+        let pkt = self.queue.pop_front()?;
+        let c = pkt.class as usize;
+        self.packets[c] -= 1;
+        self.bytes[c] -= pkt.size as u64;
+        Some(pkt)
+    }
+
+    fn backlog_packets(&self, class: usize) -> usize {
+        self.packets[class]
+    }
+
+    fn backlog_bytes(&self, class: usize) -> u64 {
+        self.bytes[class]
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn drop_newest(&mut self, class: usize) -> Option<Packet> {
+        let pos = self
+            .queue
+            .iter()
+            .rposition(|p| p.class as usize == class)?;
+        let pkt = self.queue.remove(pos).expect("position exists");
+        self.packets[class] -= 1;
+        self.bytes[class] -= pkt.size as u64;
+        Some(pkt)
+    }
+
+    fn name(&self) -> &'static str {
+        "FCFS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_fifo_order_ignores_class() {
+        let mut s = Fcfs::new(3);
+        s.enqueue(Packet::new(1, 2, 10, Time::from_ticks(0)));
+        s.enqueue(Packet::new(2, 0, 10, Time::from_ticks(1)));
+        s.enqueue(Packet::new(3, 1, 10, Time::from_ticks(2)));
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(Time::from_ticks(10)))
+            .map(|p| p.seq)
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn per_class_accounting() {
+        let mut s = Fcfs::new(2);
+        s.enqueue(Packet::new(1, 0, 100, Time::ZERO));
+        s.enqueue(Packet::new(2, 1, 50, Time::ZERO));
+        assert_eq!(s.backlog_packets(0), 1);
+        assert_eq!(s.backlog_bytes(1), 50);
+        assert_eq!(s.total_backlog_bytes(), 150);
+        s.dequeue(Time::ZERO);
+        assert_eq!(s.backlog_packets(0), 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn dequeue_empty_returns_none() {
+        let mut s = Fcfs::new(1);
+        assert_eq!(s.dequeue(Time::ZERO), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Hybrid Proportional Delay (HPD) — extension from the paper's §7.
+//!
+//! HPD blends WTP's short-timescale responsiveness with PAD's long-term
+//! accuracy: the head-of-line priority of class i is
+//!
+//! `p_i(t) = g · s_i·w_i(t) + (1 − g) · s_i·(D_i + w_i(t))/(n_i + 1)`
+//!
+//! i.e. a convex combination of the normalized *instantaneous* waiting time
+//! (the WTP term) and the projected normalized *average* delay (the PAD
+//! term). `g = 0.875` is the operating point reported in the follow-on
+//! literature; `g = 1` degenerates to WTP and `g = 0` to PAD.
+
+use simcore::Time;
+
+use crate::class::Sdp;
+use crate::packet::Packet;
+use crate::scheduler::{argmax_backlogged, ClassQueues, Scheduler};
+
+/// The Hybrid Proportional Delay scheduler.
+#[derive(Debug, Clone)]
+pub struct Hpd {
+    queues: ClassQueues,
+    sdp: Sdp,
+    g: f64,
+    cum_delay: Vec<f64>,
+    departed: Vec<u64>,
+}
+
+impl Hpd {
+    /// Creates an HPD scheduler with mixing factor `g ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `g` is outside `[0, 1]`.
+    pub fn new(sdp: Sdp, g: f64) -> Self {
+        assert!((0.0..=1.0).contains(&g), "g must be in [0,1], got {g}");
+        let n = sdp.num_classes();
+        Hpd {
+            queues: ClassQueues::new(n),
+            sdp,
+            g,
+            cum_delay: vec![0.0; n],
+            departed: vec![0; n],
+        }
+    }
+
+    /// The recommended default mixing factor.
+    pub fn with_default_g(sdp: Sdp) -> Self {
+        Hpd::new(sdp, 0.875)
+    }
+
+    fn priority(&self, class: usize, now: Time) -> f64 {
+        let head = self.queues.head(class).expect("backlogged head");
+        let w = head.waiting(now).as_f64();
+        let s = self.sdp.get(class);
+        let wtp_term = s * w;
+        let pad_term = s * (self.cum_delay[class] + w) / (self.departed[class] + 1) as f64;
+        self.g * wtp_term + (1.0 - self.g) * pad_term
+    }
+
+    /// Measured long-term average delay of departed class-`class` packets.
+    pub fn average_delay(&self, class: usize) -> f64 {
+        if self.departed[class] == 0 {
+            0.0
+        } else {
+            self.cum_delay[class] / self.departed[class] as f64
+        }
+    }
+}
+
+impl Scheduler for Hpd {
+    fn num_classes(&self) -> usize {
+        self.queues.num_classes()
+    }
+
+    fn enqueue(&mut self, pkt: Packet) {
+        self.queues.push(pkt);
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        let winner = argmax_backlogged(&self.queues, |c| self.priority(c, now))?;
+        let pkt = self.queues.pop(winner)?;
+        self.cum_delay[winner] += pkt.waiting(now).as_f64();
+        self.departed[winner] += 1;
+        Some(pkt)
+    }
+
+    fn backlog_packets(&self, class: usize) -> usize {
+        self.queues.len(class)
+    }
+
+    fn backlog_bytes(&self, class: usize) -> u64 {
+        self.queues.bytes(class)
+    }
+
+    fn drop_newest(&mut self, class: usize) -> Option<Packet> {
+        self.queues.pop_tail(class)
+    }
+
+    fn name(&self) -> &'static str {
+        "HPD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g_one_matches_wtp_choice() {
+        let mut h = Hpd::new(Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        let mut w = crate::wtp::Wtp::new(Sdp::new(&[1.0, 2.0]).unwrap());
+        for s in [&mut h as &mut dyn Scheduler, &mut w as &mut dyn Scheduler] {
+            s.enqueue(Packet::new(1, 0, 100, Time::ZERO));
+            s.enqueue(Packet::new(2, 1, 100, Time::from_ticks(20)));
+        }
+        // WTP at t=30: p0 = 30, p1 = 20 → class 0 for both.
+        assert_eq!(h.dequeue(Time::from_ticks(30)).unwrap().class, 0);
+        assert_eq!(w.dequeue(Time::from_ticks(30)).unwrap().class, 0);
+    }
+
+    #[test]
+    fn g_zero_matches_pad_choice() {
+        let mut h = Hpd::new(Sdp::new(&[1.0, 2.0]).unwrap(), 0.0);
+        h.enqueue(Packet::new(1, 0, 100, Time::ZERO));
+        h.enqueue(Packet::new(2, 1, 100, Time::ZERO));
+        // PAD projected at t=10: 10 vs 20 → class 1 (WTP would tie-break the
+        // same way here, so also feed history to separate them).
+        assert_eq!(h.dequeue(Time::from_ticks(10)).unwrap().class, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "g must be in [0,1]")]
+    fn invalid_g_rejected() {
+        let _ = Hpd::new(Sdp::paper_default(), 1.5);
+    }
+
+    #[test]
+    fn history_shifts_priorities() {
+        let sdp = Sdp::new(&[1.0, 2.0]).unwrap();
+        let mut h = Hpd::new(sdp, 0.5);
+        // Give class 0 a history of large delays.
+        h.enqueue(Packet::new(1, 0, 100, Time::ZERO));
+        let _ = h.dequeue(Time::from_ticks(1000));
+        // Fresh race with equal waiting times: class 0's PAD term is now
+        // (1000 + w)/2 ≈ 505, which dominates class 1's 2·w = 20.
+        h.enqueue(Packet::new(2, 0, 100, Time::from_ticks(2000)));
+        h.enqueue(Packet::new(3, 1, 100, Time::from_ticks(2000)));
+        assert_eq!(h.dequeue(Time::from_ticks(2010)).unwrap().class, 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! # sched — packet schedulers for relative delay differentiation
+//!
+//! This crate implements the scheduling machinery of the SIGCOMM '99
+//! *Proportional Differentiated Services* paper:
+//!
+//! * [`Wtp`] — **Waiting-Time Priority** (§4.2, Kleinrock's
+//!   Time-Dependent Priorities): head-of-line priority `p_i(t) = w_i(t)·s_i`.
+//! * [`Bpr`] — **Backlog-Proportional Rate** (§4.1), in the packetized form
+//!   of Appendix 3 (virtual service functions, `argmin(L_i − v_i)`).
+//! * [`FluidBpr`] — the exact fluid BPR server, used to verify
+//!   Proposition 1 (simultaneous queue clearing).
+//! * Baselines from §2.1: [`Fcfs`], [`StrictPriority`], capacity
+//!   differentiation via [`Wfq`], [`Wf2q`], [`Scfq`] and [`Drr`], and the
+//!   [`Additive`] scheduler (`p_i(t) = w_i(t) + s_i`, Eq. 3).
+//! * Extensions the paper's §7 calls for: [`Pad`] (Proportional Average
+//!   Delay) and [`Hpd`] (Hybrid Proportional Delay) — the schedulers that
+//!   hold the proportional model even at moderate loads — plus the
+//!   [`PlrDropper`] (proportional loss-rate differentiation) and simple
+//!   buffer policies for lossy operation.
+//!
+//! All schedulers are **pure data structures**: they own per-class FIFO
+//! queues and answer `enqueue`/`dequeue(now)` queries. A link/server owner
+//! (see the `qsim` and `netsim` crates) drives them, which lets the same
+//! scheduler code run under the single-link Study-A harness, the multi-hop
+//! Study-B simulator, property tests, and micro-benchmarks.
+//!
+//! ## Conventions
+//!
+//! * Classes are 0-indexed; **higher index = higher class** (the paper's
+//!   class N). SDPs must therefore be nondecreasing: `s[0] ≤ s[1] ≤ …`.
+//! * "Queueing delay" is *waiting time*: arrival → start of transmission.
+//! * Service is non-preemptive and work-conserving.
+//! * Ties are broken in favor of the higher class (paper, Appendix 3).
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod additive;
+mod bpr;
+mod bpr_fluid;
+mod class;
+mod drr;
+mod dropper;
+mod factory;
+mod fcfs;
+mod hpd;
+mod pad;
+mod packet;
+mod scfq;
+mod scheduler;
+mod strict;
+mod wf2q;
+mod wfq;
+mod wtp;
+
+pub use additive::Additive;
+pub use bpr::Bpr;
+pub use bpr_fluid::FluidBpr;
+pub use class::{Sdp, SdpError};
+pub use drr::Drr;
+pub use dropper::{BufferPolicy, DropDecision, PlrDropper};
+pub use factory::SchedulerKind;
+pub use fcfs::Fcfs;
+pub use hpd::Hpd;
+pub use pad::Pad;
+pub use packet::Packet;
+pub use scfq::Scfq;
+pub use scheduler::{ClassQueues, Scheduler};
+pub use strict::StrictPriority;
+pub use wf2q::Wf2q;
+pub use wfq::Wfq;
+pub use wtp::Wtp;
+
+#[cfg(test)]
+mod invariants;
+#[cfg(test)]
+pub(crate) mod testutil;

@@ -1,0 +1,143 @@
+//! Proportional Average Delay (PAD) — an extension from the paper's §7.
+//!
+//! The paper observes that WTP/BPR only approach the proportional model in
+//! heavy load and asks for "an optimal proportional differentiation
+//! scheduler". PAD (proposed by the same authors in follow-on work) drives
+//! the *long-term* normalized average delays to equality directly: it
+//! serves the backlogged class whose normalized average delay — projected
+//! as if its head departed now — is largest:
+//!
+//! `argmax_i  s_i · (D_i + w_i(t)) / (n_i + 1)`
+//!
+//! where `D_i`/`n_i` are the cumulative delay and count of departed class-i
+//! packets and `w_i(t)` is the head's current waiting time (δ_i = 1/s_i).
+//! PAD nails Eq. (1) at any load but has weaker short-timescale behaviour —
+//! the trade HPD balances.
+
+use simcore::Time;
+
+use crate::class::Sdp;
+use crate::packet::Packet;
+use crate::scheduler::{argmax_backlogged, ClassQueues, Scheduler};
+
+/// The Proportional Average Delay scheduler.
+#[derive(Debug, Clone)]
+pub struct Pad {
+    queues: ClassQueues,
+    sdp: Sdp,
+    cum_delay: Vec<f64>,
+    departed: Vec<u64>,
+}
+
+impl Pad {
+    /// Creates a PAD scheduler with the given SDPs.
+    pub fn new(sdp: Sdp) -> Self {
+        let n = sdp.num_classes();
+        Pad {
+            queues: ClassQueues::new(n),
+            sdp,
+            cum_delay: vec![0.0; n],
+            departed: vec![0; n],
+        }
+    }
+
+    /// Projected normalized average delay of `class` if its head were
+    /// served at `now`.
+    fn projected(&self, class: usize, now: Time) -> f64 {
+        let head = self.queues.head(class).expect("backlogged head");
+        let w = head.waiting(now).as_f64();
+        self.sdp.get(class) * (self.cum_delay[class] + w) / (self.departed[class] + 1) as f64
+    }
+
+    /// Measured long-term average delay of departed class-`class` packets.
+    pub fn average_delay(&self, class: usize) -> f64 {
+        if self.departed[class] == 0 {
+            0.0
+        } else {
+            self.cum_delay[class] / self.departed[class] as f64
+        }
+    }
+}
+
+impl Scheduler for Pad {
+    fn num_classes(&self) -> usize {
+        self.queues.num_classes()
+    }
+
+    fn enqueue(&mut self, pkt: Packet) {
+        self.queues.push(pkt);
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        let winner = argmax_backlogged(&self.queues, |c| self.projected(c, now))?;
+        let pkt = self.queues.pop(winner)?;
+        self.cum_delay[winner] += pkt.waiting(now).as_f64();
+        self.departed[winner] += 1;
+        Some(pkt)
+    }
+
+    fn backlog_packets(&self, class: usize) -> usize {
+        self.queues.len(class)
+    }
+
+    fn backlog_bytes(&self, class: usize) -> u64 {
+        self.queues.bytes(class)
+    }
+
+    fn drop_newest(&mut self, class: usize) -> Option<Packet> {
+        self.queues.pop_tail(class)
+    }
+
+    fn name(&self) -> &'static str {
+        "PAD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_class_with_largest_normalized_average() {
+        let mut s = Pad::new(Sdp::new(&[1.0, 2.0]).unwrap());
+        s.enqueue(Packet::new(1, 0, 100, Time::ZERO));
+        s.enqueue(Packet::new(2, 1, 100, Time::ZERO));
+        // Projected at t=10: class0 -> 1·10/1 = 10, class1 -> 2·10/1 = 20.
+        assert_eq!(s.dequeue(Time::from_ticks(10)).unwrap().class, 1);
+    }
+
+    #[test]
+    fn average_delay_bookkeeping() {
+        let mut s = Pad::new(Sdp::new(&[1.0, 2.0]).unwrap());
+        s.enqueue(Packet::new(1, 0, 100, Time::ZERO));
+        s.dequeue(Time::from_ticks(30));
+        s.enqueue(Packet::new(2, 0, 100, Time::from_ticks(40)));
+        s.dequeue(Time::from_ticks(50));
+        assert!((s.average_delay(0) - 20.0).abs() < 1e-12);
+        assert_eq!(s.average_delay(1), 0.0);
+    }
+
+    #[test]
+    fn long_run_ratio_approaches_target_in_stable_heavy_load() {
+        // Poisson-ish traffic at ρ = 0.92 on a 1 byte/tick link: PAD should
+        // hold the long-term delay ratio at s1/s0 = 2 even though the load
+        // is not extreme — the property that motivates it as the paper's
+        // "optimal proportional scheduler" candidate.
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut arrivals = Vec::new();
+        let mut t = 0.0f64;
+        for _ in 0..120_000 {
+            // Aggregate mean gap 109 ticks for 100-byte packets => ρ ≈ 0.92.
+            t += -109.0 * (1.0 - rng.random::<f64>()).ln();
+            let class = if rng.random::<f64>() < 0.5 { 0 } else { 1 };
+            arrivals.push((t.round() as u64, class, 100u32));
+        }
+        let mut s = Pad::new(Sdp::new(&[1.0, 2.0]).unwrap());
+        let deps = crate::testutil::drive(&mut s, &arrivals);
+        let avg = crate::testutil::class_average_waits(&deps, 2);
+        let ratio = avg[0] / avg[1];
+        assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Self-Clocked Fair Queueing — a simpler capacity-differentiation baseline.
+//!
+//! SCFQ replaces WFQ's GPS virtual clock with the finish tag of the packet
+//! most recently selected for service, trading some fairness bound for O(1)
+//! virtual-time maintenance. Included as a second point on the
+//! "capacity differentiation" axis of §2.1.
+
+use std::collections::VecDeque;
+
+use simcore::Time;
+
+use crate::class::Sdp;
+use crate::packet::Packet;
+use crate::scheduler::Scheduler;
+
+/// Self-Clocked Fair Queueing with per-class weights.
+#[derive(Debug, Clone)]
+pub struct Scfq {
+    weights: Sdp,
+    queues: Vec<VecDeque<(Packet, f64)>>,
+    bytes: Vec<u64>,
+    finish_last: Vec<f64>,
+    vtime: f64,
+}
+
+impl Scfq {
+    /// Creates an SCFQ scheduler; class weights are the SDPs.
+    pub fn new(weights: Sdp) -> Self {
+        let n = weights.num_classes();
+        Scfq {
+            weights,
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            bytes: vec![0; n],
+            finish_last: vec![0.0; n],
+            vtime: 0.0,
+        }
+    }
+
+    fn reset_if_idle(&mut self) {
+        if self.queues.iter().all(|q| q.is_empty()) {
+            self.vtime = 0.0;
+            self.finish_last.iter_mut().for_each(|f| *f = 0.0);
+        }
+    }
+}
+
+impl Scheduler for Scfq {
+    fn num_classes(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn enqueue(&mut self, pkt: Packet) {
+        let c = pkt.class as usize;
+        assert!(c < self.queues.len(), "class {c} out of range");
+        self.reset_if_idle();
+        let start = self.vtime.max(self.finish_last[c]);
+        let finish = start + pkt.size as f64 / self.weights.get(c);
+        self.finish_last[c] = finish;
+        self.bytes[c] += pkt.size as u64;
+        self.queues[c].push_back((pkt, finish));
+    }
+
+    fn dequeue(&mut self, _now: Time) -> Option<Packet> {
+        let mut winner: Option<(usize, f64)> = None;
+        for (c, q) in self.queues.iter().enumerate() {
+            if let Some(&(_, f)) = q.front() {
+                match winner {
+                    Some((_, bf)) if f > bf => {}
+                    _ => winner = Some((c, f)),
+                }
+            }
+        }
+        let (c, f) = winner?;
+        let (pkt, _) = self.queues[c].pop_front().expect("winner has a head");
+        self.bytes[c] -= pkt.size as u64;
+        // Self-clocking: the virtual time is the tag of the packet now in
+        // service.
+        self.vtime = f;
+        Some(pkt)
+    }
+
+    fn backlog_packets(&self, class: usize) -> usize {
+        self.queues[class].len()
+    }
+
+    fn backlog_bytes(&self, class: usize) -> u64 {
+        self.bytes[class]
+    }
+
+    fn drop_newest(&mut self, class: usize) -> Option<Packet> {
+        let (pkt, _) = self.queues[class].pop_back()?;
+        self.bytes[class] -= pkt.size as u64;
+        // Roll the per-class finish tag back to the new tail so future
+        // arrivals don't inherit virtual service of the dropped packet.
+        if let Some(&(_, f)) = self.queues[class].back() {
+            self.finish_last[class] = f;
+        }
+        Some(pkt)
+    }
+
+    fn name(&self) -> &'static str {
+        "SCFQ"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u64, class: u8, size: u32, at: u64) -> Packet {
+        Packet::new(seq, class, size, Time::from_ticks(at))
+    }
+
+    #[test]
+    fn weighted_share_under_saturation() {
+        let mut s = Scfq::new(Sdp::new(&[1.0, 3.0]).unwrap());
+        for i in 0..400 {
+            s.enqueue(pkt(2 * i, 0, 100, 0));
+            s.enqueue(pkt(2 * i + 1, 1, 100, 0));
+        }
+        let mut high = 0;
+        for _ in 0..200 {
+            if s.dequeue(Time::ZERO).unwrap().class == 1 {
+                high += 1;
+            }
+        }
+        assert!((140..=160).contains(&high), "high share {high}/200");
+    }
+
+    #[test]
+    fn late_arrival_tags_off_current_service() {
+        let mut s = Scfq::new(Sdp::new(&[1.0, 1.0]).unwrap());
+        s.enqueue(pkt(1, 0, 100, 0));
+        assert_eq!(s.dequeue(Time::ZERO).unwrap().seq, 1); // vtime = 100
+        // Arrives while "in service": start tag is vtime (100), not 0.
+        s.enqueue(pkt(2, 1, 100, 50));
+        s.enqueue(pkt(3, 0, 100, 50));
+        // Tags: class1 = 200, class0 = 200; tie → higher class first.
+        assert_eq!(s.dequeue(Time::from_ticks(100)).unwrap().class, 1);
+        assert_eq!(s.dequeue(Time::from_ticks(200)).unwrap().class, 0);
+    }
+
+    #[test]
+    fn idle_reset() {
+        let mut s = Scfq::new(Sdp::new(&[1.0, 1.0]).unwrap());
+        s.enqueue(pkt(1, 0, 100, 0));
+        s.dequeue(Time::ZERO);
+        s.enqueue(pkt(2, 0, 100, 500));
+        // After idle reset the new packet's tag starts from 0 again.
+        assert_eq!(s.queues[0].front().unwrap().1, 100.0);
+    }
+
+    #[test]
+    fn fifo_within_class() {
+        let mut s = Scfq::new(Sdp::new(&[1.0, 2.0]).unwrap());
+        s.enqueue(pkt(1, 1, 300, 0));
+        s.enqueue(pkt(2, 1, 40, 0));
+        assert_eq!(s.dequeue(Time::ZERO).unwrap().seq, 1);
+        assert_eq!(s.dequeue(Time::ZERO).unwrap().seq, 2);
+    }
+}

@@ -1,0 +1,231 @@
+//! The scheduler trait and the shared per-class FIFO structure.
+
+use std::collections::VecDeque;
+
+use simcore::Time;
+
+use crate::packet::Packet;
+
+/// A work-conserving, non-preemptive, class-based packet scheduler.
+///
+/// The owner (a link/server) calls [`enqueue`](Scheduler::enqueue) on packet
+/// arrival and [`dequeue`](Scheduler::dequeue) whenever the output link goes
+/// idle; `now` is the decision instant (the previous packet's departure time
+/// or, after an idle period, the triggering arrival time). The returned
+/// packet starts transmission immediately at `now`.
+pub trait Scheduler {
+    /// Number of service classes.
+    fn num_classes(&self) -> usize;
+
+    /// Accepts `pkt` into its class queue.
+    ///
+    /// # Panics
+    /// Panics if `pkt.class` is out of range.
+    fn enqueue(&mut self, pkt: Packet);
+
+    /// Selects the next packet to transmit at decision time `now`, or
+    /// `None` if all queues are empty.
+    fn dequeue(&mut self, now: Time) -> Option<Packet>;
+
+    /// Queued packets of `class` (excluding any packet in service — the
+    /// scheduler never sees the one being transmitted).
+    fn backlog_packets(&self, class: usize) -> usize;
+
+    /// Queued bytes of `class`.
+    fn backlog_bytes(&self, class: usize) -> u64;
+
+    /// Total queued packets across classes.
+    fn total_backlog_packets(&self) -> usize {
+        (0..self.num_classes()).map(|c| self.backlog_packets(c)).sum()
+    }
+
+    /// Total queued bytes across classes.
+    fn total_backlog_bytes(&self) -> u64 {
+        (0..self.num_classes()).map(|c| self.backlog_bytes(c)).sum()
+    }
+
+    /// True if no packet is queued.
+    fn is_empty(&self) -> bool {
+        self.total_backlog_packets() == 0
+    }
+
+    /// Short static name for reports ("WTP", "BPR", …).
+    fn name(&self) -> &'static str;
+
+    /// Removes and returns the most recently enqueued packet of `class`,
+    /// for push-out droppers in finite-buffer (lossy) operation.
+    ///
+    /// Returns `None` if the class is empty **or** the scheduler does not
+    /// support removal (the default); droppers must then fall back to
+    /// dropping the arriving packet.
+    fn drop_newest(&mut self, _class: usize) -> Option<Packet> {
+        None
+    }
+}
+
+/// Per-class FIFO queues with byte accounting — the storage shared by every
+/// scheduler implementation in this crate.
+#[derive(Debug, Clone)]
+pub struct ClassQueues {
+    queues: Vec<VecDeque<Packet>>,
+    bytes: Vec<u64>,
+}
+
+impl ClassQueues {
+    /// Creates `n` empty class queues.
+    pub fn new(n: usize) -> Self {
+        ClassQueues {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            bytes: vec![0; n],
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Appends a packet to its class queue.
+    ///
+    /// # Panics
+    /// Panics if the packet's class is out of range.
+    pub fn push(&mut self, pkt: Packet) {
+        let c = pkt.class as usize;
+        assert!(
+            c < self.queues.len(),
+            "packet class {c} out of range (num_classes = {})",
+            self.queues.len()
+        );
+        self.bytes[c] += pkt.size as u64;
+        self.queues[c].push_back(pkt);
+    }
+
+    /// Removes and returns the head of `class`.
+    pub fn pop(&mut self, class: usize) -> Option<Packet> {
+        let pkt = self.queues[class].pop_front()?;
+        self.bytes[class] -= pkt.size as u64;
+        Some(pkt)
+    }
+
+    /// The head of `class` without removing it.
+    pub fn head(&self, class: usize) -> Option<&Packet> {
+        self.queues[class].front()
+    }
+
+    /// Queued packets in `class`.
+    pub fn len(&self, class: usize) -> usize {
+        self.queues[class].len()
+    }
+
+    /// Queued bytes in `class`.
+    pub fn bytes(&self, class: usize) -> u64 {
+        self.bytes[class]
+    }
+
+    /// True if every class queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Iterator over the indices of backlogged (non-empty) classes.
+    pub fn backlogged(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.queues.len()).filter(|&c| !self.queues[c].is_empty())
+    }
+
+    /// Removes and returns the *tail* packet of `class` (used by droppers
+    /// that push out the most recent arrival).
+    pub fn pop_tail(&mut self, class: usize) -> Option<Packet> {
+        let pkt = self.queues[class].pop_back()?;
+        self.bytes[class] -= pkt.size as u64;
+        Some(pkt)
+    }
+}
+
+/// Picks the winning class by maximizing `priority(class)` over backlogged
+/// classes, breaking ties toward the **higher** class index (the paper's
+/// tie rule). Returns `None` when nothing is backlogged.
+pub(crate) fn argmax_backlogged<F: FnMut(usize) -> f64>(
+    queues: &ClassQueues,
+    mut priority: F,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for c in queues.backlogged() {
+        let p = priority(c);
+        match best {
+            // `>=` favors the later (higher) class on ties.
+            Some((_, bp)) if p < bp => {}
+            _ => best = Some((c, p)),
+        }
+    }
+    best.map(|(c, _)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u64, class: u8, size: u32, at: u64) -> Packet {
+        Packet::new(seq, class, size, Time::from_ticks(at))
+    }
+
+    #[test]
+    fn push_pop_is_fifo_per_class() {
+        let mut q = ClassQueues::new(2);
+        q.push(pkt(1, 0, 10, 0));
+        q.push(pkt(2, 1, 20, 1));
+        q.push(pkt(3, 0, 30, 2));
+        assert_eq!(q.pop(0).unwrap().seq, 1);
+        assert_eq!(q.pop(0).unwrap().seq, 3);
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1).unwrap().seq, 2);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_push_and_pop() {
+        let mut q = ClassQueues::new(1);
+        q.push(pkt(1, 0, 100, 0));
+        q.push(pkt(2, 0, 50, 0));
+        assert_eq!(q.bytes(0), 150);
+        q.pop(0);
+        assert_eq!(q.bytes(0), 50);
+        q.pop_tail(0);
+        assert_eq!(q.bytes(0), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn backlogged_lists_nonempty_classes() {
+        let mut q = ClassQueues::new(4);
+        q.push(pkt(1, 1, 10, 0));
+        q.push(pkt(2, 3, 10, 0));
+        let b: Vec<usize> = q.backlogged().collect();
+        assert_eq!(b, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_rejects_out_of_range_class() {
+        let mut q = ClassQueues::new(2);
+        q.push(pkt(1, 5, 10, 0));
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_higher_class() {
+        let mut q = ClassQueues::new(3);
+        q.push(pkt(1, 0, 10, 0));
+        q.push(pkt(2, 2, 10, 0));
+        assert_eq!(argmax_backlogged(&q, |_| 1.0), Some(2));
+        assert_eq!(argmax_backlogged(&q, |c| if c == 0 { 2.0 } else { 1.0 }), Some(0));
+        let empty = ClassQueues::new(3);
+        assert_eq!(argmax_backlogged(&empty, |_| 1.0), None);
+    }
+
+    #[test]
+    fn pop_tail_removes_most_recent() {
+        let mut q = ClassQueues::new(1);
+        q.push(pkt(1, 0, 10, 0));
+        q.push(pkt(2, 0, 10, 1));
+        assert_eq!(q.pop_tail(0).unwrap().seq, 2);
+        assert_eq!(q.head(0).unwrap().seq, 1);
+    }
+}

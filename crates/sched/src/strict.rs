@@ -1,0 +1,95 @@
+//! Strict (static) priority — §2.1's uncontrollable baseline.
+//!
+//! "The highest backlogged class is serviced first." Differentiation is
+//! consistent but offers no tuning knobs, and low classes can starve — the
+//! two defects that motivate the proportional model.
+
+use simcore::Time;
+
+use crate::packet::Packet;
+use crate::scheduler::{ClassQueues, Scheduler};
+
+/// Serve the highest-indexed backlogged class, FIFO within a class.
+#[derive(Debug, Clone)]
+pub struct StrictPriority {
+    queues: ClassQueues,
+}
+
+impl StrictPriority {
+    /// Creates a strict-priority scheduler over `num_classes` classes.
+    pub fn new(num_classes: usize) -> Self {
+        StrictPriority {
+            queues: ClassQueues::new(num_classes),
+        }
+    }
+}
+
+impl Scheduler for StrictPriority {
+    fn num_classes(&self) -> usize {
+        self.queues.num_classes()
+    }
+
+    fn enqueue(&mut self, pkt: Packet) {
+        self.queues.push(pkt);
+    }
+
+    fn dequeue(&mut self, _now: Time) -> Option<Packet> {
+        let c = self.queues.backlogged().max()?;
+        self.queues.pop(c)
+    }
+
+    fn backlog_packets(&self, class: usize) -> usize {
+        self.queues.len(class)
+    }
+
+    fn backlog_bytes(&self, class: usize) -> u64 {
+        self.queues.bytes(class)
+    }
+
+    fn drop_newest(&mut self, class: usize) -> Option<Packet> {
+        self.queues.pop_tail(class)
+    }
+
+    fn name(&self) -> &'static str {
+        "Strict"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn highest_class_always_wins() {
+        let mut s = StrictPriority::new(3);
+        s.enqueue(Packet::new(1, 0, 10, Time::ZERO));
+        s.enqueue(Packet::new(2, 2, 10, Time::ZERO));
+        s.enqueue(Packet::new(3, 1, 10, Time::ZERO));
+        assert_eq!(s.dequeue(Time::ZERO).unwrap().class, 2);
+        assert_eq!(s.dequeue(Time::ZERO).unwrap().class, 1);
+        assert_eq!(s.dequeue(Time::ZERO).unwrap().class, 0);
+    }
+
+    #[test]
+    fn starvation_of_low_class_under_high_load() {
+        // A steady stream of class-1 packets starves class 0 indefinitely.
+        let mut s = StrictPriority::new(2);
+        s.enqueue(Packet::new(0, 0, 10, Time::ZERO));
+        for i in 1..=50 {
+            s.enqueue(Packet::new(i, 1, 10, Time::from_ticks(i)));
+        }
+        for _ in 0..50 {
+            assert_eq!(s.dequeue(Time::from_ticks(100)).unwrap().class, 1);
+        }
+        assert_eq!(s.dequeue(Time::from_ticks(100)).unwrap().class, 0);
+    }
+
+    #[test]
+    fn fifo_within_class() {
+        let mut s = StrictPriority::new(2);
+        s.enqueue(Packet::new(1, 1, 10, Time::from_ticks(0)));
+        s.enqueue(Packet::new(2, 1, 10, Time::from_ticks(1)));
+        assert_eq!(s.dequeue(Time::from_ticks(5)).unwrap().seq, 1);
+        assert_eq!(s.dequeue(Time::from_ticks(5)).unwrap().seq, 2);
+    }
+}

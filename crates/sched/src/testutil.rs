@@ -1,0 +1,77 @@
+//! Test-only single-server driver shared by unit and property tests.
+
+use simcore::Time;
+
+use crate::packet::Packet;
+use crate::scheduler::Scheduler;
+
+/// One departed packet as observed by the test driver.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Departure {
+    pub seq: u64,
+    pub class: u8,
+    pub size: u32,
+    pub arrival: u64,
+    pub start: u64,
+}
+
+impl Departure {
+    /// Queueing (waiting) delay in ticks.
+    pub fn wait(&self) -> u64 {
+        self.start - self.arrival
+    }
+}
+
+/// Drives a scheduler over a time-sorted arrival sequence on a 1 byte/tick
+/// link. Arrivals at or before a decision instant are enqueued before the
+/// decision (arrival-before-departure tie rule).
+pub(crate) fn drive(s: &mut dyn Scheduler, arrivals: &[(u64, u8, u32)]) -> Vec<Departure> {
+    debug_assert!(arrivals.windows(2).all(|w| w[0].0 <= w[1].0));
+    let mut out = Vec::with_capacity(arrivals.len());
+    let mut next = 0usize;
+    let mut free = 0u64;
+    let mut seq = 0u64;
+    loop {
+        if s.is_empty() {
+            if next >= arrivals.len() {
+                break;
+            }
+            let (t, c, sz) = arrivals[next];
+            next += 1;
+            s.enqueue(Packet::new(seq, c, sz, Time::from_ticks(t)));
+            seq += 1;
+            free = free.max(t);
+        }
+        while next < arrivals.len() && arrivals[next].0 <= free {
+            let (t, c, sz) = arrivals[next];
+            next += 1;
+            s.enqueue(Packet::new(seq, c, sz, Time::from_ticks(t)));
+            seq += 1;
+        }
+        let pkt = s
+            .dequeue(Time::from_ticks(free))
+            .expect("work conservation: backlogged scheduler must yield a packet");
+        out.push(Departure {
+            seq: pkt.seq,
+            class: pkt.class,
+            size: pkt.size,
+            arrival: pkt.arrival.ticks(),
+            start: free,
+        });
+        free += pkt.size as u64;
+    }
+    out
+}
+
+/// Per-class average waiting delays over a departure record.
+pub(crate) fn class_average_waits(deps: &[Departure], num_classes: usize) -> Vec<f64> {
+    let mut sum = vec![0.0f64; num_classes];
+    let mut cnt = vec![0u64; num_classes];
+    for d in deps {
+        sum[d.class as usize] += d.wait() as f64;
+        cnt[d.class as usize] += 1;
+    }
+    (0..num_classes)
+        .map(|c| if cnt[c] == 0 { 0.0 } else { sum[c] / cnt[c] as f64 })
+        .collect()
+}

@@ -1,0 +1,288 @@
+//! The simulation runner: an event loop over a [`Model`].
+
+use crate::event::EventQueue;
+use crate::time::{Dur, Time};
+
+/// A discrete-event model.
+///
+/// The model owns all mutable simulation state; the runner feeds it one
+/// event at a time, in timestamp order, and collects the follow-up events
+/// the model schedules through [`Context`].
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handles one event occurring at `ctx.now()`.
+    fn handle(&mut self, event: Self::Event, ctx: &mut Context<Self::Event>);
+}
+
+/// Handle given to [`Model::handle`] for reading the clock and scheduling
+/// follow-up events.
+pub struct Context<E> {
+    now: Time,
+    pending: Vec<(Time, E)>,
+    stop: bool,
+}
+
+impl<E> Context<E> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current time: discrete-event
+    /// simulations must never schedule into the past.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.pending.push((at, event));
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn schedule_in(&mut self, delay: Dur, event: E) {
+        self.pending.push((self.now + delay, event));
+    }
+
+    /// Requests that the run loop stop after this event is handled.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+/// Why a [`Simulation`] run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The horizon passed to [`Simulation::run_until`] was reached.
+    HorizonReached,
+    /// The event budget passed to [`Simulation::run_for_events`] was spent.
+    EventBudgetSpent,
+    /// The model called [`Context::stop`].
+    Stopped,
+}
+
+/// A discrete-event simulation: a [`Model`] plus an event queue and a clock.
+pub struct Simulation<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: Time,
+    handled: u64,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Creates a simulation at time zero with an empty event queue.
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            queue: EventQueue::new(),
+            now: Time::ZERO,
+            handled: 0,
+        }
+    }
+
+    /// Current virtual time (timestamp of the last handled event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total number of events handled so far.
+    pub fn events_handled(&self) -> u64 {
+        self.handled
+    }
+
+    /// Read access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (e.g. to extract collected statistics).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulation, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Schedules an initial event from outside the model.
+    pub fn schedule(&mut self, at: Time, event: M::Event) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Handles a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        self.step_inner().is_some()
+    }
+
+    fn step_inner(&mut self) -> Option<bool> {
+        let (t, ev) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event queue went backwards");
+        self.now = t;
+        let mut ctx = Context {
+            now: t,
+            pending: Vec::new(),
+            stop: false,
+        };
+        self.model.handle(ev, &mut ctx);
+        self.handled += 1;
+        for (at, ev) in ctx.pending {
+            self.queue.push(at, ev);
+        }
+        Some(ctx.stop)
+    }
+
+    /// Runs until the event queue drains or the model stops the loop.
+    pub fn run(&mut self) -> RunOutcome {
+        loop {
+            match self.step_inner() {
+                None => return RunOutcome::Drained,
+                Some(true) => return RunOutcome::Stopped,
+                Some(false) => {}
+            }
+        }
+    }
+
+    /// Runs until no pending event is at or before `horizon` (events *at*
+    /// the horizon are handled), the queue drains, or the model stops.
+    pub fn run_until(&mut self, horizon: Time) -> RunOutcome {
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > horizon => return RunOutcome::HorizonReached,
+                Some(_) => {}
+            }
+            if self.step_inner() == Some(true) {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+
+    /// Runs for at most `budget` further events.
+    pub fn run_for_events(&mut self, budget: u64) -> RunOutcome {
+        for _ in 0..budget {
+            match self.step_inner() {
+                None => return RunOutcome::Drained,
+                Some(true) => return RunOutcome::Stopped,
+                Some(false) => {}
+            }
+        }
+        RunOutcome::EventBudgetSpent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that re-schedules itself `reps` times with spacing `gap`.
+    struct Ticker {
+        reps: u32,
+        gap: Dur,
+        fired_at: Vec<Time>,
+    }
+
+    impl Model for Ticker {
+        type Event = ();
+        fn handle(&mut self, _ev: (), ctx: &mut Context<()>) {
+            self.fired_at.push(ctx.now());
+            if (self.fired_at.len() as u32) < self.reps {
+                ctx.schedule_in(self.gap, ());
+            }
+        }
+    }
+
+    #[test]
+    fn run_drains_and_advances_clock() {
+        let mut sim = Simulation::new(Ticker {
+            reps: 5,
+            gap: Dur::from_ticks(3),
+            fired_at: Vec::new(),
+        });
+        sim.schedule(Time::ZERO, ());
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        assert_eq!(sim.now(), Time::from_ticks(12));
+        assert_eq!(sim.events_handled(), 5);
+        let ticks: Vec<u64> = sim.model().fired_at.iter().map(|t| t.ticks()).collect();
+        assert_eq!(ticks, vec![0, 3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn run_until_respects_horizon_inclusive() {
+        let mut sim = Simulation::new(Ticker {
+            reps: 100,
+            gap: Dur::from_ticks(10),
+            fired_at: Vec::new(),
+        });
+        sim.schedule(Time::ZERO, ());
+        assert_eq!(sim.run_until(Time::from_ticks(30)), RunOutcome::HorizonReached);
+        // Events at t=0,10,20,30 handled; next pending is t=40.
+        assert_eq!(sim.model().fired_at.len(), 4);
+        assert_eq!(sim.now(), Time::from_ticks(30));
+        // Continuing picks up where we left off.
+        assert_eq!(sim.run_until(Time::from_ticks(45)), RunOutcome::HorizonReached);
+        assert_eq!(sim.now(), Time::from_ticks(40));
+    }
+
+    #[test]
+    fn run_for_events_spends_budget() {
+        let mut sim = Simulation::new(Ticker {
+            reps: 100,
+            gap: Dur::from_ticks(1),
+            fired_at: Vec::new(),
+        });
+        sim.schedule(Time::ZERO, ());
+        assert_eq!(sim.run_for_events(7), RunOutcome::EventBudgetSpent);
+        assert_eq!(sim.events_handled(), 7);
+    }
+
+    struct Stopper;
+    impl Model for Stopper {
+        type Event = u32;
+        fn handle(&mut self, ev: u32, ctx: &mut Context<u32>) {
+            if ev == 3 {
+                ctx.stop();
+            } else {
+                ctx.schedule_in(Dur::from_ticks(1), ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn model_can_stop_the_loop() {
+        let mut sim = Simulation::new(Stopper);
+        sim.schedule(Time::ZERO, 0);
+        assert_eq!(sim.run(), RunOutcome::Stopped);
+        assert_eq!(sim.now(), Time::from_ticks(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, _ev: (), ctx: &mut Context<()>) {
+                ctx.schedule(Time::ZERO, ());
+            }
+        }
+        let mut sim = Simulation::new(Bad);
+        sim.schedule(Time::from_ticks(5), ());
+        sim.run_for_events(1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Traffic burstiness diagnostics.
+//!
+//! The paper leans on traffic that is "bursty over a wide range of
+//! timescales" (§1, §2.1) — that burstiness is *why* static provisioning
+//! fails and dynamic schedulers are needed. This module provides the two
+//! standard instruments to verify a generated workload actually has that
+//! property:
+//!
+//! * [`idc_curve`] — the Index of Dispersion for Counts,
+//!   `IDC(m) = Var(N_m)/E(N_m)` over window size m. Poisson traffic is
+//!   flat at 1; heavy-tailed traffic grows with m.
+//! * [`variance_time`] — the variance-time curve of the aggregated rate
+//!   process, whose log-log slope β estimates the Hurst parameter
+//!   `H = 1 + β/2` (H ≈ 0.5 for short-range-dependent traffic, H → 1 for
+//!   strongly long-range-dependent traffic).
+
+/// Counts arrivals in consecutive *complete* windows of `window` ticks.
+/// The trailing partial window is discarded — including it would inject a
+/// huge spurious variance term.
+fn window_counts(times: &[u64], window: u64) -> Vec<u64> {
+    assert!(window > 0, "window must be positive");
+    let Some(&last) = times.last() else {
+        return Vec::new();
+    };
+    let nwin = (last / window) as usize;
+    let mut counts = vec![0u64; nwin];
+    for &t in times {
+        let k = (t / window) as usize;
+        if k < nwin {
+            counts[k] += 1;
+        }
+    }
+    counts
+}
+
+fn mean_var(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var)
+}
+
+/// The IDC at a ladder of window sizes `base·2^k`, k = 0..levels.
+/// Returns `(window_ticks, idc)` pairs. Windows that would leave fewer
+/// than 8 blocks are skipped.
+///
+/// # Panics
+/// Panics if `times` is unsorted or `base_window` is zero.
+pub fn idc_curve(times: &[u64], base_window: u64, levels: usize) -> Vec<(u64, f64)> {
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "times must be sorted");
+    let mut out = Vec::new();
+    for k in 0..levels {
+        let m = base_window << k;
+        let counts = window_counts(times, m);
+        if counts.len() < 8 {
+            break;
+        }
+        let xs: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        let (mean, var) = mean_var(&xs);
+        if mean > 0.0 {
+            out.push((m, var / mean));
+        }
+    }
+    out
+}
+
+/// The variance-time curve: `(window, Var(rate over window))` where rate =
+/// count/window, for windows `base·2^k`.
+pub fn variance_time(times: &[u64], base_window: u64, levels: usize) -> Vec<(u64, f64)> {
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "times must be sorted");
+    let mut out = Vec::new();
+    for k in 0..levels {
+        let m = base_window << k;
+        let counts = window_counts(times, m);
+        if counts.len() < 8 {
+            break;
+        }
+        let xs: Vec<f64> = counts.iter().map(|&c| c as f64 / m as f64).collect();
+        let (_, var) = mean_var(&xs);
+        out.push((m, var));
+    }
+    out
+}
+
+/// Least-squares slope of log(var) vs log(window) from a
+/// [`variance_time`] curve, and the implied Hurst estimate `H = 1 + β/2`.
+///
+/// Returns `None` with fewer than two points or non-positive variances.
+pub fn hurst_estimate(curve: &[(u64, f64)]) -> Option<f64> {
+    if curve.len() < 2 || curve.iter().any(|&(_, v)| v <= 0.0) {
+        return None;
+    }
+    let pts: Vec<(f64, f64)> = curve
+        .iter()
+        .map(|&(m, v)| ((m as f64).ln(), v.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let beta = (n * sxy - sx * sy) / denom;
+    Some(1.0 + beta / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn arrivals(seed: u64, n: usize, pareto: bool) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0f64;
+        (0..n)
+            .map(|_| {
+                let u = 1.0 - rng.random::<f64>();
+                // Mean gap 100 in both cases.
+                let gap = if pareto {
+                    (100.0 * 0.9 / 1.9) * u.powf(-1.0 / 1.9)
+                } else {
+                    -100.0 * u.ln()
+                };
+                t += gap;
+                t.round() as u64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn poisson_idc_is_flat_near_one() {
+        let times = arrivals(1, 400_000, false);
+        let curve = idc_curve(&times, 1_000, 8);
+        assert!(curve.len() >= 6);
+        for &(m, idc) in &curve {
+            assert!((idc - 1.0).abs() < 0.25, "IDC({m}) = {idc}");
+        }
+    }
+
+    #[test]
+    fn pareto_idc_grows_with_timescale() {
+        let times = arrivals(2, 400_000, true);
+        let curve = idc_curve(&times, 1_000, 8);
+        let first = curve.first().unwrap().1;
+        let last = curve.last().unwrap().1;
+        assert!(
+            last > first * 2.0,
+            "expected growing IDC, got {first} -> {last}"
+        );
+        assert!(last > 3.0, "heavy-tail IDC should be large, got {last}");
+    }
+
+    #[test]
+    fn hurst_orders_poisson_below_pareto() {
+        let poisson = arrivals(3, 400_000, false);
+        let pareto = arrivals(4, 400_000, true);
+        let h_poisson = hurst_estimate(&variance_time(&poisson, 1_000, 8)).unwrap();
+        let h_pareto = hurst_estimate(&variance_time(&pareto, 1_000, 8)).unwrap();
+        assert!(
+            (0.35..0.65).contains(&h_poisson),
+            "Poisson H = {h_poisson}"
+        );
+        assert!(
+            h_pareto > h_poisson + 0.02,
+            "Pareto H = {h_pareto} vs Poisson H = {h_poisson}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(idc_curve(&[], 100, 4).is_empty());
+        assert!(hurst_estimate(&[]).is_none());
+        assert!(hurst_estimate(&[(100, 1.0)]).is_none());
+        assert!(hurst_estimate(&[(100, 0.0), (200, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn window_counting_boundaries() {
+        // The trailing partial window [200, 250) is discarded.
+        let counts = window_counts(&[0, 99, 100, 250], 100);
+        assert_eq!(counts, vec![2, 1]);
+    }
+}

@@ -1,0 +1,310 @@
+//! Eq. (7) feasibility conditions, evaluated on recorded traces.
+//!
+//! A set of target average delays `{d̄_i}` is feasible iff for every
+//! nonempty subset φ of classes (including the full set, whose constraint
+//! is the conservation-law lower bound)
+//!
+//! `Σ_{i∈φ} λ_i·d̄_i  ≥  (Σ_{i∈φ} λ_i) · d̄_FCFS(φ)`
+//!
+//! where `d̄_FCFS(φ)` is the average queueing delay the traffic of φ alone
+//! would see in a work-conserving FCFS server (Coffman–Mitrani). Like the
+//! paper (§3, §5), we evaluate the right-hand side by *simulating the FCFS
+//! server* on the recorded arrivals of each subset. (The paper quotes the
+//! 2^N − 2 proper-subset inequalities because its Eq.-6 targets satisfy
+//! the full-set constraint with equality by construction; an arbitrary
+//! target vector must be checked against it too.)
+
+use std::fmt;
+
+/// A recorded packet arrival: `(time_ticks, class, size_bytes)`.
+pub type Arrival = (u64, u8, u32);
+
+/// Mean FCFS queueing (waiting) delay, in ticks, of the given classes'
+/// arrivals replayed through a work-conserving server of `rate` bytes/tick.
+///
+/// Pass `None` for `classes` to replay the full aggregate. Returns 0 when
+/// the filtered trace is empty.
+///
+/// # Panics
+/// Panics if `rate` is not positive/finite or the trace is unsorted.
+pub fn fcfs_mean_wait(arrivals: &[Arrival], classes: Option<&[u8]>, rate: f64) -> f64 {
+    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+    assert!(
+        arrivals.windows(2).all(|w| w[0].0 <= w[1].0),
+        "arrivals must be time-sorted"
+    );
+    let mut free = 0.0f64;
+    let mut total_wait = 0.0f64;
+    let mut n = 0u64;
+    for &(t, class, size) in arrivals {
+        if let Some(cs) = classes {
+            if !cs.contains(&class) {
+                continue;
+            }
+        }
+        let t = t as f64;
+        let start = free.max(t);
+        total_wait += start - t;
+        free = start + size as f64 / rate;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total_wait / n as f64
+    }
+}
+
+/// One subset's feasibility check.
+#[derive(Debug, Clone)]
+pub struct SubsetCheck {
+    /// The classes in the subset φ.
+    pub classes: Vec<u8>,
+    /// Left-hand side: Σ_{i∈φ} λ_i·d̄_i (target backlog contribution).
+    pub lhs: f64,
+    /// Right-hand side: (Σ λ_i) · d̄_FCFS(φ) (minimum possible).
+    pub rhs: f64,
+}
+
+impl SubsetCheck {
+    /// True if the subset satisfies Eq. (7) (with a small relative slack
+    /// for measurement noise).
+    pub fn holds(&self) -> bool {
+        self.lhs >= self.rhs * (1.0 - 1e-9) - 1e-12
+    }
+
+    /// Slack `lhs − rhs` (negative when violated).
+    pub fn slack(&self) -> f64 {
+        self.lhs - self.rhs
+    }
+}
+
+/// The full Eq. (7) report over all 2^N − 1 nonempty subsets.
+#[derive(Debug, Clone)]
+pub struct FeasibilityReport {
+    /// Every subset check performed.
+    pub checks: Vec<SubsetCheck>,
+    /// Conservation-law cross-check: Σ λ_i·d̄_i vs λ·d̄(λ) on the full set.
+    pub conservation_lhs: f64,
+    /// See [`FeasibilityReport::conservation_lhs`].
+    pub conservation_rhs: f64,
+}
+
+impl FeasibilityReport {
+    /// True if every subset satisfies Eq. (7).
+    pub fn feasible(&self) -> bool {
+        self.checks.iter().all(SubsetCheck::holds)
+    }
+
+    /// The violated subsets, if any.
+    pub fn violations(&self) -> Vec<&SubsetCheck> {
+        self.checks.iter().filter(|c| !c.holds()).collect()
+    }
+
+    /// Relative gap of the conservation-law cross-check (0 means the
+    /// targets exactly redistribute the FCFS aggregate backlog).
+    pub fn conservation_gap(&self) -> f64 {
+        if self.conservation_rhs == 0.0 {
+            0.0
+        } else {
+            (self.conservation_lhs - self.conservation_rhs).abs() / self.conservation_rhs
+        }
+    }
+}
+
+impl fmt::Display for FeasibilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "feasibility: {} ({} subsets, {} violations, conservation gap {:.3}%)",
+            if self.feasible() { "FEASIBLE" } else { "INFEASIBLE" },
+            self.checks.len(),
+            self.violations().len(),
+            100.0 * self.conservation_gap()
+        )?;
+        for c in &self.checks {
+            writeln!(
+                f,
+                "  φ={:?}: Σλd = {:.2} vs λ·d̄_FCFS(φ) = {:.2} [{}]",
+                c.classes,
+                c.lhs,
+                c.rhs,
+                if c.holds() { "ok" } else { "VIOLATED" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks the Eq. (7) feasibility of target average delays `target_delays`
+/// (ticks, one per class) for the recorded `arrivals` on a link of `rate`
+/// bytes/tick.
+///
+/// Per-class arrival rates λ_i are measured from the trace itself over its
+/// time span.
+///
+/// # Panics
+/// Panics if the trace mentions a class with no target delay.
+/// # Example
+///
+/// ```
+/// use stats::check_feasibility;
+///
+/// // Two classes back-to-back at time 0 on a 1 byte/tick link.
+/// let arrivals = vec![(0, 0, 100), (0, 1, 100), (300, 0, 100), (300, 1, 100)];
+/// // Demanding near-zero delay for BOTH classes is infeasible: someone
+/// // must absorb the backlog.
+/// assert!(!check_feasibility(&arrivals, 1.0, &[0.1, 0.1]).feasible());
+/// // Letting class 0 carry it is fine.
+/// assert!(check_feasibility(&arrivals, 1.0, &[100.0, 0.0]).feasible());
+/// ```
+pub fn check_feasibility(
+    arrivals: &[Arrival],
+    rate: f64,
+    target_delays: &[f64],
+) -> FeasibilityReport {
+    let n = target_delays.len();
+    assert!(
+        arrivals.iter().all(|&(_, c, _)| (c as usize) < n),
+        "trace contains classes without target delays"
+    );
+    // Measure per-class packet rates over the trace span.
+    let span = match (arrivals.first(), arrivals.last()) {
+        (Some(&(t0, _, _)), Some(&(t1, _, _))) if t1 > t0 => (t1 - t0) as f64,
+        _ => 1.0,
+    };
+    let mut counts = vec![0u64; n];
+    for &(_, c, _) in arrivals {
+        counts[c as usize] += 1;
+    }
+    let lambda: Vec<f64> = counts.iter().map(|&c| c as f64 / span).collect();
+
+    let mut checks = Vec::new();
+    // All nonempty subsets of {0..n}, the full set included (its constraint
+    // is the conservation-law lower bound on the total backlog).
+    for mask in 1..(1u32 << n) {
+        let classes: Vec<u8> = (0..n as u8).filter(|&c| mask & (1 << c) != 0).collect();
+        let idx: Vec<usize> = classes.iter().map(|&c| c as usize).collect();
+        let lhs: f64 = idx.iter().map(|&i| lambda[i] * target_delays[i]).sum();
+        let subset_lambda: f64 = idx.iter().map(|&i| lambda[i]).sum();
+        let rhs = subset_lambda * fcfs_mean_wait(arrivals, Some(&classes), rate);
+        checks.push(SubsetCheck { classes, lhs, rhs });
+    }
+    let conservation_lhs: f64 = (0..n).map(|i| lambda[i] * target_delays[i]).sum();
+    let total_lambda: f64 = lambda.iter().sum();
+    let conservation_rhs = total_lambda * fcfs_mean_wait(arrivals, None, rate);
+    FeasibilityReport {
+        checks,
+        conservation_lhs,
+        conservation_rhs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn fcfs_wait_simple_backlog() {
+        // Two 100-byte packets at t=0 on a 1 byte/tick link: waits 0 and 100.
+        let tr = vec![(0, 0, 100), (0, 1, 100)];
+        assert_eq!(fcfs_mean_wait(&tr, None, 1.0), 50.0);
+        // Filtered to class 0 only: no queueing at all.
+        assert_eq!(fcfs_mean_wait(&tr, Some(&[0]), 1.0), 0.0);
+    }
+
+    #[test]
+    fn fcfs_wait_respects_idle_gaps() {
+        let tr = vec![(0, 0, 100), (500, 0, 100), (510, 0, 100)];
+        // Waits: 0, 0, 90.
+        assert!((fcfs_mean_wait(&tr, None, 1.0) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fcfs_empty_is_zero() {
+        assert_eq!(fcfs_mean_wait(&[], None, 1.0), 0.0);
+        assert_eq!(fcfs_mean_wait(&[(0, 1, 10)], Some(&[0]), 1.0), 0.0);
+    }
+
+    fn poisson_trace(seed: u64, n: usize, mean_gap: f64) -> Vec<Arrival> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        (0..n)
+            .map(|_| {
+                t += -mean_gap * (1.0 - rng.random::<f64>()).ln();
+                let class = if rng.random::<f64>() < 0.5 { 0 } else { 1 };
+                (t.round() as u64, class, 100u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mm1_like_wait_matches_theory() {
+        // M/D/1 with ρ=0.8: Wq = ρ·S/(2(1−ρ)) = 0.8·100/0.4 = 200 ticks.
+        let tr = poisson_trace(3, 400_000, 125.0);
+        let w = fcfs_mean_wait(&tr, None, 1.0);
+        assert!((w - 200.0).abs() / 200.0 < 0.05, "wait {w}");
+    }
+
+    #[test]
+    fn equal_targets_at_fcfs_levels_are_feasible() {
+        // Targets exactly matching what FCFS delivers must be feasible:
+        // the FCFS point is inside the feasible region.
+        let tr = poisson_trace(5, 200_000, 125.0);
+        let agg = fcfs_mean_wait(&tr, None, 1.0);
+        let report = check_feasibility(&tr, 1.0, &[agg, agg]);
+        assert!(report.feasible(), "{report}");
+        assert!(report.conservation_gap() < 1e-6);
+    }
+
+    #[test]
+    fn impossible_targets_are_flagged() {
+        // Demanding near-zero delay for BOTH classes violates Eq. (7):
+        // someone has to carry the backlog.
+        let tr = poisson_trace(7, 200_000, 110.0);
+        let report = check_feasibility(&tr, 1.0, &[0.01, 0.01]);
+        assert!(!report.feasible());
+        assert!(!report.violations().is_empty());
+    }
+
+    #[test]
+    fn proportional_targets_from_conservation_are_feasible_at_mild_spread() {
+        // Build Eq. (6) targets for δ ratio 2 from the measured aggregate
+        // and verify they pass — mirroring the paper's claim that Figs. 1–2
+        // operate in the feasible region.
+        let tr = poisson_trace(11, 300_000, 110.0);
+        let agg = fcfs_mean_wait(&tr, None, 1.0);
+        // Class rates measured from the trace itself; δ0 = 1, δ1 = 0.5.
+        // Eq. (6): d_i = δ_i · λ · d̄(λ) / Σ_j δ_j λ_j.
+        let mut counts = [0f64; 2];
+        for &(_, c, _) in &tr {
+            counts[c as usize] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        let lam = [counts[0] / total, counts[1] / total];
+        let delta = [1.0, 0.5];
+        let denom: f64 = lam.iter().zip(&delta).map(|(l, d)| l * d).sum();
+        let d: Vec<f64> = delta.iter().map(|&di| di * agg / denom).collect();
+        // Conservation check: λ0 d0 + λ1 d1 = λ d̄.
+        let report = check_feasibility(&tr, 1.0, &d);
+        assert!(report.conservation_gap() < 1e-6, "gap {}", report.conservation_gap());
+        assert!(report.feasible(), "{report}");
+    }
+
+    #[test]
+    #[should_panic(expected = "classes without target delays")]
+    fn unknown_class_panics() {
+        check_feasibility(&[(0, 3, 10)], 1.0, &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn display_formats_report() {
+        let tr = vec![(0, 0, 100), (0, 1, 100), (10, 0, 100), (20, 1, 100)];
+        let report = check_feasibility(&tr, 1.0, &[100.0, 50.0]);
+        let s = report.to_string();
+        assert!(s.contains("feasibility:"));
+        assert!(s.contains("φ="));
+    }
+}

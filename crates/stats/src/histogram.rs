@@ -1,0 +1,137 @@
+//! Log-binned histograms for delay distributions.
+
+/// A base-2 log-binned histogram of nonnegative values.
+///
+/// Bin k counts values in `[2^(k−1), 2^k)` (bin 0 holds `[0, 1)`), which
+/// suits queueing delays whose interesting structure spans several orders
+/// of magnitude.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a value.
+    ///
+    /// # Panics
+    /// Panics if `x` is negative or non-finite.
+    pub fn record(&mut self, x: f64) {
+        assert!(x >= 0.0 && x.is_finite(), "histogram values must be finite and >= 0");
+        let bin = if x < 1.0 {
+            0
+        } else {
+            x.log2().floor() as usize + 1
+        };
+        if bin >= self.bins.len() {
+            self.bins.resize(bin + 1, 0);
+        }
+        self.bins[bin] += 1;
+        self.count += 1;
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The raw bin counts (bin 0 = `[0,1)`, bin k = `[2^(k−1), 2^k)`).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Lower/upper bounds of bin `k`.
+    pub fn bin_bounds(k: usize) -> (f64, f64) {
+        if k == 0 {
+            (0.0, 1.0)
+        } else {
+            (2f64.powi(k as i32 - 1), 2f64.powi(k as i32))
+        }
+    }
+
+    /// Fraction of values at or above `threshold` (conservative: counts
+    /// whole bins whose lower bound is ≥ threshold).
+    pub fn tail_fraction(&self, threshold: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let tail: u64 = self
+            .bins
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| Self::bin_bounds(k).0 >= threshold)
+            .map(|(_, &c)| c)
+            .sum();
+        tail as f64 / self.count as f64
+    }
+
+    /// A compact single-line rendering: `bin_lo:count` pairs of nonempty
+    /// bins.
+    pub fn render(&self) -> String {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(k, &c)| format!("{}:{}", Self::bin_bounds(k).0, c))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_boundaries() {
+        let mut h = Histogram::new();
+        for x in [0.0, 0.5, 1.0, 1.9, 2.0, 3.9, 4.0, 100.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.bins()[0], 2); // 0.0, 0.5
+        assert_eq!(h.bins()[1], 2); // 1.0, 1.9
+        assert_eq!(h.bins()[2], 2); // 2.0, 3.9
+        assert_eq!(h.bins()[3], 1); // 4.0
+        // 100 lands in [64, 128) = bin 7.
+        assert_eq!(h.bins()[7], 1);
+    }
+
+    #[test]
+    fn bounds_round_trip() {
+        assert_eq!(Histogram::bin_bounds(0), (0.0, 1.0));
+        assert_eq!(Histogram::bin_bounds(1), (1.0, 2.0));
+        assert_eq!(Histogram::bin_bounds(4), (8.0, 16.0));
+    }
+
+    #[test]
+    fn tail_fraction_counts_high_bins() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1.0);
+        }
+        for _ in 0..10 {
+            h.record(1000.0);
+        }
+        assert!((h.tail_fraction(512.0) - 0.1).abs() < 1e-12);
+        assert_eq!(Histogram::new().tail_fraction(1.0), 0.0);
+    }
+
+    #[test]
+    fn render_skips_empty_bins() {
+        let mut h = Histogram::new();
+        h.record(5.0);
+        assert_eq!(h.render(), "4:1");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative() {
+        Histogram::new().record(-1.0);
+    }
+}

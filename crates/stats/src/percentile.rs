@@ -1,0 +1,278 @@
+//! Quantile estimation: exact (sorted, interpolated) and streaming (P²).
+
+/// Exact quantile of a **sorted** slice with linear interpolation, using
+/// the common `(n−1)·q` positioning (NumPy's default).
+///
+/// # Panics
+/// Panics if `q` is outside `[0, 1]` or the slice is empty.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(!sorted.is_empty(), "percentile of an empty slice");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "slice must be sorted");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Convenience holder: sorts once, answers many quantile queries.
+#[derive(Debug, Clone)]
+pub struct Percentiles {
+    sorted: Vec<f64>,
+}
+
+impl Percentiles {
+    /// Builds from unsorted samples. Non-finite values are rejected.
+    ///
+    /// # Panics
+    /// Panics if any sample is NaN/±∞.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "samples must be finite"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Percentiles { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Quantile `q ∈ [0,1]`; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        (!self.sorted.is_empty()).then(|| percentile(&self.sorted, q))
+    }
+
+    /// The paper's five-number summary used in Fig. 3: 5 %, 25 %, 50 %,
+    /// 75 %, 95 %.
+    pub fn five_number(&self) -> Option<[f64; 5]> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        Some([
+            percentile(&self.sorted, 0.05),
+            percentile(&self.sorted, 0.25),
+            percentile(&self.sorted, 0.50),
+            percentile(&self.sorted, 0.75),
+            percentile(&self.sorted, 0.95),
+        ])
+    }
+
+    /// The Study-B ladder: 10 %, 20 %, …, 90 %, 99 % (Table 1's metric
+    /// averages over these).
+    pub fn study_b_ladder(&self) -> Option<[f64; 10]> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let mut out = [0.0; 10];
+        for (k, slot) in out.iter_mut().enumerate().take(9) {
+            *slot = percentile(&self.sorted, 0.1 * (k + 1) as f64);
+        }
+        out[9] = percentile(&self.sorted, 0.99);
+        Some(out)
+    }
+}
+
+/// The P² (Jain–Chlamtac) streaming quantile estimator: O(1) memory,
+/// suitable for the 10⁶-departure runs where storing every delay would be
+/// wasteful.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    heights: [f64; 5],
+    positions: [f64; 5],
+    desired: [f64; 5],
+    increments: [f64; 5],
+    count: usize,
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `q` is not strictly inside the unit interval.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "q must be in (0,1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.heights.copy_from_slice(&self.initial);
+            }
+            return;
+        }
+        // Find the cell k containing x and update extreme heights.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            (1..5).find(|&i| x < self.heights[i]).expect("in range") - 1
+        };
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+        // Adjust interior markers with the piecewise-parabolic formula.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let new_h = self.parabolic(i, d);
+                self.heights[i] = if self.heights[i - 1] < new_h && new_h < self.heights[i + 1] {
+                    new_h
+                } else {
+                    self.linear(i, d)
+                };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate (exact for fewer than five observations).
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.initial.len() < 5 {
+            let mut v = self.initial.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            return Some(percentile(&v, self.q));
+        }
+        Some(self.heights[2])
+    }
+
+    /// Observations fed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 1.0), 40.0);
+        assert_eq!(percentile(&v, 0.5), 25.0);
+        assert!((percentile(&v, 1.0 / 3.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn percentile_rejects_bad_q() {
+        percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn percentiles_helper_answers_ladders() {
+        let p = Percentiles::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(p.count(), 100);
+        let five = p.five_number().unwrap();
+        assert!((five[2] - 50.5).abs() < 1e-9);
+        let ladder = p.study_b_ladder().unwrap();
+        assert!((ladder[0] - 10.9).abs() < 1e-9);
+        assert!((ladder[9] - 99.01).abs() < 1e-9);
+        assert!(Percentiles::new(vec![]).five_number().is_none());
+    }
+
+    #[test]
+    fn p2_tracks_median_of_uniform() {
+        let mut est = P2Quantile::new(0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100_000 {
+            est.push(rng.random::<f64>());
+        }
+        let m = est.estimate().unwrap();
+        assert!((m - 0.5).abs() < 0.01, "median {m}");
+    }
+
+    #[test]
+    fn p2_small_sample_is_exact() {
+        let mut est = P2Quantile::new(0.5);
+        est.push(3.0);
+        est.push(1.0);
+        est.push(2.0);
+        assert_eq!(est.estimate(), Some(2.0));
+        assert!(P2Quantile::new(0.5).estimate().is_none());
+    }
+
+    proptest! {
+        /// P² stays within a loose band of the exact quantile for smooth
+        /// distributions.
+        #[test]
+        fn prop_p2_close_to_exact(seed in 0u64..100, q in 0.1f64..0.9) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let samples: Vec<f64> = (0..20_000).map(|_| rng.random::<f64>()).collect();
+            let mut est = P2Quantile::new(q);
+            samples.iter().for_each(|&x| est.push(x));
+            let exact = {
+                let mut s = samples.clone();
+                s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                percentile(&s, q)
+            };
+            let got = est.estimate().unwrap();
+            prop_assert!((got - exact).abs() < 0.03, "q={q} got={got} exact={exact}");
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Minimal ASCII scatter/line plots for terminal figure output.
+//!
+//! The experiment binaries regenerate the paper's *figures*, so beyond the
+//! numeric tables they draw the series as text plots — enough to see the
+//! convergence shapes of Fig. 1/3 without leaving the terminal.
+
+/// A fixed-size ASCII plot holding one or more point series.
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    width: usize,
+    height: usize,
+    log_x: bool,
+    series: Vec<(char, Vec<(f64, f64)>)>,
+    hlines: Vec<f64>,
+}
+
+impl AsciiPlot {
+    /// Creates an empty plot grid of `width`×`height` characters.
+    ///
+    /// # Panics
+    /// Panics if either dimension is smaller than 8 (unreadably small).
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 8, "plot must be at least 8x8");
+        AsciiPlot {
+            width,
+            height,
+            log_x: false,
+            series: Vec::new(),
+            hlines: Vec::new(),
+        }
+    }
+
+    /// Scales the x-axis logarithmically (for timescale sweeps).
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Adds a series drawn with `marker`. Non-finite points are skipped.
+    pub fn series(mut self, marker: char, points: &[(f64, f64)]) -> Self {
+        self.series.push((
+            marker,
+            points
+                .iter()
+                .copied()
+                .filter(|&(x, y)| x.is_finite() && y.is_finite())
+                .collect(),
+        ));
+        self
+    }
+
+    /// Adds a horizontal reference line (e.g. the target ratio).
+    pub fn hline(mut self, y: f64) -> Self {
+        self.hlines.push(y);
+        self
+    }
+
+    fn x_of(&self, x: f64) -> f64 {
+        if self.log_x {
+            x.max(f64::MIN_POSITIVE).ln()
+        } else {
+            x
+        }
+    }
+
+    /// Renders the plot with y-range labels on the left and the x-range on
+    /// the bottom line. Returns a placeholder note when no points exist.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, p)| p.iter().copied())
+            .collect();
+        if pts.is_empty() {
+            return "(no data to plot)\n".to_string();
+        }
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            xmin = xmin.min(self.x_of(x));
+            xmax = xmax.max(self.x_of(x));
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+        for &y in &self.hlines {
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+        // Pad degenerate ranges so single points render mid-grid.
+        if xmax - xmin < 1e-12 {
+            xmin -= 0.5;
+            xmax += 0.5;
+        }
+        if ymax - ymin < 1e-12 {
+            ymin -= 0.5;
+            ymax += 0.5;
+        }
+        let col = |x: f64| -> usize {
+            let f = (self.x_of(x) - xmin) / (xmax - xmin);
+            ((f * (self.width - 1) as f64).round() as usize).min(self.width - 1)
+        };
+        let row = |y: f64| -> usize {
+            let f = (y - ymin) / (ymax - ymin);
+            let r = (f * (self.height - 1) as f64).round() as usize;
+            (self.height - 1) - r.min(self.height - 1)
+        };
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for &y in &self.hlines {
+            let r = row(y);
+            for cell in &mut grid[r] {
+                *cell = '-';
+            }
+        }
+        for (marker, points) in &self.series {
+            for &(x, y) in points {
+                grid[row(y)][col(x)] = *marker;
+            }
+        }
+        let label_w = 9;
+        let mut out = String::new();
+        for (i, line) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{ymax:>8.2} ")
+            } else if i == self.height - 1 {
+                format!("{ymin:>8.2} ")
+            } else {
+                " ".repeat(label_w)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.push_str(&line.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(label_w));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        let (xl, xr) = if self.log_x {
+            (xmin.exp(), xmax.exp())
+        } else {
+            (xmin, xmax)
+        };
+        out.push_str(&format!(
+            "{}{:<w$}{:>w2$}\n",
+            " ".repeat(label_w + 1),
+            format_num(xl),
+            format_num(xr),
+            w = self.width / 2,
+            w2 = self.width - self.width / 2
+        ));
+        out
+    }
+}
+
+fn format_num(x: f64) -> String {
+    if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_on_the_grid() {
+        let p = AsciiPlot::new(20, 10)
+            .series('W', &[(0.0, 1.0), (1.0, 2.0)])
+            .render();
+        assert_eq!(p.matches('W').count(), 2);
+        // y-range labels present.
+        assert!(p.contains("2.00"));
+        assert!(p.contains("1.00"));
+    }
+
+    #[test]
+    fn hline_spans_the_width() {
+        let p = AsciiPlot::new(16, 8)
+            .series('x', &[(0.0, 0.0), (1.0, 4.0)])
+            .hline(2.0)
+            .render();
+        let dash_line = p.lines().find(|l| l.matches('-').count() >= 16).unwrap();
+        assert!(dash_line.contains('|'));
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        assert_eq!(AsciiPlot::new(10, 10).render(), "(no data to plot)\n");
+        let only_nan = AsciiPlot::new(10, 10)
+            .series('a', &[(f64::NAN, 1.0)])
+            .render();
+        assert!(only_nan.contains("no data"));
+    }
+
+    #[test]
+    fn single_point_renders_mid_grid() {
+        let p = AsciiPlot::new(12, 9).series('o', &[(5.0, 5.0)]).render();
+        assert_eq!(p.matches('o').count(), 1);
+    }
+
+    #[test]
+    fn log_x_orders_decades_evenly() {
+        let p = AsciiPlot::new(30, 8)
+            .log_x()
+            .series('m', &[(10.0, 1.0), (100.0, 2.0), (1000.0, 3.0)]);
+        let text = p.render();
+        // Columns of the three markers should be roughly evenly spaced.
+        let cols: Vec<usize> = text
+            .lines()
+            .filter_map(|l| l.find('m'))
+            .collect();
+        assert_eq!(cols.len(), 3);
+        let mut sorted = cols.clone();
+        sorted.sort_unstable();
+        let gap1 = sorted[1] - sorted[0];
+        let gap2 = sorted[2] - sorted[1];
+        assert!((gap1 as i64 - gap2 as i64).abs() <= 2, "gaps {gap1} vs {gap2}");
+        assert!(text.contains("10.00"));
+        assert!(text.contains("1000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8x8")]
+    fn tiny_grid_rejected() {
+        let _ = AsciiPlot::new(2, 2);
+    }
+
+    #[test]
+    fn multiple_series_keep_markers() {
+        let p = AsciiPlot::new(20, 10)
+            .series('W', &[(0.0, 1.0)])
+            .series('B', &[(1.0, 2.0)])
+            .render();
+        assert!(p.contains('W'));
+        assert!(p.contains('B'));
+    }
+}

@@ -1,0 +1,144 @@
+//! The R_D figure of merit (§5, Fig. 3).
+//!
+//! For one monitoring interval, R_D is the average of the delay ratios
+//! between successive classes. When some classes are inactive (no
+//! departures), the paper "normalizes the ratios of average delays of the
+//! active classes": a ratio between active classes i < j spanning `j − i`
+//! class steps contributes its **geometric per-step value**
+//! `(d̄_i/d̄_j)^(1/(j−i))`, so intervals with gaps remain comparable to the
+//! per-step target s_{i+1}/s_i.
+
+/// Per-step delay ratios between *successive active* classes of one
+/// interval's average-delay vector (class 0 first). Ratios are
+/// `lower_class_delay / higher_class_delay`, geometrically normalized per
+/// class step.
+///
+/// Ratios with a zero higher-class delay are skipped (no finite ratio
+/// exists); an all-`None` or single-active-class vector yields an empty
+/// result.
+pub fn successive_ratios(averages: &[Option<f64>]) -> Vec<f64> {
+    let active: Vec<(usize, f64)> = averages
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.map(|v| (i, v)))
+        .collect();
+    let mut out = Vec::new();
+    for pair in active.windows(2) {
+        let (i, di) = pair[0];
+        let (j, dj) = pair[1];
+        if dj <= 0.0 {
+            continue;
+        }
+        let steps = (j - i) as f64;
+        out.push((di / dj).powf(1.0 / steps));
+    }
+    out
+}
+
+/// The interval's R_D: the mean of [`successive_ratios`], or `None` when no
+/// ratio is defined (fewer than two active classes).
+pub fn rd_for_interval(averages: &[Option<f64>]) -> Option<f64> {
+    let ratios = successive_ratios(averages);
+    if ratios.is_empty() {
+        None
+    } else {
+        Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
+    }
+}
+
+/// Collects R_D values across many intervals (or user experiments) for
+/// percentile reporting.
+#[derive(Debug, Clone, Default)]
+pub struct RdCollector {
+    values: Vec<f64>,
+}
+
+impl RdCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one interval's average-delay vector; inactive intervals are
+    /// ignored.
+    pub fn push_interval(&mut self, averages: &[Option<f64>]) {
+        if let Some(rd) = rd_for_interval(averages) {
+            self.values.push(rd);
+        }
+    }
+
+    /// Feeds a precomputed R_D value.
+    pub fn push_value(&mut self, rd: f64) {
+        self.values.push(rd);
+    }
+
+    /// All collected values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of defined intervals collected.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Consumes the collector into a [`crate::Percentiles`] helper.
+    pub fn into_percentiles(self) -> crate::Percentiles {
+        crate::Percentiles::new(self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_active_gives_per_pair_ratios() {
+        // Delays 8,4,2,1 → ratios 2,2,2 → R_D = 2.
+        let avgs = vec![Some(8.0), Some(4.0), Some(2.0), Some(1.0)];
+        assert_eq!(successive_ratios(&avgs), vec![2.0, 2.0, 2.0]);
+        assert_eq!(rd_for_interval(&avgs), Some(2.0));
+    }
+
+    #[test]
+    fn gap_is_geometrically_normalized() {
+        // Class 1 inactive: ratio between classes 0 and 2 spans 2 steps.
+        // d0/d2 = 16/4 = 4 → per-step ratio 2.
+        let avgs = vec![Some(16.0), None, Some(4.0)];
+        let r = successive_ratios(&avgs);
+        assert_eq!(r.len(), 1);
+        assert!((r[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_active_class_is_undefined() {
+        assert_eq!(rd_for_interval(&[None, Some(3.0), None]), None);
+        assert_eq!(rd_for_interval(&[None, None]), None);
+    }
+
+    #[test]
+    fn zero_higher_class_delay_is_skipped() {
+        let avgs = vec![Some(5.0), Some(0.0), Some(2.0)];
+        // 5/0 skipped; 0/2 contributes 0.
+        assert_eq!(successive_ratios(&avgs), vec![0.0]);
+    }
+
+    #[test]
+    fn mixed_ratios_average() {
+        let avgs = vec![Some(6.0), Some(3.0), Some(1.0)];
+        // Ratios 2 and 3 → R_D = 2.5.
+        assert_eq!(rd_for_interval(&avgs), Some(2.5));
+    }
+
+    #[test]
+    fn collector_skips_undefined_intervals() {
+        let mut c = RdCollector::new();
+        c.push_interval(&[Some(4.0), Some(2.0)]);
+        c.push_interval(&[None, Some(2.0)]);
+        c.push_interval(&[Some(9.0), Some(3.0)]);
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.values(), &[2.0, 3.0]);
+        let p = c.into_percentiles();
+        assert_eq!(p.quantile(0.5), Some(2.5));
+    }
+}

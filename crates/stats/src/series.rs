@@ -1,0 +1,143 @@
+//! Per-class average delays over consecutive monitoring intervals.
+//!
+//! Implements the measurement of Eq. (2): `d̄_i(t, t+τ)` is the average
+//! queueing delay of class-i packets *departing* in the interval
+//! `(t, t+τ)`; undefined when no class-i packet departs.
+
+use simcore::Time;
+
+/// Accumulates `(departure_time, class, delay)` triples into fixed-width
+/// intervals and reports per-interval per-class average delays.
+/// # Example
+///
+/// ```
+/// use simcore::Time;
+/// use stats::{rd_for_interval, IntervalSeries};
+///
+/// let mut s = IntervalSeries::new(2, 100);
+/// s.record(Time::from_ticks(10), 0, 40.0); // class 0 departure, delay 40
+/// s.record(Time::from_ticks(20), 1, 20.0); // class 1 departure, delay 20
+/// let avgs = s.interval_averages(0);
+/// assert_eq!(rd_for_interval(&avgs), Some(2.0)); // d̄0/d̄1 in this window
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntervalSeries {
+    tau: u64,
+    num_classes: usize,
+    /// `sums[k][c]`, `counts[k][c]` for interval k.
+    sums: Vec<Vec<f64>>,
+    counts: Vec<Vec<u64>>,
+}
+
+impl IntervalSeries {
+    /// Creates a series with monitoring timescale `tau` ticks.
+    ///
+    /// # Panics
+    /// Panics if `tau` is zero or there are no classes.
+    pub fn new(num_classes: usize, tau: u64) -> Self {
+        assert!(tau > 0, "monitoring timescale must be positive");
+        assert!(num_classes > 0, "need at least one class");
+        IntervalSeries {
+            tau,
+            num_classes,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Records a departure of `class` at `at` with queueing delay
+    /// `delay_ticks`.
+    pub fn record(&mut self, at: Time, class: usize, delay_ticks: f64) {
+        assert!(class < self.num_classes, "class out of range");
+        let k = (at.ticks() / self.tau) as usize;
+        if k >= self.sums.len() {
+            self.sums.resize(k + 1, vec![0.0; self.num_classes]);
+            self.counts.resize(k + 1, vec![0; self.num_classes]);
+        }
+        self.sums[k][class] += delay_ticks;
+        self.counts[k][class] += 1;
+    }
+
+    /// The monitoring timescale in ticks.
+    pub fn tau(&self) -> u64 {
+        self.tau
+    }
+
+    /// Number of intervals touched so far.
+    pub fn num_intervals(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Per-class average delay in interval `k`; `None` for classes with no
+    /// departures in that interval (the paper's "undefined").
+    pub fn interval_averages(&self, k: usize) -> Vec<Option<f64>> {
+        (0..self.num_classes)
+            .map(|c| {
+                let n = self.counts[k][c];
+                (n > 0).then(|| self.sums[k][c] / n as f64)
+            })
+            .collect()
+    }
+
+    /// Iterates over all intervals' average-delay vectors.
+    pub fn iter_averages(&self) -> impl Iterator<Item = Vec<Option<f64>>> + '_ {
+        (0..self.num_intervals()).map(|k| self.interval_averages(k))
+    }
+
+    /// Per-interval *total* departures (all classes).
+    pub fn interval_departures(&self, k: usize) -> u64 {
+        self.counts[k].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn departures_bucket_by_interval() {
+        let mut s = IntervalSeries::new(2, 100);
+        s.record(Time::from_ticks(10), 0, 5.0);
+        s.record(Time::from_ticks(90), 0, 15.0);
+        s.record(Time::from_ticks(150), 1, 30.0);
+        assert_eq!(s.num_intervals(), 2);
+        let k0 = s.interval_averages(0);
+        assert_eq!(k0[0], Some(10.0));
+        assert_eq!(k0[1], None);
+        let k1 = s.interval_averages(1);
+        assert_eq!(k1[0], None);
+        assert_eq!(k1[1], Some(30.0));
+        assert_eq!(s.interval_departures(0), 2);
+    }
+
+    #[test]
+    fn boundary_tick_goes_to_next_interval() {
+        let mut s = IntervalSeries::new(1, 100);
+        s.record(Time::from_ticks(100), 0, 1.0);
+        assert_eq!(s.num_intervals(), 2);
+        assert_eq!(s.interval_averages(0)[0], None);
+        assert_eq!(s.interval_averages(1)[0], Some(1.0));
+    }
+
+    #[test]
+    fn iter_covers_all_intervals() {
+        let mut s = IntervalSeries::new(1, 10);
+        s.record(Time::from_ticks(35), 0, 2.0);
+        let all: Vec<_> = s.iter_averages().collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3][0], Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "monitoring timescale must be positive")]
+    fn zero_tau_rejected() {
+        let _ = IntervalSeries::new(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn class_bounds_checked() {
+        let mut s = IntervalSeries::new(2, 10);
+        s.record(Time::ZERO, 5, 1.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! On-off modulated burst sources (extension used by robustness tests).
+
+use rand::Rng;
+use simcore::Time;
+
+use crate::dist::IatDist;
+use crate::sizes::SizeDist;
+
+/// A two-state (ON/OFF) modulated source.
+///
+/// While ON, packets are emitted with `on_iat` gaps; OFF periods insert a
+/// silent gap. Both period lengths are drawn from their own distributions,
+/// which makes it easy to construct traffic that is bursty at timescales
+/// much longer than single interarrivals — the regime where the paper argues
+/// static capacity provisioning fails (§2.1).
+#[derive(Debug, Clone)]
+pub struct OnOffSource {
+    class: u8,
+    on_iat: IatDist,
+    sizes: SizeDist,
+    on_period: IatDist,
+    off_period: IatDist,
+    clock: f64,
+    on_remaining: f64,
+}
+
+impl OnOffSource {
+    /// Creates an on-off source. The first ON period starts at time zero.
+    pub fn new(
+        class: u8,
+        on_iat: IatDist,
+        sizes: SizeDist,
+        on_period: IatDist,
+        off_period: IatDist,
+    ) -> Self {
+        OnOffSource {
+            class,
+            on_iat,
+            sizes,
+            on_period,
+            off_period,
+            clock: 0.0,
+            on_remaining: 0.0,
+        }
+    }
+
+    /// The class this source feeds.
+    pub fn class(&self) -> u8 {
+        self.class
+    }
+
+    /// Long-run offered load in bytes/tick:
+    /// duty_cycle × mean_size / mean_on_gap.
+    pub fn offered_load(&self) -> f64 {
+        let on = self.on_period.mean();
+        let off = self.off_period.mean();
+        let duty = on / (on + off);
+        duty * self.sizes.mean_bytes() / self.on_iat.mean()
+    }
+
+    /// Draws the next arrival: `(time, size_bytes)`.
+    pub fn next_arrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (Time, u32) {
+        let mut gap = self.on_iat.sample(rng);
+        // Burn through OFF periods until the gap fits in an ON period.
+        while gap > self.on_remaining {
+            gap -= self.on_remaining;
+            self.clock += self.on_remaining;
+            self.clock += self.off_period.sample(rng);
+            self.on_remaining = self.on_period.sample(rng);
+        }
+        self.on_remaining -= gap;
+        self.clock += gap;
+        let at = Time::from_ticks(self.clock.round() as u64);
+        (at, self.sizes.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn burst_source() -> OnOffSource {
+        OnOffSource::new(
+            0,
+            IatDist::deterministic(10.0).unwrap(),
+            SizeDist::fixed(100),
+            IatDist::deterministic(100.0).unwrap(),
+            IatDist::deterministic(900.0).unwrap(),
+        )
+    }
+
+    #[test]
+    fn duty_cycle_scales_offered_load() {
+        let s = burst_source();
+        // duty 0.1, on-rate 10 bytes/tick => 1 byte/tick long-run.
+        assert!((s.offered_load() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_run_rate_matches_offered_load() {
+        let mut s = burst_source();
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 50_000;
+        let mut last = Time::ZERO;
+        for _ in 0..n {
+            last = s.next_arrival(&mut rng).0;
+        }
+        let rate = (n as f64 * 100.0) / last.ticks() as f64;
+        assert!((rate - 1.0).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_nondecreasing_with_random_periods() {
+        let mut s = OnOffSource::new(
+            1,
+            IatDist::exponential(5.0).unwrap(),
+            SizeDist::paper(),
+            IatDist::paper_pareto(200.0).unwrap(),
+            IatDist::paper_pareto(400.0).unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut prev = Time::ZERO;
+        for _ in 0..20_000 {
+            let (t, _) = s.next_arrival(&mut rng);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn off_periods_create_visible_gaps() {
+        let mut s = burst_source();
+        let mut rng = StdRng::seed_from_u64(0);
+        let times: Vec<u64> = (0..100).map(|_| s.next_arrival(&mut rng).0.ticks()).collect();
+        let max_gap = times.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+        assert!(max_gap >= 900, "expected an OFF gap, max gap {max_gap}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-class arrival streams.
+
+use rand::Rng;
+use simcore::Time;
+
+use crate::dist::IatDist;
+use crate::sizes::SizeDist;
+
+/// A single service class's packet source: an interarrival distribution plus
+/// a packet-size distribution.
+///
+/// Gaps are accumulated in `f64` and rounded only when an arrival time is
+/// emitted, so rounding error never accumulates into a long-run rate bias.
+#[derive(Debug, Clone)]
+pub struct ClassSource {
+    class: u8,
+    iat: IatDist,
+    sizes: SizeDist,
+    clock: f64,
+}
+
+impl ClassSource {
+    /// Creates a source for `class` with the given distributions.
+    pub fn new(class: u8, iat: IatDist, sizes: SizeDist) -> Self {
+        ClassSource {
+            class,
+            iat,
+            sizes,
+            clock: 0.0,
+        }
+    }
+
+    /// The class this source feeds.
+    pub fn class(&self) -> u8 {
+        self.class
+    }
+
+    /// Mean interarrival gap, in ticks.
+    pub fn mean_gap(&self) -> f64 {
+        self.iat.mean()
+    }
+
+    /// Offered load in bytes per tick: mean size / mean gap.
+    pub fn offered_load(&self) -> f64 {
+        self.sizes.mean_bytes() / self.iat.mean()
+    }
+
+    /// Draws the next arrival: `(time, size_bytes)`.
+    pub fn next_arrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (Time, u32) {
+        self.clock += self.iat.sample(rng);
+        let at = Time::from_ticks(self.clock.round() as u64);
+        (at, self.sizes.sample(rng))
+    }
+
+    /// Resets the source clock to zero (for reuse across runs).
+    pub fn reset(&mut self) {
+        self.clock = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrivals_are_nondecreasing() {
+        let mut s = ClassSource::new(
+            1,
+            IatDist::paper_pareto(100.0).unwrap(),
+            SizeDist::paper(),
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut prev = Time::ZERO;
+        for _ in 0..10_000 {
+            let (t, size) = s.next_arrival(&mut rng);
+            assert!(t >= prev);
+            assert!(size == 40 || size == 550 || size == 1500);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn long_run_rate_matches_mean_gap() {
+        let mut s = ClassSource::new(0, IatDist::exponential(50.0).unwrap(), SizeDist::fixed(100));
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 100_000;
+        let mut last = Time::ZERO;
+        for _ in 0..n {
+            last = s.next_arrival(&mut rng).0;
+        }
+        let empirical_gap = last.ticks() as f64 / n as f64;
+        assert!(
+            (empirical_gap - 50.0).abs() / 50.0 < 0.02,
+            "gap {empirical_gap}"
+        );
+    }
+
+    #[test]
+    fn offered_load_formula() {
+        let s = ClassSource::new(2, IatDist::deterministic(100.0).unwrap(), SizeDist::fixed(50));
+        assert!((s.offered_load() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_restarts_clock() {
+        let mut s = ClassSource::new(0, IatDist::deterministic(10.0).unwrap(), SizeDist::fixed(1));
+        let mut rng = StdRng::seed_from_u64(0);
+        let (t1, _) = s.next_arrival(&mut rng);
+        s.reset();
+        let (t2, _) = s.next_arrival(&mut rng);
+        assert_eq!(t1, t2);
+        assert_eq!(t1, Time::from_ticks(10));
+    }
+}

@@ -1,0 +1,58 @@
+//! Scheduler shoot-out: every scheduler in the crate on *identical*
+//! traffic, at moderate and heavy load.
+//!
+//! Reproduces the §2.1 taxonomy experimentally: FCFS gives no
+//! differentiation, strict priority is untunable, WFQ/SCFQ/DRR give
+//! bandwidth (not delay) differentiation, the additive scheduler spaces
+//! differences rather than ratios, WTP/BPR approximate the proportional
+//! model in heavy load, and the PAD/HPD extensions hold it everywhere.
+//!
+//! Run with: `cargo run --release --example scheduler_shootout`
+
+use propdiff::sched::SchedulerKind;
+use propdiff::stats::Table;
+use propdiff::PddSystem;
+
+fn main() {
+    for rho in [0.80, 0.95] {
+        let system = PddSystem::builder()
+            .utilization(rho)
+            .horizon_punits(40_000)
+            .seeds(vec![1, 2])
+            .build()
+            .expect("valid configuration");
+        let results = system.compare(&SchedulerKind::ALL);
+
+        println!(
+            "\nutilization {:.0}% — target successive-class ratio 2.0 (SDPs 1,2,4,8)",
+            rho * 100.0
+        );
+        let mut t = Table::new([
+            "scheduler",
+            "d1/d2",
+            "d2/d3",
+            "d3/d4",
+            "mean |dev|",
+            "mean delays (p-units)",
+        ]);
+        for r in &results {
+            let mut cells = vec![r.kind.name().to_string()];
+            cells.extend(r.ratios.iter().map(|x| format!("{x:.2}")));
+            cells.push(format!("{:.0}%", r.ratio_deviation() * 100.0));
+            cells.push(
+                r.mean_delays_punits()
+                    .iter()
+                    .map(|d| format!("{d:.0}"))
+                    .collect::<Vec<_>>()
+                    .join("/"),
+            );
+            t.row(cells);
+        }
+        println!("{t}");
+    }
+    println!(
+        "\nnote: every scheduler saw byte-for-byte the same arrivals, so the\n\
+         conservation law (Eq. 5) redistributes one fixed backlog budget —\n\
+         only the *division* between classes differs."
+    );
+}

@@ -1,0 +1,55 @@
+//! Validating the workload: is the generated traffic actually bursty
+//! "over a wide range of timescales" as the paper requires?
+//!
+//! Compares the paper's Pareto(α=1.9) traffic against Poisson traffic of
+//! the same rate using the Index of Dispersion for Counts (IDC) and a
+//! variance-time Hurst estimate. Poisson is flat at IDC ≈ 1 (no burstiness
+//! beyond the packet scale); the Pareto workload's IDC grows with the
+//! observation window — exactly the property that defeats static capacity
+//! provisioning (§2.1) and motivates dynamic schedulers.
+//!
+//! Run with: `cargo run --release --example traffic_validation`
+
+use propdiff::simcore::Time;
+use propdiff::stats::{hurst_estimate, idc_curve, variance_time, Table};
+use propdiff::traffic::{ClassSource, IatDist, SizeDist, Trace};
+
+fn arrivals(iat: IatDist) -> Vec<u64> {
+    let mut sources = vec![ClassSource::new(0, iat, SizeDist::paper())];
+    Trace::generate_per_source(&mut sources, Time::from_ticks(60_000_000), 7)
+        .entries()
+        .iter()
+        .map(|e| e.at.ticks())
+        .collect()
+}
+
+fn main() {
+    let pareto = arrivals(IatDist::paper_pareto(464.0).expect("valid"));
+    let poisson = arrivals(IatDist::exponential(464.0).expect("valid"));
+
+    println!("IDC(m) = Var(N_m)/E(N_m) over window m (ticks); ~1 = Poisson-smooth\n");
+    let mut t = Table::new(["window (ticks)", "Poisson IDC", "Pareto(1.9) IDC"]);
+    let pareto_curve = idc_curve(&pareto, 5_000, 9);
+    let poisson_curve = idc_curve(&poisson, 5_000, 9);
+    for (p, q) in poisson_curve.iter().zip(&pareto_curve) {
+        t.row([
+            format!("{}", p.0),
+            format!("{:.2}", p.1),
+            format!("{:.2}", q.1),
+        ]);
+    }
+    println!("{t}");
+
+    let h_poisson = hurst_estimate(&variance_time(&poisson, 5_000, 9));
+    let h_pareto = hurst_estimate(&variance_time(&pareto, 5_000, 9));
+    println!(
+        "variance-time Hurst estimate: Poisson H = {:.2}, Pareto H = {:.2}",
+        h_poisson.unwrap_or(f64::NAN),
+        h_pareto.unwrap_or(f64::NAN)
+    );
+    println!(
+        "\nthe Pareto workload stays bursty as the window grows (rising IDC,\n\
+         higher H) — the regime where the paper argues only dynamic\n\
+         forwarding-level differentiation stays consistent."
+    );
+}

@@ -1,0 +1,21 @@
+//! # propdiff — Proportional Differentiated Services
+//!
+//! Facade crate for the workspace: re-exports the full [`pdd`] public API
+//! (the proportional delay differentiation model, the WTP and BPR
+//! schedulers with all baselines, the single-link Study-A simulator, and
+//! the multi-hop Study-B simulator).
+//!
+//! See the workspace README for the architecture overview and the
+//! `examples/` directory for runnable entry points:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! cargo run --release --example voip_differentiation
+//! cargo run --release --example multihop_user
+//! cargo run --release --example scheduler_shootout
+//! cargo run --release --example feasibility_explorer
+//! ```
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use pdd::*;

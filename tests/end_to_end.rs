@@ -1,0 +1,120 @@
+//! Cross-crate integration tests: the paper's headline claims, asserted
+//! end-to-end through the public `propdiff` API at reduced scale.
+
+use propdiff::qsim::{run_trace, Experiment};
+use propdiff::sched::{SchedulerKind, Sdp};
+use propdiff::PddSystem;
+
+/// Fig. 1's core claim: WTP's successive-class delay ratios converge to
+/// the inverse SDP ratios as utilization approaches 1.
+#[test]
+fn wtp_converges_to_proportional_model_at_heavy_load() {
+    let sys = PddSystem::builder()
+        .utilization(0.999)
+        .horizon_punits(20_000)
+        .seeds(vec![1, 2])
+        .build()
+        .unwrap();
+    let r = sys.run();
+    for (ratio, target) in r.ratios.iter().zip(&r.target_ratios) {
+        assert!(
+            (ratio - target).abs() / target < 0.2,
+            "ratio {ratio} vs target {target}"
+        );
+    }
+}
+
+/// Fig. 1's comparison claim: across the heavy-load region WTP tracks the
+/// proportional model at least as well as BPR (averaged over points).
+#[test]
+fn wtp_tracks_target_at_least_as_well_as_bpr() {
+    let mut wtp_dev = 0.0;
+    let mut bpr_dev = 0.0;
+    for rho in [0.90, 0.95, 0.999] {
+        let e = Experiment::paper(rho, Sdp::paper_default(), 20_000, vec![1, 2]);
+        let rs = e.run_many(&[SchedulerKind::Wtp, SchedulerKind::Bpr]);
+        wtp_dev += rs[0].ratio_deviation();
+        bpr_dev += rs[1].ratio_deviation();
+    }
+    assert!(
+        wtp_dev <= bpr_dev * 1.1,
+        "WTP total deviation {wtp_dev} vs BPR {bpr_dev}"
+    );
+}
+
+/// The conservation law (Eq. 5): on identical traffic, the byte-weighted
+/// total waiting time is invariant across all work-conserving schedulers.
+#[test]
+fn conservation_law_across_all_schedulers() {
+    let e = Experiment::paper(0.9, Sdp::paper_default(), 5_000, vec![9]);
+    let trace = e.trace_for_seed(9);
+    let mut weighted: Vec<(String, u128)> = Vec::new();
+    for kind in SchedulerKind::ALL {
+        let mut s = kind.build(&Sdp::paper_default(), 1.0);
+        let mut total: u128 = 0;
+        run_trace(s.as_mut(), &trace, 1.0, |d| {
+            total += d.packet.size as u128 * d.wait().ticks() as u128;
+        });
+        weighted.push((kind.name().to_string(), total));
+    }
+    let first = weighted[0].1;
+    for (name, w) in &weighted {
+        assert_eq!(*w, first, "conservation law violated by {name}");
+    }
+}
+
+/// The Eq. (6) targets derived for the Fig. 1 operating points are
+/// feasible per Eq. (7) — the paper's §5 verification.
+#[test]
+fn figure_one_operating_points_are_feasible() {
+    use propdiff::model::{Ddp, ProportionalModel};
+    for rho in [0.8, 0.95] {
+        let e = Experiment::paper(rho, Sdp::paper_default(), 20_000, vec![4]);
+        let trace = e.trace_for_seed(4);
+        let arrivals: Vec<(u64, u8, u32)> = trace
+            .entries()
+            .iter()
+            .map(|en| (en.at.ticks(), en.class, en.size))
+            .collect();
+        for spacing in [2.0, 4.0] {
+            let m = ProportionalModel::new(Ddp::geometric(4, spacing).unwrap());
+            let report = m.check_feasibility(&arrivals, 1.0);
+            assert!(
+                report.feasible(),
+                "spacing {spacing} at rho {rho} infeasible:\n{report}"
+            );
+        }
+    }
+}
+
+/// Strict priority starves; WTP does not: under the same heavy traffic the
+/// lowest class's mean delay under strict priority far exceeds WTP's.
+#[test]
+fn strict_priority_starves_lowest_class_wtp_does_not() {
+    let e = Experiment::paper(0.97, Sdp::paper_default(), 10_000, vec![5]);
+    let rs = e.run_many(&[SchedulerKind::Strict, SchedulerKind::Wtp]);
+    let strict_low = rs[0].mean_delays[0];
+    let wtp_low = rs[1].mean_delays[0];
+    assert!(
+        strict_low > wtp_low,
+        "strict low-class delay {strict_low} should exceed WTP's {wtp_low}"
+    );
+    // And strict's top class is near zero delay — uncontrollable spacing.
+    assert!(rs[0].mean_delays[3] < rs[1].mean_delays[3]);
+}
+
+/// FCFS cannot differentiate: every ratio stays near 1 regardless of SDPs.
+#[test]
+fn fcfs_gives_no_differentiation() {
+    let sys = PddSystem::builder()
+        .scheduler(SchedulerKind::Fcfs)
+        .utilization(0.95)
+        .horizon_punits(20_000)
+        .seeds(vec![3])
+        .build()
+        .unwrap();
+    let r = sys.run();
+    for ratio in &r.ratios {
+        assert!((ratio - 1.0).abs() < 0.2, "FCFS ratio {ratio}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the proportional model math (Eq. 6) through
+//! the public API.
+
+use propdiff::model::{Ddp, ProportionalModel};
+use proptest::prelude::*;
+
+/// Strategy: a valid DDP vector (nonincreasing, positive) of 2–6 classes.
+fn ddp_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.05f64..1.0, 2..6).prop_map(|steps| {
+        // Build a nonincreasing sequence by cumulative multiplication.
+        let mut v = Vec::with_capacity(steps.len());
+        let mut cur = 1.0;
+        for s in steps {
+            v.push(cur);
+            cur *= s.clamp(0.05, 1.0);
+        }
+        v
+    })
+}
+
+proptest! {
+    /// Eq. (6) always reproduces the requested ratios exactly.
+    #[test]
+    fn predicted_delays_have_exact_ddp_ratios(
+        ddps in ddp_strategy(),
+        agg in 1.0f64..1e4,
+        seed in 0u64..100,
+    ) {
+        let n = ddps.len();
+        let mut lambdas = vec![0.0; n];
+        // Deterministic pseudo-random rates from the seed.
+        for (i, l) in lambdas.iter_mut().enumerate() {
+            *l = 0.05 + ((seed + i as u64 * 7919) % 100) as f64 / 100.0;
+        }
+        let ddp = Ddp::new(&ddps).expect("strategy builds valid DDPs");
+        let m = ProportionalModel::new(ddp);
+        let d = m.predicted_delays(&lambdas, agg);
+        for i in 0..n - 1 {
+            let got = d[i] / d[i + 1];
+            let want = ddps[i] / ddps[i + 1];
+            prop_assert!((got - want).abs() / want < 1e-9);
+        }
+    }
+
+    /// Eq. (6) always satisfies the conservation law Σλ_i d_i = λ·d̄.
+    #[test]
+    fn predicted_delays_conserve_backlog(
+        ddps in ddp_strategy(),
+        agg in 1.0f64..1e4,
+    ) {
+        let n = ddps.len();
+        let m = ProportionalModel::new(Ddp::new(&ddps).expect("valid"));
+        let lambdas: Vec<f64> = (1..=n).map(|i| i as f64 * 0.1).collect();
+        let residual = m.conservation_residual(&lambdas, agg);
+        let scale: f64 = lambdas.iter().sum::<f64>() * agg;
+        prop_assert!(residual.abs() < 1e-9 * scale.max(1.0));
+    }
+
+    /// Higher classes always get lower predicted delays.
+    #[test]
+    fn predicted_delays_are_class_ordered(ddps in ddp_strategy()) {
+        let n = ddps.len();
+        let m = ProportionalModel::new(Ddp::new(&ddps).expect("valid"));
+        let d = m.predicted_delays(&vec![0.2; n], 100.0);
+        for w in d.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Feasibility is monotone in spacing on a fixed trace: if spacing r is
+    /// infeasible, any wider spacing is too (checked on a small Poisson
+    /// trace).
+    #[test]
+    fn feasibility_monotone_in_spacing(seed in 0u64..8) {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        let arrivals: Vec<(u64, u8, u32)> = (0..40_000)
+            .map(|_| {
+                t += -55.0 * (1.0 - rng.random::<f64>()).ln();
+                let c = ((rng.random::<f64>() * 4.0) as u8).min(3);
+                (t.round() as u64, c, 100u32)
+            })
+            .collect();
+        let mut was_infeasible = false;
+        for spacing in [2.0, 8.0, 32.0, 128.0, 512.0] {
+            let m = ProportionalModel::new(Ddp::geometric(4, spacing).expect("valid"));
+            let feasible = m.check_feasibility(&arrivals, 1.0).feasible();
+            if was_infeasible {
+                prop_assert!(!feasible, "feasibility regained at wider spacing {spacing}");
+            }
+            was_infeasible = !feasible;
+        }
+    }
+}
