@@ -20,9 +20,7 @@ fn bench_table1_cell(c: &mut Criterion) {
 
 /// The full sixteen-cell grid at bench scale.
 fn bench_table1_grid(c: &mut Criterion) {
-    c.bench_function("table1_full_grid", |b| {
-        b.iter(|| table1::run(Scale::Bench))
-    });
+    c.bench_function("table1_full_grid", |b| b.iter(|| table1::run(Scale::Bench)));
 }
 
 criterion_group! {

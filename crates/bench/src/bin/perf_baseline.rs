@@ -1,0 +1,205 @@
+//! `perf_baseline` — one-shot performance snapshot for the repo.
+//!
+//! Runs the three hot paths the perf work targets and writes the numbers to
+//! `BENCH_propdiff.json` (current directory by default, `--out PATH` to
+//! override) so regressions show up in review as a diff of the tracked
+//! baseline:
+//!
+//! * **engine** — events/second through the `simcore` event loop (a
+//!   self-rescheduling ticker model, pure queue+dispatch overhead) and
+//!   packets/second through the single-link replay loop, both the `dyn`
+//!   path (`run_trace`) and the monomorphized path (`run_trace_on` via
+//!   `SchedulerKind::build_and_visit`).
+//! * **schedulers** — packets/second per scheduler under the saturated
+//!   4-class workload of [`pdd_bench::saturate`].
+//! * **experiments** — wall milliseconds to regenerate Fig. 1 and Table 1
+//!   at bench scale.
+//!
+//! Every measurement is best-of-`REPS` after one warmup run, which is the
+//! cheapest defensible protocol on a noisy shared box. Run it release-mode:
+//!
+//! ```text
+//! cargo run --release -p pdd-bench --bin perf_baseline
+//! ```
+
+use std::time::Instant;
+
+use experiments::{fig1, table1, Scale};
+use pdd::qsim::{run_trace, run_trace_on, Experiment};
+use pdd::sched::{Scheduler, SchedulerKind, SchedulerVisitor, Sdp};
+use pdd::simcore::{Context, Dur, Model, Simulation, Time};
+use pdd_bench::saturate;
+
+/// Timed repetitions per measurement (after one warmup).
+const REPS: u32 = 3;
+/// Events pushed through the bare engine loop.
+const ENGINE_EVENTS: u64 = 2_000_000;
+/// Packets pushed through each scheduler's saturation run.
+const SATURATE_PACKETS: u64 = 200_000;
+/// Replay-trace horizon in p-units (packet transmission times).
+const REPLAY_PUNITS: u64 = 10_000;
+
+/// Best-of-`REPS` wall seconds for `f`, with one warmup call first.
+/// The closure returns a value so the optimizer cannot discard the work.
+fn best_of<T>(mut f: impl FnMut() -> T) -> f64 {
+    let _warmup = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let out = f();
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(out);
+        best = best.min(dt);
+    }
+    best
+}
+
+/// Four independent tickers, each rescheduling itself one tick later:
+/// exercises the heap and the dispatch path with nothing else attached.
+struct Ticker;
+
+impl Model for Ticker {
+    type Event = u8;
+    fn handle(&mut self, lane: u8, ctx: &mut Context<u8>) {
+        ctx.schedule_in(Dur::from_ticks(1 + lane as u64), lane);
+    }
+}
+
+fn engine_events_per_sec() -> f64 {
+    let secs = best_of(|| {
+        let mut sim = Simulation::new(Ticker);
+        for lane in 0..4u8 {
+            sim.schedule(Time::from_ticks(lane as u64), lane);
+        }
+        sim.run_for_events(ENGINE_EVENTS);
+        sim.events_handled()
+    });
+    ENGINE_EVENTS as f64 / secs
+}
+
+fn replay_packets_per_sec() -> (f64, f64, u64) {
+    let e = Experiment::paper(0.95, Sdp::paper_default(), REPLAY_PUNITS, vec![1]);
+    let trace = e.trace_for_seed(1);
+    let n = trace.len() as u64;
+
+    let dyn_secs = best_of(|| {
+        let mut s = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+        let mut n = 0u64;
+        run_trace(s.as_mut(), &trace, 1.0, |_| n += 1);
+        n
+    });
+
+    struct Replay<'a> {
+        trace: &'a pdd::traffic::Trace,
+    }
+    impl SchedulerVisitor for Replay<'_> {
+        type Out = u64;
+        fn visit<S: Scheduler>(self, mut s: S) -> u64 {
+            let mut n = 0u64;
+            run_trace_on(&mut s, self.trace.entries().iter().copied(), 1.0, |_| {
+                n += 1
+            });
+            n
+        }
+    }
+    let mono_secs = best_of(|| {
+        SchedulerKind::Wtp.build_and_visit(&Sdp::paper_default(), 1.0, Replay { trace: &trace })
+    });
+
+    (n as f64 / dyn_secs, n as f64 / mono_secs, n)
+}
+
+fn scheduler_packets_per_sec() -> Vec<(&'static str, f64)> {
+    SchedulerKind::ALL
+        .iter()
+        .map(|kind| {
+            let secs = best_of(|| {
+                let mut s = kind.build(&Sdp::paper_default(), 1.0);
+                saturate(s.as_mut(), SATURATE_PACKETS)
+            });
+            (kind.name(), SATURATE_PACKETS as f64 / secs)
+        })
+        .collect()
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Formats a float with enough digits to diff meaningfully, no more.
+fn num(x: f64) -> String {
+    if x >= 1000.0 {
+        format!("{:.0}", x)
+    } else {
+        format!("{:.2}", x)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_propdiff.json".to_string());
+
+    eprintln!("perf_baseline: engine event loop ({ENGINE_EVENTS} events)...");
+    let engine_eps = engine_events_per_sec();
+
+    eprintln!("perf_baseline: single-link replay ({REPLAY_PUNITS} p-units)...");
+    let (dyn_pps, mono_pps, replay_packets) = replay_packets_per_sec();
+
+    eprintln!("perf_baseline: scheduler saturation ({SATURATE_PACKETS} packets each)...");
+    let sched_pps = scheduler_packets_per_sec();
+
+    eprintln!("perf_baseline: Fig. 1 at bench scale...");
+    let fig1_ms = best_of(|| fig1::run(Scale::Bench)) * 1000.0;
+
+    eprintln!("perf_baseline: Table 1 at bench scale...");
+    let table1_ms = best_of(|| table1::run(Scale::Bench)) * 1000.0;
+
+    // Hand-rolled JSON: stable key order, one line per scalar, so the file
+    // diffs cleanly under version control. No serde dependency needed.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
+    json.push_str(&format!("  \"reps_best_of\": {REPS},\n"));
+    json.push_str("  \"engine\": {\n");
+    json.push_str(&format!(
+        "    \"simcore_events_per_sec\": {},\n",
+        num(engine_eps)
+    ));
+    json.push_str(&format!(
+        "    \"replay_dyn_packets_per_sec\": {},\n",
+        num(dyn_pps)
+    ));
+    json.push_str(&format!(
+        "    \"replay_mono_packets_per_sec\": {},\n",
+        num(mono_pps)
+    ));
+    json.push_str(&format!("    \"replay_trace_packets\": {replay_packets}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"schedulers_packets_per_sec\": {\n");
+    for (i, (name, pps)) in sched_pps.iter().enumerate() {
+        let comma = if i + 1 < sched_pps.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {}{comma}\n", num(*pps)));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"experiments_wall_ms\": {\n");
+    json.push_str(&format!("    \"fig1_bench\": {},\n", num(fig1_ms)));
+    json.push_str(&format!("    \"table1_bench\": {}\n", num(table1_ms)));
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    eprintln!("perf_baseline: wrote {out_path}");
+    print!("{json}");
+}

@@ -17,24 +17,53 @@ use pdd::sched::{Packet, Scheduler};
 use pdd::simcore::{Dur, Time};
 
 /// Pushes `n` packets (round-robin over 4 classes, mixed sizes) through a
-/// scheduler at full link speed and returns the number of departures
+/// scheduler under sustained overload and returns the number of departures
 /// (always `n`; returned so the optimizer cannot discard the work).
+///
+/// Arrivals land every 100 ticks while the mean packet takes 660 ticks to
+/// transmit at link rate 1, so the backlog grows throughout the run:
+/// every dequeue is a real multi-class decision at its own instant, with
+/// arrivals interleaved mid-run exactly as the replay loop interleaves
+/// them — not a single drain at one far-future `now`, which lets
+/// waiting-time schedulers skip all the interesting arithmetic.
 pub fn saturate(s: &mut dyn Scheduler, n: u64) -> u64 {
+    const GAP: u64 = 100;
     let sizes = [40u32, 550, 550, 1500];
-    for i in 0..n {
-        s.enqueue(Packet::new(
+    let pkt = |i: u64| {
+        Packet::new(
             i,
             (i % 4) as u8,
             sizes[(i % 4) as usize],
-            Time::from_ticks(i),
-        ));
-    }
-    let mut now = Time::from_ticks(n);
-    let mut count = 0;
-    while let Some(p) = s.dequeue(now) {
-        now += Dur::from_ticks(p.size as u64);
+            Time::from_ticks(i * GAP),
+        )
+    };
+    let mut next = 0u64;
+    let mut free = Time::ZERO;
+    let mut count = 0u64;
+    loop {
+        if s.is_empty() {
+            if next >= n {
+                break;
+            }
+            free = free.max(Time::from_ticks(next * GAP));
+            s.enqueue(pkt(next));
+            next += 1;
+        }
+        while next < n && next * GAP <= free.ticks() {
+            s.enqueue(pkt(next));
+            next += 1;
+        }
+        let p = s
+            .dequeue(free)
+            .expect("backlogged work-conserving scheduler must dequeue");
+        free += Dur::from_ticks(p.size as u64);
         count += 1;
     }
+    assert!(
+        s.is_empty(),
+        "{}: backlog left after the saturation run drained",
+        s.name()
+    );
     count
 }
 
@@ -48,6 +77,49 @@ mod tests {
         for kind in SchedulerKind::ALL {
             let mut s = kind.build(&Sdp::paper_default(), 1.0);
             assert_eq!(saturate(s.as_mut(), 1000), 1000, "{}", kind.name());
+            assert!(s.is_empty(), "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn saturate_decisions_span_distinct_instants() {
+        // Under overload the class queues must actually build up: if every
+        // packet were served the instant it arrived the bench would be
+        // measuring the empty-queue fast path, not scheduling decisions.
+        struct Spy {
+            inner: Box<dyn pdd::sched::Scheduler>,
+            max_backlog: usize,
+        }
+        impl pdd::sched::Scheduler for Spy {
+            fn num_classes(&self) -> usize {
+                self.inner.num_classes()
+            }
+            fn enqueue(&mut self, p: Packet) {
+                self.inner.enqueue(p);
+                self.max_backlog = self.max_backlog.max(self.inner.total_backlog_packets());
+            }
+            fn dequeue(&mut self, now: Time) -> Option<Packet> {
+                self.inner.dequeue(now)
+            }
+            fn backlog_packets(&self, c: usize) -> usize {
+                self.inner.backlog_packets(c)
+            }
+            fn backlog_bytes(&self, c: usize) -> u64 {
+                self.inner.backlog_bytes(c)
+            }
+            fn name(&self) -> &'static str {
+                self.inner.name()
+            }
+        }
+        let mut spy = Spy {
+            inner: SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0),
+            max_backlog: 0,
+        };
+        assert_eq!(saturate(&mut spy, 500), 500);
+        assert!(
+            spy.max_backlog > 100,
+            "overload never built a backlog (max {})",
+            spy.max_backlog
+        );
     }
 }

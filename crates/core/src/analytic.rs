@@ -65,7 +65,11 @@ pub struct Mg1 {
 impl Mg1 {
     /// Creates a queue; requires stability (ρ < 1).
     pub fn new(lambda: &[f64], es: f64, es2: f64) -> Result<Self, Mg1Error> {
-        if lambda.is_empty() || lambda.iter().any(|&l| l.is_nan() || l < 0.0 || !l.is_finite()) {
+        if lambda.is_empty()
+            || lambda
+                .iter()
+                .any(|&l| l.is_nan() || l < 0.0 || !l.is_finite())
+        {
             return Err(Mg1Error("rates must be finite and nonnegative".into()));
         }
         if !(es > 0.0 && es2 >= es * es && es2.is_finite()) {
@@ -90,10 +94,7 @@ impl Mg1 {
         // Sizes 40/550/1500 B at 40/50/10 %: E[S] = 441, E[S²].
         let es = 441.0;
         let es2 = 0.4 * 40.0f64.powi(2) + 0.5 * 550.0f64.powi(2) + 0.1 * 1500.0f64.powi(2);
-        let lambda: Vec<f64> = fractions
-            .iter()
-            .map(|f| utilization * f / es)
-            .collect();
+        let lambda: Vec<f64> = fractions.iter().map(|f| utilization * f / es).collect();
         Mg1::new(&lambda, es, es2)
     }
 

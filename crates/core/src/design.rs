@@ -176,7 +176,11 @@ mod tests {
         let spacing = spacing_for_top_class_target(&tr, 4, 1.0, target).expect("reachable");
         let d = ProportionalModel::new(Ddp::geometric(4, spacing).unwrap())
             .predicted_delays(&lambda, agg);
-        assert!(d[3] <= target * 1.01, "top delay {} vs target {target}", d[3]);
+        assert!(
+            d[3] <= target * 1.01,
+            "top delay {} vs target {target}",
+            d[3]
+        );
         // Narrowest: a slightly smaller spacing misses the target.
         if spacing > 1.001 {
             let d2 = ProportionalModel::new(Ddp::geometric(4, spacing * 0.98).unwrap())

@@ -44,8 +44,15 @@ pub fn schedulers(scale: Scale) -> SchedulerShootout {
 impl SchedulerShootout {
     /// Renders the comparison table.
     pub fn render(&self) -> String {
-        let mut out = banner("Ablation: all schedulers on identical traffic (rho=0.95, target ratio 2)");
-        let mut t = Table::new(["scheduler", "d1/d2", "d2/d3", "d3/d4", "mean |dev| from 2.0"]);
+        let mut out =
+            banner("Ablation: all schedulers on identical traffic (rho=0.95, target ratio 2)");
+        let mut t = Table::new([
+            "scheduler",
+            "d1/d2",
+            "d2/d3",
+            "d3/d4",
+            "mean |dev| from 2.0",
+        ]);
         for (k, ratios, dev) in &self.rows {
             let mut cells = vec![k.name().to_string()];
             cells.extend(ratios.iter().map(|r| format!("{r:.2}")));
@@ -126,13 +133,18 @@ pub fn feasibility(scale: Scale) -> Vec<FeasibilityProbe> {
 
 /// Renders the feasibility sweep.
 pub fn render_feasibility(probes: &[FeasibilityProbe]) -> String {
-    let mut out = banner("Ablation: Eq. (7) feasibility of Eq. (6) targets (4 classes, 40/30/20/10 loads)");
+    let mut out =
+        banner("Ablation: Eq. (7) feasibility of Eq. (6) targets (4 classes, 40/30/20/10 loads)");
     let mut t = Table::new(["util", "spacing", "feasible", "worst subset slack"]);
     for p in probes {
         t.row([
             format!("{:.0}%", p.utilization * 100.0),
             format!("{:.1}", p.spacing),
-            if p.feasible { "yes".into() } else { "NO".to_string() },
+            if p.feasible {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
             format!("{:+.3}", p.worst_slack),
         ]);
     }
@@ -239,19 +251,12 @@ pub fn moderate_load(scale: Scale) -> ModerateLoad {
         .into_iter()
         .map(|rho| {
             move || {
-                let e = Experiment::paper(
-                    rho,
-                    Sdp::paper_default(),
-                    scale.punits(),
-                    scale.seeds(),
-                );
+                let e = Experiment::paper(rho, Sdp::paper_default(), scale.punits(), scale.seeds());
                 let results = e.run_many(&kinds);
                 let rows = kinds
                     .iter()
                     .zip(results)
-                    .map(|(&k, r)| {
-                        (k, r.ratios.iter().sum::<f64>() / r.ratios.len() as f64)
-                    })
+                    .map(|(&k, r)| (k, r.ratios.iter().sum::<f64>() / r.ratios.len() as f64))
                     .collect();
                 (rho, rows)
             }
@@ -265,7 +270,8 @@ pub fn moderate_load(scale: Scale) -> ModerateLoad {
 impl ModerateLoad {
     /// Renders the undershoot table.
     pub fn render(&self) -> String {
-        let mut out = banner("Ablation: moderate-load accuracy (mean successive ratio, target 2.0)");
+        let mut out =
+            banner("Ablation: moderate-load accuracy (mean successive ratio, target 2.0)");
         let mut t = Table::new(["util", "WTP", "BPR", "PAD", "HPD"]);
         for (rho, rows) in &self.points {
             let mut cells = vec![format!("{:.0}%", rho * 100.0)];
@@ -282,7 +288,6 @@ impl ModerateLoad {
     }
 }
 
-
 /// PLR vs tail-drop loss differentiation on an overloaded lossy link.
 #[derive(Debug, Clone)]
 pub struct PlrStudy {
@@ -297,8 +302,8 @@ pub struct PlrStudy {
 pub fn plr(scale: Scale) -> PlrStudy {
     use pdd::qsim::{run_trace_lossy, LossMode};
     use pdd::sched::PlrDropper;
-    use pdd::traffic::{ClassSource, IatDist, SizeDist};
     use pdd::simcore::Time as SimTime;
+    use pdd::traffic::{ClassSource, IatDist, SizeDist};
 
     let horizon = SimTime::from_ticks(scale.punits().max(4_000) * 100);
     let jobs: Vec<_> = [1.0, 2.0, 4.0, 8.0]
@@ -307,8 +312,16 @@ pub fn plr(scale: Scale) -> PlrStudy {
             move || {
                 let make_trace = |seed| {
                     let mut sources = vec![
-                        ClassSource::new(0, IatDist::paper_pareto(154.0).expect("static"), SizeDist::fixed(100)),
-                        ClassSource::new(1, IatDist::paper_pareto(154.0).expect("static"), SizeDist::fixed(100)),
+                        ClassSource::new(
+                            0,
+                            IatDist::paper_pareto(154.0).expect("static"),
+                            SizeDist::fixed(100),
+                        ),
+                        ClassSource::new(
+                            1,
+                            IatDist::paper_pareto(154.0).expect("static"),
+                            SizeDist::fixed(100),
+                        ),
                     ];
                     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
                     Trace::generate(&mut sources, horizon, &mut rng)
@@ -388,11 +401,7 @@ pub fn additive(scale: Scale) -> AdditiveStudy {
     // when class delays dwarf the offsets; run very close to saturation.
     let e = Experiment::paper(0.995, sdp, scale.punits(), scale.seeds());
     let r = e.run(SchedulerKind::Additive);
-    let differences = r
-        .mean_delays
-        .windows(2)
-        .map(|w| w[0] - w[1])
-        .collect();
+    let differences = r.mean_delays.windows(2).map(|w| w[0] - w[1]).collect();
     let targets = offsets.windows(2).map(|w| w[1] - w[0]).collect();
     AdditiveStudy {
         offsets,
@@ -406,7 +415,11 @@ pub fn additive(scale: Scale) -> AdditiveStudy {
 pub fn render_additive(study: &AdditiveStudy) -> String {
     let p = pdd::traffic::PAPER_MEAN_PACKET_BYTES;
     let mut out = banner("Ablation: additive differentiation (Eq. 3) at rho = 0.995");
-    let mut t = Table::new(["pair", "measured d_i - d_j (p-units)", "target s_j - s_i (p-units)"]);
+    let mut t = Table::new([
+        "pair",
+        "measured d_i - d_j (p-units)",
+        "target s_j - s_i (p-units)",
+    ]);
     for (i, (diff, target)) in study.differences.iter().zip(&study.targets).enumerate() {
         t.row([
             format!("{}/{}", i + 1, i + 2),
@@ -423,7 +436,6 @@ pub fn render_additive(study: &AdditiveStudy) -> String {
     );
     out
 }
-
 
 /// Simulator-vs-theory comparison under Poisson arrivals.
 #[derive(Debug, Clone)]
@@ -463,8 +475,7 @@ pub fn analytic(scale: Scale) -> AnalyticCheck {
         .map(|seed| {
             let predicted = predicted.clone();
             move || {
-                let plan =
-                    LoadPlan::new(1.0, rho, &fractions, SizeDist::paper()).expect("valid");
+                let plan = LoadPlan::new(1.0, rho, &fractions, SizeDist::paper()).expect("valid");
                 let mut sources = plan
                     .sources(&IatDist::exponential(1.0).expect("static"))
                     .expect("valid");
@@ -497,9 +508,8 @@ pub fn analytic(scale: Scale) -> AnalyticCheck {
 
 /// Renders the analytic check.
 pub fn render_analytic(check: &AnalyticCheck) -> String {
-    let mut out = banner(
-        "Ablation: simulator vs exact M/G/1 theory (Poisson arrivals, rho = 0.9, p-units)",
-    );
+    let mut out =
+        banner("Ablation: simulator vs exact M/G/1 theory (Poisson arrivals, rho = 0.9, p-units)");
     let mut t = Table::new(["scheduler", "class", "simulated", "theory", "error"]);
     for (kind, c, m, p) in &check.rows {
         t.row([
@@ -518,7 +528,6 @@ pub fn render_analytic(check: &AnalyticCheck) -> String {
     );
     out
 }
-
 
 /// End-to-end differentiation on partially deployed paths.
 #[derive(Debug, Clone)]
@@ -600,7 +609,13 @@ mod tests {
 
     #[test]
     fn shootout_separates_scheduler_families() {
-        let s = schedulers(Scale::Bench);
+        // PAD's long-run-average bookkeeping needs more departures than a
+        // single bench-scale seed provides before its deviation separates
+        // cleanly from WTP's; a slightly longer two-seed run is stable.
+        let s = schedulers(Scale::Custom {
+            punits: 12_000,
+            nseeds: 2,
+        });
         // FCFS does not differentiate.
         let fcfs = s
             .rows
@@ -688,7 +703,13 @@ mod tests {
 
     #[test]
     fn additive_spaces_differences_not_ratios() {
-        let study = additive(Scale::Bench);
+        // Bench scale is too short for the additive scheduler's heavy-load
+        // regime (the spacing only converges once class delays dwarf the
+        // offsets), so this one statistical check runs a longer horizon.
+        let study = additive(Scale::Custom {
+            punits: 20_000,
+            nseeds: 4,
+        });
         for (diff, target) in study.differences.iter().zip(&study.targets) {
             assert!(
                 (diff - target).abs() / target < 0.35,

@@ -8,7 +8,10 @@ fn main() {
     println!("{}", f.render());
     let dir = std::path::Path::new("out");
     match f.write_csvs(dir) {
-        Ok(()) => println!("raw views written to {}/fig[45]_view[12].csv", dir.display()),
+        Ok(()) => println!(
+            "raw views written to {}/fig[45]_view[12].csv",
+            dir.display()
+        ),
         Err(e) => eprintln!("could not write CSVs: {e}"),
     }
 }

@@ -70,9 +70,7 @@ fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
 fn positional(args: &[String]) -> Option<&str> {
     args.iter()
         .enumerate()
-        .filter(|&(i, a)| {
-            !a.starts_with("--") && (i == 0 || !args[i - 1].starts_with("--"))
-        })
+        .filter(|&(i, a)| !a.starts_with("--") && (i == 0 || !args[i - 1].starts_with("--")))
         .map(|(_, a)| a.as_str())
         .next()
 }
@@ -101,9 +99,18 @@ fn load(args: &[String]) -> Result<Trace, String> {
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
     let out = opt(args, "--out").ok_or("gen requires --out FILE")?;
-    let rho: f64 = opt(args, "--rho").unwrap_or("0.9").parse().map_err(|e| format!("bad --rho: {e}"))?;
-    let punits: u64 = opt(args, "--punits").unwrap_or("50000").parse().map_err(|e| format!("bad --punits: {e}"))?;
-    let seed: u64 = opt(args, "--seed").unwrap_or("1").parse().map_err(|e| format!("bad --seed: {e}"))?;
+    let rho: f64 = opt(args, "--rho")
+        .unwrap_or("0.9")
+        .parse()
+        .map_err(|e| format!("bad --rho: {e}"))?;
+    let punits: u64 = opt(args, "--punits")
+        .unwrap_or("50000")
+        .parse()
+        .map_err(|e| format!("bad --punits: {e}"))?;
+    let seed: u64 = opt(args, "--seed")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|e| format!("bad --seed: {e}"))?;
     let fractions = parse_fractions(opt(args, "--fractions").unwrap_or("40,30,20,10"))?;
     let dist = opt(args, "--dist").unwrap_or("pareto");
 
@@ -117,7 +124,9 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     let mut sources = plan.sources(&family).map_err(|e| e.to_string())?;
     let horizon = Time::from_ticks(punits * 441);
     let trace = Trace::generate_per_source(&mut sources, horizon, seed);
-    trace.save_csv(out).map_err(|e| format!("cannot write {out}: {e}"))?;
+    trace
+        .save_csv(out)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
     say!(
         "wrote {} packets ({} bytes of traffic, load {:.3}) to {out}",
         trace.len(),
@@ -150,7 +159,10 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     if let (Some(first), Some(last)) = (curve.first(), curve.last()) {
         say!(
             "burstiness: IDC {:.2} -> {:.2} over windows {}..{} ticks",
-            first.1, last.1, first.0, last.0
+            first.1,
+            last.1,
+            first.0,
+            last.0
         );
     }
     if let Some(h) = hurst_estimate(&variance_time(&times, 4410, 8)) {

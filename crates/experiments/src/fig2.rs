@@ -60,11 +60,9 @@ pub fn run(scale: Scale) -> Fig2 {
                 .map(|&fractions| {
                     move || {
                         let sdp = Sdp::geometric(4, ratio).expect("static");
-                        let mut e =
-                            Experiment::paper(0.95, sdp, scale.punits(), scale.seeds());
+                        let mut e = Experiment::paper(0.95, sdp, scale.punits(), scale.seeds());
                         e.class_fractions = fractions.to_vec();
-                        let results =
-                            e.run_many(&[SchedulerKind::Wtp, SchedulerKind::Bpr]);
+                        let results = e.run_many(&[SchedulerKind::Wtp, SchedulerKind::Bpr]);
                         Fig2Row {
                             fractions,
                             wtp: results[0].ratios.clone(),

@@ -47,7 +47,14 @@ impl Fig3 {
     pub fn render(&self) -> String {
         let mut out = banner("Figure 3: R_D percentiles vs monitoring timescale (target 2.0)");
         let mut t = Table::new([
-            "sched", "tau (p-units)", "p5", "p25", "median", "p75", "p95", "intervals",
+            "sched",
+            "tau (p-units)",
+            "p5",
+            "p25",
+            "median",
+            "p75",
+            "p95",
+            "intervals",
         ]);
         for (name, results) in [("WTP", &self.wtp), ("BPR", &self.bpr)] {
             for r in results.iter() {
@@ -105,7 +112,11 @@ mod tests {
         let last = f.wtp.last().expect("has taus");
         assert!(last.iqr() <= first.iqr() + 1e-9);
         // Medians near the target at the longest τ.
-        assert!((last.median() - 2.0).abs() < 0.7, "median {}", last.median());
+        assert!(
+            (last.median() - 2.0).abs() < 0.7,
+            "median {}",
+            last.median()
+        );
         // WTP tighter than BPR at the shortest τ (paper's headline claim).
         let bpr_first = f.bpr.first().expect("has taus");
         assert!(first.iqr() < bpr_first.iqr() * 1.25);

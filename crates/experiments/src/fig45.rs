@@ -37,7 +37,13 @@ impl Fig45 {
     /// Renders the summary table plus a view-I excerpt per scheduler.
     pub fn render(&self) -> String {
         let mut out = banner("Figures 4-5: microscopic views (3 classes, s = 1,2,4, rho = 0.95)");
-        let mut t = Table::new(["sched", "rough c1", "rough c2", "rough c3", "mean roughness"]);
+        let mut t = Table::new([
+            "sched",
+            "rough c1",
+            "rough c2",
+            "rough c3",
+            "mean roughness",
+        ]);
         for v in [&self.bpr, &self.wtp] {
             t.row([
                 v.kind.name().to_string(),
@@ -48,7 +54,9 @@ impl Fig45 {
             ]);
         }
         out.push_str(&t.to_string());
-        out.push_str("\nview I excerpt (interval start in p-units; class avg delays in p-units):\n");
+        out.push_str(
+            "\nview I excerpt (interval start in p-units; class avg delays in p-units):\n",
+        );
         for v in [&self.bpr, &self.wtp] {
             out.push_str(&format!("  {}:\n", v.kind.name()));
             let p = pdd::traffic::PAPER_MEAN_PACKET_BYTES;
@@ -71,18 +79,11 @@ impl Fig45 {
         // (1 = lowest class, 3 = highest), one panel per scheduler.
         let p = pdd::traffic::PAPER_MEAN_PACKET_BYTES;
         for v in [&self.bpr, &self.wtp] {
-            let window: Vec<_> = v
-                .view1
-                .iter()
-                .skip(v.view1.len() / 2)
-                .take(40)
-                .collect();
+            let window: Vec<_> = v.view1.iter().skip(v.view1.len() / 2).take(40).collect();
             let series = |class: usize| -> Vec<(f64, f64)> {
                 window
                     .iter()
-                    .filter_map(|(start, avgs)| {
-                        avgs[class].map(|d| (*start as f64 / p, d / p))
-                    })
+                    .filter_map(|(start, avgs)| avgs[class].map(|d| (*start as f64 / p, d / p)))
                     .collect()
             };
             out.push_str(&format!(
@@ -152,7 +153,12 @@ mod tests {
         let f = run(Scale::Bench);
         let dir = std::env::temp_dir().join("pdd_fig45_test");
         f.write_csvs(&dir).unwrap();
-        for name in ["fig4_view1.csv", "fig4_view2.csv", "fig5_view1.csv", "fig5_view2.csv"] {
+        for name in [
+            "fig4_view1.csv",
+            "fig4_view2.csv",
+            "fig5_view1.csv",
+            "fig5_view2.csv",
+        ] {
             let content = std::fs::read_to_string(dir.join(name)).unwrap();
             assert!(content.lines().count() > 1, "{name} is empty");
         }

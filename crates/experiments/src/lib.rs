@@ -112,40 +112,48 @@ pub fn banner(title: &str) -> String {
 
 /// Runs `jobs` closures on up to `std::thread::available_parallelism()`
 /// OS threads and returns their results in order.
+///
+/// Jobs are dealt out in contiguous chunks, one per worker; each scoped
+/// thread owns its chunk outright and returns its results through `join`,
+/// so there is no locking anywhere. The experiment harness's jobs (one per
+/// utilization point or topology) are uniform enough that chunking load-
+/// balances as well as work stealing would.
 pub fn parallel_map<T, F>(jobs: Vec<F>) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
     let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
-        .min(n.max(1));
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let jobs: Vec<std::sync::Mutex<Option<F>>> =
-        jobs.into_iter().map(|j| std::sync::Mutex::new(Some(j))).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mx: Vec<std::sync::Mutex<&mut Option<T>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
+        .min(n);
+    if workers == 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    // Ceil-divide so every chunk is nonempty and all jobs are covered.
+    let chunk = n.div_ceil(workers);
+    let mut jobs = jobs;
+    let mut chunks: Vec<Vec<F>> = Vec::with_capacity(workers);
+    while !jobs.is_empty() {
+        let rest = jobs.split_off(jobs.len().min(chunk));
+        chunks.push(std::mem::replace(&mut jobs, rest));
+    }
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let job = jobs[i].lock().expect("job mutex").take().expect("job taken once");
-                let out = job();
-                **results_mx[i].lock().expect("result mutex") = Some(out);
-            });
-        }
-    });
-    drop(results_mx);
-    results
-        .into_iter()
-        .map(|r| r.expect("every job ran"))
-        .collect()
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || chunk.into_iter().map(|job| job()).collect::<Vec<T>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -159,6 +167,18 @@ mod tests {
             .collect();
         let got = parallel_map(jobs);
         assert_eq!(got, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_edge_sizes() {
+        // Empty, single, and a count that doesn't divide evenly by any
+        // plausible worker count.
+        assert_eq!(parallel_map(Vec::<fn() -> u32>::new()), Vec::<u32>::new());
+        assert_eq!(parallel_map(vec![|| 7u32]), vec![7]);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..23usize)
+            .map(|i| Box::new(move || i + 1) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        assert_eq!(parallel_map(jobs), (1..=23).collect::<Vec<_>>());
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub fn run(scale: Scale) -> Table1 {
                         cfg.warmup_secs = warmup;
                         cfg.seed = 1 + k as u64 * 1000 + (rho * 100.0) as u64;
                         let records = run_study_b(&cfg);
-                        let result = analyze(&records, cfg.num_classes(), packet_time_tolerance(&cfg));
+                        let result =
+                            analyze(&records, cfg.num_classes(), packet_time_tolerance(&cfg));
                         Cell {
                             k_hops: k,
                             utilization: rho,
@@ -81,9 +82,7 @@ impl Table1 {
             for &rho in &[0.85, 0.95] {
                 let mut cells = vec![format!("K={k} rho={:.0}%", rho * 100.0)];
                 for &(f, r) in &[(10u32, 50.0), (10, 200.0), (100, 50.0), (100, 200.0)] {
-                    let cell = self
-                        .cell(k, rho, f, r)
-                        .expect("all sixteen cells present");
+                    let cell = self.cell(k, rho, f, r).expect("all sixteen cells present");
                     cells.push(format!("{:.1}", cell.result.rd));
                 }
                 t.row(cells);
@@ -95,7 +94,11 @@ impl Table1 {
             .iter()
             .map(|c| c.result.inconsistent_experiments)
             .sum();
-        let strict: usize = self.cells.iter().map(|c| c.result.inconsistent_strict).sum();
+        let strict: usize = self
+            .cells
+            .iter()
+            .map(|c| c.result.inconsistent_strict)
+            .sum();
         let total: usize = self.cells.iter().map(|c| c.result.experiments).sum();
         out.push_str(&format!(
             "\ninconsistent differentiation cases: {inconsistent} of {total} user experiments\n\

@@ -19,9 +19,7 @@ impl ExperimentRecord {
     pub fn ladders(&self) -> Vec<Option<[f64; 10]>> {
         self.per_class_waits
             .iter()
-            .map(|w| {
-                Percentiles::new(w.iter().map(|&x| x as f64).collect()).study_b_ladder()
-            })
+            .map(|w| Percentiles::new(w.iter().map(|&x| x as f64).collect()).study_b_ladder())
             .collect()
     }
 }

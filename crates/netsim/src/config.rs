@@ -1,6 +1,6 @@
 //! Study-B configuration.
 
-use sched::{Sdp, SchedulerKind};
+use sched::{SchedulerKind, Sdp};
 
 use crate::TICKS_PER_SEC;
 
@@ -224,7 +224,10 @@ impl StudyBConfig {
             return Err("need at least one hop".into());
         }
         if !(self.utilization > 0.0 && self.utilization < 1.0) {
-            return Err(format!("utilization must be in (0,1), got {}", self.utilization));
+            return Err(format!(
+                "utilization must be in (0,1), got {}",
+                self.utilization
+            ));
         }
         let s: f64 = self.cross_class_fractions.iter().sum();
         if (s - 1.0).abs() > 1e-6 || self.cross_class_fractions.len() != self.num_classes() {

@@ -135,7 +135,10 @@ impl Net {
             self.metas[pkt.tag as usize].acc_wait += wait;
         }
         self.links[link].in_flight = Some(pkt);
-        ctx.schedule_in(Dur::from_ticks(self.tx_ticks), Ev::TxDone { link: link as u16 });
+        ctx.schedule_in(
+            Dur::from_ticks(self.tx_ticks),
+            Ev::TxDone { link: link as u16 },
+        );
     }
 }
 
@@ -160,9 +163,7 @@ impl Model for Net {
                         } => {
                             // AIMD on the source's rate, driven by its own
                             // link's queue depth (the ECN signal).
-                            let marked = self.links[node as usize]
-                                .scheduler
-                                .total_backlog_bytes()
+                            let marked = self.links[node as usize].scheduler.total_backlog_bytes()
                                 > mark_threshold_bytes;
                             let fair = self.cfg.cross_total_bps_for_link(node as usize)
                                 / self.cfg.cross_sources as f64;
@@ -437,10 +438,7 @@ mod tests {
             let u = stats.utilization();
             // The run includes a drain tail after sources stop, so the
             // achieved utilization sits slightly below the target.
-            assert!(
-                (u - 0.9).abs() < 0.12,
-                "link {l}: achieved utilization {u}"
-            );
+            assert!((u - 0.9).abs() < 0.12, "link {l}: achieved utilization {u}");
             assert!(stats.departures > 1000);
             assert_eq!(stats.bytes, stats.departures * 500);
         }
@@ -508,7 +506,10 @@ mod tests {
         let s_wtp = spread(&run_study_b(&wtp));
         let s_mixed = spread(&run_study_b(&mixed));
         assert!(s_wtp > s_mixed, "WTP spread {s_wtp} vs mixed {s_mixed}");
-        assert!(s_mixed > 1.2, "mixed path lost all differentiation: {s_mixed}");
+        assert!(
+            s_mixed > 1.2,
+            "mixed path lost all differentiation: {s_mixed}"
+        );
     }
 
     #[test]
@@ -523,7 +524,11 @@ mod tests {
         assert_eq!(records.len(), 6);
         // Utilization remains high (the sources probe upward)...
         for stats in &links {
-            assert!(stats.utilization() > 0.5, "utilization {}", stats.utilization());
+            assert!(
+                stats.utilization() > 0.5,
+                "utilization {}",
+                stats.utilization()
+            );
         }
         // ...and per-hop waits stay modest: AIMD keeps queues around the
         // 64 kB mark point (~20 ms at 25 Mbps) instead of growing without

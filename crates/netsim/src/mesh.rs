@@ -80,7 +80,9 @@ impl MeshConfig {
         if self.links.is_empty() {
             return Err("mesh needs at least one link".into());
         }
-        if self.links.iter().any(|l| !(l.bps > 0.0)) {
+        // `partial_cmp` so NaN capacities are rejected along with ≤ 0.
+        let positive = |x: f64| x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        if self.links.iter().any(|l| !positive(l.bps)) {
             return Err("link capacities must be positive".into());
         }
         for (i, f) in self.flows.iter().enumerate() {
@@ -97,10 +99,10 @@ impl MeshConfig {
                 return Err(format!("flow {i} has zero-byte packets"));
             }
             match f.model {
-                FlowModel::Periodic { count, .. } if count == 0 => {
+                FlowModel::Periodic { count: 0, .. } => {
                     return Err(format!("flow {i} emits no packets"));
                 }
-                FlowModel::Pareto { mean_gap_ticks, .. } if !(mean_gap_ticks > 0.0) => {
+                FlowModel::Pareto { mean_gap_ticks, .. } if !positive(mean_gap_ticks) => {
                     return Err(format!("flow {i} has a nonpositive mean gap"));
                 }
                 _ => {}
@@ -264,7 +266,9 @@ pub fn run_mesh(cfg: &MeshConfig) -> MeshOutcome {
         .links
         .iter()
         .map(|l| LinkState {
-            scheduler: l.scheduler.build(&cfg.sdp, l.bps / 8.0 / crate::TICKS_PER_SEC as f64),
+            scheduler: l
+                .scheduler
+                .build(&cfg.sdp, l.bps / 8.0 / crate::TICKS_PER_SEC as f64),
             rate: l.bps / 8.0 / crate::TICKS_PER_SEC as f64,
             in_flight: None,
             departures: 0,

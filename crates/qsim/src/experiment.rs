@@ -1,13 +1,11 @@
 //! The Fig. 1 / Fig. 2 harness: long-run average-delay ratios.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sched::{Scheduler, SchedulerKind, Sdp};
+use sched::{Scheduler, SchedulerKind, SchedulerVisitor, Sdp};
 use simcore::Time;
 use stats::{P2Quantile, Summary};
-use traffic::{LoadPlan, SizeDist, Trace};
+use traffic::{ClassSource, LoadPlan, MergedStream, SizeDist, Trace, TraceEntry};
 
-use crate::server::run_trace;
+use crate::server::run_trace_on;
 
 /// Configuration of one Study-A experiment point.
 #[derive(Debug, Clone)]
@@ -54,24 +52,40 @@ impl Experiment {
     }
 
     /// Generates the arrival trace for one seed.
+    ///
+    /// Seeding is per-source ([`Trace::generate_per_source`]), so this
+    /// materializes exactly the workload that [`Experiment::arrivals_for_seed`]
+    /// streams — the two are interchangeable inputs to the replay loop.
     pub fn trace_for_seed(&self, seed: u64) -> Trace {
         let plan = self.plan();
         let mut sources = plan.pareto_sources().expect("valid plan");
-        let mut rng = StdRng::seed_from_u64(seed);
-        Trace::generate(
-            &mut sources,
-            Time::from_ticks(self.horizon_ticks),
-            &mut rng,
-        )
+        Trace::generate_per_source(&mut sources, Time::from_ticks(self.horizon_ticks), seed)
+    }
+
+    /// Streams the arrival workload for one seed lazily, in O(sources)
+    /// memory — identical entries to [`Experiment::trace_for_seed`].
+    pub fn arrivals_for_seed(&self, seed: u64) -> MergedStream<ClassSource> {
+        let sources = self.plan().pareto_sources().expect("valid plan");
+        MergedStream::per_source(sources, seed, Time::from_ticks(self.horizon_ticks))
     }
 
     /// Runs one scheduler over one pre-generated trace.
     pub fn run_one(&self, scheduler: &mut dyn Scheduler, trace: &Trace) -> SeedResult {
+        self.run_one_on(scheduler, trace.entries().iter().copied())
+    }
+
+    /// The generic form of [`Experiment::run_one`]: measures any scheduler
+    /// over any time-ordered arrival stream, statically dispatched.
+    pub fn run_one_on<S, I>(&self, scheduler: &mut S, arrivals: I) -> SeedResult
+    where
+        S: Scheduler + ?Sized,
+        I: IntoIterator<Item = TraceEntry>,
+    {
         let n = self.sdp.num_classes();
         let mut per_class = vec![Summary::new(); n];
         let mut p95: Vec<P2Quantile> = (0..n).map(|_| P2Quantile::new(0.95)).collect();
         let warmup = Time::from_ticks(self.warmup_ticks);
-        run_trace(scheduler, trace, 1.0, |d| {
+        run_trace_on(scheduler, arrivals, 1.0, |d| {
             if d.start >= warmup {
                 let c = d.packet.class as usize;
                 let w = d.wait().as_f64();
@@ -86,33 +100,80 @@ impl Experiment {
     }
 
     /// Runs the experiment for `kind` across all seeds and aggregates.
+    ///
+    /// Each seed's workload is streamed (never materialized) and the whole
+    /// measurement loop is monomorphized per scheduler type via
+    /// [`SchedulerKind::build_and_visit`].
     pub fn run(&self, kind: SchedulerKind) -> ExperimentResult {
-        let mut seed_results = Vec::with_capacity(self.seeds.len());
-        for &seed in &self.seeds {
-            let trace = self.trace_for_seed(seed);
-            let mut s = kind.build(&self.sdp, 1.0);
-            seed_results.push(self.run_one(s.as_mut(), &trace));
-        }
+        let seed_results = self
+            .seeds
+            .iter()
+            .map(|&seed| kind.build_and_visit(&self.sdp, 1.0, MeasureSeed { e: self, seed }))
+            .collect();
         ExperimentResult::aggregate(kind, &self.sdp, seed_results)
     }
 
-    /// Runs several schedulers on the *same* traces (one trace per seed),
+    /// Runs several schedulers on the *same* workloads (one per seed),
     /// returning results in the order of `kinds`.
+    ///
+    /// Per-source seeding makes each seed's arrival stream a pure function
+    /// of the seed, so the results are identical to calling
+    /// [`Experiment::run`] per kind; here each seed's trace is materialized
+    /// once and replayed through every scheduler, amortizing the generation
+    /// cost across kinds (one seed's trace in memory at a time).
     pub fn run_many(&self, kinds: &[SchedulerKind]) -> Vec<ExperimentResult> {
-        let traces: Vec<Trace> = self.seeds.iter().map(|&s| self.trace_for_seed(s)).collect();
+        let mut per_kind: Vec<Vec<SeedResult>> = kinds
+            .iter()
+            .map(|_| Vec::with_capacity(self.seeds.len()))
+            .collect();
+        for &seed in &self.seeds {
+            let trace = self.trace_for_seed(seed);
+            for (results, &kind) in per_kind.iter_mut().zip(kinds) {
+                results.push(kind.build_and_visit(
+                    &self.sdp,
+                    1.0,
+                    MeasureTrace {
+                        e: self,
+                        trace: &trace,
+                    },
+                ));
+            }
+        }
         kinds
             .iter()
-            .map(|&kind| {
-                let seed_results = traces
-                    .iter()
-                    .map(|tr| {
-                        let mut s = kind.build(&self.sdp, 1.0);
-                        self.run_one(s.as_mut(), tr)
-                    })
-                    .collect();
-                ExperimentResult::aggregate(kind, &self.sdp, seed_results)
-            })
+            .zip(per_kind)
+            .map(|(&kind, seed_results)| ExperimentResult::aggregate(kind, &self.sdp, seed_results))
             .collect()
+    }
+}
+
+/// Visitor measuring one seed of an experiment with an unboxed scheduler.
+struct MeasureSeed<'a> {
+    e: &'a Experiment,
+    seed: u64,
+}
+
+impl SchedulerVisitor for MeasureSeed<'_> {
+    type Out = SeedResult;
+
+    fn visit<S: Scheduler>(self, mut scheduler: S) -> SeedResult {
+        self.e
+            .run_one_on(&mut scheduler, self.e.arrivals_for_seed(self.seed))
+    }
+}
+
+/// Visitor measuring one materialized trace with an unboxed scheduler.
+struct MeasureTrace<'a> {
+    e: &'a Experiment,
+    trace: &'a Trace,
+}
+
+impl SchedulerVisitor for MeasureTrace<'_> {
+    type Out = SeedResult;
+
+    fn visit<S: Scheduler>(self, mut scheduler: S) -> SeedResult {
+        self.e
+            .run_one_on(&mut scheduler, self.trace.entries().iter().copied())
     }
 }
 

@@ -10,7 +10,9 @@
 //! *identical* input.
 //!
 //! * [`run_trace`] — the core replay loop (1 tick = 1 byte at link rate 1,
-//!   or any rate you pass).
+//!   or any rate you pass); [`run_trace_on`] is its generic form, taking
+//!   any scheduler and any arrival iterator (e.g. a streaming
+//!   [`traffic::MergedStream`]) with static dispatch.
 //! * [`Experiment`] — the Fig. 1/Fig. 2 harness: long-run per-class average
 //!   delays and successive-class ratios, averaged over seeds.
 //! * [`ShortTimescale`] — the Fig. 3 harness: R_D percentiles per
@@ -31,6 +33,6 @@ mod streaming;
 pub use experiment::{Experiment, ExperimentResult, SeedResult};
 pub use lossy::{run_trace_lossy, LossMode, LossyReport};
 pub use micro::{MicroViews, Microscope};
-pub use server::{run_trace, Departure};
+pub use server::{run_trace, run_trace_on, Departure};
 pub use shortts::{ShortTimescale, TimescaleResult};
 pub use streaming::run_sources;

@@ -91,7 +91,11 @@ pub fn run_trace_lossy(
     let mut seq = 0u64;
 
     // Admits (or drops) one arrival under the buffer policy.
-    let admit = |s: &mut dyn Scheduler, e: &traffic::TraceEntry, seq: u64, report: &mut LossyReport, mode: &mut LossMode| {
+    let admit = |s: &mut dyn Scheduler,
+                 e: &traffic::TraceEntry,
+                 seq: u64,
+                 report: &mut LossyReport,
+                 mode: &mut LossMode| {
         let class = e.class as usize;
         assert!(
             u64::from(e.size) <= buffer_bytes,
@@ -110,8 +114,9 @@ pub fn run_trace_lossy(
                     return;
                 }
                 LossMode::Plr(d) => {
-                    let mut candidates: Vec<usize> =
-                        (0..s.num_classes()).filter(|&c| s.backlog_packets(c) > 0).collect();
+                    let mut candidates: Vec<usize> = (0..s.num_classes())
+                        .filter(|&c| s.backlog_packets(c) > 0)
+                        .collect();
                     if !candidates.contains(&class) {
                         candidates.push(class);
                     }
@@ -160,7 +165,9 @@ pub fn run_trace_lossy(
             admit(scheduler, &e, seq, &mut report, &mut mode);
             seq += 1;
         }
-        report.max_backlog_bytes = report.max_backlog_bytes.max(scheduler.total_backlog_bytes());
+        report.max_backlog_bytes = report
+            .max_backlog_bytes
+            .max(scheduler.total_backlog_bytes());
         let Some(pkt) = scheduler.dequeue(free) else {
             continue;
         };
@@ -176,14 +183,22 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use sched::{Sdp, SchedulerKind};
+    use sched::{SchedulerKind, Sdp};
     use traffic::{ClassSource, IatDist, SizeDist};
 
     /// Overloaded two-class trace (offered load ≈ 1.3 on a 1 B/tick link).
     fn overload_trace(seed: u64) -> Trace {
         let mut sources = vec![
-            ClassSource::new(0, IatDist::paper_pareto(154.0).unwrap(), SizeDist::fixed(100)),
-            ClassSource::new(1, IatDist::paper_pareto(154.0).unwrap(), SizeDist::fixed(100)),
+            ClassSource::new(
+                0,
+                IatDist::paper_pareto(154.0).unwrap(),
+                SizeDist::fixed(100),
+            ),
+            ClassSource::new(
+                1,
+                IatDist::paper_pareto(154.0).unwrap(),
+                SizeDist::fixed(100),
+            ),
         ];
         let mut rng = StdRng::seed_from_u64(seed);
         Trace::generate(&mut sources, Time::from_ticks(8_000_000), &mut rng)
@@ -194,7 +209,11 @@ mod tests {
         let mut s = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
         let mode = LossMode::Plr(PlrDropper::new(&[2.0, 1.0]).unwrap());
         let r = run_trace_lossy(s.as_mut(), &overload_trace(3), 1.0, 4_000, mode);
-        assert!(r.total_drops() > 1000, "need real overload, got {} drops", r.total_drops());
+        assert!(
+            r.total_drops() > 1000,
+            "need real overload, got {} drops",
+            r.total_drops()
+        );
         let ratio = r.loss_ratio(0, 1).expect("both classes lose");
         assert!((ratio - 2.0).abs() < 0.25, "loss ratio {ratio}");
     }
@@ -202,7 +221,13 @@ mod tests {
     #[test]
     fn tail_drop_does_not_differentiate_loss() {
         let mut s = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
-        let r = run_trace_lossy(s.as_mut(), &overload_trace(3), 1.0, 4_000, LossMode::TailDrop);
+        let r = run_trace_lossy(
+            s.as_mut(),
+            &overload_trace(3),
+            1.0,
+            4_000,
+            LossMode::TailDrop,
+        );
         let ratio = r.loss_ratio(0, 1).expect("both classes lose");
         assert!(
             (ratio - 1.0).abs() < 0.35,
@@ -213,7 +238,13 @@ mod tests {
     #[test]
     fn buffer_limit_is_respected() {
         let mut s = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
-        let r = run_trace_lossy(s.as_mut(), &overload_trace(5), 1.0, 2_000, LossMode::TailDrop);
+        let r = run_trace_lossy(
+            s.as_mut(),
+            &overload_trace(5),
+            1.0,
+            2_000,
+            LossMode::TailDrop,
+        );
         assert!(r.max_backlog_bytes <= 2_000);
         assert!(r.total_drops() > 0);
     }
@@ -257,7 +288,11 @@ mod tests {
 
         fn arrivals_strategy() -> impl Strategy<Value = Vec<(u64, u8, u32)>> {
             prop::collection::vec(
-                (0u64..50_000, 0u8..4, prop_oneof![Just(40u32), Just(550), Just(1500)]),
+                (
+                    0u64..50_000,
+                    0u8..4,
+                    prop_oneof![Just(40u32), Just(550), Just(1500)],
+                ),
                 1..300,
             )
             .prop_map(|mut v| {

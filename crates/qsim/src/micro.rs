@@ -6,7 +6,7 @@
 //! short overloaded window — the view in which BPR's sawtooth noise is
 //! visible while WTP tracks the proportional spacing smoothly.
 
-use sched::{Sdp, SchedulerKind};
+use sched::{SchedulerKind, Sdp};
 use simcore::Time;
 use stats::IntervalSeries;
 

@@ -2,7 +2,7 @@
 
 use sched::{Packet, Scheduler};
 use simcore::{Dur, Time};
-use traffic::Trace;
+use traffic::{Trace, TraceEntry};
 
 /// One packet departure from the link.
 #[derive(Debug, Clone, Copy)]
@@ -64,27 +64,42 @@ pub fn run_trace(
     scheduler: &mut dyn Scheduler,
     trace: &Trace,
     rate: f64,
-    mut on_depart: impl FnMut(&Departure),
+    on_depart: impl FnMut(&Departure),
 ) {
+    run_trace_on(scheduler, trace.entries().iter().copied(), rate, on_depart)
+}
+
+/// The generic (monomorphized) form of [`run_trace`]: replays any stream
+/// of time-ordered arrivals through any scheduler.
+///
+/// Semantics are identical to [`run_trace`] — same tie rules, same
+/// transmission times — but both the scheduler and the arrival source are
+/// statically dispatched, so the per-packet enqueue/dequeue calls inline
+/// into the loop. `arrivals` may be a materialized trace
+/// (`trace.entries().iter().copied()`) or a lazy generator such as
+/// [`traffic::MergedStream`], which replays the identical workload in
+/// O(sources) memory.
+///
+/// `arrivals` must yield entries in nondecreasing time order; the k-way
+/// merge and the trace generators both guarantee that.
+pub fn run_trace_on<S, I, F>(scheduler: &mut S, arrivals: I, rate: f64, mut on_depart: F)
+where
+    S: Scheduler + ?Sized,
+    I: IntoIterator<Item = TraceEntry>,
+    F: FnMut(&Departure),
+{
     assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
-    let entries = trace.entries();
-    let mut next = 0usize;
+    let mut arrivals = arrivals.into_iter().peekable();
     let mut free = Time::ZERO;
     let mut seq = 0u64;
     loop {
         if scheduler.is_empty() {
-            if next >= entries.len() {
-                break;
-            }
-            let e = entries[next];
-            next += 1;
+            let Some(e) = arrivals.next() else { break };
             scheduler.enqueue(Packet::new(seq, e.class, e.size, e.at));
             seq += 1;
             free = free.max(e.at);
         }
-        while next < entries.len() && entries[next].at <= free {
-            let e = entries[next];
-            next += 1;
+        while let Some(e) = arrivals.next_if(|e| e.at <= free) {
             scheduler.enqueue(Packet::new(seq, e.class, e.size, e.at));
             seq += 1;
         }
@@ -104,7 +119,7 @@ pub fn run_trace(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sched::{Fcfs, Sdp, SchedulerKind};
+    use sched::{Fcfs, SchedulerKind, Sdp};
     use traffic::TraceEntry;
 
     fn trace(entries: &[(u64, u8, u32)]) -> Trace {

@@ -36,12 +36,7 @@ impl ShortTimescale {
     /// The paper's Fig. 3 setup at ρ = 0.95 with SDP ratio 2.
     pub fn paper(p_units: u64, seeds: Vec<u64>) -> Self {
         ShortTimescale {
-            base: Experiment::paper(
-                0.95,
-                sched::Sdp::paper_default(),
-                p_units,
-                seeds,
-            ),
+            base: Experiment::paper(0.95, sched::Sdp::paper_default(), p_units, seeds),
             taus_punits: vec![10, 100, 1000, 10_000],
         }
     }
@@ -51,8 +46,11 @@ impl ShortTimescale {
         let p = traffic::PAPER_MEAN_PACKET_BYTES as u64;
         let n = self.base.sdp.num_classes();
         // One collector per τ, filled across all seeds.
-        let mut collectors: Vec<RdCollector> =
-            self.taus_punits.iter().map(|_| RdCollector::new()).collect();
+        let mut collectors: Vec<RdCollector> = self
+            .taus_punits
+            .iter()
+            .map(|_| RdCollector::new())
+            .collect();
         for &seed in &self.base.seeds {
             let trace: Trace = self.base.trace_for_seed(seed);
             let mut series: Vec<IntervalSeries> = self

@@ -3,125 +3,44 @@
 //! [`run_trace`](crate::run_trace) needs the whole trace in memory, which
 //! is ideal for scheduler comparisons on identical input but wasteful for
 //! very long single-scheduler runs. This runner pulls arrivals from live
-//! [`ClassSource`]s instead, merging them on the fly; with
-//! per-source seeding it reproduces **exactly** the workload of
-//! [`traffic::Trace::generate_per_source`], so the two paths are interchangeable
-//! (and tested to be).
+//! [`ClassSource`]s instead — a [`traffic::MergedStream`] k-way merge fed
+//! straight into the generic replay loop
+//! ([`run_trace_on`](crate::run_trace_on)) — so memory stays O(sources)
+//! regardless of horizon. With per-source seeding it reproduces **exactly**
+//! the workload of [`traffic::Trace::generate_per_source`], so the two
+//! paths are interchangeable (and tested to be).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sched::{Packet, Scheduler};
-use simcore::{Dur, Time};
-use traffic::{per_source_seed, ClassSource};
+use sched::Scheduler;
+use simcore::Time;
+use traffic::{ClassSource, MergedStream};
 
-use crate::server::Departure;
-
-/// One source's pending arrival in the merge.
-struct Pending {
-    at: Time,
-    size: u32,
-    class: u8,
-    /// Source index — the tie-break, matching the stable sort of
-    /// `Trace::from_entries`.
-    index: usize,
-    rng: StdRng,
-    source: ClassSource,
-    exhausted: bool,
-}
+use crate::server::{run_trace_on, Departure};
 
 /// Replays live sources through `scheduler` until `horizon` (arrivals
 /// after the horizon are discarded), on a link of `rate` bytes/tick.
 ///
 /// `base_seed` derives one RNG per source exactly as
-/// [`traffic::Trace::generate_per_source`] does, so for the same sources, horizon
-/// and seed the departures equal those of the trace-based path.
+/// [`traffic::Trace::generate_per_source`] does, so for the same sources,
+/// horizon and seed the departures equal those of the trace-based path.
+/// This is the `dyn` entry point; call
+/// [`run_trace_on`](crate::run_trace_on) with a [`MergedStream`] directly
+/// for a fully monomorphized loop.
 pub fn run_sources(
     scheduler: &mut dyn Scheduler,
     sources: &[ClassSource],
     horizon: Time,
     base_seed: u64,
     rate: f64,
-    mut on_depart: impl FnMut(&Departure),
+    on_depart: impl FnMut(&Departure),
 ) {
-    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
-    let mut pendings: Vec<Pending> = sources
-        .iter()
-        .enumerate()
-        .map(|(index, src)| {
-            let mut p = Pending {
-                at: Time::ZERO,
-                size: 0,
-                class: src.class(),
-                index,
-                rng: StdRng::seed_from_u64(per_source_seed(base_seed, index)),
-                source: src.clone(),
-                exhausted: false,
-            };
-            advance(&mut p, horizon);
-            p
-        })
-        .collect();
-
-    let mut free = Time::ZERO;
-    let mut seq = 0u64;
-    loop {
-        if scheduler.is_empty() {
-            // Pull the earliest pending arrival (tie-break on source index).
-            let Some(next) = earliest(&pendings) else {
-                break;
-            };
-            let p = &mut pendings[next];
-            scheduler.enqueue(Packet::new(seq, p.class, p.size, p.at));
-            seq += 1;
-            free = free.max(p.at);
-            advance(p, horizon);
-        }
-        // Enqueue everything arriving at or before the decision instant.
-        while let Some(next) = earliest(&pendings) {
-            if pendings[next].at > free {
-                break;
-            }
-            let p = &mut pendings[next];
-            scheduler.enqueue(Packet::new(seq, p.class, p.size, p.at));
-            seq += 1;
-            advance(p, horizon);
-        }
-        let pkt = scheduler
-            .dequeue(free)
-            .expect("backlogged scheduler must dequeue");
-        let tx = ((pkt.size as f64 / rate).round() as u64).max(1);
-        let finish = free + Dur::from_ticks(tx);
-        on_depart(&Departure {
-            packet: pkt,
-            start: free,
-            finish,
-        });
-        free = finish;
-    }
-}
-
-fn advance(p: &mut Pending, horizon: Time) {
-    let (at, size) = p.source.next_arrival(&mut p.rng);
-    if at > horizon {
-        p.exhausted = true;
-    } else {
-        p.at = at;
-        p.size = size;
-    }
-}
-
-fn earliest(pendings: &[Pending]) -> Option<usize> {
-    pendings
-        .iter()
-        .filter(|p| !p.exhausted)
-        .min_by_key(|p| (p.at, p.index))
-        .map(|p| p.index)
+    let stream = MergedStream::per_source(sources.to_vec(), base_seed, horizon);
+    run_trace_on(scheduler, stream, rate, on_depart);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sched::{Sdp, SchedulerKind};
+    use sched::{SchedulerKind, Sdp};
     use traffic::{IatDist, LoadPlan, SizeDist, Trace};
 
     fn paper_sources(rho: f64) -> Vec<ClassSource> {
@@ -173,7 +92,9 @@ mod tests {
     fn empty_sources_do_nothing() {
         let mut s = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
         let mut count = 0;
-        run_sources(s.as_mut(), &[], Time::from_ticks(100), 0, 1.0, |_| count += 1);
+        run_sources(s.as_mut(), &[], Time::from_ticks(100), 0, 1.0, |_| {
+            count += 1
+        });
         assert_eq!(count, 0);
     }
 }

@@ -9,7 +9,7 @@ use simcore::Time;
 
 use crate::class::Sdp;
 use crate::packet::Packet;
-use crate::scheduler::{argmax_backlogged, ClassQueues, Scheduler};
+use crate::scheduler::{ClassQueues, Scheduler};
 
 /// The additive (waiting-time + constant) priority scheduler.
 #[derive(Debug, Clone)]
@@ -44,10 +44,9 @@ impl Scheduler for Additive {
     }
 
     fn dequeue(&mut self, now: Time) -> Option<Packet> {
-        let winner = argmax_backlogged(&self.queues, |c| {
-            let head = self.queues.head(c).expect("backlogged head");
-            head.waiting(now).as_f64() + self.sdp.get(c)
-        })?;
+        let winner = self
+            .queues
+            .select_by(|c, head| head.waiting(now).as_f64() + self.sdp.get(c))?;
         self.queues.pop(winner)
     }
 

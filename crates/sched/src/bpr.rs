@@ -99,23 +99,24 @@ impl Scheduler for Bpr {
             return None;
         }
         let elapsed = now.saturating_since(self.last_decision).as_f64();
-        // Update virtual service of every backlogged head (Appendix 3):
-        // reset if the head arrived after the previous decision instant.
-        for c in 0..self.queues.num_classes() {
-            match self.queues.head(c) {
-                Some(head) if head.arrival <= self.last_decision => {
-                    self.v[c] += self.rates[c] * elapsed;
-                }
-                Some(_) => self.v[c] = 0.0,
-                None => self.v[c] = 0.0,
-            }
-        }
-        // Choose argmin(L_i − v_i); ties favor the higher class.
+        // One sweep over the class heads (Appendix 3): accrue each
+        // backlogged head's virtual service — resetting it if the head
+        // arrived after the previous decision instant — and pick
+        // argmin(L_i − v_i) in the same pass, ties to the higher class.
         let mut winner = None;
         let mut best = f64::INFINITY;
-        for c in self.queues.backlogged() {
-            let head = self.queues.head(c).expect("backlogged head");
-            let remaining = head.size as f64 - self.v[c];
+        let sweep = self.queues.heads().zip(self.v.iter_mut()).zip(&self.rates);
+        for (c, ((head, v), &rate)) in sweep.enumerate() {
+            let Some(head) = head else {
+                *v = 0.0;
+                continue;
+            };
+            if head.arrival <= self.last_decision {
+                *v += rate * elapsed;
+            } else {
+                *v = 0.0;
+            }
+            let remaining = head.size as f64 - *v;
             if remaining <= best {
                 best = remaining;
                 winner = Some(c);

@@ -156,6 +156,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(Sdp::new(&[]).unwrap_err().to_string().contains("at least 2"));
+        assert!(Sdp::new(&[])
+            .unwrap_err()
+            .to_string()
+            .contains("at least 2"));
     }
 }

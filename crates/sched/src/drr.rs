@@ -156,7 +156,9 @@ mod tests {
         let mut s = Drr::new(Sdp::new(&[1.0, 1.0]).unwrap(), 100);
         s.enqueue(pkt(1, 0, 250));
         s.enqueue(pkt(2, 1, 100));
-        let order: Vec<u8> = (0..2).map(|_| s.dequeue(Time::ZERO).unwrap().class).collect();
+        let order: Vec<u8> = (0..2)
+            .map(|_| s.dequeue(Time::ZERO).unwrap().class)
+            .collect();
         // Class 1's 100-byte packet fits in its first quantum; class 0 needs
         // accumulated deficit, so class 1 goes out first.
         assert_eq!(order, vec![1, 0]);

@@ -84,6 +84,29 @@ impl SchedulerKind {
         }
     }
 
+    /// Builds the scheduler **unboxed** and hands it to `visitor`,
+    /// monomorphizing the visitor's body once per concrete scheduler type.
+    ///
+    /// This is the static-dispatch counterpart of [`SchedulerKind::build`]:
+    /// hot loops written against a generic `S: Scheduler` (such as
+    /// `qsim::run_trace_on`) get devirtualized per-packet calls while the
+    /// scheduler choice stays a runtime value.
+    pub fn build_and_visit<V: SchedulerVisitor>(&self, sdp: &Sdp, link_rate: f64, v: V) -> V::Out {
+        match self {
+            SchedulerKind::Fcfs => v.visit(Fcfs::new(sdp.num_classes())),
+            SchedulerKind::Strict => v.visit(StrictPriority::new(sdp.num_classes())),
+            SchedulerKind::Wtp => v.visit(Wtp::new(sdp.clone())),
+            SchedulerKind::Bpr => v.visit(Bpr::new(sdp.clone(), link_rate)),
+            SchedulerKind::Wfq => v.visit(Wfq::new(sdp.clone(), link_rate)),
+            SchedulerKind::Wf2q => v.visit(Wf2q::new(sdp.clone())),
+            SchedulerKind::Scfq => v.visit(Scfq::new(sdp.clone())),
+            SchedulerKind::Drr => v.visit(Drr::new(sdp.clone(), 1500)),
+            SchedulerKind::Additive => v.visit(Additive::new(sdp.clone())),
+            SchedulerKind::Pad => v.visit(Pad::new(sdp.clone())),
+            SchedulerKind::Hpd => v.visit(Hpd::with_default_g(sdp.clone())),
+        }
+    }
+
     /// The scheduler's display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -100,6 +123,16 @@ impl SchedulerKind {
             SchedulerKind::Hpd => "HPD",
         }
     }
+}
+
+/// A computation generic over the concrete scheduler type, for use with
+/// [`SchedulerKind::build_and_visit`].
+pub trait SchedulerVisitor {
+    /// What the computation returns.
+    type Out;
+
+    /// Runs the computation with a freshly built scheduler.
+    fn visit<S: Scheduler>(self, scheduler: S) -> Self::Out;
 }
 
 impl fmt::Display for SchedulerKind {
@@ -155,5 +188,26 @@ mod tests {
     #[test]
     fn from_str_rejects_unknown() {
         assert!("nope".parse::<SchedulerKind>().is_err());
+    }
+
+    #[test]
+    fn visitor_sees_every_kind_unboxed() {
+        struct DrainOne;
+        impl SchedulerVisitor for DrainOne {
+            type Out = (usize, bool);
+            fn visit<S: Scheduler>(self, mut s: S) -> (usize, bool) {
+                s.enqueue(Packet::new(0, 1, 100, Time::ZERO));
+                let got = s.dequeue(Time::from_ticks(1)).is_some();
+                (s.num_classes(), got)
+            }
+        }
+        let sdp = Sdp::paper_default();
+        for kind in SchedulerKind::ALL {
+            assert_eq!(
+                kind.build_and_visit(&sdp, 1.0, DrainOne),
+                (4, true),
+                "{kind}"
+            );
+        }
     }
 }

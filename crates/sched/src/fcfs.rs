@@ -66,10 +66,7 @@ impl Scheduler for Fcfs {
     }
 
     fn drop_newest(&mut self, class: usize) -> Option<Packet> {
-        let pos = self
-            .queue
-            .iter()
-            .rposition(|p| p.class as usize == class)?;
+        let pos = self.queue.iter().rposition(|p| p.class as usize == class)?;
         let pkt = self.queue.remove(pos).expect("position exists");
         self.packets[class] -= 1;
         self.bytes[class] -= pkt.size as u64;

@@ -14,7 +14,7 @@ use simcore::Time;
 
 use crate::class::Sdp;
 use crate::packet::Packet;
-use crate::scheduler::{argmax_backlogged, ClassQueues, Scheduler};
+use crate::scheduler::{ClassQueues, Scheduler};
 
 /// The Hybrid Proportional Delay scheduler.
 #[derive(Debug, Clone)]
@@ -48,8 +48,7 @@ impl Hpd {
         Hpd::new(sdp, 0.875)
     }
 
-    fn priority(&self, class: usize, now: Time) -> f64 {
-        let head = self.queues.head(class).expect("backlogged head");
+    fn priority(&self, class: usize, head: &Packet, now: Time) -> f64 {
         let w = head.waiting(now).as_f64();
         let s = self.sdp.get(class);
         let wtp_term = s * w;
@@ -77,7 +76,9 @@ impl Scheduler for Hpd {
     }
 
     fn dequeue(&mut self, now: Time) -> Option<Packet> {
-        let winner = argmax_backlogged(&self.queues, |c| self.priority(c, now))?;
+        let winner = self
+            .queues
+            .select_by(|c, head| self.priority(c, head, now))?;
         let pkt = self.queues.pop(winner)?;
         self.cum_delay[winner] += pkt.waiting(now).as_f64();
         self.departed[winner] += 1;

@@ -12,16 +12,26 @@ use crate::testutil::drive;
 /// Random arrival sequences: up to 200 packets over 4 classes, clustered
 /// tightly enough in time that queues actually build up.
 fn arrivals_strategy() -> impl Strategy<Value = Vec<(u64, u8, u32)>> {
-    prop::collection::vec((0u64..20_000, 0u8..4, prop_oneof![Just(40u32), Just(550), Just(1500)]), 1..200)
-        .prop_map(|mut v| {
-            v.sort_by_key(|e| e.0);
-            v
-        })
+    prop::collection::vec(
+        (
+            0u64..20_000,
+            0u8..4,
+            prop_oneof![Just(40u32), Just(550), Just(1500)],
+        ),
+        1..200,
+    )
+    .prop_map(|mut v| {
+        v.sort_by_key(|e| e.0);
+        v
+    })
 }
 
 fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
     let sdp = Sdp::paper_default();
-    SchedulerKind::ALL.iter().map(|k| k.build(&sdp, 1.0)).collect()
+    SchedulerKind::ALL
+        .iter()
+        .map(|k| k.build(&sdp, 1.0))
+        .collect()
 }
 
 proptest! {

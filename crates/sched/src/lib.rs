@@ -38,13 +38,13 @@ mod additive;
 mod bpr;
 mod bpr_fluid;
 mod class;
-mod drr;
 mod dropper;
+mod drr;
 mod factory;
 mod fcfs;
 mod hpd;
-mod pad;
 mod packet;
+mod pad;
 mod scfq;
 mod scheduler;
 mod strict;
@@ -56,13 +56,13 @@ pub use additive::Additive;
 pub use bpr::Bpr;
 pub use bpr_fluid::FluidBpr;
 pub use class::{Sdp, SdpError};
-pub use drr::Drr;
 pub use dropper::{BufferPolicy, DropDecision, PlrDropper};
-pub use factory::SchedulerKind;
+pub use drr::Drr;
+pub use factory::{SchedulerKind, SchedulerVisitor};
 pub use fcfs::Fcfs;
 pub use hpd::Hpd;
-pub use pad::Pad;
 pub use packet::Packet;
+pub use pad::Pad;
 pub use scfq::Scfq;
 pub use scheduler::{ClassQueues, Scheduler};
 pub use strict::StrictPriority;

@@ -18,7 +18,7 @@ use simcore::Time;
 
 use crate::class::Sdp;
 use crate::packet::Packet;
-use crate::scheduler::{argmax_backlogged, ClassQueues, Scheduler};
+use crate::scheduler::{ClassQueues, Scheduler};
 
 /// The Proportional Average Delay scheduler.
 #[derive(Debug, Clone)]
@@ -41,10 +41,9 @@ impl Pad {
         }
     }
 
-    /// Projected normalized average delay of `class` if its head were
-    /// served at `now`.
-    fn projected(&self, class: usize, now: Time) -> f64 {
-        let head = self.queues.head(class).expect("backlogged head");
+    /// Projected normalized average delay of `class` if its head (`head`)
+    /// were served at `now`.
+    fn projected(&self, class: usize, head: &Packet, now: Time) -> f64 {
         let w = head.waiting(now).as_f64();
         self.sdp.get(class) * (self.cum_delay[class] + w) / (self.departed[class] + 1) as f64
     }
@@ -69,7 +68,9 @@ impl Scheduler for Pad {
     }
 
     fn dequeue(&mut self, now: Time) -> Option<Packet> {
-        let winner = argmax_backlogged(&self.queues, |c| self.projected(c, now))?;
+        let winner = self
+            .queues
+            .select_by(|c, head| self.projected(c, head, now))?;
         let pkt = self.queues.pop(winner)?;
         self.cum_delay[winner] += pkt.waiting(now).as_f64();
         self.departed[winner] += 1;

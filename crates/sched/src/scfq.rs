@@ -132,7 +132,7 @@ mod tests {
         let mut s = Scfq::new(Sdp::new(&[1.0, 1.0]).unwrap());
         s.enqueue(pkt(1, 0, 100, 0));
         assert_eq!(s.dequeue(Time::ZERO).unwrap().seq, 1); // vtime = 100
-        // Arrives while "in service": start tag is vtime (100), not 0.
+                                                           // Arrives while "in service": start tag is vtime (100), not 0.
         s.enqueue(pkt(2, 1, 100, 50));
         s.enqueue(pkt(3, 0, 100, 50));
         // Tags: class1 = 200, class0 = 200; tie → higher class first.

@@ -36,7 +36,9 @@ pub trait Scheduler {
 
     /// Total queued packets across classes.
     fn total_backlog_packets(&self) -> usize {
-        (0..self.num_classes()).map(|c| self.backlog_packets(c)).sum()
+        (0..self.num_classes())
+            .map(|c| self.backlog_packets(c))
+            .sum()
     }
 
     /// Total queued bytes across classes.
@@ -139,25 +141,36 @@ impl ClassQueues {
         self.bytes[class] -= pkt.size as u64;
         Some(pkt)
     }
-}
 
-/// Picks the winning class by maximizing `priority(class)` over backlogged
-/// classes, breaking ties toward the **higher** class index (the paper's
-/// tie rule). Returns `None` when nothing is backlogged.
-pub(crate) fn argmax_backlogged<F: FnMut(usize) -> f64>(
-    queues: &ClassQueues,
-    mut priority: F,
-) -> Option<usize> {
-    let mut best: Option<(usize, f64)> = None;
-    for c in queues.backlogged() {
-        let p = priority(c);
-        match best {
-            // `>=` favors the later (higher) class on ties.
-            Some((_, bp)) if p < bp => {}
-            _ => best = Some((c, p)),
-        }
+    /// Iterator over every class's head-of-line packet, in class order
+    /// (`None` for empty classes). One sweep over the queues with no
+    /// per-class index lookups — the building block of the schedulers'
+    /// single-pass decision loops.
+    pub fn heads(&self) -> impl Iterator<Item = Option<&Packet>> {
+        self.queues.iter().map(VecDeque::front)
     }
-    best.map(|(c, _)| c)
+
+    /// Picks the winning class by maximizing `priority(class, head)` over
+    /// backlogged classes in a single pass, breaking ties toward the
+    /// **higher** class index (the paper's tie rule). Returns `None` when
+    /// nothing is backlogged.
+    ///
+    /// Unlike scanning [`ClassQueues::backlogged`] and re-fetching each
+    /// head, the head-of-line packet is handed to the priority function
+    /// directly: one queue access per class per decision.
+    pub fn select_by<F: FnMut(usize, &Packet) -> f64>(&self, mut priority: F) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (c, queue) in self.queues.iter().enumerate() {
+            let Some(head) = queue.front() else { continue };
+            let p = priority(c, head);
+            match best {
+                // `>=` favors the later (higher) class on ties.
+                Some((_, bp)) if p < bp => {}
+                _ => best = Some((c, p)),
+            }
+        }
+        best.map(|(c, _)| c)
+    }
 }
 
 #[cfg(test)]
@@ -210,14 +223,37 @@ mod tests {
     }
 
     #[test]
-    fn argmax_breaks_ties_toward_higher_class() {
+    fn select_by_breaks_ties_toward_higher_class() {
         let mut q = ClassQueues::new(3);
         q.push(pkt(1, 0, 10, 0));
         q.push(pkt(2, 2, 10, 0));
-        assert_eq!(argmax_backlogged(&q, |_| 1.0), Some(2));
-        assert_eq!(argmax_backlogged(&q, |c| if c == 0 { 2.0 } else { 1.0 }), Some(0));
+        assert_eq!(q.select_by(|_, _| 1.0), Some(2));
+        assert_eq!(q.select_by(|c, _| if c == 0 { 2.0 } else { 1.0 }), Some(0));
         let empty = ClassQueues::new(3);
-        assert_eq!(argmax_backlogged(&empty, |_| 1.0), None);
+        assert_eq!(empty.select_by(|_, _| 1.0), None);
+    }
+
+    #[test]
+    fn select_by_hands_the_actual_head_to_the_priority() {
+        let mut q = ClassQueues::new(2);
+        q.push(pkt(1, 0, 10, 3));
+        q.push(pkt(2, 0, 10, 9)); // queued behind; must not be consulted
+        q.push(pkt(3, 1, 10, 7));
+        let mut seen = Vec::new();
+        q.select_by(|c, head| {
+            seen.push((c, head.seq, head.arrival.ticks()));
+            0.0
+        });
+        assert_eq!(seen, vec![(0, 1, 3), (1, 3, 7)]);
+    }
+
+    #[test]
+    fn heads_reports_every_class_in_order() {
+        let mut q = ClassQueues::new(3);
+        q.push(pkt(1, 0, 10, 0));
+        q.push(pkt(2, 2, 10, 0));
+        let seqs: Vec<Option<u64>> = q.heads().map(|h| h.map(|p| p.seq)).collect();
+        assert_eq!(seqs, vec![Some(1), None, Some(2)]);
     }
 
     #[test]

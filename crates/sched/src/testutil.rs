@@ -72,6 +72,12 @@ pub(crate) fn class_average_waits(deps: &[Departure], num_classes: usize) -> Vec
         cnt[d.class as usize] += 1;
     }
     (0..num_classes)
-        .map(|c| if cnt[c] == 0 { 0.0 } else { sum[c] / cnt[c] as f64 })
+        .map(|c| {
+            if cnt[c] == 0 {
+                0.0
+            } else {
+                sum[c] / cnt[c] as f64
+            }
+        })
         .collect()
 }

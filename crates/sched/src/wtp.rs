@@ -13,7 +13,7 @@ use simcore::Time;
 
 use crate::class::Sdp;
 use crate::packet::Packet;
-use crate::scheduler::{argmax_backlogged, ClassQueues, Scheduler};
+use crate::scheduler::{ClassQueues, Scheduler};
 
 /// The Waiting-Time Priority scheduler.
 #[derive(Debug, Clone)]
@@ -56,10 +56,9 @@ impl Scheduler for Wtp {
     }
 
     fn dequeue(&mut self, now: Time) -> Option<Packet> {
-        let winner = argmax_backlogged(&self.queues, |c| {
-            let head = self.queues.head(c).expect("backlogged class has a head");
-            head.waiting(now).as_f64() * self.sdp.get(c)
-        })?;
+        let winner = self
+            .queues
+            .select_by(|c, head| head.waiting(now).as_f64() * self.sdp.get(c))?;
         self.queues.pop(winner)
     }
 

@@ -81,6 +81,20 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|e| (e.time, e.event))
     }
 
+    /// Removes and returns the earliest event if it is due at or before
+    /// `horizon`; leaves the queue untouched otherwise.
+    ///
+    /// This is the single-call replacement for a `peek_time` + `pop` pair:
+    /// the run loop's bounds test and removal share one heap access, and
+    /// `None` means either "empty" or "next event is past the horizon"
+    /// (disambiguate with [`EventQueue::is_empty`]).
+    pub fn pop_at_or_before(&mut self, horizon: Time) -> Option<(Time, E)> {
+        match self.heap.peek() {
+            Some(e) if e.time <= horizon => self.heap.pop().map(|e| (e.time, e.event)),
+            _ => None,
+        }
+    }
+
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|e| e.time)
@@ -158,6 +172,26 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ticks(10), "late");
+        q.push(Time::from_ticks(5), "due");
+        assert_eq!(
+            q.pop_at_or_before(Time::from_ticks(5)),
+            Some((Time::from_ticks(5), "due"))
+        );
+        // The remaining event is past the horizon: not popped, not lost.
+        assert_eq!(q.pop_at_or_before(Time::from_ticks(9)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            q.pop_at_or_before(Time::from_ticks(10)),
+            Some((Time::from_ticks(10), "late"))
+        );
+        assert_eq!(q.pop_at_or_before(Time::from_ticks(u64::MAX)), None);
+        assert!(q.is_empty());
     }
 
     #[test]

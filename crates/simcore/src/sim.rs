@@ -76,6 +76,11 @@ pub struct Simulation<M: Model> {
     queue: EventQueue<M::Event>,
     now: Time,
     handled: u64,
+    // Backing storage for `Context::pending`, recycled across events so the
+    // hot loop never allocates: it is moved into the `Context` for the
+    // duration of `Model::handle` and taken back (drained, capacity kept)
+    // afterwards.
+    pending_buf: Vec<(Time, M::Event)>,
 }
 
 impl<M: Model> Simulation<M> {
@@ -86,6 +91,7 @@ impl<M: Model> Simulation<M> {
             queue: EventQueue::new(),
             now: Time::ZERO,
             handled: 0,
+            pending_buf: Vec::new(),
         }
     }
 
@@ -132,19 +138,26 @@ impl<M: Model> Simulation<M> {
 
     fn step_inner(&mut self) -> Option<bool> {
         let (t, ev) = self.queue.pop()?;
+        Some(self.dispatch(t, ev))
+    }
+
+    /// Hands one already-popped event to the model and reschedules its
+    /// follow-ups. Returns the model's stop request.
+    fn dispatch(&mut self, t: Time, ev: M::Event) -> bool {
         debug_assert!(t >= self.now, "event queue went backwards");
         self.now = t;
         let mut ctx = Context {
             now: t,
-            pending: Vec::new(),
+            pending: std::mem::take(&mut self.pending_buf),
             stop: false,
         };
         self.model.handle(ev, &mut ctx);
         self.handled += 1;
-        for (at, ev) in ctx.pending {
+        for (at, ev) in ctx.pending.drain(..) {
             self.queue.push(at, ev);
         }
-        Some(ctx.stop)
+        self.pending_buf = ctx.pending;
+        ctx.stop
     }
 
     /// Runs until the event queue drains or the model stops the loop.
@@ -162,13 +175,14 @@ impl<M: Model> Simulation<M> {
     /// the horizon are handled), the queue drains, or the model stops.
     pub fn run_until(&mut self, horizon: Time) -> RunOutcome {
         loop {
-            match self.queue.peek_time() {
-                None => return RunOutcome::Drained,
-                Some(t) if t > horizon => return RunOutcome::HorizonReached,
-                Some(_) => {}
-            }
-            if self.step_inner() == Some(true) {
-                return RunOutcome::Stopped;
+            match self.queue.pop_at_or_before(horizon) {
+                Some((t, ev)) => {
+                    if self.dispatch(t, ev) {
+                        return RunOutcome::Stopped;
+                    }
+                }
+                None if self.queue.is_empty() => return RunOutcome::Drained,
+                None => return RunOutcome::HorizonReached,
             }
         }
     }
@@ -230,12 +244,18 @@ mod tests {
             fired_at: Vec::new(),
         });
         sim.schedule(Time::ZERO, ());
-        assert_eq!(sim.run_until(Time::from_ticks(30)), RunOutcome::HorizonReached);
+        assert_eq!(
+            sim.run_until(Time::from_ticks(30)),
+            RunOutcome::HorizonReached
+        );
         // Events at t=0,10,20,30 handled; next pending is t=40.
         assert_eq!(sim.model().fired_at.len(), 4);
         assert_eq!(sim.now(), Time::from_ticks(30));
         // Continuing picks up where we left off.
-        assert_eq!(sim.run_until(Time::from_ticks(45)), RunOutcome::HorizonReached);
+        assert_eq!(
+            sim.run_until(Time::from_ticks(45)),
+            RunOutcome::HorizonReached
+        );
         assert_eq!(sim.now(), Time::from_ticks(40));
     }
 
@@ -269,6 +289,47 @@ mod tests {
         sim.schedule(Time::ZERO, 0);
         assert_eq!(sim.run(), RunOutcome::Stopped);
         assert_eq!(sim.now(), Time::from_ticks(3));
+    }
+
+    #[test]
+    fn stop_still_flushes_followups_to_the_queue() {
+        // A model that schedules a follow-up AND stops in the same handle:
+        // the follow-up must survive into the queue (the recycled pending
+        // buffer is drained before the stop is reported).
+        struct ScheduleAndStop;
+        impl Model for ScheduleAndStop {
+            type Event = u32;
+            fn handle(&mut self, ev: u32, ctx: &mut Context<u32>) {
+                ctx.schedule_in(Dur::from_ticks(1), ev + 1);
+                ctx.stop();
+            }
+        }
+        let mut sim = Simulation::new(ScheduleAndStop);
+        sim.schedule(Time::ZERO, 0);
+        assert_eq!(sim.run(), RunOutcome::Stopped);
+        // Resuming handles the follow-up scheduled by the stopping event.
+        assert_eq!(sim.run_for_events(1), RunOutcome::Stopped);
+        assert_eq!(sim.now(), Time::from_ticks(1));
+        assert_eq!(sim.events_handled(), 2);
+    }
+
+    #[test]
+    fn run_until_between_events_reports_horizon() {
+        let mut sim = Simulation::new(Ticker {
+            reps: 3,
+            gap: Dur::from_ticks(10),
+            fired_at: Vec::new(),
+        });
+        sim.schedule(Time::ZERO, ());
+        // Horizon strictly between two event times: queue is nonempty.
+        assert_eq!(
+            sim.run_until(Time::from_ticks(15)),
+            RunOutcome::HorizonReached
+        );
+        assert_eq!(sim.model().fired_at.len(), 2);
+        // Horizon past the last event: queue drains.
+        assert_eq!(sim.run_until(Time::from_ticks(1000)), RunOutcome::Drained);
+        assert_eq!(sim.model().fired_at.len(), 3);
     }
 
     #[test]

@@ -47,7 +47,10 @@ fn mean_var(xs: &[f64]) -> (f64, f64) {
 /// # Panics
 /// Panics if `times` is unsorted or `base_window` is zero.
 pub fn idc_curve(times: &[u64], base_window: u64, levels: usize) -> Vec<(u64, f64)> {
-    assert!(times.windows(2).all(|w| w[0] <= w[1]), "times must be sorted");
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "times must be sorted"
+    );
     let mut out = Vec::new();
     for k in 0..levels {
         let m = base_window << k;
@@ -67,7 +70,10 @@ pub fn idc_curve(times: &[u64], base_window: u64, levels: usize) -> Vec<(u64, f6
 /// The variance-time curve: `(window, Var(rate over window))` where rate =
 /// count/window, for windows `base·2^k`.
 pub fn variance_time(times: &[u64], base_window: u64, levels: usize) -> Vec<(u64, f64)> {
-    assert!(times.windows(2).all(|w| w[0] <= w[1]), "times must be sorted");
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "times must be sorted"
+    );
     let mut out = Vec::new();
     for k in 0..levels {
         let m = base_window << k;
@@ -160,10 +166,7 @@ mod tests {
         let pareto = arrivals(4, 400_000, true);
         let h_poisson = hurst_estimate(&variance_time(&poisson, 1_000, 8)).unwrap();
         let h_pareto = hurst_estimate(&variance_time(&pareto, 1_000, 8)).unwrap();
-        assert!(
-            (0.35..0.65).contains(&h_poisson),
-            "Poisson H = {h_poisson}"
-        );
+        assert!((0.35..0.65).contains(&h_poisson), "Poisson H = {h_poisson}");
         assert!(
             h_pareto > h_poisson + 0.02,
             "Pareto H = {h_pareto} vs Poisson H = {h_poisson}"

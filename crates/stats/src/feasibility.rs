@@ -117,7 +117,11 @@ impl fmt::Display for FeasibilityReport {
         writeln!(
             f,
             "feasibility: {} ({} subsets, {} violations, conservation gap {:.3}%)",
-            if self.feasible() { "FEASIBLE" } else { "INFEASIBLE" },
+            if self.feasible() {
+                "FEASIBLE"
+            } else {
+                "INFEASIBLE"
+            },
             self.checks.len(),
             self.violations().len(),
             100.0 * self.conservation_gap()
@@ -289,7 +293,11 @@ mod tests {
         let d: Vec<f64> = delta.iter().map(|&di| di * agg / denom).collect();
         // Conservation check: λ0 d0 + λ1 d1 = λ d̄.
         let report = check_feasibility(&tr, 1.0, &d);
-        assert!(report.conservation_gap() < 1e-6, "gap {}", report.conservation_gap());
+        assert!(
+            report.conservation_gap() < 1e-6,
+            "gap {}",
+            report.conservation_gap()
+        );
         assert!(report.feasible(), "{report}");
     }
 

@@ -22,7 +22,10 @@ impl Histogram {
     /// # Panics
     /// Panics if `x` is negative or non-finite.
     pub fn record(&mut self, x: f64) {
-        assert!(x >= 0.0 && x.is_finite(), "histogram values must be finite and >= 0");
+        assert!(
+            x >= 0.0 && x.is_finite(),
+            "histogram values must be finite and >= 0"
+        );
         let bin = if x < 1.0 {
             0
         } else {
@@ -98,7 +101,7 @@ mod tests {
         assert_eq!(h.bins()[1], 2); // 1.0, 1.9
         assert_eq!(h.bins()[2], 2); // 2.0, 3.9
         assert_eq!(h.bins()[3], 1); // 4.0
-        // 100 lands in [64, 128) = bin 7.
+                                    // 100 lands in [64, 128) = bin 7.
         assert_eq!(h.bins()[7], 1);
     }
 

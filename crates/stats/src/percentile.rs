@@ -6,9 +6,15 @@
 /// # Panics
 /// Panics if `q` is outside `[0, 1]` or the slice is empty.
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     assert!(!sorted.is_empty(), "percentile of an empty slice");
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "slice must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "slice must be sorted"
+    );
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -207,16 +207,16 @@ mod tests {
             .series('m', &[(10.0, 1.0), (100.0, 2.0), (1000.0, 3.0)]);
         let text = p.render();
         // Columns of the three markers should be roughly evenly spaced.
-        let cols: Vec<usize> = text
-            .lines()
-            .filter_map(|l| l.find('m'))
-            .collect();
+        let cols: Vec<usize> = text.lines().filter_map(|l| l.find('m')).collect();
         assert_eq!(cols.len(), 3);
         let mut sorted = cols.clone();
         sorted.sort_unstable();
         let gap1 = sorted[1] - sorted[0];
         let gap2 = sorted[2] - sorted[1];
-        assert!((gap1 as i64 - gap2 as i64).abs() <= 2, "gaps {gap1} vs {gap2}");
+        assert!(
+            (gap1 as i64 - gap2 as i64).abs() <= 2,
+            "gaps {gap1} vs {gap2}"
+        );
         assert!(text.contains("10.00"));
         assert!(text.contains("1000"));
     }

@@ -40,7 +40,10 @@ impl fmt::Display for DistError {
                 write!(f, "Pareto shape must be > 1 for a finite mean, got {a}")
             }
             DistError::BadBounds { lo, hi } => {
-                write!(f, "uniform bounds must satisfy 0 <= lo <= hi, got [{lo}, {hi}]")
+                write!(
+                    f,
+                    "uniform bounds must satisfy 0 <= lo <= hi, got [{lo}, {hi}]"
+                )
             }
         }
     }

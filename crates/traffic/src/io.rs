@@ -131,7 +131,11 @@ mod tests {
     fn sample_trace() -> Trace {
         let mut sources = vec![
             ClassSource::new(0, IatDist::paper_pareto(100.0).unwrap(), SizeDist::paper()),
-            ClassSource::new(1, IatDist::exponential(150.0).unwrap(), SizeDist::fixed(500)),
+            ClassSource::new(
+                1,
+                IatDist::exponential(150.0).unwrap(),
+                SizeDist::fixed(500),
+            ),
         ];
         let mut rng = StdRng::seed_from_u64(5);
         Trace::generate(&mut sources, Time::from_ticks(50_000), &mut rng)

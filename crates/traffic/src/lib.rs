@@ -17,6 +17,8 @@
 //! * [`ClassSource`] — a per-class arrival stream combining the two.
 //! * [`OnOffSource`] — a bursty on/off modulated source (extension).
 //! * [`Trace`] — a recorded, mergeable, replayable arrival trace.
+//! * [`SourceStream`] / [`MergedStream`] — iterator-backed generation that
+//!   reproduces [`Trace::generate_per_source`] lazily in O(sources) memory.
 //! * [`LoadPlan`] — helper that converts (utilization, class shares, link
 //!   rate) into per-class mean interarrivals, as §5 of the paper does.
 #![deny(missing_docs)]
@@ -28,6 +30,7 @@ mod load;
 mod onoff;
 mod sizes;
 mod source;
+mod stream;
 mod trace;
 
 pub use dist::{u01, DistError, IatDist};
@@ -36,6 +39,7 @@ pub use load::LoadPlan;
 pub use onoff::OnOffSource;
 pub use sizes::SizeDist;
 pub use source::ClassSource;
+pub use stream::{ArrivalSource, MergedStream, SourceStream};
 pub use trace::{per_source_seed, Trace, TraceEntry};
 
 /// The Pareto shape parameter used throughout the paper's evaluation (§5).

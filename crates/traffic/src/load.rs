@@ -148,9 +148,7 @@ mod tests {
     #[test]
     fn custom_family_is_rescaled() {
         let plan = LoadPlan::paper_study_a(0.95).unwrap();
-        let sources = plan
-            .sources(&IatDist::exponential(123.0).unwrap())
-            .unwrap();
+        let sources = plan.sources(&IatDist::exponential(123.0).unwrap()).unwrap();
         let total: f64 = sources.iter().map(|s| s.offered_load()).sum();
         assert!((total - 0.95).abs() < 1e-9);
     }

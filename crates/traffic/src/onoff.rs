@@ -133,7 +133,9 @@ mod tests {
     fn off_periods_create_visible_gaps() {
         let mut s = burst_source();
         let mut rng = StdRng::seed_from_u64(0);
-        let times: Vec<u64> = (0..100).map(|_| s.next_arrival(&mut rng).0.ticks()).collect();
+        let times: Vec<u64> = (0..100)
+            .map(|_| s.next_arrival(&mut rng).0.ticks())
+            .collect();
         let max_gap = times.windows(2).map(|w| w[1] - w[0]).max().unwrap();
         assert!(max_gap >= 900, "expected an OFF gap, max gap {max_gap}");
     }

@@ -66,11 +66,7 @@ mod tests {
 
     #[test]
     fn arrivals_are_nondecreasing() {
-        let mut s = ClassSource::new(
-            1,
-            IatDist::paper_pareto(100.0).unwrap(),
-            SizeDist::paper(),
-        );
+        let mut s = ClassSource::new(1, IatDist::paper_pareto(100.0).unwrap(), SizeDist::paper());
         let mut rng = StdRng::seed_from_u64(4);
         let mut prev = Time::ZERO;
         for _ in 0..10_000 {
@@ -99,7 +95,11 @@ mod tests {
 
     #[test]
     fn offered_load_formula() {
-        let s = ClassSource::new(2, IatDist::deterministic(100.0).unwrap(), SizeDist::fixed(50));
+        let s = ClassSource::new(
+            2,
+            IatDist::deterministic(100.0).unwrap(),
+            SizeDist::fixed(50),
+        );
         assert!((s.offered_load() - 0.5).abs() < 1e-12);
     }
 

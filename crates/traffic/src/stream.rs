@@ -1,0 +1,225 @@
+//! Streaming (iterator-backed) arrival generation.
+//!
+//! A [`Trace`](crate::Trace) materializes every arrival up front — ideal
+//! for replaying identical input through several schedulers, but O(packets)
+//! memory. The iterators here generate the *same* arrival sequence lazily:
+//! [`SourceStream`] walks one source, and [`MergedStream`] k-way-merges
+//! several with the `(time, source index)` tie-break that
+//! [`Trace::generate_per_source`](crate::Trace::generate_per_source) gets
+//! from its stable sort. For equal sources, horizon and base seed,
+//! `MergedStream::per_source` yields exactly that trace's entries, one at a
+//! time, in O(sources) memory.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simcore::Time;
+
+use crate::onoff::OnOffSource;
+use crate::source::ClassSource;
+use crate::trace::{per_source_seed, TraceEntry};
+
+/// An unbounded generator of timestamped packet arrivals — the common face
+/// of [`ClassSource`] and [`OnOffSource`] that lets the streaming
+/// machinery (and the `qsim` runners built on it) take either.
+pub trait ArrivalSource {
+    /// The class this source feeds.
+    fn class(&self) -> u8;
+
+    /// Draws the next arrival: `(time, size_bytes)`.
+    fn draw(&mut self, rng: &mut StdRng) -> (Time, u32);
+}
+
+impl ArrivalSource for ClassSource {
+    fn class(&self) -> u8 {
+        ClassSource::class(self)
+    }
+
+    fn draw(&mut self, rng: &mut StdRng) -> (Time, u32) {
+        self.next_arrival(rng)
+    }
+}
+
+impl ArrivalSource for OnOffSource {
+    fn class(&self) -> u8 {
+        OnOffSource::class(self)
+    }
+
+    fn draw(&mut self, rng: &mut StdRng) -> (Time, u32) {
+        self.next_arrival(rng)
+    }
+}
+
+/// Iterator over one source's arrivals up to an inclusive `horizon`.
+///
+/// The first arrival past the horizon ends the stream (matching the trace
+/// generators, which discard it).
+#[derive(Debug, Clone)]
+pub struct SourceStream<S> {
+    source: S,
+    rng: StdRng,
+    horizon: Time,
+    done: bool,
+}
+
+impl<S: ArrivalSource> SourceStream<S> {
+    /// Streams `source`'s arrivals from its own RNG seeded with `seed`.
+    pub fn new(source: S, seed: u64, horizon: Time) -> Self {
+        SourceStream {
+            source,
+            rng: StdRng::seed_from_u64(seed),
+            horizon,
+            done: false,
+        }
+    }
+}
+
+impl<S: ArrivalSource> Iterator for SourceStream<S> {
+    type Item = TraceEntry;
+
+    fn next(&mut self) -> Option<TraceEntry> {
+        if self.done {
+            return None;
+        }
+        let (at, size) = self.source.draw(&mut self.rng);
+        if at > self.horizon {
+            self.done = true;
+            return None;
+        }
+        Some(TraceEntry {
+            at,
+            class: self.source.class(),
+            size,
+        })
+    }
+}
+
+/// K-way merge of several [`SourceStream`]s into one time-ordered arrival
+/// stream.
+///
+/// Ties are broken by source index, which is exactly the order the stable
+/// sort in [`Trace::from_entries`](crate::Trace::from_entries) gives
+/// per-source-generated traces — so the merged stream replays
+/// [`Trace::generate_per_source`](crate::Trace::generate_per_source)
+/// entry-for-entry without materializing it. One arrival per source is
+/// buffered; the linear scan per `next()` is cheap for the handful of
+/// sources the experiments use.
+#[derive(Debug, Clone)]
+pub struct MergedStream<S> {
+    streams: Vec<SourceStream<S>>,
+    pending: Vec<Option<TraceEntry>>,
+}
+
+impl<S: ArrivalSource> MergedStream<S> {
+    /// Merges `sources`, seeding source *i* with
+    /// [`per_source_seed`]`(base_seed, i)` — the seeding scheme of
+    /// [`Trace::generate_per_source`](crate::Trace::generate_per_source).
+    pub fn per_source(sources: Vec<S>, base_seed: u64, horizon: Time) -> Self {
+        let streams: Vec<SourceStream<S>> = sources
+            .into_iter()
+            .enumerate()
+            .map(|(i, src)| SourceStream::new(src, per_source_seed(base_seed, i), horizon))
+            .collect();
+        MergedStream::from_streams(streams)
+    }
+
+    /// Merges already-constructed streams (for custom per-source seeds).
+    pub fn from_streams(mut streams: Vec<SourceStream<S>>) -> Self {
+        let pending = streams.iter_mut().map(Iterator::next).collect();
+        MergedStream { streams, pending }
+    }
+}
+
+impl<S: ArrivalSource> Iterator for MergedStream<S> {
+    type Item = TraceEntry;
+
+    fn next(&mut self) -> Option<TraceEntry> {
+        let winner = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|e| (e.at, i)))
+            .min()?
+            .1;
+        let entry = self.pending[winner].take();
+        self.pending[winner] = self.streams[winner].next();
+        entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::IatDist;
+    use crate::sizes::SizeDist;
+    use crate::trace::Trace;
+
+    fn paper_source(class: u8, mean_gap: f64) -> ClassSource {
+        ClassSource::new(
+            class,
+            IatDist::paper_pareto(mean_gap).unwrap(),
+            SizeDist::paper(),
+        )
+    }
+
+    #[test]
+    fn source_stream_matches_materialized_generation() {
+        let horizon = Time::from_ticks(500_000);
+        let trace = Trace::generate_per_source(&mut [paper_source(0, 100.0)], horizon, 42);
+        let streamed: Vec<TraceEntry> =
+            SourceStream::new(paper_source(0, 100.0), per_source_seed(42, 0), horizon).collect();
+        assert!(!streamed.is_empty());
+        assert_eq!(trace.entries(), &streamed[..]);
+    }
+
+    #[test]
+    fn merged_stream_equals_generate_per_source() {
+        let horizon = Time::from_ticks(500_000);
+        let mk = || {
+            vec![
+                paper_source(0, 80.0),
+                paper_source(1, 120.0),
+                paper_source(2, 200.0),
+            ]
+        };
+        let trace = Trace::generate_per_source(&mut mk(), horizon, 7);
+        let streamed: Vec<TraceEntry> = MergedStream::per_source(mk(), 7, horizon).collect();
+        assert_eq!(trace.entries(), &streamed[..]);
+    }
+
+    #[test]
+    fn merge_breaks_time_ties_by_source_index() {
+        // Two deterministic sources firing at the same instants: the
+        // lower-index source must always come first.
+        let mk = |class| {
+            ClassSource::new(
+                class,
+                IatDist::deterministic(10.0).unwrap(),
+                SizeDist::fixed(1),
+            )
+        };
+        let merged: Vec<TraceEntry> =
+            MergedStream::per_source(vec![mk(1), mk(0)], 0, Time::from_ticks(40)).collect();
+        let classes: Vec<u8> = merged.iter().map(|e| e.class).collect();
+        assert_eq!(classes, vec![1, 0, 1, 0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn onoff_sources_stream_too() {
+        let src = OnOffSource::new(
+            0,
+            IatDist::deterministic(10.0).unwrap(),
+            SizeDist::fixed(100),
+            IatDist::deterministic(100.0).unwrap(),
+            IatDist::deterministic(900.0).unwrap(),
+        );
+        let n = SourceStream::new(src, 3, Time::from_ticks(10_000)).count();
+        // ~10 packets per 100-tick ON period, one period per 1000 ticks.
+        assert!((80..=120).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn empty_merge_is_empty() {
+        let mut m = MergedStream::<ClassSource>::per_source(Vec::new(), 0, Time::from_ticks(10));
+        assert_eq!(m.next(), None);
+    }
+}

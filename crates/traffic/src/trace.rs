@@ -226,7 +226,13 @@ mod tests {
         // Adding a second source must not change the first source's
         // arrivals (unlike the shared-RNG generate()).
         let horizon = Time::from_ticks(200_000);
-        let mk = |class| ClassSource::new(class, IatDist::paper_pareto(100.0).unwrap(), SizeDist::paper());
+        let mk = |class| {
+            ClassSource::new(
+                class,
+                IatDist::paper_pareto(100.0).unwrap(),
+                SizeDist::paper(),
+            )
+        };
         let solo = Trace::generate_per_source(&mut [mk(0)], horizon, 9);
         let both = Trace::generate_per_source(&mut [mk(0), mk(1)], horizon, 9);
         let class0: Vec<_> = both
@@ -248,11 +254,7 @@ mod tests {
 
     #[test]
     fn class_counts_and_rates() {
-        let t = Trace::from_entries(vec![
-            entry(0, 0, 1),
-            entry(50, 1, 1),
-            entry(100, 0, 1),
-        ]);
+        let t = Trace::from_entries(vec![entry(0, 0, 1), entry(50, 1, 1), entry(100, 0, 1)]);
         assert_eq!(t.class_counts(), vec![2, 1]);
         let rates = t.class_packet_rates();
         assert!((rates[0] - 0.02).abs() < 1e-12);

@@ -16,7 +16,13 @@ use propdiff::stats::Table;
 
 fn main() {
     println!("Eq. (7) feasibility of Eq. (6) targets; 4 classes, loads 40/30/20/10%\n");
-    let mut t = Table::new(["util", "spacing r", "feasible?", "worst subset slack", "top-class target (p-units)"]);
+    let mut t = Table::new([
+        "util",
+        "spacing r",
+        "feasible?",
+        "worst subset slack",
+        "top-class target (p-units)",
+    ]);
     for rho in [0.75, 0.85, 0.95] {
         let e = Experiment::paper(rho, Sdp::paper_default(), 40_000, vec![3]);
         let trace = e.trace_for_seed(3);
@@ -45,7 +51,11 @@ fn main() {
             t.row([
                 format!("{:.0}%", rho * 100.0),
                 format!("{spacing:.1}"),
-                if report.feasible() { "yes".into() } else { "NO".to_string() },
+                if report.feasible() {
+                    "yes".into()
+                } else {
+                    "NO".to_string()
+                },
                 format!("{worst:+.3}"),
                 format!("{:.2}", targets[3] / 441.0),
             ]);

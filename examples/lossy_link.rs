@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example lossy_link`
 
 use propdiff::qsim::{run_trace_lossy, LossMode};
-use propdiff::sched::{PlrDropper, Sdp, SchedulerKind};
+use propdiff::sched::{PlrDropper, SchedulerKind, Sdp};
 use propdiff::simcore::Time;
 use propdiff::stats::Table;
 use propdiff::traffic::{ClassSource, IatDist, SizeDist, Trace};
@@ -19,8 +19,16 @@ fn main() {
     // Two classes, each offering ~0.65 of the link: total load 1.3.
     let horizon = Time::from_ticks(20_000_000);
     let mut sources = vec![
-        ClassSource::new(0, IatDist::paper_pareto(154.0).expect("valid"), SizeDist::fixed(100)),
-        ClassSource::new(1, IatDist::paper_pareto(154.0).expect("valid"), SizeDist::fixed(100)),
+        ClassSource::new(
+            0,
+            IatDist::paper_pareto(154.0).expect("valid"),
+            SizeDist::fixed(100),
+        ),
+        ClassSource::new(
+            1,
+            IatDist::paper_pareto(154.0).expect("valid"),
+            SizeDist::fixed(100),
+        ),
     ];
     let trace = Trace::generate_per_source(&mut sources, horizon, 42);
     println!(

@@ -19,7 +19,10 @@ use propdiff::stats::{fcfs_mean_wait, Table};
 
 fn main() {
     let rho = 0.93;
-    println!("operator tuning at {:.0}% load, 4 classes, loads 40/30/20/10%\n", rho * 100.0);
+    println!(
+        "operator tuning at {:.0}% load, 4 classes, loads 40/30/20/10%\n",
+        rho * 100.0
+    );
 
     // One recorded trace serves both the feasibility check and simulation.
     let base = Experiment::paper(rho, Sdp::paper_default(), 60_000, vec![2]);
@@ -67,7 +70,11 @@ fn main() {
         };
         t.row([
             format!("{spacing:.1}"),
-            if report.feasible() { "yes".into() } else { "NO".to_string() },
+            if report.feasible() {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
             format!("{:.1}", targets[3] / 441.0),
             format!("{:.1}", targets[0] / 441.0),
             sim,

@@ -30,7 +30,12 @@ fn main() {
 
     let result = system.run();
     println!("three-class voice/web/bulk link at 92% load (WTP, s = 1,2,4)\n");
-    let mut t = Table::new(["class", "role", "mean delay (p-units)", "~ms on a T1 (441B pkts)"]);
+    let mut t = Table::new([
+        "class",
+        "role",
+        "mean delay (p-units)",
+        "~ms on a T1 (441B pkts)",
+    ]);
     let roles = ["bulk", "web", "voice"];
     // 1 p-unit = one mean packet transmission: 441 B / 1.544 Mbps ≈ 2.3 ms.
     let ms_per_punit = 441.0 * 8.0 / 1_544_000.0 * 1000.0;

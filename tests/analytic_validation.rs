@@ -17,9 +17,7 @@ use propdiff::traffic::{IatDist, LoadPlan, SizeDist, Trace};
 /// packet-size mix on a 1 byte/tick link.
 fn simulate(kind: SchedulerKind, rho: f64, fractions: &[f64], seed: u64) -> Vec<f64> {
     let plan = LoadPlan::new(1.0, rho, fractions, SizeDist::paper()).unwrap();
-    let mut sources = plan
-        .sources(&IatDist::exponential(1.0).unwrap())
-        .unwrap();
+    let mut sources = plan.sources(&IatDist::exponential(1.0).unwrap()).unwrap();
     let trace = Trace::generate_per_source(
         &mut sources,
         Time::from_ticks(250_000_000), // ≈ 540k packets at ρ = 0.95
@@ -79,5 +77,10 @@ fn wtp_matches_tdp_at_moderate_load_and_skewed_mix() {
     let q = Mg1::paper_sizes(0.75, &fractions).unwrap();
     let slopes = [1.0, 2.0, 4.0, 8.0];
     let measured = simulate(SchedulerKind::Wtp, 0.75, &fractions, 19);
-    assert_close(&measured, &q.tdp_waits(&slopes), 0.08, "Kleinrock TDP (skewed)");
+    assert_close(
+        &measured,
+        &q.tdp_waits(&slopes),
+        0.08,
+        "Kleinrock TDP (skewed)",
+    );
 }

@@ -45,9 +45,17 @@ fn more_hops_do_not_break_differentiation() {
 #[test]
 fn median_delays_are_class_ordered() {
     let cfg = small_cfg(4, 0.95);
-    let r = analyze(&run_study_b(&cfg), cfg.num_classes(), packet_time_tolerance(&cfg));
+    let r = analyze(
+        &run_study_b(&cfg),
+        cfg.num_classes(),
+        packet_time_tolerance(&cfg),
+    );
     for w in r.class_median_ticks.windows(2) {
-        assert!(w[0] > w[1], "medians not ordered: {:?}", r.class_median_ticks);
+        assert!(
+            w[0] > w[1],
+            "medians not ordered: {:?}",
+            r.class_median_ticks
+        );
     }
 }
 
@@ -56,7 +64,11 @@ fn median_delays_are_class_ordered() {
 fn fcfs_network_has_no_end_to_end_differentiation() {
     let mut cfg = small_cfg(4, 0.95);
     cfg.scheduler = SchedulerKind::Fcfs;
-    let r = analyze(&run_study_b(&cfg), cfg.num_classes(), packet_time_tolerance(&cfg));
+    let r = analyze(
+        &run_study_b(&cfg),
+        cfg.num_classes(),
+        packet_time_tolerance(&cfg),
+    );
     assert!((r.rd - 1.0).abs() < 0.25, "FCFS network R_D {}", r.rd);
 }
 
