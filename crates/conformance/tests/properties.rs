@@ -1,0 +1,149 @@
+//! Property-test layer over the conformance checks: random workloads with
+//! **shrinking**. Strategies deliberately avoid a top-level `prop_map`
+//! (the shim cannot shrink through mapped values), so a failing case is
+//! minimized — small vectors, small times — before it is printed.
+
+use conformance::fluid::bpr_service_lag;
+use conformance::metamorphic::{
+    conservation_audit, size_rescale_check, size_rescale_kinds, time_rescale_check,
+    time_rescale_kinds,
+};
+use conformance::oracle::{diff_wtp, feasibility_witness, oracle_self_check};
+use conformance::Arrival;
+use proptest::prelude::*;
+use sched::{SchedulerKind, Sdp};
+
+/// Unsorted arrival tuples; the body sorts. Kept shrinkable end-to-end.
+fn arrivals_strategy() -> impl Strategy<Value = Vec<Arrival>> {
+    prop::collection::vec(
+        (
+            0u64..20_000,
+            0u8..4,
+            prop_oneof![Just(40u32), Just(550), Just(1500)],
+        ),
+        1..150,
+    )
+}
+
+/// Uniform-size arrivals for the packet-weighted feasibility witness.
+fn uniform_arrivals_strategy() -> impl Strategy<Value = Vec<(u64, u8)>> {
+    prop::collection::vec((0u64..20_000, 0u8..4), 1..150)
+}
+
+/// Arrivals on a coarse 48-slot tick grid (scaled ×500 in the body):
+/// same-tick multi-class batches — the zero-wait priority ties where
+/// tie-break rules decide — occur in nearly every case. This is what lets
+/// the oracle-diff property catch the `mutate-wtp-tiebreak` flip.
+fn tie_rich_strategy() -> impl Strategy<Value = Vec<Arrival>> {
+    prop::collection::vec(
+        (
+            0u64..48,
+            0u8..4,
+            prop_oneof![Just(40u32), Just(550), Just(1500)],
+        ),
+        2..100,
+    )
+}
+
+fn sorted(mut arrivals: Vec<Arrival>) -> Vec<Arrival> {
+    arrivals.sort_by_key(|e| e.0);
+    arrivals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The production WTP never diverges from the from-scratch oracle —
+    /// per decision instant, per departure, via both replay paths.
+    #[test]
+    fn prop_wtp_matches_oracle(arrivals in arrivals_strategy()) {
+        let arrivals = sorted(arrivals);
+        if let Err(d) = diff_wtp(&Sdp::paper_default(), &arrivals, 1.0) {
+            prop_assert!(false, "{d}");
+        }
+    }
+
+    /// Same differential on tie-rich batched traffic. Under the seeded
+    /// `mutated` feature this is the test that fails — and shrinks the
+    /// workload down to a minimal same-tick pair before reporting it.
+    #[test]
+    fn prop_wtp_matches_oracle_on_tie_bursts(slots in tie_rich_strategy()) {
+        let arrivals = sorted(slots.iter().map(|&(t, c, s)| (t * 500, c, s)).collect());
+        if let Err(d) = diff_wtp(&Sdp::paper_default(), &arrivals, 1.0) {
+            prop_assert!(false, "{d}");
+        }
+    }
+
+    /// The oracle's own replay stays lossless, causal and class-FIFO.
+    #[test]
+    fn prop_oracle_self_check(arrivals in arrivals_strategy()) {
+        let arrivals = sorted(arrivals);
+        if let Err(e) = oracle_self_check(&Sdp::paper_default(), &arrivals) {
+            prop_assert!(false, "{e}");
+        }
+    }
+
+    /// Eq. 5: Σ size·wait and the busy-period end are scheduler-invariant.
+    #[test]
+    fn prop_conservation_across_all_kinds(arrivals in arrivals_strategy()) {
+        let arrivals = sorted(arrivals);
+        if let Err(e) = conservation_audit(&Sdp::paper_default(), &arrivals) {
+            prop_assert!(false, "{e}");
+        }
+    }
+
+    /// Fluid-BPR reconciliation: whatever the load, once the packetized
+    /// run drains, the fluid server has served byte-identical per-class
+    /// totals (work conservation leaves only float noise).
+    #[test]
+    fn prop_fluid_bpr_reconciles_when_drained(arrivals in arrivals_strategy()) {
+        let arrivals = sorted(arrivals);
+        let report = bpr_service_lag(&Sdp::paper_default(), &arrivals, 1.0);
+        prop_assert!(
+            report.end_lag_bytes <= 1e-3,
+            "end lag {} bytes",
+            report.end_lag_bytes
+        );
+    }
+
+    /// Achieved mean delays are a feasible Eq. 7 point for every scheduler
+    /// (uniform sizes: packet-weighted = byte-weighted).
+    #[test]
+    fn prop_achieved_delays_are_feasible(pairs in uniform_arrivals_strategy()) {
+        let mut arrivals: Vec<Arrival> = pairs.iter().map(|&(t, c)| (t, c, 500)).collect();
+        arrivals.sort_by_key(|e| e.0);
+        for kind in SchedulerKind::ALL {
+            if let Err(e) = feasibility_witness(kind, &Sdp::paper_default(), &arrivals) {
+                prop_assert!(false, "{e}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Exact ×k time-dilation invariance for every applicable scheduler.
+    #[test]
+    fn prop_time_rescale_invariance(arrivals in arrivals_strategy(), k_exp in 1u32..4) {
+        let arrivals = sorted(arrivals);
+        let k = 1u64 << k_exp;
+        for kind in time_rescale_kinds() {
+            if let Err(e) = time_rescale_check(kind, &Sdp::paper_default(), &arrivals, k) {
+                prop_assert!(false, "{e}");
+            }
+        }
+    }
+
+    /// Exact ×k size-dilation invariance for every applicable scheduler.
+    #[test]
+    fn prop_size_rescale_invariance(arrivals in arrivals_strategy(), k_exp in 1u32..3) {
+        let arrivals = sorted(arrivals);
+        let k = 1u64 << k_exp;
+        for kind in size_rescale_kinds() {
+            if let Err(e) = size_rescale_check(kind, &Sdp::paper_default(), &arrivals, k) {
+                prop_assert!(false, "{e}");
+            }
+        }
+    }
+}

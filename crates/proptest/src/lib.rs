@@ -6,20 +6,39 @@
 //! tuple strategies, [`collection::vec`], [`Just`], [`prop_oneof!`],
 //! [`bool::ANY`], [`ProptestConfig`] and the `prop_assert*` macros.
 //!
-//! Semantics differ from upstream in two deliberate ways: generation is
-//! seeded deterministically per test (no persistence files), and failing
-//! cases are not shrunk — the panic message reports the failing case index
-//! and seed instead.
+//! Semantics differ from upstream in three deliberate ways:
+//!
+//! * generation is seeded deterministically per test (no persistence
+//!   files);
+//! * failing cases **are shrunk**, but with a simpler scheme than
+//!   upstream's value trees: strategies expose [`Strategy::shrink`]
+//!   candidates (halve-and-retry for [`collection::vec`], binary search
+//!   toward the range minimum for scalar ranges) and the runner greedily
+//!   keeps the smallest still-failing candidate within a bounded budget.
+//!   `prop_map`ped strategies do not shrink (the map is not invertible
+//!   without upstream's value trees) — keep the outermost strategy a
+//!   range/vec/tuple when minimal counterexamples matter;
+//! * the `PROPTEST_CASES` environment variable overrides the case count of
+//!   **every** config, including explicit `with_cases` values. Upstream
+//!   only overrides the default; here the variable is the operator knob CI
+//!   uses to elevate whole suites (see the conformance job), so it wins
+//!   unconditionally.
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+/// Maximum number of candidate re-executions one shrink pass may spend.
+/// Each candidate runs the full test body, so this bounds the extra time a
+/// failure costs (successful runs never pay it).
+const SHRINK_BUDGET: usize = 512;
+
 /// Runtime configuration for a [`proptest!`] block.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
-    /// Number of random cases to run per test.
+    /// Number of random cases to run per test (before the `PROPTEST_CASES`
+    /// override — see [`ProptestConfig::resolved_cases`]).
     pub cases: u32,
 }
 
@@ -27,6 +46,15 @@ impl ProptestConfig {
     /// A config running `cases` random cases.
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
+    }
+
+    /// The case count actually used: `PROPTEST_CASES` from the environment
+    /// when set and parseable, the configured value otherwise.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.trim().parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
     }
 }
 
@@ -49,7 +77,19 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. The runner keeps the first candidate that still fails and
+    /// repeats, so repeated halving/bisection converges in O(log) passes.
+    ///
+    /// The default is no shrinking (an empty candidate list).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
+    ///
+    /// Mapped strategies do **not** shrink: without upstream's value trees
+    /// the pre-map value of a failing case is unknown.
     fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -62,6 +102,9 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -99,6 +142,28 @@ macro_rules! int_range_strategy {
                 let span = (self.end - self.start) as u64;
                 self.start + rng.random_below(span) as $t
             }
+
+            /// Binary search toward the range minimum: the minimum itself,
+            /// then geometrically closer points `v - gap/2, v - gap/4, …,
+            /// v - 1`. The greedy runner takes the first failing candidate,
+            /// so each pass at least halves the distance to the true
+            /// minimum, and the `v - 1` fixed point guarantees the result
+            /// is the smallest failing value, not a bisection boundary.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                if v <= self.start {
+                    return Vec::new();
+                }
+                let mut out = vec![self.start];
+                let mut step = (v - self.start) / 2;
+                while step > 0 {
+                    out.push(v - step);
+                    step /= 2;
+                }
+                out.push(v - 1);
+                out.dedup();
+                out
+            }
         }
     )*};
 }
@@ -111,19 +176,58 @@ impl Strategy for std::ops::Range<f64> {
         assert!(self.start < self.end, "empty range strategy");
         self.start + (self.end - self.start) * rng.random::<f64>()
     }
+
+    /// Bisection toward the range minimum: the minimum itself, then
+    /// geometrically closer points `v - gap/2, v - gap/4, …`. Floats have
+    /// no "minus one" step, so the result is minimal only up to a
+    /// `gap / 2³²` interval.
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let v = *value;
+        // NaN or already at/below the start: nothing to shrink toward.
+        if v.partial_cmp(&self.start) != Some(std::cmp::Ordering::Greater) {
+            return Vec::new();
+        }
+        let mut out = vec![self.start];
+        let mut frac = 0.5;
+        for _ in 0..32 {
+            let cand = v - (v - self.start) * frac;
+            if cand > self.start && cand < v {
+                out.push(cand);
+            }
+            frac /= 2.0;
+        }
+        out
+    }
 }
 
 macro_rules! tuple_strategy {
     ($($name:ident : $idx:tt),*) => {
-        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*)
+        where
+            $($name::Value: Clone,)*
+        {
             type Value = ($($name::Value,)*);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)*)
+            }
+
+            /// Shrinks one component at a time, holding the others fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )*
+                out
             }
         }
     };
 }
 
+tuple_strategy!(A: 0);
 tuple_strategy!(A: 0, B: 1);
 tuple_strategy!(A: 0, B: 1, C: 2);
 tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
@@ -149,6 +253,13 @@ impl<S: Strategy> Strategy for Union<S> {
         let i = rng.random_below(self.options.len() as u64) as usize;
         self.options[i].generate(rng)
     }
+
+    /// Offers each member strategy's candidates (the value's originating
+    /// member is unknown, but a candidate only survives if the test still
+    /// fails on it, so wrong-member candidates are merely wasted tries).
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.options.iter().flat_map(|s| s.shrink(value)).collect()
+    }
 }
 
 pub mod bool {
@@ -167,6 +278,15 @@ pub mod bool {
         type Value = core::primitive::bool;
         fn generate(&self, rng: &mut TestRng) -> core::primitive::bool {
             rng.random::<core::primitive::bool>()
+        }
+
+        /// `false` is the simpler boolean.
+        fn shrink(&self, value: &core::primitive::bool) -> Vec<core::primitive::bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 }
@@ -190,32 +310,118 @@ pub mod collection {
         len: std::ops::Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.len.end - self.len.start) as u64;
             let n = self.len.start + rng.random_below(span) as usize;
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
+
+        /// Halve-and-retry on the length (keep either half, then drop
+        /// single elements), followed by element-wise shrinking.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let len = value.len();
+            let min = self.len.start;
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            if len > min {
+                let half = (len / 2).max(min);
+                if half < len {
+                    out.push(value[..half].to_vec()); // front half
+                    out.push(value[len - half..].to_vec()); // back half
+                }
+                out.push(value[..len - 1].to_vec()); // drop tail element
+                out.push(value[1..].to_vec()); // drop head element
+            }
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 }
 
-/// Runs `cases` deterministic random cases of `body`, reporting the case
-/// index and seed on panic. Used by the [`proptest!`] macro expansion.
-pub fn run_cases(test_name: &str, config: &ProptestConfig, mut body: impl FnMut(&mut TestRng)) {
+/// Greedily minimizes a failing value: repeatedly takes the first
+/// [`Strategy::shrink`] candidate on which `still_fails` returns true,
+/// until no candidate fails or `budget` re-executions are spent.
+///
+/// Exposed so the shrinker itself is unit-testable; [`run_cases`] uses it
+/// with "the test body panics" as the failure predicate.
+pub fn shrink_to_minimal<S: Strategy>(
+    strategy: &S,
+    mut failing: S::Value,
+    mut still_fails: impl FnMut(&S::Value) -> bool,
+    mut budget: usize,
+) -> S::Value
+where
+    S::Value: Clone,
+{
+    loop {
+        let mut advanced = false;
+        for cand in strategy.shrink(&failing) {
+            if budget == 0 {
+                return failing;
+            }
+            budget -= 1;
+            if still_fails(&cand) {
+                failing = cand;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return failing;
+        }
+    }
+}
+
+/// Runs the configured number of deterministic random cases of `body`
+/// against values drawn from `strategy`. On failure the value is shrunk
+/// (see [`shrink_to_minimal`]) and the **minimal** failing case is
+/// reported alongside the case index and seed, then the panic resumes.
+///
+/// Used by the [`proptest!`] macro expansion.
+pub fn run_cases<S: Strategy>(
+    test_name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    body: impl Fn(&S::Value),
+) where
+    S::Value: Clone + std::fmt::Debug,
+{
     // Deterministic per-test seed: FNV-1a over the test name.
     let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
     for b in test_name.bytes() {
         seed ^= b as u64;
         seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
     }
-    for case in 0..config.cases {
+    let fails = |value: &S::Value| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value))).is_err()
+    };
+    for case in 0..config.resolved_cases() {
         let case_seed = seed.wrapping_add(case as u64);
         let mut rng = TestRng::seed_from_u64(case_seed);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        let value = strategy.generate(&mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&value)));
         if let Err(payload) = result {
-            eprintln!("proptest: {test_name} failed at case {case} (seed {case_seed})");
-            std::panic::resume_unwind(payload);
+            let minimal = shrink_to_minimal(strategy, value, fails, SHRINK_BUDGET);
+            eprintln!(
+                "proptest: {test_name} failed at case {case} (seed {case_seed});\n\
+                 minimal failing case after shrinking: {minimal:#?}"
+            );
+            // Re-raise with the minimal case's panic payload when it still
+            // reproduces (it should, by construction), else the original.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&minimal))) {
+                Err(min_payload) => std::panic::resume_unwind(min_payload),
+                Ok(()) => std::panic::resume_unwind(payload),
+            }
         }
     }
 }
@@ -248,7 +454,7 @@ macro_rules! prop_oneof {
 
 /// Declares property tests: each `fn name(arg in strategy, ...) { body }`
 /// becomes a `#[test]` that runs the body over random draws from the
-/// strategies.
+/// strategies, shrinking failures to a minimal case.
 #[macro_export]
 macro_rules! proptest {
     ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
@@ -274,8 +480,11 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config = $config;
-                $crate::run_cases(stringify!($name), &config, |proptest_rng| {
-                    $(let $arg = $crate::Strategy::generate(&($strategy), proptest_rng);)+
+                // All argument strategies combine into one tuple strategy
+                // so the whole argument pack shrinks coherently.
+                let strategy = ($($strategy,)+);
+                $crate::run_cases(stringify!($name), &config, &strategy, |__proptest_value| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(__proptest_value);
                     $body
                 });
             }
@@ -334,5 +543,103 @@ mod tests {
         let mut r1 = crate::TestRng::seed_from_u64(9);
         let mut r2 = crate::TestRng::seed_from_u64(9);
         assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    // ---- shrinker unit tests (the satellite's "unit-test the shrinker") --
+
+    #[test]
+    fn scalar_shrink_bisects_to_the_boundary() {
+        // Failure predicate: v >= 10. Starting from any failing value the
+        // shrinker must land exactly on 10 (binary search + final -1 step).
+        for start in [10u64, 11, 37, 77, 99] {
+            let min = crate::shrink_to_minimal(&(3u64..100), start, |&v| v >= 10, 10_000);
+            assert_eq!(min, 10, "from {start}");
+        }
+    }
+
+    #[test]
+    fn scalar_shrink_stops_at_range_minimum() {
+        // Everything fails: the minimum of the range is the fixed point.
+        let min = crate::shrink_to_minimal(&(7u64..100), 63, |_| true, 10_000);
+        assert_eq!(min, 7);
+    }
+
+    #[test]
+    fn float_shrink_approaches_minimum() {
+        // Failure predicate: v >= 0.5; bisection should get close to 0.5
+        // from above (floats have no exact final step).
+        let min = crate::shrink_to_minimal(&(0.0f64..1.0), 0.9375, |&v| v >= 0.5, 10_000);
+        assert!((0.5..0.51).contains(&min), "got {min}");
+    }
+
+    #[test]
+    fn vec_shrink_halves_to_single_culprit() {
+        // Failure: any element >= 50. A minimal case is one element == 50.
+        let strat = prop::collection::vec(0u32..100, 1..50);
+        let start = vec![3, 52, 7, 99, 14, 61];
+        let min = crate::shrink_to_minimal(&strat, start, |v| v.iter().any(|&x| x >= 50), 10_000);
+        assert_eq!(min, vec![50]);
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_length() {
+        let strat = prop::collection::vec(0u32..100, 3..50);
+        let start = vec![9, 9, 9, 9, 9, 9, 9];
+        // Everything fails; the floor is min length with minimal elements.
+        let min = crate::shrink_to_minimal(&strat, start, |_| true, 10_000);
+        assert_eq!(min, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn tuple_shrink_minimizes_each_component() {
+        let strat = (0u64..100, 0u32..10);
+        let min = crate::shrink_to_minimal(&strat, (80, 7), |&(a, b)| a >= 20 && b >= 2, 10_000);
+        assert_eq!(min, (20, 2));
+    }
+
+    #[test]
+    fn shrink_budget_is_respected() {
+        // With a zero budget the original failing value must come back
+        // untouched.
+        let min = crate::shrink_to_minimal(&(0u64..100), 77, |&v| v >= 10, 0);
+        assert_eq!(min, 77);
+    }
+
+    #[test]
+    fn unshrinkable_strategies_return_no_candidates() {
+        assert!(Strategy::shrink(&Just(5u32), &5).is_empty());
+        let mapped = (0u8..10).prop_map(|x| x as u32);
+        assert!(Strategy::shrink(&mapped, &3).is_empty());
+    }
+
+    #[test]
+    fn failing_case_is_shrunk_and_reported() {
+        // End-to-end through run_cases: the panic must carry the *minimal*
+        // case's message, proving the shrinker ran before re-raising.
+        let config = ProptestConfig::with_cases(64);
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases("shrink_e2e", &config, &(0u64..1000,), |&(v,)| {
+                assert!(v < 10, "saw {v}");
+            });
+        });
+        let payload = result.expect_err("a case >= 10 must occur");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(msg, "saw 10", "panic should come from the minimal case");
+    }
+
+    #[test]
+    fn env_var_overrides_case_count() {
+        // Runs in-process: set, observe, and restore the variable.
+        let config = ProptestConfig::with_cases(5);
+        assert_eq!(config.resolved_cases(), 5);
+        std::env::set_var("PROPTEST_CASES", "17");
+        assert_eq!(config.resolved_cases(), 17);
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(config.resolved_cases(), 5);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(config.resolved_cases(), 5);
     }
 }

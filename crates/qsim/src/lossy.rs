@@ -184,7 +184,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sched::{SchedulerKind, Sdp};
-    use traffic::{ClassSource, IatDist, SizeDist};
+    use traffic::{ClassSource, IatDist, SizeDist, TraceEntry};
 
     /// Overloaded two-class trace (offered load ≈ 1.3 on a 1 B/tick link).
     fn overload_trace(seed: u64) -> Trace {
@@ -272,6 +272,111 @@ mod tests {
         assert!(r.delays[0].mean() > r.delays[1].mean());
         // ...and losses too.
         assert!(r.loss_fraction(0) > r.loss_fraction(1));
+    }
+
+    #[test]
+    fn drop_tail_admits_up_to_the_exact_byte_boundary() {
+        // Five same-tick 100-byte packets against a 300-byte buffer: the
+        // first three fill it to exactly the limit (the head has not yet
+        // entered service when the burst is admitted), the rest drop.
+        let burst: Vec<TraceEntry> = (0..5)
+            .map(|_| TraceEntry {
+                at: Time::ZERO,
+                class: 0,
+                size: 100,
+            })
+            .collect();
+        let trace = Trace::from_entries(burst);
+        let mut s = SchedulerKind::Fcfs.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        let r = run_trace_lossy(s.as_mut(), &trace, 1.0, 300, LossMode::TailDrop);
+        assert_eq!(r.drops[0], 2);
+        assert_eq!(r.delays[0].count(), 3);
+        assert_eq!(
+            r.max_backlog_bytes, 300,
+            "buffer must fill to the exact limit"
+        );
+
+        // One byte less of buffer and the third packet no longer fits.
+        let mut s = SchedulerKind::Fcfs.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        let trace = Trace::from_entries(
+            (0..5)
+                .map(|_| TraceEntry {
+                    at: Time::ZERO,
+                    class: 0,
+                    size: 100,
+                })
+                .collect(),
+        );
+        let r = run_trace_lossy(s.as_mut(), &trace, 1.0, 299, LossMode::TailDrop);
+        assert_eq!(r.drops[0], 3);
+        assert_eq!(r.max_backlog_bytes, 200);
+    }
+
+    /// Overloaded four-class trace, uniform 100-byte packets, ρ ≈ 1.3.
+    fn overload_trace_4(seed: u64) -> Trace {
+        let mut sources: Vec<ClassSource> = (0..4u8)
+            .map(|c| {
+                ClassSource::new(
+                    c,
+                    IatDist::paper_pareto(308.0).unwrap(),
+                    SizeDist::fixed(100),
+                )
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        Trace::generate(&mut sources, Time::from_ticks(4_000_000), &mut rng)
+    }
+
+    #[test]
+    fn plr_ratios_hold_across_schedulers_under_overload() {
+        // The PLR dropper sits in front of the scheduler, so the σ-ratioed
+        // loss fractions must emerge regardless of the service order
+        // behind it (§7: loss and delay differentiation compose).
+        for kind in [SchedulerKind::Fcfs, SchedulerKind::Wtp, SchedulerKind::Bpr] {
+            let mut s = kind.build(&Sdp::paper_default(), 1.0);
+            let mode = LossMode::Plr(PlrDropper::new(&[8.0, 4.0, 2.0, 1.0]).unwrap());
+            let r = run_trace_lossy(s.as_mut(), &overload_trace_4(13), 1.0, 8_000, mode);
+            assert!(r.total_drops() > 2_000, "{}: weak overload", kind.name());
+            for c in 0..3 {
+                let ratio = r
+                    .loss_ratio(c, c + 1)
+                    .unwrap_or_else(|| panic!("{}: class {} lost nothing", kind.name(), c + 1));
+                assert!(
+                    (ratio - 2.0).abs() < 0.5,
+                    "{}: loss ratio {}/{} = {ratio}",
+                    kind.name(),
+                    c,
+                    c + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_buffer_is_lossless_for_every_scheduler() {
+        let trace = overload_trace_4(17);
+        let total = trace.entries().len() as u64;
+        for kind in SchedulerKind::ALL {
+            for mode in [
+                LossMode::TailDrop,
+                LossMode::Plr(PlrDropper::new(&[8.0, 4.0, 2.0, 1.0]).unwrap()),
+            ] {
+                let mut s = kind.build(&Sdp::paper_default(), 1.0);
+                let r = run_trace_lossy(s.as_mut(), &trace, 1.0, u64::MAX, mode);
+                assert_eq!(
+                    r.total_drops(),
+                    0,
+                    "{} dropped with infinite buffer",
+                    kind.name()
+                );
+                assert_eq!(
+                    r.delays.iter().map(|d| d.count()).sum::<u64>(),
+                    total,
+                    "{} lost packets without dropping them",
+                    kind.name()
+                );
+            }
+        }
     }
 
     #[test]

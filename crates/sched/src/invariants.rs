@@ -6,41 +6,16 @@ use proptest::prelude::*;
 
 use crate::class::Sdp;
 use crate::factory::SchedulerKind;
-use crate::scheduler::Scheduler;
-use crate::testutil::drive;
-
-/// Random arrival sequences: up to 200 packets over 4 classes, clustered
-/// tightly enough in time that queues actually build up.
-fn arrivals_strategy() -> impl Strategy<Value = Vec<(u64, u8, u32)>> {
-    prop::collection::vec(
-        (
-            0u64..20_000,
-            0u8..4,
-            prop_oneof![Just(40u32), Just(550), Just(1500)],
-        ),
-        1..200,
-    )
-    .prop_map(|mut v| {
-        v.sort_by_key(|e| e.0);
-        v
-    })
-}
-
-fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
-    let sdp = Sdp::paper_default();
-    SchedulerKind::ALL
-        .iter()
-        .map(|k| k.build(&sdp, 1.0))
-        .collect()
-}
+use crate::testutil::{all_schedulers, arrivals_strategy, drive, sorted};
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(128))]
 
     /// No packet is lost, duplicated, or served before it arrives, and
     /// per-class departures preserve arrival (FIFO) order.
     #[test]
     fn prop_lossless_causal_and_class_fifo(arrivals in arrivals_strategy()) {
+        let arrivals = sorted(arrivals);
         for mut s in all_schedulers() {
             let deps = drive(s.as_mut(), &arrivals);
             prop_assert_eq!(deps.len(), arrivals.len(), "{} lost packets", s.name());
@@ -72,6 +47,7 @@ proptest! {
     /// work-conserving non-preemptive scheduler on the same trace.
     #[test]
     fn prop_conservation_law_across_schedulers(arrivals in arrivals_strategy()) {
+        let arrivals = sorted(arrivals);
         let mut weighted_waits = Vec::new();
         let mut busy_ends = Vec::new();
         for mut s in all_schedulers() {
@@ -129,7 +105,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(128))]
 
     /// `drop_newest` removes exactly the most recent packet of the class
     /// (or nothing), preserves every other packet, and keeps byte

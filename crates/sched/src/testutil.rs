@@ -1,9 +1,48 @@
-//! Test-only single-server driver shared by unit and property tests.
+//! Test-only single-server driver and shared property-test setup
+//! (arrival strategies, all-scheduler construction) used by the unit and
+//! property tests across this crate.
 
+use proptest::prelude::*;
 use simcore::Time;
 
+use crate::class::Sdp;
+use crate::factory::SchedulerKind;
 use crate::packet::Packet;
 use crate::scheduler::Scheduler;
+
+/// Random arrival sequences: up to 200 packets over 4 classes with
+/// paper-like sizes, clustered tightly enough in time that queues build
+/// up.
+///
+/// Deliberately **unsorted** (no `prop_map`, which would block the shim's
+/// shrinker): run the result through [`sorted`] before driving a
+/// scheduler, so failing cases still shrink to a minimal arrival set.
+pub(crate) fn arrivals_strategy() -> impl Strategy<Value = Vec<(u64, u8, u32)>> {
+    prop::collection::vec(
+        (
+            0u64..20_000,
+            0u8..4,
+            prop_oneof![Just(40u32), Just(550), Just(1500)],
+        ),
+        1..200,
+    )
+}
+
+/// Stable time-sort of an arrival sequence (the order [`drive`] expects).
+pub(crate) fn sorted(mut arrivals: Vec<(u64, u8, u32)>) -> Vec<(u64, u8, u32)> {
+    arrivals.sort_by_key(|e| e.0);
+    arrivals
+}
+
+/// One instance of every [`SchedulerKind`] built on the paper-default SDPs
+/// at unit link rate.
+pub(crate) fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
+    let sdp = Sdp::paper_default();
+    SchedulerKind::ALL
+        .iter()
+        .map(|k| k.build(&sdp, 1.0))
+        .collect()
+}
 
 /// One departed packet as observed by the test driver.
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,33 @@
+//! Top-level smoke test wiring the conformance crate into the workspace
+//! test run: the full named-check suite (the same registry the
+//! `conformance` binary and CI execute) must pass on a couple of seeds.
+
+#[test]
+fn conformance_suite_smoke() {
+    let failures = conformance::suite::run_suite(2, |_, _, _| {});
+    assert!(
+        failures.is_empty(),
+        "conformance suite failed: {failures:#?}"
+    );
+}
+
+#[test]
+fn conformance_check_registry_is_complete() {
+    let names: Vec<&str> = conformance::suite::all_checks()
+        .iter()
+        .map(|c| c.name)
+        .collect();
+    for expected in [
+        "oracle-self-check",
+        "wtp-oracle-diff",
+        "bpr-proposition-1",
+        "eq5-conservation",
+        "time-rescale",
+        "size-rescale",
+        "eq7-feasibility-witness",
+        "interleave-equivalence",
+        "label-permutation",
+    ] {
+        assert!(names.contains(&expected), "missing check {expected}");
+    }
+}
