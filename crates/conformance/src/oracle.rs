@@ -116,6 +116,40 @@ pub fn oracle_replay(sdp: &Sdp, arrivals: &[Arrival], rate: f64) -> Vec<Dep> {
     out
 }
 
+/// How many trailing decision-audit records a [`Divergence`] carries.
+pub const AUDIT_TAIL: usize = 8;
+
+/// One decision-audit record from the production scheduler: what
+/// [`Scheduler::decision_values`] reported at a decision instant, and who
+/// won. This is the same audit stream the telemetry probes export; keeping
+/// the tail of it in the divergence report turns "packet 4711 went the
+/// wrong way" into "here are the head priorities for the 8 decisions
+/// leading up to it".
+#[derive(Debug, Clone)]
+pub struct AuditRecord {
+    /// Index in the departure sequence (0-based decision number).
+    pub index: usize,
+    /// Decision instant in ticks.
+    pub at: u64,
+    /// Class the production scheduler served.
+    pub winner: u8,
+    /// `(class, priority)` per backlogged class, in class order.
+    pub values: Vec<(usize, f64)>,
+}
+
+impl fmt::Display for AuditRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "  #{} t={} winner=class {}: values {:?}",
+            self.index,
+            self.at,
+            self.winner + 1,
+            self.values
+        )
+    }
+}
+
 /// A divergence between the production WTP and the oracle.
 #[derive(Debug, Clone)]
 pub struct Divergence {
@@ -127,6 +161,12 @@ pub struct Divergence {
     pub system: Option<Dep>,
     /// Which comparison caught it.
     pub stage: &'static str,
+    /// The last [`AUDIT_TAIL`] decision-audit records from the manual
+    /// drive, oldest first. For decision-instant and manual-drive
+    /// divergences these are the decisions immediately preceding the
+    /// failure; for the `run_trace` stages (where the manual drive
+    /// completed cleanly) they are the tail of the whole run.
+    pub audit: Vec<AuditRecord>,
 }
 
 impl fmt::Display for Divergence {
@@ -135,7 +175,14 @@ impl fmt::Display for Divergence {
             f,
             "WTP diverges from oracle at departure #{} [{}]: oracle served {:?}, system served {:?}",
             self.index, self.stage, self.oracle, self.system
-        )
+        )?;
+        if !self.audit.is_empty() {
+            write!(f, "\nlast {} decision-audit records:", self.audit.len())?;
+            for rec in &self.audit {
+                write!(f, "\n{rec}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -148,17 +195,26 @@ impl fmt::Display for Divergence {
 ///    drive must equal the oracle's;
 /// 3. **replay path** — the production `qsim::run_trace` path must produce
 ///    the same record, so the dyn-dispatch loop is covered too.
+///
+/// The `Err` variant is deliberately fat (it carries the audit tail): it
+/// exists to be printed once on failure, never on a hot path.
+#[allow(clippy::result_large_err)]
 pub fn diff_wtp(sdp: &Sdp, arrivals: &[Arrival], rate: f64) -> Result<(), Divergence> {
     debug_assert!(arrivals.windows(2).all(|w| w[0].0 <= w[1].0));
     let oracle_deps = oracle_replay(sdp, arrivals, rate);
 
     // Manual drive of the concrete scheduler, peeking at each decision.
+    // The ring buffer keeps the last few decision audits so a divergence
+    // report shows *why* the scheduler chose as it did, not just that the
+    // choice differed.
     let mut wtp = Wtp::new(sdp.clone());
     let mut oracle = WtpOracle::new(sdp);
     let mut next = 0usize;
     let mut free = 0u64;
     let mut seq = 0u64;
     let mut index = 0usize;
+    let mut audit: VecDeque<AuditRecord> = VecDeque::with_capacity(AUDIT_TAIL);
+    let mut scratch: Vec<(usize, f64)> = Vec::new();
     loop {
         if wtp.total_backlog_packets() == 0 {
             if next >= arrivals.len() {
@@ -178,7 +234,18 @@ pub fn diff_wtp(sdp: &Sdp, arrivals: &[Arrival], rate: f64) -> Result<(), Diverg
             oracle.enqueue(seq, c, sz, t);
             seq += 1;
         }
+        scratch.clear();
+        wtp.decision_values(Time::from_ticks(free), &mut scratch);
         let peeked = wtp.peek_winner(Time::from_ticks(free));
+        if audit.len() == AUDIT_TAIL {
+            audit.pop_front();
+        }
+        audit.push_back(AuditRecord {
+            index,
+            at: free,
+            winner: peeked.unwrap_or(usize::MAX) as u8,
+            values: scratch.clone(),
+        });
         let expected = oracle.winner(free);
         if peeked != expected {
             return Err(Divergence {
@@ -186,11 +253,13 @@ pub fn diff_wtp(sdp: &Sdp, arrivals: &[Arrival], rate: f64) -> Result<(), Diverg
                 oracle: expected.map(|c| placeholder_dep(c, free)),
                 system: peeked.map(|c| placeholder_dep(c, free)),
                 stage: "decision instant (peek_winner)",
+                audit: audit.into(),
             });
         }
         let pkt = wtp
             .dequeue(Time::from_ticks(free))
             .expect("backlogged WTP must serve");
+        audit.back_mut().expect("just pushed").winner = pkt.class;
         oracle.dequeue(free);
         let od = oracle_deps[index];
         if (pkt.seq, pkt.class, free) != (od.seq, od.class, od.start) {
@@ -206,6 +275,7 @@ pub fn diff_wtp(sdp: &Sdp, arrivals: &[Arrival], rate: f64) -> Result<(), Diverg
                     finish: free + tx_ticks(pkt.size, rate),
                 }),
                 stage: "departure sequence (manual drive)",
+                audit: audit.into(),
             });
         }
         free += tx_ticks(pkt.size, rate);
@@ -221,6 +291,7 @@ pub fn diff_wtp(sdp: &Sdp, arrivals: &[Arrival], rate: f64) -> Result<(), Diverg
                 oracle: Some(*o),
                 system: Some(*s),
                 stage: "departure sequence (run_trace)",
+                audit: audit.iter().cloned().collect(),
             });
         }
     }
@@ -230,6 +301,7 @@ pub fn diff_wtp(sdp: &Sdp, arrivals: &[Arrival], rate: f64) -> Result<(), Diverg
             oracle: oracle_deps.get(system_deps.len()).copied(),
             system: system_deps.get(oracle_deps.len()).copied(),
             stage: "departure count",
+            audit: audit.into(),
         });
     }
     Ok(())
@@ -374,6 +446,44 @@ mod tests {
         for kind in SchedulerKind::ALL {
             feasibility_witness(kind, &sdp, &arrivals).unwrap();
         }
+    }
+
+    #[test]
+    fn divergence_report_dumps_the_audit_tail() {
+        let d = Divergence {
+            index: 12,
+            oracle: None,
+            system: None,
+            stage: "decision instant (peek_winner)",
+            audit: vec![
+                AuditRecord {
+                    index: 11,
+                    at: 4000,
+                    winner: 2,
+                    values: vec![(0, 120.0), (2, 90.0)],
+                },
+                AuditRecord {
+                    index: 12,
+                    at: 4100,
+                    winner: 0,
+                    values: vec![(0, 220.0), (2, 15.0)],
+                },
+            ],
+        };
+        let text = d.to_string();
+        assert!(text.contains("last 2 decision-audit records"), "{text}");
+        assert!(text.contains("#11 t=4000 winner=class 3"), "{text}");
+        assert!(text.contains("(0, 220.0)"), "{text}");
+    }
+
+    #[cfg(feature = "mutated")]
+    #[test]
+    fn mutated_divergence_carries_audit_records() {
+        let sdp = Sdp::paper_default();
+        let err = diff_wtp(&sdp, &[(0, 0, 100), (0, 1, 100)], 1.0)
+            .expect_err("flipped tie-break must be caught");
+        assert!(!err.audit.is_empty(), "divergence should carry audit tail");
+        assert!(err.to_string().contains("decision-audit"), "{err}");
     }
 
     #[test]

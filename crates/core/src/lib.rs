@@ -26,8 +26,9 @@
 //! * [`PddSystem`] — a high-level builder for simulating a differentiated
 //!   link without touching the lower-level crates.
 //! * Re-exports of the substrate crates: [`simcore`], [`traffic`],
-//!   [`sched`], [`stats`], [`qsim`] (single-link Study A), and [`netsim`]
-//!   (multi-hop Study B).
+//!   [`sched`], [`stats`], [`qsim`] (single-link Study A), [`netsim`]
+//!   (multi-hop Study B), and [`telemetry`] (zero-cost probes, trace
+//!   sinks, run metrics).
 //!
 //! ## Quick start
 //!
@@ -64,6 +65,7 @@ pub use qsim;
 pub use sched;
 pub use simcore;
 pub use stats;
+pub use telemetry;
 pub use traffic;
 
 /// Commonly used types in one import.

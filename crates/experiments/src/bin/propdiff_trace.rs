@@ -1,0 +1,365 @@
+//! Packet-lifecycle tracing tool: replay a workload with the telemetry
+//! layer attached and export JSONL and/or Chrome `trace_event` traces plus
+//! a run-metrics summary.
+//!
+//! ```text
+//! propdiff-trace run [--scheduler wtp] [--sdp 1,2,4,8] [--rho 0.9]
+//!                    [--punits 2000] [--seed 1] [--trace FILE.csv]
+//!                    [--buffer BYTES] [--jsonl FILE] [--chrome FILE]
+//!                    [--metrics FILE] [--validate]
+//! propdiff-trace studyb [--hops 3] [--rho 0.9] [--experiments 3]
+//!                       [--seed 42] [--jsonl FILE] [--chrome FILE]
+//!                       [--metrics FILE] [--validate]
+//! propdiff-trace validate FILE.jsonl
+//! ```
+//!
+//! `run` replays a single-link Study-A workload (generated Pareto traffic,
+//! or a CSV trace via `--trace`) through a monomorphized scheduler;
+//! `--buffer` switches to the finite-buffer path so drops are traced too.
+//! `studyb` runs the multi-hop engine: user packets keep one span id across
+//! hops, so a flow's journey renders as a single track in
+//! `chrome://tracing` / Perfetto. `--validate` re-reads the JSONL export
+//! through the dependency-free schema checker (the CI telemetry job does
+//! the same).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::process::ExitCode;
+
+use pdd::netsim::{run_study_b_probed, StudyBConfig};
+use pdd::qsim::{run_trace_lossy_probed, run_trace_probed, Departure, LossMode};
+use pdd::sched::{Scheduler, SchedulerKind, SchedulerVisitor, Sdp};
+use pdd::simcore::Time;
+use pdd::telemetry::{schema, ChromeTraceSink, CountingProbe, JsonlSink, PacketId, Probe, Tee};
+use pdd::traffic::{LoadPlan, Trace};
+
+fn out(text: std::fmt::Arguments<'_>) {
+    let stdout = std::io::stdout();
+    let _ = writeln!(stdout.lock(), "{text}");
+}
+
+macro_rules! say {
+    ($($arg:tt)*) => { out(format_args!($($arg)*)) };
+}
+
+const USAGE: &str = "usage:
+  propdiff-trace run [--scheduler wtp] [--sdp 1,2,4,8] [--rho 0.9]
+                     [--punits 2000] [--seed 1] [--trace FILE.csv]
+                     [--buffer BYTES] [--jsonl FILE] [--chrome FILE]
+                     [--metrics FILE] [--validate]
+  propdiff-trace studyb [--hops 3] [--rho 0.9] [--experiments 3] [--seed 42]
+                        [--jsonl FILE] [--chrome FILE] [--metrics FILE]
+                        [--validate]
+  propdiff-trace validate FILE.jsonl";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("studyb") => cmd_studyb(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn opt<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+fn positional(args: &[String]) -> Option<&str> {
+    args.iter()
+        .enumerate()
+        .filter(|&(i, a)| !a.starts_with("--") && (i == 0 || !args[i - 1].starts_with("--")))
+        .map(|(_, a)| a.as_str())
+        .next()
+}
+
+fn parse_sdp(s: &str) -> Result<Sdp, String> {
+    let vals: Result<Vec<f64>, _> = s.split(',').map(str::parse::<f64>).collect();
+    Sdp::new(&vals.map_err(|e| format!("bad sdp '{s}': {e}"))?).map_err(|e| e.to_string())
+}
+
+/// The file-backed sinks requested on the command line, as one probe.
+struct Sinks {
+    jsonl: Option<JsonlSink<BufWriter<File>>>,
+    chrome: Option<ChromeTraceSink<BufWriter<File>>>,
+}
+
+impl Sinks {
+    fn open(args: &[String]) -> Result<Self, String> {
+        let open = |path: &str| -> Result<BufWriter<File>, String> {
+            File::create(path)
+                .map(BufWriter::new)
+                .map_err(|e| format!("cannot create {path}: {e}"))
+        };
+        Ok(Sinks {
+            jsonl: opt(args, "--jsonl")
+                .map(&open)
+                .transpose()?
+                .map(JsonlSink::new),
+            chrome: opt(args, "--chrome")
+                .map(&open)
+                .transpose()?
+                .map(ChromeTraceSink::new),
+        })
+    }
+
+    /// Flushes both sinks, reporting what was written.
+    fn finish(self, args: &[String]) -> Result<(), String> {
+        if let Some(sink) = self.jsonl {
+            let path = opt(args, "--jsonl").unwrap();
+            let lines = sink.lines();
+            sink.finish()
+                .and_then(|mut w| w.flush())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            say!("jsonl:  {lines} events -> {path}");
+            if flag(args, "--validate") {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot re-read {path}: {e}"))?;
+                let n = schema::validate_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+                say!("schema: {n} lines valid");
+            }
+        }
+        if let Some(sink) = self.chrome {
+            let path = opt(args, "--chrome").unwrap();
+            let events = sink.events();
+            sink.finish()
+                .and_then(|mut w| w.flush())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            say!("chrome: {events} trace events -> {path}");
+        }
+        Ok(())
+    }
+}
+
+impl Probe for Sinks {
+    fn on_arrival(&mut self, at: Time, id: PacketId) {
+        if let Some(s) = &mut self.jsonl {
+            s.on_arrival(at, id);
+        }
+        if let Some(s) = &mut self.chrome {
+            s.on_arrival(at, id);
+        }
+    }
+    fn on_enqueue(&mut self, at: Time, id: PacketId) {
+        if let Some(s) = &mut self.jsonl {
+            s.on_enqueue(at, id);
+        }
+        if let Some(s) = &mut self.chrome {
+            s.on_enqueue(at, id);
+        }
+    }
+    fn on_decision(
+        &mut self,
+        at: Time,
+        scheduler: &'static str,
+        winner: PacketId,
+        values: &[(usize, f64)],
+    ) {
+        if let Some(s) = &mut self.jsonl {
+            s.on_decision(at, scheduler, winner, values);
+        }
+        if let Some(s) = &mut self.chrome {
+            s.on_decision(at, scheduler, winner, values);
+        }
+    }
+    fn on_depart(&mut self, id: PacketId, arrival: Time, start: Time, finish: Time, eol: bool) {
+        if let Some(s) = &mut self.jsonl {
+            s.on_depart(id, arrival, start, finish, eol);
+        }
+        if let Some(s) = &mut self.chrome {
+            s.on_depart(id, arrival, start, finish, eol);
+        }
+    }
+    fn on_drop(&mut self, at: Time, id: PacketId, backlog_bytes: u64, buffer_bytes: u64) {
+        if let Some(s) = &mut self.jsonl {
+            s.on_drop(at, id, backlog_bytes, buffer_bytes);
+        }
+        if let Some(s) = &mut self.chrome {
+            s.on_drop(at, id, backlog_bytes, buffer_bytes);
+        }
+    }
+    fn on_heartbeat(&mut self, at: Time, events_handled: u64, heap_depth: usize) {
+        if let Some(s) = &mut self.jsonl {
+            s.on_heartbeat(at, events_handled, heap_depth);
+        }
+        if let Some(s) = &mut self.chrome {
+            s.on_heartbeat(at, events_handled, heap_depth);
+        }
+    }
+}
+
+/// Replays the trace through a statically-dispatched scheduler (the same
+/// monomorphized path the perf baseline measures), probe attached.
+struct ProbedReplay<'a, P: Probe> {
+    trace: &'a Trace,
+    probe: &'a mut P,
+}
+
+impl<P: Probe> SchedulerVisitor for ProbedReplay<'_, P> {
+    type Out = u64;
+
+    fn visit<S: Scheduler>(self, mut scheduler: S) -> u64 {
+        let mut departures = 0u64;
+        run_trace_probed(
+            &mut scheduler,
+            self.trace.entries().iter().copied(),
+            1.0,
+            |_: &Departure| departures += 1,
+            self.probe,
+        );
+        departures
+    }
+}
+
+fn write_metrics(args: &[String], report: &pdd::telemetry::MetricsReport) -> Result<(), String> {
+    say!("{report}");
+    if let Some(path) = opt(args, "--metrics") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        say!("metrics -> {path}");
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let kind: SchedulerKind = opt(args, "--scheduler")
+        .unwrap_or("wtp")
+        .parse()
+        .map_err(|e: String| e)?;
+    let sdp = parse_sdp(opt(args, "--sdp").unwrap_or("1,2,4,8"))?;
+
+    let trace = if let Some(path) = opt(args, "--trace") {
+        Trace::load_csv(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?
+            .map_err(|e| e.to_string())?
+    } else {
+        let rho: f64 = opt(args, "--rho")
+            .unwrap_or("0.9")
+            .parse()
+            .map_err(|e| format!("bad --rho: {e}"))?;
+        let punits: u64 = opt(args, "--punits")
+            .unwrap_or("2000")
+            .parse()
+            .map_err(|e| format!("bad --punits: {e}"))?;
+        let seed: u64 = opt(args, "--seed")
+            .unwrap_or("1")
+            .parse()
+            .map_err(|e| format!("bad --seed: {e}"))?;
+        let mut sources = LoadPlan::paper_study_a(rho)
+            .map_err(|e| e.to_string())?
+            .pareto_sources()
+            .map_err(|e| e.to_string())?;
+        Trace::generate_per_source(&mut sources, Time::from_ticks(punits * 441), seed)
+    };
+    let max_class = trace.entries().iter().map(|e| e.class).max().unwrap_or(0) as usize;
+    if max_class >= sdp.num_classes() {
+        return Err(format!(
+            "trace uses class {} but SDP has only {} classes",
+            max_class + 1,
+            sdp.num_classes()
+        ));
+    }
+
+    let sinks = Sinks::open(args)?;
+    let mut probe = Tee(CountingProbe::new(sdp.num_classes()), sinks);
+    say!("scheduler: {} on {} packets", kind.name(), trace.len());
+
+    if let Some(buffer) = opt(args, "--buffer") {
+        let buffer: u64 = buffer.parse().map_err(|e| format!("bad --buffer: {e}"))?;
+        let mut s = kind.build(&sdp, 1.0);
+        let r = run_trace_lossy_probed(
+            s.as_mut(),
+            &trace,
+            1.0,
+            buffer,
+            LossMode::TailDrop,
+            &mut probe,
+        );
+        say!(
+            "lossy link: {} delivered, {} dropped (buffer {buffer} B)",
+            r.delays.iter().map(|d| d.count()).sum::<u64>(),
+            r.total_drops()
+        );
+    } else {
+        let departures = kind.build_and_visit(
+            &sdp,
+            1.0,
+            ProbedReplay {
+                trace: &trace,
+                probe: &mut probe,
+            },
+        );
+        say!("lossless link: {departures} delivered");
+    }
+
+    let Tee(counter, sinks) = probe;
+    write_metrics(args, &counter.report())?;
+    sinks.finish(args)
+}
+
+fn cmd_studyb(args: &[String]) -> Result<(), String> {
+    let hops: usize = opt(args, "--hops")
+        .unwrap_or("3")
+        .parse()
+        .map_err(|e| format!("bad --hops: {e}"))?;
+    let rho: f64 = opt(args, "--rho")
+        .unwrap_or("0.9")
+        .parse()
+        .map_err(|e| format!("bad --rho: {e}"))?;
+    let experiments: u32 = opt(args, "--experiments")
+        .unwrap_or("3")
+        .parse()
+        .map_err(|e| format!("bad --experiments: {e}"))?;
+    let seed: u64 = opt(args, "--seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|e| format!("bad --seed: {e}"))?;
+
+    let mut cfg = StudyBConfig::paper(hops, rho, 10, 200.0);
+    cfg.experiments = experiments;
+    cfg.warmup_secs = 2.0;
+    cfg.seed = seed;
+
+    let sinks = Sinks::open(args)?;
+    let mut probe = Tee(CountingProbe::new(cfg.num_classes()), sinks);
+    say!("study B: {hops} hops at rho {rho}, {experiments} experiments");
+    let (records, links) = run_study_b_probed(&cfg, &mut probe);
+    say!("delivered {} experiment records", records.len());
+    for (l, stats) in links.iter().enumerate() {
+        say!(
+            "link {l}: {} departures, utilization {:.3}",
+            stats.departures,
+            stats.utilization()
+        );
+    }
+
+    let Tee(counter, sinks) = probe;
+    write_metrics(args, &counter.report())?;
+    sinks.finish(args)
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let path = positional(args).ok_or("missing FILE.jsonl argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let n = schema::validate_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    say!("{path}: {n} lines valid");
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! End-to-end smoke test for the `propdiff-trace` binary: a WTP Study-A
+//! workload must yield a schema-valid JSONL trace and a Chrome trace where
+//! every departed packet has matched begin/end events and every decision
+//! record names the winning class.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "propdiff_trace_smoke_{}_{name}",
+        std::process::id()
+    ))
+}
+
+/// Pulls the numeric value of `"key":` out of a JSONL line.
+fn field(line: &str, key: &str) -> i64 {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {key} in {line}"))
+        + pat.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '-')
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {key} in {line}"))
+}
+
+#[test]
+fn wtp_study_a_trace_is_valid_and_spans_are_matched() {
+    let jsonl = tmp("trace.jsonl");
+    let chrome = tmp("trace.json");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_propdiff-trace"))
+        .args([
+            "run",
+            "--scheduler",
+            "wtp",
+            "--punits",
+            "400",
+            "--seed",
+            "7",
+            "--jsonl",
+            jsonl.to_str().unwrap(),
+            "--chrome",
+            chrome.to_str().unwrap(),
+            "--validate",
+        ])
+        .output()
+        .expect("propdiff-trace should launch");
+    assert!(
+        output.status.success(),
+        "propdiff-trace failed:\n{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("schema:"),
+        "--validate should report: {stdout}"
+    );
+
+    // The JSONL export passes the schema checker independently of --validate.
+    let text = std::fs::read_to_string(&jsonl).unwrap();
+    let lines = pdd::telemetry::schema::validate_jsonl(&text).expect("schema-valid JSONL");
+    assert!(lines > 0);
+
+    // Every decision record names a winning class that is among its
+    // candidate values, and every departure pairs with one decision
+    // (single link, work-conserving, lossless).
+    let mut decisions = 0u64;
+    let mut departs = 0u64;
+    for line in text.lines() {
+        if line.starts_with("{\"ev\":\"decision\"") {
+            decisions += 1;
+            let winner = field(line, "winner");
+            assert!(
+                line.contains(&format!("[[{winner},")) || line.contains(&format!(",[{winner},")),
+                "winner class {winner} missing from values: {line}"
+            );
+        } else if line.starts_with("{\"ev\":\"depart\"") {
+            departs += 1;
+        }
+    }
+    // `eol` is serialized as true/false, so check it textually.
+    let eol_true = text.lines().filter(|l| l.contains("\"eol\":true")).count() as u64;
+    assert_eq!(
+        eol_true, departs,
+        "single-link departures are all end-of-life"
+    );
+    assert!(decisions > 0);
+    assert_eq!(
+        decisions, departs,
+        "one decision per departure on a lossless link"
+    );
+
+    // Chrome trace: every async span that begins also ends, exactly once.
+    let trace = std::fs::read_to_string(&chrome).unwrap();
+    assert!(
+        trace.trim_end().ends_with("]}"),
+        "trace JSON must be closed"
+    );
+    let mut begins: HashMap<i64, u64> = HashMap::new();
+    let mut ends: HashMap<i64, u64> = HashMap::new();
+    for line in trace.lines() {
+        if line.contains("\"ph\":\"b\"") {
+            *begins.entry(field(line, "id")).or_default() += 1;
+        } else if line.contains("\"ph\":\"e\"") {
+            *ends.entry(field(line, "id")).or_default() += 1;
+        }
+    }
+    assert!(!begins.is_empty(), "trace should contain packet spans");
+    assert_eq!(
+        begins, ends,
+        "every departed packet has matched begin/end events"
+    );
+    assert!(
+        begins.values().all(|&n| n == 1),
+        "span ids are unique per packet"
+    );
+    assert_eq!(begins.len() as u64, departs, "one span per departed packet");
+
+    let _ = std::fs::remove_file(&jsonl);
+    let _ = std::fs::remove_file(&chrome);
+}

@@ -3,7 +3,8 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sched::{Packet, Scheduler};
-use simcore::{Context, Dur, Model, Simulation, Time};
+use simcore::{Context, Dur, Model, RunOutcome, Simulation, Time};
+use telemetry::{NoopProbe, PacketId, Probe};
 use traffic::IatDist;
 
 use crate::analysis::ExperimentRecord;
@@ -12,6 +13,14 @@ use crate::TICKS_PER_SEC;
 
 /// Sentinel tag for cross-traffic packets (no per-packet bookkeeping).
 const CROSS_TAG: u64 = u64::MAX;
+
+/// High bit marking cross-traffic span ids in probe events, so single-hop
+/// cross packets (span = hop-local seq) can never collide with user-packet
+/// spans (span = the small dense `metas` index).
+const CROSS_SPAN_BIT: u64 = 1 << 63;
+
+/// Events handled between probe heartbeats when a probe is attached.
+const HEARTBEAT_EVERY: u64 = 65_536;
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
@@ -65,11 +74,14 @@ struct Link {
     in_flight: Option<Packet>,
 }
 
-struct Net {
+struct Net<'p, P: Probe> {
     cfg: StudyBConfig,
     rng: StdRng,
     links: Vec<Link>,
     metas: Vec<UserMeta>,
+    probe: &'p mut P,
+    /// Scratch for the scheduler decision audit, reused across decisions.
+    audit_buf: Vec<(usize, f64)>,
     /// Delivered end-to-end waits: `records[exp][class]` in ticks.
     records: Vec<Vec<Vec<u64>>>,
     /// Per-node cross-source interarrival distribution (nodes can have
@@ -92,7 +104,25 @@ struct Net {
     link_waits: Vec<Vec<(f64, u64)>>,
 }
 
-impl Net {
+/// Probe identity of `pkt` as seen at hop `link`: user packets carry their
+/// `metas` index as the end-to-end span (constant across hops, so one
+/// journey is one trace track); cross packets get a high-bit-marked
+/// hop-local span (they live for exactly one hop).
+fn packet_id(pkt: &Packet, link: usize) -> PacketId {
+    PacketId {
+        span: if pkt.tag == CROSS_TAG {
+            pkt.seq | CROSS_SPAN_BIT
+        } else {
+            pkt.tag
+        },
+        seq: pkt.seq,
+        class: pkt.class,
+        size: pkt.size,
+        hop: link as u16,
+    }
+}
+
+impl<P: Probe> Net<'_, P> {
     fn sample_cross_class(&mut self) -> u8 {
         let u: f64 = self.rng.random();
         let mut cum = 0.0;
@@ -116,6 +146,11 @@ impl Net {
             tag,
         };
         self.seq += 1;
+        if P::ENABLED {
+            let id = packet_id(&pkt, link);
+            self.probe.on_arrival(pkt.arrival, id);
+            self.probe.on_enqueue(pkt.arrival, id);
+        }
         self.links[link].scheduler.enqueue(pkt);
         if self.links[link].in_flight.is_none() {
             self.start_tx(link, ctx);
@@ -124,9 +159,23 @@ impl Net {
 
     fn start_tx(&mut self, link: usize, ctx: &mut Context<Ev>) {
         let now = ctx.now();
+        if P::ENABLED {
+            self.audit_buf.clear();
+            self.links[link]
+                .scheduler
+                .decision_values(now, &mut self.audit_buf);
+        }
         let Some(pkt) = self.links[link].scheduler.dequeue(now) else {
             return;
         };
+        if P::ENABLED {
+            self.probe.on_decision(
+                now,
+                self.links[link].scheduler.name(),
+                packet_id(&pkt, link),
+                &self.audit_buf,
+            );
+        }
         let wait = now.since(pkt.arrival).ticks();
         let acc = &mut self.link_waits[link][pkt.class as usize];
         acc.0 += wait as f64;
@@ -142,7 +191,7 @@ impl Net {
     }
 }
 
-impl Model for Net {
+impl<P: Probe> Model for Net<'_, P> {
     type Event = Ev;
 
     fn handle(&mut self, ev: Ev, ctx: &mut Context<Ev>) {
@@ -220,6 +269,18 @@ impl Model for Net {
                     .expect("TxDone without in-flight packet");
                 self.link_departures[link] += 1;
                 self.link_bytes[link] += pkt.size as u64;
+                if P::ENABLED {
+                    // End-of-life when the packet leaves the system: always
+                    // for cross traffic (one hop, next node is its sink),
+                    // at the exit hop for user packets — so a span closes
+                    // exactly once however many hops it crossed.
+                    let eol =
+                        pkt.tag == CROSS_TAG || self.metas[pkt.tag as usize].remaining_hops == 1;
+                    let finish = ctx.now();
+                    let start = finish - Dur::from_ticks(self.tx_ticks);
+                    self.probe
+                        .on_depart(packet_id(&pkt, link), pkt.arrival, start, finish, eol);
+                }
                 if pkt.tag != CROSS_TAG {
                     let meta = &mut self.metas[pkt.tag as usize];
                     meta.remaining_hops -= 1;
@@ -263,6 +324,22 @@ pub fn run_study_b(cfg: &StudyBConfig) -> Vec<ExperimentRecord> {
 /// Like [`run_study_b`], additionally returning per-link statistics
 /// (achieved utilization, throughput, per-hop class waits).
 pub fn run_study_b_with_links(cfg: &StudyBConfig) -> (Vec<ExperimentRecord>, Vec<LinkStats>) {
+    run_study_b_probed(cfg, &mut NoopProbe)
+}
+
+/// [`run_study_b_with_links`] with a [`Probe`] observing every hop.
+///
+/// Each *user* packet's events carry its end-to-end span id (its flow
+/// bookkeeping index) across every hop, with `hop` identifying the link and
+/// `seq`/times hop-local — so a multi-hop journey reconstructs as one
+/// traceable span, closed (`eol`) exactly once at the exit hop. Cross
+/// traffic gets single-hop spans with the top bit set. When the probe is
+/// enabled the runner also emits an `on_heartbeat` every
+/// 65 536 events (virtual time, events handled, event-queue depth).
+pub fn run_study_b_probed<P: Probe>(
+    cfg: &StudyBConfig,
+    probe: &mut P,
+) -> (Vec<ExperimentRecord>, Vec<LinkStats>) {
     cfg.validate().expect("invalid Study-B configuration");
     let n_classes = cfg.num_classes();
     let rate = cfg.link_bytes_per_tick();
@@ -293,6 +370,8 @@ pub fn run_study_b_with_links(cfg: &StudyBConfig) -> (Vec<ExperimentRecord>, Vec
         rng: StdRng::seed_from_u64(cfg.seed),
         links,
         metas: Vec::new(),
+        probe,
+        audit_buf: Vec::new(),
         records: vec![vec![Vec::new(); n_classes]; cfg.experiments as usize],
         cross_iat,
         cross_cum: vec![0.0; cfg.k_hops * cfg.cross_sources],
@@ -329,7 +408,16 @@ pub fn run_study_b_with_links(cfg: &StudyBConfig) -> (Vec<ExperimentRecord>, Vec
             sim.schedule(t, Ev::UserPacket { exp, class, idx: 0 });
         }
     }
-    sim.run();
+    if P::ENABLED {
+        // Chunked run so the model's probe (mutably borrowed by the sim)
+        // can hear a progress heartbeat between chunks.
+        while sim.run_for_events(HEARTBEAT_EVERY) == RunOutcome::EventBudgetSpent {
+            let (now, handled, depth) = (sim.now(), sim.events_handled(), sim.queue_depth());
+            sim.model_mut().probe.on_heartbeat(now, handled, depth);
+        }
+    } else {
+        sim.run();
+    }
 
     let span = sim.now().ticks();
     let net = sim.into_model();
@@ -416,6 +504,97 @@ mod tests {
                 mean[c + 1]
             );
         }
+    }
+
+    /// Collects departure events per span for span-linking assertions.
+    #[derive(Default)]
+    struct SpanLog {
+        /// span → (hops seen, eol count, last finish ticks)
+        departs: std::collections::HashMap<u64, (Vec<u16>, u32, u64)>,
+        decisions: u64,
+        heartbeats: u64,
+    }
+
+    impl Probe for SpanLog {
+        fn on_decision(
+            &mut self,
+            _at: Time,
+            _scheduler: &'static str,
+            winner: PacketId,
+            values: &[(usize, f64)],
+        ) {
+            // The audit record must cover the winning class.
+            assert!(
+                values.iter().any(|&(c, _)| c == winner.class as usize),
+                "decision record misses the winner"
+            );
+            self.decisions += 1;
+        }
+        fn on_depart(&mut self, id: PacketId, _a: Time, start: Time, finish: Time, eol: bool) {
+            assert!(start <= finish);
+            let e = self.departs.entry(id.span).or_default();
+            assert!(
+                finish.ticks() >= e.2,
+                "span {} went backwards across hops",
+                id.span
+            );
+            e.0.push(id.hop);
+            e.1 += u32::from(eol);
+            e.2 = finish.ticks();
+        }
+        fn on_heartbeat(&mut self, _at: Time, _events: u64, _depth: usize) {
+            self.heartbeats += 1;
+        }
+    }
+
+    #[test]
+    fn probed_run_links_user_spans_across_hops() {
+        let cfg = tiny(3, 0.85);
+        let mut log = SpanLog::default();
+        let (recs, _) = run_study_b_probed(&cfg, &mut log);
+        assert_eq!(recs.len(), 5);
+        let n_user = 5 * 4 * 10; // experiments × classes × flow_len
+        let user: Vec<_> = log
+            .departs
+            .iter()
+            .filter(|(span, _)| **span & CROSS_SPAN_BIT == 0)
+            .collect();
+        assert_eq!(user.len(), n_user);
+        for (span, (hops, eols, _)) in user {
+            // Full-path flows cross every hop in order, closing once.
+            assert_eq!(hops, &vec![0, 1, 2], "span {span} hop sequence {hops:?}");
+            assert_eq!(*eols, 1, "span {span} closed {eols} times");
+        }
+        // Cross traffic: single hop, closed immediately.
+        for (span, (hops, eols, _)) in &log.departs {
+            if span & CROSS_SPAN_BIT != 0 {
+                assert_eq!(hops.len(), 1);
+                assert_eq!(*eols, 1);
+            }
+        }
+        assert!(log.decisions > 0);
+        assert!(log.heartbeats > 0, "long run must emit heartbeats");
+    }
+
+    #[test]
+    fn probed_run_equals_unprobed_run() {
+        let cfg = tiny(2, 0.9);
+        let plain = run_study_b(&cfg);
+        let mut counter = telemetry::CountingProbe::new(4);
+        let (probed, _) = run_study_b_probed(&cfg, &mut counter);
+        for (x, y) in plain.iter().zip(&probed) {
+            assert_eq!(x.per_class_waits, y.per_class_waits);
+        }
+        let report = counter.report();
+        // Conservation across the whole network: everything enqueued at any
+        // hop eventually departed that hop (lossless links, drained run).
+        for c in &report.classes {
+            assert_eq!(c.arrivals, c.enqueues, "lossless links admit everything");
+            assert_eq!(c.depth, 0, "packets left in flight");
+            assert_eq!(c.drops, 0);
+            assert!(c.departures > 0);
+        }
+        assert!(report.heap_high_water > 0);
     }
 
     #[test]

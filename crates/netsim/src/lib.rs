@@ -27,7 +27,7 @@ pub mod mesh;
 
 pub use analysis::{analyze, packet_time_tolerance, ExperimentRecord, StudyBResult};
 pub use config::{CrossModel, StudyBConfig};
-pub use engine::{run_study_b, run_study_b_with_links, LinkStats};
+pub use engine::{run_study_b, run_study_b_probed, run_study_b_with_links, LinkStats};
 
 /// Ticks per second (1 tick = 1 ns).
 pub const TICKS_PER_SEC: u64 = 1_000_000_000;

@@ -31,8 +31,8 @@ mod shortts;
 mod streaming;
 
 pub use experiment::{Experiment, ExperimentResult, SeedResult};
-pub use lossy::{run_trace_lossy, LossMode, LossyReport};
+pub use lossy::{run_trace_lossy, run_trace_lossy_probed, LossMode, LossyReport};
 pub use micro::{MicroViews, Microscope};
-pub use server::{run_trace, run_trace_on, Departure};
+pub use server::{run_trace, run_trace_on, run_trace_probed, Departure};
 pub use shortts::{ShortTimescale, TimescaleResult};
-pub use streaming::run_sources;
+pub use streaming::{run_sources, run_sources_probed};

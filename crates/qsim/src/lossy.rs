@@ -16,6 +16,7 @@
 use sched::{Packet, PlrDropper, Scheduler};
 use simcore::{Dur, Time};
 use stats::Summary;
+use telemetry::{NoopProbe, PacketId, Probe};
 use traffic::Trace;
 
 /// The drop policy for [`run_trace_lossy`].
@@ -75,7 +76,26 @@ pub fn run_trace_lossy(
     trace: &Trace,
     rate: f64,
     buffer_bytes: u64,
+    mode: LossMode,
+) -> LossyReport {
+    run_trace_lossy_probed(scheduler, trace, rate, buffer_bytes, mode, &mut NoopProbe)
+}
+
+/// [`run_trace_lossy`] with a [`Probe`] observing the packet lifecycle.
+///
+/// In addition to the lossless events
+/// ([`run_trace_probed`](crate::run_trace_probed)), every rejected packet
+/// yields an `on_drop` record carrying the queued-byte occupancy at the
+/// drop instant — for push-out (PLR) drops the victim is the *queued*
+/// packet that was evicted, not the arrival that triggered it, and the
+/// occupancy excludes the victim.
+pub fn run_trace_lossy_probed<P: Probe>(
+    scheduler: &mut dyn Scheduler,
+    trace: &Trace,
+    rate: f64,
+    buffer_bytes: u64,
     mut mode: LossMode,
+    probe: &mut P,
 ) -> LossyReport {
     assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
     let n = scheduler.num_classes();
@@ -89,13 +109,16 @@ pub fn run_trace_lossy(
     let mut next = 0usize;
     let mut free = Time::ZERO;
     let mut seq = 0u64;
+    // Scratch for the decision audit, reused across decisions.
+    let mut values: Vec<(usize, f64)> = Vec::new();
 
     // Admits (or drops) one arrival under the buffer policy.
     let admit = |s: &mut dyn Scheduler,
                  e: &traffic::TraceEntry,
                  seq: u64,
                  report: &mut LossyReport,
-                 mode: &mut LossMode| {
+                 mode: &mut LossMode,
+                 probe: &mut P| {
         let class = e.class as usize;
         assert!(
             u64::from(e.size) <= buffer_bytes,
@@ -103,6 +126,10 @@ pub fn run_trace_lossy(
             e.size
         );
         report.arrivals[class] += 1;
+        let id = PacketId::single_link(seq, e.class, e.size);
+        if P::ENABLED {
+            probe.on_arrival(e.at, id);
+        }
         if let LossMode::Plr(d) = mode {
             d.on_arrival(class);
         }
@@ -111,6 +138,9 @@ pub fn run_trace_lossy(
             match mode {
                 LossMode::TailDrop => {
                     report.drops[class] += 1;
+                    if P::ENABLED {
+                        probe.on_drop(e.at, id, s.total_backlog_bytes(), buffer_bytes);
+                    }
                     return;
                 }
                 LossMode::Plr(d) => {
@@ -124,23 +154,36 @@ pub fn run_trace_lossy(
                     if victim == class {
                         d.record_drop(class);
                         report.drops[class] += 1;
+                        if P::ENABLED {
+                            probe.on_drop(e.at, id, s.total_backlog_bytes(), buffer_bytes);
+                        }
                         return;
                     }
                     match s.drop_newest(victim) {
                         Some(v) => {
                             d.record_drop(v.class as usize);
                             report.drops[v.class as usize] += 1;
+                            if P::ENABLED {
+                                let vid = PacketId::single_link(v.seq, v.class, v.size);
+                                probe.on_drop(e.at, vid, s.total_backlog_bytes(), buffer_bytes);
+                            }
                         }
                         None => {
                             // Scheduler without push-out support: fall back
                             // to dropping the arrival.
                             d.record_drop(class);
                             report.drops[class] += 1;
+                            if P::ENABLED {
+                                probe.on_drop(e.at, id, s.total_backlog_bytes(), buffer_bytes);
+                            }
                             return;
                         }
                     }
                 }
             }
+        }
+        if P::ENABLED {
+            probe.on_enqueue(e.at, id);
         }
         s.enqueue(Packet::new(seq, e.class, e.size, e.at));
     };
@@ -152,7 +195,7 @@ pub fn run_trace_lossy(
             }
             let e = entries[next];
             next += 1;
-            admit(scheduler, &e, seq, &mut report, &mut mode);
+            admit(scheduler, &e, seq, &mut report, &mut mode, probe);
             seq += 1;
             free = free.max(e.at);
             if scheduler.is_empty() {
@@ -162,18 +205,28 @@ pub fn run_trace_lossy(
         while next < entries.len() && entries[next].at <= free {
             let e = entries[next];
             next += 1;
-            admit(scheduler, &e, seq, &mut report, &mut mode);
+            admit(scheduler, &e, seq, &mut report, &mut mode, probe);
             seq += 1;
         }
         report.max_backlog_bytes = report
             .max_backlog_bytes
             .max(scheduler.total_backlog_bytes());
+        if P::ENABLED {
+            values.clear();
+            scheduler.decision_values(free, &mut values);
+        }
         let Some(pkt) = scheduler.dequeue(free) else {
             continue;
         };
         report.delays[pkt.class as usize].push(free.since(pkt.arrival).as_f64());
         let tx = ((pkt.size as f64 / rate).round() as u64).max(1);
-        free += Dur::from_ticks(tx);
+        let finish = free + Dur::from_ticks(tx);
+        if P::ENABLED {
+            let id = PacketId::single_link(pkt.seq, pkt.class, pkt.size);
+            probe.on_decision(free, scheduler.name(), id, &values);
+            probe.on_depart(id, pkt.arrival, free, finish, true);
+        }
+        free = finish;
     }
     report
 }
@@ -376,6 +429,33 @@ mod tests {
                     kind.name()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn probed_lossy_run_reports_drops_with_occupancy() {
+        let mut s = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        let mut probe = telemetry::CountingProbe::new(2);
+        let r = run_trace_lossy_probed(
+            s.as_mut(),
+            &overload_trace(3),
+            1.0,
+            4_000,
+            LossMode::TailDrop,
+            &mut probe,
+        );
+        let report = probe.report();
+        // The probe's ledger agrees with the report's, per class.
+        for c in 0..2 {
+            assert_eq!(report.classes[c].arrivals, r.arrivals[c]);
+            assert_eq!(report.classes[c].drops, r.drops[c]);
+            assert_eq!(report.classes[c].departures, r.delays[c].count());
+        }
+        assert!(report.total_drops() > 1000);
+        // Gauges saw the buffer pressure; no single class ever exceeded it.
+        assert!(report.classes.iter().any(|c| c.backlog_high_water > 0));
+        for c in &report.classes {
+            assert!(c.backlog_high_water as u64 <= 4_000);
         }
     }
 

@@ -2,6 +2,7 @@
 
 use sched::{Packet, Scheduler};
 use simcore::{Dur, Time};
+use telemetry::{NoopProbe, PacketId, Probe};
 use traffic::{Trace, TraceEntry};
 
 /// One packet departure from the link.
@@ -29,6 +30,7 @@ impl Departure {
 }
 
 /// Transmission time of `size` bytes at `rate` bytes/tick, at least 1 tick.
+#[inline]
 fn tx_ticks(size: u32, rate: f64) -> u64 {
     ((size as f64 / rate).round() as u64).max(1)
 }
@@ -82,31 +84,81 @@ pub fn run_trace(
 ///
 /// `arrivals` must yield entries in nondecreasing time order; the k-way
 /// merge and the trace generators both guarantee that.
-pub fn run_trace_on<S, I, F>(scheduler: &mut S, arrivals: I, rate: f64, mut on_depart: F)
+#[inline]
+pub fn run_trace_on<S, I, F>(scheduler: &mut S, arrivals: I, rate: f64, on_depart: F)
 where
     S: Scheduler + ?Sized,
     I: IntoIterator<Item = TraceEntry>,
     F: FnMut(&Departure),
 {
+    run_trace_probed(scheduler, arrivals, rate, on_depart, &mut NoopProbe)
+}
+
+/// [`run_trace_on`] with a [`Probe`] observing the packet lifecycle.
+///
+/// Every probe interaction is gated on the associated constant
+/// [`Probe::ENABLED`], so with [`NoopProbe`] this monomorphizes to exactly
+/// the uninstrumented loop — [`run_trace_on`] *is* this function with the
+/// no-op probe, and the tracked perf baseline holds the overhead to zero.
+///
+/// Probe event stream per packet (single link, so `span == seq`, `hop` 0):
+/// `on_arrival` and `on_enqueue` at the arrival instant (unbounded queues —
+/// everything offered is admitted), `on_decision` at the decision instant
+/// with the scheduler's [`decision_values`](Scheduler::decision_values)
+/// audit record, and `on_depart` with `eol = true` at the finish instant.
+#[inline]
+pub fn run_trace_probed<S, I, F, P>(
+    scheduler: &mut S,
+    arrivals: I,
+    rate: f64,
+    mut on_depart: F,
+    probe: &mut P,
+) where
+    S: Scheduler + ?Sized,
+    I: IntoIterator<Item = TraceEntry>,
+    F: FnMut(&Departure),
+    P: Probe,
+{
     assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
     let mut arrivals = arrivals.into_iter().peekable();
     let mut free = Time::ZERO;
     let mut seq = 0u64;
+    // Scratch for the decision audit, reused across decisions.
+    let mut values: Vec<(usize, f64)> = Vec::new();
     loop {
         if scheduler.is_empty() {
             let Some(e) = arrivals.next() else { break };
+            if P::ENABLED {
+                let id = PacketId::single_link(seq, e.class, e.size);
+                probe.on_arrival(e.at, id);
+                probe.on_enqueue(e.at, id);
+            }
             scheduler.enqueue(Packet::new(seq, e.class, e.size, e.at));
             seq += 1;
             free = free.max(e.at);
         }
         while let Some(e) = arrivals.next_if(|e| e.at <= free) {
+            if P::ENABLED {
+                let id = PacketId::single_link(seq, e.class, e.size);
+                probe.on_arrival(e.at, id);
+                probe.on_enqueue(e.at, id);
+            }
             scheduler.enqueue(Packet::new(seq, e.class, e.size, e.at));
             seq += 1;
+        }
+        if P::ENABLED {
+            values.clear();
+            scheduler.decision_values(free, &mut values);
         }
         let pkt = scheduler
             .dequeue(free)
             .expect("work-conserving scheduler with backlog must dequeue");
         let finish = free + Dur::from_ticks(tx_ticks(pkt.size, rate));
+        if P::ENABLED {
+            let id = PacketId::single_link(pkt.seq, pkt.class, pkt.size);
+            probe.on_decision(free, scheduler.name(), id, &values);
+            probe.on_depart(id, pkt.arrival, free, finish, true);
+        }
         on_depart(&Departure {
             packet: pkt,
             start: free,
@@ -185,6 +237,106 @@ mod tests {
             }
         });
         assert_eq!(count, 2);
+    }
+
+    /// Records the full probe event stream as comparable strings.
+    #[derive(Default)]
+    struct Tape(Vec<String>);
+
+    impl telemetry::Probe for Tape {
+        fn on_arrival(&mut self, at: Time, id: PacketId) {
+            self.0.push(format!("arr t={} seq={}", at.ticks(), id.seq));
+        }
+        fn on_enqueue(&mut self, at: Time, id: PacketId) {
+            self.0.push(format!("enq t={} seq={}", at.ticks(), id.seq));
+        }
+        fn on_decision(
+            &mut self,
+            at: Time,
+            scheduler: &'static str,
+            winner: PacketId,
+            values: &[(usize, f64)],
+        ) {
+            self.0.push(format!(
+                "dec t={} {} win={} v={:?}",
+                at.ticks(),
+                scheduler,
+                winner.class,
+                values
+            ));
+        }
+        fn on_depart(&mut self, id: PacketId, _a: Time, start: Time, finish: Time, eol: bool) {
+            self.0.push(format!(
+                "dep seq={} start={} finish={} eol={}",
+                id.seq,
+                start.ticks(),
+                finish.ticks(),
+                eol
+            ));
+        }
+    }
+
+    #[test]
+    fn probed_replay_reports_the_full_lifecycle_in_order() {
+        let tr = trace(&[(0, 0, 100), (0, 1, 100)]);
+        let mut s = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        let mut tape = Tape::default();
+        let mut deps = Vec::new();
+        run_trace_probed(
+            s.as_mut(),
+            tr.entries().iter().copied(),
+            1.0,
+            |d| deps.push(d.packet.class),
+            &mut tape,
+        );
+        assert_eq!(deps, vec![1, 0]);
+        assert_eq!(
+            tape.0,
+            vec![
+                "arr t=0 seq=0",
+                "enq t=0 seq=0",
+                "arr t=0 seq=1",
+                "enq t=0 seq=1",
+                // Both waited 0 at t=0; WTP's audit shows the zero-priority
+                // tie and the tie rule sends class 1 out first.
+                "dec t=0 WTP win=1 v=[(0, 0.0), (1, 0.0)]",
+                "dep seq=1 start=0 finish=100 eol=true",
+                "dec t=100 WTP win=0 v=[(0, 100.0)]",
+                "dep seq=0 start=100 finish=200 eol=true",
+            ]
+        );
+    }
+
+    #[test]
+    fn probed_replay_departures_match_unprobed() {
+        let tr = trace(&[
+            (0, 0, 550),
+            (10, 3, 40),
+            (20, 1, 1500),
+            (30, 2, 550),
+            (2000, 0, 40),
+        ]);
+        for kind in SchedulerKind::ALL {
+            let mut plain = Vec::new();
+            let mut s = kind.build(&Sdp::paper_default(), 1.0);
+            run_trace(s.as_mut(), &tr, 1.0, |d| {
+                plain.push((d.packet.seq, d.start, d.finish))
+            });
+            let mut probed = Vec::new();
+            let mut s = kind.build(&Sdp::paper_default(), 1.0);
+            let mut counter = telemetry::CountingProbe::new(4);
+            run_trace_probed(
+                s.as_mut(),
+                tr.entries().iter().copied(),
+                1.0,
+                |d| probed.push((d.packet.seq, d.start, d.finish)),
+                &mut counter,
+            );
+            assert_eq!(plain, probed, "{} diverged under probing", kind.name());
+            let report = counter.report();
+            assert_eq!(report.total_departures(), 5, "{}", kind.name());
+            assert_eq!(report.decisions, 5, "{}", kind.name());
+        }
     }
 
     #[test]

@@ -12,9 +12,10 @@
 
 use sched::Scheduler;
 use simcore::Time;
+use telemetry::Probe;
 use traffic::{ClassSource, MergedStream};
 
-use crate::server::{run_trace_on, Departure};
+use crate::server::{run_trace_on, run_trace_probed, Departure};
 
 /// Replays live sources through `scheduler` until `horizon` (arrivals
 /// after the horizon are discarded), on a link of `rate` bytes/tick.
@@ -35,6 +36,25 @@ pub fn run_sources(
 ) {
     let stream = MergedStream::per_source(sources.to_vec(), base_seed, horizon);
     run_trace_on(scheduler, stream, rate, on_depart);
+}
+
+/// [`run_sources`] with a [`Probe`] observing the packet lifecycle.
+///
+/// Emits exactly the event stream of
+/// [`run_trace_probed`](crate::run_trace_probed) on the equivalent
+/// materialized trace — the golden determinism tests pin the two JSONL
+/// exports byte-for-byte.
+pub fn run_sources_probed<P: Probe>(
+    scheduler: &mut dyn Scheduler,
+    sources: &[ClassSource],
+    horizon: Time,
+    base_seed: u64,
+    rate: f64,
+    on_depart: impl FnMut(&Departure),
+    probe: &mut P,
+) {
+    let stream = MergedStream::per_source(sources.to_vec(), base_seed, horizon);
+    run_trace_probed(scheduler, stream, rate, on_depart, probe);
 }
 
 #[cfg(test)]

@@ -157,3 +157,68 @@ fn experiment_streaming_equals_materialized_measurement() {
     let materialized = e.run_one(s.as_mut(), &trace);
     assert_eq!(streamed.mean_delays, materialized.mean_delays());
 }
+
+#[test]
+fn jsonl_trace_is_byte_identical_across_replay_paths() {
+    // The telemetry layer must not observe path-dependent state: for the
+    // same workload, the JSONL export from the materialized-trace replay
+    // and from the streaming (O(sources) memory) replay are the same
+    // bytes. A small deterministic workload keeps the assertion readable
+    // when it fails.
+    use qsim::{run_sources_probed, run_trace_probed};
+    use telemetry::JsonlSink;
+
+    let horizon = Time::from_ticks(300_000);
+    let seed = 21;
+
+    let mut src_copy = sources(0.9);
+    let trace = Trace::generate_per_source(&mut src_copy, horizon, seed);
+    let mut s1 = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+    let mut sink1 = JsonlSink::new(Vec::new());
+    run_trace_probed(
+        s1.as_mut(),
+        trace.entries().iter().copied(),
+        1.0,
+        |_| {},
+        &mut sink1,
+    );
+    let from_trace = sink1.finish().unwrap();
+
+    let mut s2 = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+    let mut sink2 = JsonlSink::new(Vec::new());
+    run_sources_probed(
+        s2.as_mut(),
+        &sources(0.9),
+        horizon,
+        seed,
+        1.0,
+        |_| {},
+        &mut sink2,
+    );
+    let from_stream = sink2.finish().unwrap();
+
+    assert!(!from_trace.is_empty(), "workload produced no events");
+    assert!(
+        from_trace.len() > 10_000,
+        "workload too small to be a meaningful golden ({} bytes)",
+        from_trace.len()
+    );
+    if from_trace != from_stream {
+        // Byte compare failed: find the first differing line for the report.
+        let a = String::from_utf8_lossy(&from_trace);
+        let b = String::from_utf8_lossy(&from_stream);
+        for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+            assert_eq!(la, lb, "JSONL line {} diverged between replay paths", i + 1);
+        }
+        panic!(
+            "JSONL traces differ in length: {} vs {} bytes",
+            from_trace.len(),
+            from_stream.len()
+        );
+    }
+
+    // And the export is schema-valid, same as the CI telemetry job checks.
+    let text = String::from_utf8(from_trace).unwrap();
+    let lines = telemetry::schema::validate_jsonl(&text).expect("golden JSONL is schema-valid");
+    assert!(lines > 0);
+}

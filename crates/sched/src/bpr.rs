@@ -151,6 +151,22 @@ impl Scheduler for Bpr {
     fn name(&self) -> &'static str {
         "BPR"
     }
+
+    fn decision_values(&self, now: Time, out: &mut Vec<(usize, f64)>) {
+        // Read-only replica of the dequeue sweep: what each backlogged
+        // head's remaining virtual work L_i − v_i(t) *would* be at `now`,
+        // without committing the accrual.
+        let elapsed = now.saturating_since(self.last_decision).as_f64();
+        for (c, (head, &v)) in self.queues.heads().zip(&self.v).enumerate() {
+            let Some(head) = head else { continue };
+            let accrued = if head.arrival <= self.last_decision {
+                v + self.rates[c] * elapsed
+            } else {
+                0.0
+            };
+            out.push((c, head.size as f64 - accrued));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +252,44 @@ mod tests {
         assert_eq!(s.dequeue(Time::from_ticks(100)), None);
         s.enqueue(pkt(2, 0, 100, 200));
         assert_eq!(s.dequeue(Time::from_ticks(200)).unwrap().seq, 2);
+    }
+
+    #[test]
+    fn decision_values_match_the_dequeue_sweep_without_mutating() {
+        let mut s = Bpr::new(Sdp::new(&[1.0, 3.0]).unwrap(), 1.0);
+        s.enqueue(pkt(1, 0, 100, 0));
+        s.enqueue(pkt(2, 1, 100, 0));
+        s.enqueue(pkt(3, 1, 50, 0));
+        let _ = s.dequeue(Time::ZERO); // establish rates and last_decision
+        let now = Time::from_ticks(40);
+        let mut out = Vec::new();
+        s.decision_values(now, &mut out);
+        // The audited argmin (ties to higher class) predicts the dequeue.
+        let predicted = out
+            .iter()
+            .rev()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        let mut again = Vec::new();
+        s.decision_values(now, &mut again); // read-only: identical replay
+        assert_eq!(out, again);
+        assert_eq!(s.dequeue(now).unwrap().class as usize, predicted);
+    }
+
+    #[test]
+    fn decision_values_reset_for_post_decision_arrivals() {
+        let mut s = Bpr::new(Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        s.enqueue(pkt(1, 0, 100, 0));
+        s.enqueue(pkt(2, 1, 100, 0));
+        let _ = s.dequeue(Time::ZERO);
+        // Fresh head arriving after the decision instant starts at v = 0:
+        // its remaining work is its full size regardless of elapsed time.
+        s.enqueue(pkt(3, 1, 80, 10));
+        let mut out = Vec::new();
+        s.decision_values(Time::from_ticks(60), &mut out);
+        let high = out.iter().find(|(c, _)| *c == 1).unwrap();
+        assert_eq!(high.1, 80.0);
     }
 
     #[test]

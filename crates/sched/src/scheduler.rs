@@ -63,6 +63,21 @@ pub trait Scheduler {
     fn drop_newest(&mut self, _class: usize) -> Option<Packet> {
         None
     }
+
+    /// Appends this scheduler's internal decision record at decision
+    /// instant `now` to `out`, one `(class, value)` pair per backlogged
+    /// class in class order. Read-only: must not change what a subsequent
+    /// [`dequeue`](Scheduler::dequeue) at the same `now` returns.
+    ///
+    /// The value's meaning is per scheduler — WTP reports the normalized
+    /// head-of-line priority `w_i(t)·s_i`, BPR the head's remaining virtual
+    /// work `L_i − v_i(t)`. Schedulers without an audit hook append nothing
+    /// (the default), which telemetry renders as an empty record.
+    ///
+    /// `out` is caller-owned scratch so instrumented replay loops can reuse
+    /// one allocation across every decision; implementations append without
+    /// clearing.
+    fn decision_values(&self, _now: Time, _out: &mut Vec<(usize, f64)>) {}
 }
 
 /// Per-class FIFO queues with byte accounting — the storage shared by every

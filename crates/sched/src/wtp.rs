@@ -106,6 +106,14 @@ impl Scheduler for Wtp {
     fn name(&self) -> &'static str {
         "WTP"
     }
+
+    fn decision_values(&self, now: Time, out: &mut Vec<(usize, f64)>) {
+        for (c, head) in self.queues.heads().enumerate() {
+            if let Some(head) = head {
+                out.push((c, head.waiting(now).as_f64() * self.sdp.get(c)));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +192,23 @@ mod tests {
             let peeked = s.peek_winner(t).unwrap();
             assert_eq!(s.dequeue(t).unwrap().class as usize, peeked);
         }
+    }
+
+    #[test]
+    fn decision_values_report_backlogged_priorities_in_class_order() {
+        let mut s = wtp_1_2();
+        let mut out = Vec::new();
+        s.decision_values(Time::from_ticks(10), &mut out);
+        assert!(out.is_empty());
+        s.enqueue(pkt(1, 1, 4));
+        s.enqueue(pkt(2, 0, 6));
+        s.decision_values(Time::from_ticks(10), &mut out);
+        // Class 0 waited 4 (s=1), class 1 waited 6 (s=2).
+        assert_eq!(out, vec![(0, 4.0), (1, 12.0)]);
+        // Appends without clearing, and dequeue agrees with the argmax.
+        s.decision_values(Time::from_ticks(10), &mut out);
+        assert_eq!(out.len(), 4);
+        assert_eq!(s.dequeue(Time::from_ticks(10)).unwrap().class, 1);
     }
 
     #[test]

@@ -70,6 +70,13 @@ pub enum RunOutcome {
     Stopped,
 }
 
+/// A heartbeat observer: `(virtual time, events handled, queue depth)`.
+///
+/// `simcore` sits below the telemetry crate in the dependency graph, so the
+/// hook is a plain boxed callback; telemetry adapts it onto its probe
+/// vocabulary at the call site.
+pub type HeartbeatFn = Box<dyn FnMut(Time, u64, usize)>;
+
 /// A discrete-event simulation: a [`Model`] plus an event queue and a clock.
 pub struct Simulation<M: Model> {
     model: M,
@@ -81,6 +88,10 @@ pub struct Simulation<M: Model> {
     // duration of `Model::handle` and taken back (drained, capacity kept)
     // afterwards.
     pending_buf: Vec<(Time, M::Event)>,
+    // Deepest the event queue has ever been (pressure diagnostic).
+    heap_high_water: usize,
+    // Progress callback fired every `.0` handled events, if installed.
+    heartbeat: Option<(u64, HeartbeatFn)>,
 }
 
 impl<M: Model> Simulation<M> {
@@ -92,7 +103,36 @@ impl<M: Model> Simulation<M> {
             now: Time::ZERO,
             handled: 0,
             pending_buf: Vec::new(),
+            heap_high_water: 0,
+            heartbeat: None,
         }
+    }
+
+    /// Installs a progress heartbeat: `f(now, events_handled, queue_depth)`
+    /// fires after every `every`-th handled event, so long runs are
+    /// observably alive. Replaces any previous heartbeat.
+    ///
+    /// # Panics
+    /// Panics if `every` is zero.
+    pub fn set_heartbeat(&mut self, every: u64, f: impl FnMut(Time, u64, usize) + 'static) {
+        assert!(every > 0, "heartbeat interval must be positive");
+        self.heartbeat = Some((every, Box::new(f)));
+    }
+
+    /// Removes the heartbeat installed by [`set_heartbeat`](Self::set_heartbeat).
+    pub fn clear_heartbeat(&mut self) {
+        self.heartbeat = None;
+    }
+
+    /// The deepest the event queue has ever been — a pressure diagnostic
+    /// for models that fan events out faster than they retire them.
+    pub fn heap_high_water(&self) -> usize {
+        self.heap_high_water
+    }
+
+    /// Current event-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
     }
 
     /// Current virtual time (timestamp of the last handled event).
@@ -157,6 +197,14 @@ impl<M: Model> Simulation<M> {
             self.queue.push(at, ev);
         }
         self.pending_buf = ctx.pending;
+        if self.queue.len() > self.heap_high_water {
+            self.heap_high_water = self.queue.len();
+        }
+        if let Some((every, f)) = &mut self.heartbeat {
+            if self.handled.is_multiple_of(*every) {
+                f(self.now, self.handled, self.queue.len());
+            }
+        }
         ctx.stop
     }
 
@@ -330,6 +378,59 @@ mod tests {
         // Horizon past the last event: queue drains.
         assert_eq!(sim.run_until(Time::from_ticks(1000)), RunOutcome::Drained);
         assert_eq!(sim.model().fired_at.len(), 3);
+    }
+
+    #[test]
+    fn heartbeat_fires_every_n_events_with_virtual_time() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let beats: Rc<RefCell<Vec<(u64, u64, usize)>>> = Rc::default();
+        let mut sim = Simulation::new(Ticker {
+            reps: 10,
+            gap: Dur::from_ticks(5),
+            fired_at: Vec::new(),
+        });
+        let sink = Rc::clone(&beats);
+        sim.set_heartbeat(4, move |now, handled, depth| {
+            sink.borrow_mut().push((now.ticks(), handled, depth));
+        });
+        sim.schedule(Time::ZERO, ());
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        // 10 events → beats after events 4 and 8, at virtual times 15/35.
+        assert_eq!(*beats.borrow(), vec![(15, 4, 1), (35, 8, 1)]);
+        sim.clear_heartbeat();
+        sim.schedule(sim.now(), ());
+        sim.run();
+        assert_eq!(beats.borrow().len(), 2, "cleared heartbeat must not fire");
+    }
+
+    #[test]
+    fn heap_high_water_tracks_peak_queue_depth() {
+        // Fan out: the first event schedules 5 follow-ups, which retire
+        // one by one. Peak depth is 5, final depth 0.
+        struct Fan;
+        impl Model for Fan {
+            type Event = bool;
+            fn handle(&mut self, root: bool, ctx: &mut Context<bool>) {
+                if root {
+                    for k in 1..=5 {
+                        ctx.schedule_in(Dur::from_ticks(k), false);
+                    }
+                }
+            }
+        }
+        let mut sim = Simulation::new(Fan);
+        sim.schedule(Time::ZERO, true);
+        assert_eq!(sim.heap_high_water(), 0);
+        sim.run();
+        assert_eq!(sim.heap_high_water(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "heartbeat interval must be positive")]
+    fn zero_heartbeat_interval_panics() {
+        let mut sim = Simulation::new(Stopper);
+        sim.set_heartbeat(0, |_, _, _| {});
     }
 
     #[test]

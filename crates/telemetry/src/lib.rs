@@ -1,0 +1,44 @@
+//! # telemetry — zero-cost packet-lifecycle tracing and run metrics
+//!
+//! The paper's evidence is time-series: interval-averaged delay ratios,
+//! per-packet delays, decision-by-decision scheduler behavior. This crate
+//! makes every run auditable at that granularity without taxing the runs
+//! that don't need it:
+//!
+//! * [`Probe`] — a **monomorphized** observer of packet lifecycle events
+//!   (arrival, enqueue, scheduler decision, departure, drop) plus engine
+//!   internals (virtual-time heartbeat, event-queue depth). Instrumented
+//!   loops are generic over `P: Probe` and gate every record construction
+//!   behind the associated constant [`Probe::ENABLED`], so the no-op probe
+//!   compiles to the uninstrumented loop.
+//! * [`NoopProbe`] — the zero-cost default ([`Probe::ENABLED`] ` = false`).
+//!   The `perf_baseline` binary proves the "zero" empirically and records
+//!   the overhead in `BENCH_propdiff.json`.
+//! * [`CountingProbe`] — an allocation-light metrics recorder: per-class
+//!   counters (arrivals, departures, drops), queue-depth and backlog-byte
+//!   gauges with high-water marks, decision/winner tallies, event-loop
+//!   throughput, and the engine's heap-depth high-water mark.
+//! * [`JsonlSink`] — one JSON object per event, deterministic byte-for-byte
+//!   for a given event stream (golden-tested across replay paths).
+//! * [`ChromeTraceSink`] — Chrome `trace_event` JSON (open in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>): each packet is an
+//!   async begin/end span keyed by its span id, with scheduler decisions
+//!   and drops as instant events. Multi-hop journeys (Study B) share one
+//!   span id across hops, so an end-to-end packet is a single track.
+//! * [`schema`] — a dependency-free validator for the JSONL export, used
+//!   by the `propdiff-trace --validate` flag and the CI telemetry job.
+//!
+//! Dependency-wise this crate sits at the bottom of the workspace (only
+//! `simcore`), so every layer — `sched`, `qsim`, `netsim`, `experiments`,
+//! `conformance` — can speak to the same probe vocabulary.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod metrics;
+mod probe;
+pub mod schema;
+mod sink;
+
+pub use metrics::{ClassMetrics, CountingProbe, MetricsReport};
+pub use probe::{NoopProbe, PacketId, Probe, Tee};
+pub use sink::{ChromeTraceSink, JsonlSink};

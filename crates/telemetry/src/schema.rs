@@ -1,0 +1,392 @@
+//! Dependency-free schema validation for the JSONL trace export.
+//!
+//! `propdiff-trace --validate` and the CI telemetry job run every emitted
+//! line through [`validate_line`], so a malformed exporter fails loudly
+//! instead of producing a trace no tool can read. The checker is a small
+//! recursive-descent JSON parser (syntax) plus per-event required-key
+//! tables (vocabulary) — exactly the contract documented on
+//! [`crate::JsonlSink`].
+
+use std::collections::BTreeMap;
+
+/// The JSON value kinds the schema distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// A number literal.
+    Number,
+    /// A string literal.
+    String,
+    /// `true` or `false`.
+    Bool,
+    /// An array.
+    Array,
+    /// A nested object.
+    Object,
+}
+
+/// A schema violation, with enough context to find the bad line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// 1-based line number (0 when validating a single line).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+// ---- minimal JSON scanner -------------------------------------------------
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(s: &'a str) -> Self {
+        Scanner {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            Some(got) => Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                b as char,
+                self.pos - 1,
+                got as char
+            )),
+            None => Err(format!("expected '{}', found end of input", b as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            match self.bump() {
+                                Some(h) if h.is_ascii_hexdigit() => {}
+                                _ => return Err("bad \\u escape".into()),
+                            }
+                        }
+                        out.push('?');
+                    }
+                    Some(e @ (b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't')) => {
+                        out.push(e as char)
+                    }
+                    _ => return Err("bad escape".into()),
+                },
+                Some(b) => out.push(b as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map_err(|_| format!("bad number literal '{text}'"))?;
+        Ok(())
+    }
+
+    /// Consumes one JSON value, returning its kind.
+    fn value(&mut self) -> Result<Kind, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => {
+                self.string()?;
+                Ok(Kind::String)
+            }
+            Some(b'{') => self.object().map(|_| Kind::Object),
+            Some(b'[') => {
+                self.expect(b'[')?;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.bump();
+                    return Ok(Kind::Array);
+                }
+                loop {
+                    self.value()?;
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => {}
+                        Some(b']') => return Ok(Kind::Array),
+                        _ => return Err("expected ',' or ']' in array".into()),
+                    }
+                }
+            }
+            Some(b't') => self.literal("true").map(|_| Kind::Bool),
+            Some(b'f') => self.literal("false").map(|_| Kind::Bool),
+            Some(b'n') => Err("null is not part of the trace schema".into()),
+            Some(_) => {
+                self.number()?;
+                Ok(Kind::Number)
+            }
+            None => Err("expected a value, found end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        for &b in lit.as_bytes() {
+            if self.bump() != Some(b) {
+                return Err(format!("bad literal (expected '{lit}')"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes one object, returning its top-level keys and value kinds.
+    fn object(&mut self) -> Result<BTreeMap<String, Kind>, String> {
+        self.expect(b'{')?;
+        let mut keys = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(keys);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let kind = self.value()?;
+            if keys.insert(key.clone(), kind).is_some() {
+                return Err(format!("duplicate key \"{key}\""));
+            }
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(keys),
+                _ => return Err("expected ',' or '}' in object".into()),
+            }
+        }
+    }
+}
+
+/// Parses `line` as a single JSON object, returning top-level keys → kinds.
+fn parse_object(line: &str) -> Result<BTreeMap<String, Kind>, String> {
+    let mut sc = Scanner::new(line);
+    let keys = sc.object()?;
+    sc.skip_ws();
+    if sc.peek().is_some() {
+        return Err("trailing bytes after the JSON object".into());
+    }
+    Ok(keys)
+}
+
+/// Required `key → kind` table for each event type.
+fn required(ev: &str) -> Option<&'static [(&'static str, Kind)]> {
+    const PACKET: &[(&str, Kind)] = &[
+        ("t", Kind::Number),
+        ("span", Kind::Number),
+        ("seq", Kind::Number),
+        ("class", Kind::Number),
+        ("size", Kind::Number),
+        ("hop", Kind::Number),
+    ];
+    const DECISION: &[(&str, Kind)] = &[
+        ("t", Kind::Number),
+        ("hop", Kind::Number),
+        ("sched", Kind::String),
+        ("winner", Kind::Number),
+        ("span", Kind::Number),
+        ("values", Kind::Array),
+    ];
+    const DEPART: &[(&str, Kind)] = &[
+        ("t", Kind::Number),
+        ("span", Kind::Number),
+        ("seq", Kind::Number),
+        ("class", Kind::Number),
+        ("size", Kind::Number),
+        ("hop", Kind::Number),
+        ("arrival", Kind::Number),
+        ("start", Kind::Number),
+        ("finish", Kind::Number),
+        ("eol", Kind::Bool),
+    ];
+    const DROP: &[(&str, Kind)] = &[
+        ("t", Kind::Number),
+        ("span", Kind::Number),
+        ("seq", Kind::Number),
+        ("class", Kind::Number),
+        ("size", Kind::Number),
+        ("hop", Kind::Number),
+        ("backlog", Kind::Number),
+        ("buffer", Kind::Number),
+    ];
+    const HEARTBEAT: &[(&str, Kind)] = &[
+        ("t", Kind::Number),
+        ("events", Kind::Number),
+        ("heap", Kind::Number),
+    ];
+    match ev {
+        "arrival" | "enqueue" => Some(PACKET),
+        "decision" => Some(DECISION),
+        "depart" => Some(DEPART),
+        "drop" => Some(DROP),
+        "heartbeat" => Some(HEARTBEAT),
+        _ => None,
+    }
+}
+
+/// Validates one JSONL trace line: well-formed JSON object, a known `ev`
+/// type, and every required field present with the right kind.
+pub fn validate_line(line: &str) -> Result<(), SchemaError> {
+    let fail = |message: String| SchemaError { line: 0, message };
+    let keys = parse_object(line).map_err(fail)?;
+    match keys.get("ev") {
+        Some(Kind::String) => {}
+        Some(_) => return Err(fail("\"ev\" must be a string".into())),
+        None => return Err(fail("missing \"ev\" field".into())),
+    }
+    // Re-scan just the ev value (the scanner above discarded string text
+    // positions; cheapest is a targeted extraction).
+    let ev = extract_ev(line).ok_or_else(|| fail("cannot extract \"ev\" value".into()))?;
+    let table = required(&ev).ok_or_else(|| fail(format!("unknown event type \"{ev}\"")))?;
+    for (key, kind) in table {
+        match keys.get(*key) {
+            Some(k) if k == kind => {}
+            Some(k) => {
+                return Err(fail(format!(
+                    "\"{ev}\" field \"{key}\" has kind {k:?}, expected {kind:?}"
+                )))
+            }
+            None => return Err(fail(format!("\"{ev}\" event missing field \"{key}\""))),
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the value of the `"ev"` key (first occurrence).
+fn extract_ev(line: &str) -> Option<String> {
+    let idx = line.find("\"ev\":")?;
+    let rest = &line[idx + 5..];
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    let close = rest.find('"')?;
+    Some(rest[..close].to_string())
+}
+
+/// Validates a whole JSONL document (one event per line; blank lines are
+/// rejected). Returns the number of validated lines.
+pub fn validate_jsonl(text: &str) -> Result<usize, SchemaError> {
+    let mut n = 0;
+    for (i, line) in text.lines().enumerate() {
+        validate_line(line).map_err(|mut e| {
+            e.line = i + 1;
+            e
+        })?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_ARRIVAL: &str =
+        "{\"ev\":\"arrival\",\"t\":0,\"span\":0,\"seq\":0,\"class\":1,\"size\":100,\"hop\":0}";
+    const GOOD_DECISION: &str = "{\"ev\":\"decision\",\"t\":3,\"hop\":0,\"sched\":\"WTP\",\"winner\":1,\"span\":0,\"values\":[[0,1.5],[1,6]]}";
+
+    #[test]
+    fn accepts_documented_lines() {
+        validate_line(GOOD_ARRIVAL).unwrap();
+        validate_line(GOOD_DECISION).unwrap();
+        validate_line("{\"ev\":\"heartbeat\",\"t\":9,\"events\":100,\"heap\":4}").unwrap();
+        validate_line(
+            "{\"ev\":\"depart\",\"t\":103,\"span\":0,\"seq\":0,\"class\":1,\"size\":100,\"hop\":0,\
+             \"arrival\":0,\"start\":3,\"finish\":103,\"eol\":true}",
+        )
+        .unwrap();
+        validate_line(
+            "{\"ev\":\"drop\",\"t\":10,\"span\":1,\"seq\":1,\"class\":0,\"size\":40,\"hop\":0,\
+             \"backlog\":200,\"buffer\":256}",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_field() {
+        let e = validate_line("{\"ev\":\"heartbeat\",\"t\":9,\"events\":100}").unwrap_err();
+        assert!(e.message.contains("missing field \"heap\""), "{e}");
+    }
+
+    #[test]
+    fn rejects_wrong_kind() {
+        let e = validate_line("{\"ev\":\"heartbeat\",\"t\":\"nine\",\"events\":1,\"heap\":0}")
+            .unwrap_err();
+        assert!(e.message.contains("expected Number"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_event_and_bad_json() {
+        assert!(validate_line("{\"ev\":\"teleport\",\"t\":0}").is_err());
+        assert!(validate_line("{\"ev\":\"arrival\"").is_err());
+        assert!(validate_line("not json at all").is_err());
+        assert!(validate_line("{\"t\":0}").is_err());
+        assert!(validate_line("{\"ev\":\"arrival\",\"t\":0} trailing").is_err());
+        assert!(validate_line("{\"ev\":\"arrival\",\"ev\":\"arrival\"}").is_err());
+    }
+
+    #[test]
+    fn validate_jsonl_reports_line_numbers() {
+        let doc = format!("{GOOD_ARRIVAL}\n{GOOD_DECISION}\nbroken\n");
+        let e = validate_jsonl(&doc).unwrap_err();
+        assert_eq!(e.line, 3);
+        let ok = format!("{GOOD_ARRIVAL}\n{GOOD_DECISION}\n");
+        assert_eq!(validate_jsonl(&ok).unwrap(), 2);
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_escapes() {
+        validate_line(
+            "{\"ev\":\"decision\",\"t\":1,\"hop\":0,\"sched\":\"A\\\"B\",\"winner\":0,\"span\":0,\
+             \"values\":[[0,-1.5e3]]}",
+        )
+        .unwrap();
+    }
+}
