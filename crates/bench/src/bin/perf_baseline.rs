@@ -112,13 +112,22 @@ fn replay_packets_per_sec() -> (f64, f64, u64) {
 
 /// Maximum tolerated slowdown of the NoopProbe-instrumented replay loop
 /// relative to the frozen pre-probe loop, in percent.
-const MAX_OVERHEAD_PCT: f64 = 2.0;
+///
+/// The limit must sit above the box's code-placement noise floor: the two
+/// arms compile to instruction-identical loops (verified by diffing their
+/// disassembly), yet unrelated code elsewhere in the binary shifts where
+/// each loop lands relative to 32-byte fetch boundaries, and that alone
+/// has measured anywhere from −1% to +6% here. A probe that genuinely
+/// fails to fold away adds branches and calls per packet event — tens of
+/// percent — so 10% keeps full detection power without tripping on
+/// alignment luck.
+const MAX_OVERHEAD_PCT: f64 = 10.0;
 /// Timed repetitions for the overhead A/B (tighter than `REPS` because the
 /// verdict gates the build).
 const OVERHEAD_REPS: u32 = 9;
 /// Replays per timed repetition: one replay of the bench trace lasts well
 /// under a millisecond, so a single pass is all timer jitter. Batching
-/// stretches each sample past ~20 ms, which is what makes a 2% gate
+/// stretches each sample past ~20 ms, which is what makes a tight gate
 /// meaningful on a shared box.
 const OVERHEAD_ITERS: u32 = 50;
 

@@ -266,7 +266,7 @@ impl SchedulerVisitor for StreamRun {
 }
 
 /// Interleave equivalence: for the same sources, horizon and seed, the
-/// materialized `run_trace` path (Box<dyn Scheduler>) and the streaming
+/// materialized `run_trace` path (`Box<dyn Scheduler>`) and the streaming
 /// `MergedStream` path (monomorphized) must produce identical departures.
 pub fn interleave_check(kind: SchedulerKind, sdp: &Sdp, seed: u64) -> Result<(), String> {
     let horizon = Time::from_ticks(200_000);

@@ -92,40 +92,47 @@ pub struct FeasibilityProbe {
     pub worst_slack: f64,
 }
 
+/// The spacing ratios swept by the feasibility ablation.
+pub const FEASIBILITY_SPACINGS: [f64; 6] = [1.5, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// The utilizations swept by the feasibility ablation.
+pub const FEASIBILITY_UTILS: [f64; 3] = [0.75, 0.85, 0.95];
+
+/// Probes one (utilization, spacing) point of the feasibility region.
+pub fn feasibility_cell(rho: f64, spacing: f64, scale: Scale) -> FeasibilityProbe {
+    let e = Experiment::paper(
+        rho,
+        Sdp::paper_default(),
+        scale.punits().min(30_000),
+        vec![11],
+    );
+    let trace: Trace = e.trace_for_seed(11);
+    let arrivals: Vec<(u64, u8, u32)> = trace
+        .entries()
+        .iter()
+        .map(|t| (t.at.ticks(), t.class, t.size))
+        .collect();
+    let model = ProportionalModel::new(Ddp::geometric(4, spacing).expect("static"));
+    let report = model.check_feasibility(&arrivals, 1.0);
+    let worst = report
+        .checks
+        .iter()
+        .map(|c| c.slack())
+        .fold(f64::INFINITY, f64::min);
+    FeasibilityProbe {
+        utilization: rho,
+        spacing,
+        feasible: report.feasible(),
+        worst_slack: worst,
+    }
+}
+
 /// Sweeps DDP spacing × utilization and checks Eq. (7) on a recorded trace.
 pub fn feasibility(scale: Scale) -> Vec<FeasibilityProbe> {
-    let spacings = [1.5, 2.0, 4.0, 8.0, 16.0, 32.0];
-    let utils = [0.75, 0.85, 0.95];
     let mut jobs = Vec::new();
-    for &rho in &utils {
-        for &r in &spacings {
-            jobs.push(move || {
-                let e = Experiment::paper(
-                    rho,
-                    Sdp::paper_default(),
-                    scale.punits().min(30_000),
-                    vec![11],
-                );
-                let trace: Trace = e.trace_for_seed(11);
-                let arrivals: Vec<(u64, u8, u32)> = trace
-                    .entries()
-                    .iter()
-                    .map(|t| (t.at.ticks(), t.class, t.size))
-                    .collect();
-                let model = ProportionalModel::new(Ddp::geometric(4, r).expect("static"));
-                let report = model.check_feasibility(&arrivals, 1.0);
-                let worst = report
-                    .checks
-                    .iter()
-                    .map(|c| c.slack())
-                    .fold(f64::INFINITY, f64::min);
-                FeasibilityProbe {
-                    utilization: rho,
-                    spacing: r,
-                    feasible: report.feasible(),
-                    worst_slack: worst,
-                }
-            });
+    for &rho in &FEASIBILITY_UTILS {
+        for &r in &FEASIBILITY_SPACINGS {
+            jobs.push(move || feasibility_cell(rho, r, scale));
         }
     }
     parallel_map(jobs)
@@ -238,29 +245,34 @@ pub struct ModerateLoad {
     pub points: Vec<(f64, Vec<(SchedulerKind, f64)>)>,
 }
 
-/// Quantifies the moderate-load undershoot for WTP/BPR and shows the
-/// PAD/HPD extensions holding the target (target ratio 2).
-pub fn moderate_load(scale: Scale) -> ModerateLoad {
+/// The utilizations swept by the moderate-load ablation.
+pub const MODERATE_LOAD_UTILS: [f64; 4] = [0.70, 0.80, 0.90, 0.95];
+
+/// Measures one moderate-load point: all four schedulers at one
+/// utilization, returning `(scheduler, mean successive ratio)` rows.
+pub fn moderate_load_cell(rho: f64, scale: Scale) -> (f64, Vec<(SchedulerKind, f64)>) {
     let kinds = [
         SchedulerKind::Wtp,
         SchedulerKind::Bpr,
         SchedulerKind::Pad,
         SchedulerKind::Hpd,
     ];
-    let jobs: Vec<_> = [0.70, 0.80, 0.90, 0.95]
+    let e = Experiment::paper(rho, Sdp::paper_default(), scale.punits(), scale.seeds());
+    let results = e.run_many(&kinds);
+    let rows = kinds
+        .iter()
+        .zip(results)
+        .map(|(&k, r)| (k, r.ratios.iter().sum::<f64>() / r.ratios.len() as f64))
+        .collect();
+    (rho, rows)
+}
+
+/// Quantifies the moderate-load undershoot for WTP/BPR and shows the
+/// PAD/HPD extensions holding the target (target ratio 2).
+pub fn moderate_load(scale: Scale) -> ModerateLoad {
+    let jobs: Vec<_> = MODERATE_LOAD_UTILS
         .into_iter()
-        .map(|rho| {
-            move || {
-                let e = Experiment::paper(rho, Sdp::paper_default(), scale.punits(), scale.seeds());
-                let results = e.run_many(&kinds);
-                let rows = kinds
-                    .iter()
-                    .zip(results)
-                    .map(|(&k, r)| (k, r.ratios.iter().sum::<f64>() / r.ratios.len() as f64))
-                    .collect();
-                (rho, rows)
-            }
-        })
+        .map(|rho| move || moderate_load_cell(rho, scale))
         .collect();
     ModerateLoad {
         points: parallel_map(jobs),
@@ -296,51 +308,56 @@ pub struct PlrStudy {
     pub rows: Vec<(f64, f64, f64, f64)>,
 }
 
-/// Runs the §7 coupled delay+loss extension: WTP spaces the delays while
-/// the PLR dropper spaces the losses; tail-drop is the uncontrolled
-/// baseline.
-pub fn plr(scale: Scale) -> PlrStudy {
+/// The loss-spacing targets σ₁/σ₂ swept by the PLR ablation.
+pub const PLR_SIGMAS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+
+/// Measures one PLR point: `(sigma_ratio, plr_loss_ratio,
+/// taildrop_loss_ratio, delay_ratio)` for one target loss spacing.
+pub fn plr_cell(sigma_ratio: f64, scale: Scale) -> (f64, f64, f64, f64) {
     use pdd::qsim::{run_trace_lossy, LossMode};
     use pdd::sched::PlrDropper;
     use pdd::simcore::Time as SimTime;
     use pdd::traffic::{ClassSource, IatDist, SizeDist};
 
     let horizon = SimTime::from_ticks(scale.punits().max(4_000) * 100);
-    let jobs: Vec<_> = [1.0, 2.0, 4.0, 8.0]
+    let make_trace = |seed| {
+        let mut sources = vec![
+            ClassSource::new(
+                0,
+                IatDist::paper_pareto(154.0).expect("static"),
+                SizeDist::fixed(100),
+            ),
+            ClassSource::new(
+                1,
+                IatDist::paper_pareto(154.0).expect("static"),
+                SizeDist::fixed(100),
+            ),
+        ];
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        Trace::generate(&mut sources, horizon, &mut rng)
+    };
+    let trace = make_trace(13);
+    let sdp = Sdp::new(&[1.0, 2.0]).expect("static");
+    let mut s = SchedulerKind::Wtp.build(&sdp, 1.0);
+    let plr_mode = LossMode::Plr(PlrDropper::new(&[sigma_ratio, 1.0]).expect("static"));
+    let r_plr = run_trace_lossy(s.as_mut(), &trace, 1.0, 6_000, plr_mode);
+    let mut s2 = SchedulerKind::Wtp.build(&sdp, 1.0);
+    let r_tail = run_trace_lossy(s2.as_mut(), &trace, 1.0, 6_000, LossMode::TailDrop);
+    (
+        sigma_ratio,
+        r_plr.loss_ratio(0, 1).unwrap_or(f64::NAN),
+        r_tail.loss_ratio(0, 1).unwrap_or(f64::NAN),
+        r_plr.delays[0].mean() / r_plr.delays[1].mean(),
+    )
+}
+
+/// Runs the §7 coupled delay+loss extension: WTP spaces the delays while
+/// the PLR dropper spaces the losses; tail-drop is the uncontrolled
+/// baseline.
+pub fn plr(scale: Scale) -> PlrStudy {
+    let jobs: Vec<_> = PLR_SIGMAS
         .into_iter()
-        .map(|sigma_ratio| {
-            move || {
-                let make_trace = |seed| {
-                    let mut sources = vec![
-                        ClassSource::new(
-                            0,
-                            IatDist::paper_pareto(154.0).expect("static"),
-                            SizeDist::fixed(100),
-                        ),
-                        ClassSource::new(
-                            1,
-                            IatDist::paper_pareto(154.0).expect("static"),
-                            SizeDist::fixed(100),
-                        ),
-                    ];
-                    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
-                    Trace::generate(&mut sources, horizon, &mut rng)
-                };
-                let trace = make_trace(13);
-                let sdp = Sdp::new(&[1.0, 2.0]).expect("static");
-                let mut s = SchedulerKind::Wtp.build(&sdp, 1.0);
-                let plr_mode = LossMode::Plr(PlrDropper::new(&[sigma_ratio, 1.0]).expect("static"));
-                let r_plr = run_trace_lossy(s.as_mut(), &trace, 1.0, 6_000, plr_mode);
-                let mut s2 = SchedulerKind::Wtp.build(&sdp, 1.0);
-                let r_tail = run_trace_lossy(s2.as_mut(), &trace, 1.0, 6_000, LossMode::TailDrop);
-                (
-                    sigma_ratio,
-                    r_plr.loss_ratio(0, 1).unwrap_or(f64::NAN),
-                    r_tail.loss_ratio(0, 1).unwrap_or(f64::NAN),
-                    r_plr.delays[0].mean() / r_plr.delays[1].mean(),
-                )
-            }
-        })
+        .map(|sigma_ratio| move || plr_cell(sigma_ratio, scale))
         .collect();
     PlrStudy {
         rows: parallel_map(jobs),
@@ -536,14 +553,9 @@ pub struct MixedPath {
     pub rows: Vec<(&'static str, f64, usize)>,
 }
 
-/// Measures how a path with legacy (FCFS) hops dilutes the end-to-end
-/// differentiation: all-WTP vs one FCFS hop vs half FCFS vs all-FCFS, on a
-/// 4-hop Figure-6 chain at ρ = 0.95.
-pub fn mixed_path(scale: Scale) -> MixedPath {
-    use pdd::netsim::{analyze, packet_time_tolerance, run_study_b, StudyBConfig};
-
-    let (experiments, warmup) = scale.study_b();
-    let scenarios: Vec<(&'static str, Vec<SchedulerKind>)> = vec![
+/// The mixed-path deployment scenarios: `(label, per-hop schedulers)`.
+pub fn mixed_path_scenarios() -> Vec<(&'static str, Vec<SchedulerKind>)> {
+    vec![
         ("WTP x4", vec![SchedulerKind::Wtp; 4]),
         (
             "WTP x3 + FCFS",
@@ -564,21 +576,34 @@ pub fn mixed_path(scale: Scale) -> MixedPath {
             ],
         ),
         ("FCFS x4", vec![SchedulerKind::Fcfs; 4]),
-    ];
-    let jobs: Vec<_> = scenarios
+    ]
+}
+
+/// Measures one mixed-path scenario by its [`mixed_path_scenarios`] index.
+pub fn mixed_path_cell(scenario: usize, scale: Scale) -> (&'static str, f64, usize) {
+    use pdd::netsim::{analyze, packet_time_tolerance, run_study_b, StudyBConfig};
+
+    let (experiments, warmup) = scale.study_b();
+    let (label, links) = mixed_path_scenarios()
         .into_iter()
-        .map(|(label, links)| {
-            move || {
-                let mut cfg = StudyBConfig::paper(4, 0.95, 20, 200.0);
-                cfg.experiments = experiments;
-                cfg.warmup_secs = warmup;
-                cfg.link_schedulers = Some(links);
-                cfg.seed = 5;
-                let records = run_study_b(&cfg);
-                let r = analyze(&records, cfg.num_classes(), packet_time_tolerance(&cfg));
-                (label, r.rd, r.inconsistent_experiments)
-            }
-        })
+        .nth(scenario)
+        .expect("scenario index in range");
+    let mut cfg = StudyBConfig::paper(4, 0.95, 20, 200.0);
+    cfg.experiments = experiments;
+    cfg.warmup_secs = warmup;
+    cfg.link_schedulers = Some(links);
+    cfg.seed = 5;
+    let records = run_study_b(&cfg);
+    let r = analyze(&records, cfg.num_classes(), packet_time_tolerance(&cfg));
+    (label, r.rd, r.inconsistent_experiments)
+}
+
+/// Measures how a path with legacy (FCFS) hops dilutes the end-to-end
+/// differentiation: all-WTP vs one FCFS hop vs half FCFS vs all-FCFS, on a
+/// 4-hop Figure-6 chain at ρ = 0.95.
+pub fn mixed_path(scale: Scale) -> MixedPath {
+    let jobs: Vec<_> = (0..mixed_path_scenarios().len())
+        .map(|i| move || mixed_path_cell(i, scale))
         .collect();
     MixedPath {
         rows: parallel_map(jobs),

@@ -8,6 +8,7 @@
 use pdd::qsim::Experiment;
 use pdd::sched::{SchedulerKind, Sdp};
 use pdd::stats::{AsciiPlot, Table};
+use pdd::telemetry::{NoopProbe, Probe};
 
 use crate::{banner, parallel_map, Scale};
 
@@ -41,6 +42,29 @@ pub struct Fig1 {
     pub panels: Vec<Fig1Panel>,
 }
 
+/// Measures one Figure-1 cell: one SDP spacing × one utilization, both
+/// schedulers, averaged over the scale's seeds.
+pub fn cell(sdp_ratio: f64, utilization: f64, scale: Scale) -> Fig1Row {
+    cell_probed(sdp_ratio, utilization, scale, &mut NoopProbe)
+}
+
+/// As [`cell`], streaming packet-lifecycle events into `probe`.
+pub fn cell_probed<P: Probe>(
+    sdp_ratio: f64,
+    utilization: f64,
+    scale: Scale,
+    probe: &mut P,
+) -> Fig1Row {
+    let sdp = Sdp::geometric(4, sdp_ratio).expect("static");
+    let e = Experiment::paper(utilization, sdp, scale.punits(), scale.seeds());
+    let results = e.run_many_probed(&[SchedulerKind::Wtp, SchedulerKind::Bpr], probe);
+    Fig1Row {
+        utilization,
+        wtp: results[0].ratios.clone(),
+        bpr: results[1].ratios.clone(),
+    }
+}
+
 /// Regenerates Figure 1.
 pub fn run(scale: Scale) -> Fig1 {
     let panels = [2.0, 4.0]
@@ -48,18 +72,7 @@ pub fn run(scale: Scale) -> Fig1 {
         .map(|ratio| {
             let jobs: Vec<_> = UTILIZATIONS
                 .iter()
-                .map(|&rho| {
-                    move || {
-                        let sdp = Sdp::geometric(4, ratio).expect("static");
-                        let e = Experiment::paper(rho, sdp, scale.punits(), scale.seeds());
-                        let results = e.run_many(&[SchedulerKind::Wtp, SchedulerKind::Bpr]);
-                        Fig1Row {
-                            utilization: rho,
-                            wtp: results[0].ratios.clone(),
-                            bpr: results[1].ratios.clone(),
-                        }
-                    }
-                })
+                .map(|&rho| move || cell(ratio, rho, scale))
                 .collect();
             Fig1Panel {
                 sdp_ratio: ratio,

@@ -8,6 +8,7 @@
 use pdd::qsim::Experiment;
 use pdd::sched::{SchedulerKind, Sdp};
 use pdd::stats::Table;
+use pdd::telemetry::{NoopProbe, Probe};
 
 use crate::{banner, parallel_map, Scale};
 
@@ -50,6 +51,30 @@ pub struct Fig2 {
     pub panels: Vec<Fig2Panel>,
 }
 
+/// Measures one Figure-2 cell: one SDP spacing × one class-load split at
+/// ρ = 0.95, both schedulers, averaged over the scale's seeds.
+pub fn cell(sdp_ratio: f64, fractions: [f64; 4], scale: Scale) -> Fig2Row {
+    cell_probed(sdp_ratio, fractions, scale, &mut NoopProbe)
+}
+
+/// As [`cell`], streaming packet-lifecycle events into `probe`.
+pub fn cell_probed<P: Probe>(
+    sdp_ratio: f64,
+    fractions: [f64; 4],
+    scale: Scale,
+    probe: &mut P,
+) -> Fig2Row {
+    let sdp = Sdp::geometric(4, sdp_ratio).expect("static");
+    let mut e = Experiment::paper(0.95, sdp, scale.punits(), scale.seeds());
+    e.class_fractions = fractions.to_vec();
+    let results = e.run_many_probed(&[SchedulerKind::Wtp, SchedulerKind::Bpr], probe);
+    Fig2Row {
+        fractions,
+        wtp: results[0].ratios.clone(),
+        bpr: results[1].ratios.clone(),
+    }
+}
+
 /// Regenerates Figure 2 (utilization fixed at 95 %).
 pub fn run(scale: Scale) -> Fig2 {
     let panels = [2.0, 4.0]
@@ -57,19 +82,7 @@ pub fn run(scale: Scale) -> Fig2 {
         .map(|ratio| {
             let jobs: Vec<_> = DISTRIBUTIONS
                 .iter()
-                .map(|&fractions| {
-                    move || {
-                        let sdp = Sdp::geometric(4, ratio).expect("static");
-                        let mut e = Experiment::paper(0.95, sdp, scale.punits(), scale.seeds());
-                        e.class_fractions = fractions.to_vec();
-                        let results = e.run_many(&[SchedulerKind::Wtp, SchedulerKind::Bpr]);
-                        Fig2Row {
-                            fractions,
-                            wtp: results[0].ratios.clone(),
-                            bpr: results[1].ratios.clone(),
-                        }
-                    }
-                })
+                .map(|&fractions| move || cell(ratio, fractions, scale))
                 .collect();
             Fig2Panel {
                 sdp_ratio: ratio,

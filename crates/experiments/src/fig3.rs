@@ -21,8 +21,8 @@ pub struct Fig3 {
     pub bpr: Vec<TimescaleResult>,
 }
 
-/// Regenerates Figure 3.
-pub fn run(scale: Scale) -> Fig3 {
+/// Measures one Figure-3 cell: the full τ ladder for one scheduler.
+pub fn cell(kind: SchedulerKind, scale: Scale) -> Vec<TimescaleResult> {
     // The τ = 10000 column needs enough horizon to produce intervals; at
     // bench scale drop it rather than report a single-interval percentile.
     let taus: Vec<u64> = if scale.punits() >= 20_000 {
@@ -32,10 +32,14 @@ pub fn run(scale: Scale) -> Fig3 {
     };
     let mut st = ShortTimescale::paper(scale.punits(), scale.seeds());
     st.taus_punits = taus;
-    let st2 = st.clone();
+    st.run(kind)
+}
+
+/// Regenerates Figure 3.
+pub fn run(scale: Scale) -> Fig3 {
     let mut results = parallel_map(vec![
-        Box::new(move || st.run(SchedulerKind::Wtp)) as Box<dyn FnOnce() -> _ + Send>,
-        Box::new(move || st2.run(SchedulerKind::Bpr)),
+        Box::new(move || cell(SchedulerKind::Wtp, scale)) as Box<dyn FnOnce() -> _ + Send>,
+        Box::new(move || cell(SchedulerKind::Bpr, scale)),
     ]);
     let bpr = results.pop().expect("two jobs");
     let wtp = results.pop().expect("two jobs");

@@ -23,13 +23,18 @@ pub struct Fig45 {
     pub wtp: MicroViews,
 }
 
+/// Measures one Figures-4/5 cell: the microscopic views of one scheduler
+/// (BPR for Fig. 4, WTP for Fig. 5) on the shared packet stream.
+pub fn cell(kind: SchedulerKind, scale: Scale) -> MicroViews {
+    Microscope::paper(scale.punits(), 7).run(kind)
+}
+
 /// Regenerates Figures 4 and 5 (same arriving packet streams for both
 /// schedulers, as in the paper).
 pub fn run(scale: Scale) -> Fig45 {
-    let m = Microscope::paper(scale.punits(), 7);
     Fig45 {
-        bpr: m.run(SchedulerKind::Bpr),
-        wtp: m.run(SchedulerKind::Wtp),
+        bpr: cell(SchedulerKind::Bpr, scale),
+        wtp: cell(SchedulerKind::Wtp, scale),
     }
 }
 

@@ -2,9 +2,11 @@
 //!
 //! One module per experiment in the paper's evaluation; each exposes a
 //! `run(scale)` returning structured results plus a `render()`d report that
-//! prints the same rows/series the paper shows. The `src/bin/*` binaries
-//! are thin wrappers, so the bench crate can regenerate the same
-//! experiments at [`Scale::Bench`].
+//! prints the same rows/series the paper shows, and per-cell `cell(...)`
+//! functions that the orchestrator crate schedules, caches, and merges.
+//! The bench crate regenerates the same experiments at [`Scale::Bench`];
+//! the `propdiff-run` and `all_experiments` binaries live in the
+//! orchestrator crate.
 //!
 //! | module | reproduces |
 //! |--------|------------|
@@ -113,47 +115,58 @@ pub fn banner(title: &str) -> String {
 /// Runs `jobs` closures on up to `std::thread::available_parallelism()`
 /// OS threads and returns their results in order.
 ///
-/// Jobs are dealt out in contiguous chunks, one per worker; each scoped
-/// thread owns its chunk outright and returns its results through `join`,
-/// so there is no locking anywhere. The experiment harness's jobs (one per
-/// utilization point or topology) are uniform enough that chunking load-
-/// balances as well as work stealing would.
+/// See [`parallel_map_on`] for the scheduling discipline.
 pub fn parallel_map<T, F>(jobs: Vec<F>) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    parallel_map_on(jobs, workers)
+}
+
+/// Runs `jobs` on exactly `workers` OS threads (clamped to the job count)
+/// and returns their results in input order.
+///
+/// Scheduling is work-stealing from a shared injector: idle workers claim
+/// the next unstarted job, so a few heavy jobs (a K=8 Table-1 cell next to
+/// a bench-scale feasibility probe) never serialize behind a static chunk
+/// assignment. Results are tagged with their input index and sorted before
+/// returning, so the output order — and everything downstream, including
+/// the orchestrator's merged JSON — is independent of the worker count.
+pub fn parallel_map_on<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    use std::sync::Mutex;
+
     let n = jobs.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
+    let workers = workers.clamp(1, n);
     if workers == 1 {
         return jobs.into_iter().map(|job| job()).collect();
     }
-    // Ceil-divide so every chunk is nonempty and all jobs are covered.
-    let chunk = n.div_ceil(workers);
-    let mut jobs = jobs;
-    let mut chunks: Vec<Vec<F>> = Vec::with_capacity(workers);
-    while !jobs.is_empty() {
-        let rest = jobs.split_off(jobs.len().min(chunk));
-        chunks.push(std::mem::replace(&mut jobs, rest));
-    }
+    let queue = Mutex::new(jobs.into_iter().enumerate());
+    let results = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || chunk.into_iter().map(|job| job()).collect::<Vec<T>>())
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Claim the next job while holding the lock, run it outside.
+                let next = queue.lock().expect("worker thread panicked").next();
+                let Some((i, job)) = next else { break };
+                let out = (i, job());
+                results.lock().expect("worker thread panicked").push(out);
+            });
+        }
+    });
+    let mut results = results.into_inner().expect("worker thread panicked");
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
@@ -179,6 +192,19 @@ mod tests {
             .map(|i| Box::new(move || i + 1) as Box<dyn FnOnce() -> usize + Send>)
             .collect();
         assert_eq!(parallel_map(jobs), (1..=23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_on_is_order_stable_across_worker_counts() {
+        let make = || -> Vec<Box<dyn FnOnce() -> usize + Send>> {
+            (0..17usize)
+                .map(|i| Box::new(move || i * 3) as Box<dyn FnOnce() -> usize + Send>)
+                .collect()
+        };
+        let want: Vec<usize> = (0..17).map(|i| i * 3).collect();
+        for workers in [1, 2, 5, 32] {
+            assert_eq!(parallel_map_on(make(), workers), want, "workers={workers}");
+        }
     }
 
     #[test]

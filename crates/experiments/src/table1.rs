@@ -6,8 +6,9 @@
 //! as load and hop count grow, and **zero** cases of inconsistent
 //! differentiation.
 
-use pdd::netsim::{analyze, packet_time_tolerance, run_study_b, StudyBConfig, StudyBResult};
+use pdd::netsim::{analyze, packet_time_tolerance, run_study_b_probed, StudyBConfig, StudyBResult};
 use pdd::stats::Table;
+use pdd::telemetry::{NoopProbe, Probe};
 
 use crate::{banner, parallel_map, Scale};
 
@@ -33,30 +34,44 @@ pub struct Table1 {
     pub cells: Vec<Cell>,
 }
 
+/// Measures one Table-1 cell: one (K, ρ, F, R_u) Study-B run.
+pub fn cell_run(k: usize, rho: f64, flow_len: u32, rate: f64, scale: Scale) -> Cell {
+    cell_run_probed(k, rho, flow_len, rate, scale, &mut NoopProbe)
+}
+
+/// As [`cell_run`], streaming every hop's packet events into `probe`.
+pub fn cell_run_probed<P: Probe>(
+    k: usize,
+    rho: f64,
+    flow_len: u32,
+    rate: f64,
+    scale: Scale,
+    probe: &mut P,
+) -> Cell {
+    let (experiments, warmup) = scale.study_b();
+    let mut cfg = StudyBConfig::paper(k, rho, flow_len, rate);
+    cfg.experiments = experiments;
+    cfg.warmup_secs = warmup;
+    cfg.seed = 1 + k as u64 * 1000 + (rho * 100.0) as u64;
+    let (records, _links) = run_study_b_probed(&cfg, probe);
+    let result = analyze(&records, cfg.num_classes(), packet_time_tolerance(&cfg));
+    Cell {
+        k_hops: k,
+        utilization: rho,
+        flow_len,
+        flow_rate_kbps: rate,
+        result,
+    }
+}
+
 /// Regenerates Table 1.
 pub fn run(scale: Scale) -> Table1 {
-    let (experiments, warmup) = scale.study_b();
     let mut jobs = Vec::new();
     for &k in &[4usize, 8] {
         for &rho in &[0.85, 0.95] {
             for &flow_len in &[10u32, 100] {
                 for &rate in &[50.0, 200.0] {
-                    jobs.push(move || {
-                        let mut cfg = StudyBConfig::paper(k, rho, flow_len, rate);
-                        cfg.experiments = experiments;
-                        cfg.warmup_secs = warmup;
-                        cfg.seed = 1 + k as u64 * 1000 + (rho * 100.0) as u64;
-                        let records = run_study_b(&cfg);
-                        let result =
-                            analyze(&records, cfg.num_classes(), packet_time_tolerance(&cfg));
-                        Cell {
-                            k_hops: k,
-                            utilization: rho,
-                            flow_len,
-                            flow_rate_kbps: rate,
-                            result,
-                        }
-                    });
+                    jobs.push(move || cell_run(k, rho, flow_len, rate, scale));
                 }
             }
         }
@@ -136,6 +151,7 @@ impl Table1 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pdd::netsim::run_study_b;
 
     /// One small cell rather than the full grid (the grid runs in the
     /// binary/bench); asserts the paper's two headline claims.

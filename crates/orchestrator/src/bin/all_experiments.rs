@@ -1,4 +1,6 @@
-//! Runs every figure, table, and ablation in sequence.
+//! Runs every figure, table, and ablation in sequence — the compatibility
+//! wrapper for the retired per-figure binaries. For the cached parallel
+//! path use `propdiff-run`.
 //!
 //! Usage: `all_experiments [--paper|--bench]` (default: quick scale).
 fn main() {

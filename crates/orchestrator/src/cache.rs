@@ -1,0 +1,202 @@
+//! The on-disk result cache: one JSON file per cell, keyed by a content
+//! hash of (cell parameters, scale, source fingerprint, schema version).
+//!
+//! # Layout
+//!
+//! ```text
+//! <cache-dir>/<scale-tag>/<cell-id>.json
+//! ```
+//!
+//! where `<scale-tag>` is `quick`, `paper`, `bench`, or `p<punits>s<seeds>`
+//! for custom scales, and `<cell-id>` is [`CellSpec::id`]. Each file holds
+//! `{"key": "<16 hex digits>", "cell": {...params...}, "result": {...}}`.
+//!
+//! # Invalidation rule
+//!
+//! A stored entry is a hit iff its `key` equals the FNV-1a 64 hash of the
+//! cell's canonical parameter JSON, the scale tag, the source fingerprint
+//! of the result-relevant crates (see [`crate::fingerprint`]), and the
+//! schema version. Change a sweep parameter, the simulation source, or the
+//! result schema and the key changes; the stale file is simply overwritten
+//! on the next run (the cache never grows beyond one file per cell per
+//! scale). Corrupt or unreadable files behave as misses.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use experiments::Scale;
+
+use crate::cell::CellSpec;
+use crate::fingerprint::Fnv;
+use crate::json::Json;
+
+/// Bumped whenever the cell result JSON layout changes, so stale shapes
+/// can never be replayed into a newer reader.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The scale tag used as the cache subdirectory name.
+pub fn scale_tag(scale: Scale) -> String {
+    match scale {
+        Scale::Paper => "paper".into(),
+        Scale::Quick => "quick".into(),
+        Scale::Bench => "bench".into(),
+        Scale::Custom { punits, nseeds } => format!("p{punits}s{nseeds}"),
+    }
+}
+
+/// A handle on one cache directory bound to one source fingerprint.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    dir: PathBuf,
+    fingerprint: u64,
+}
+
+impl Cache {
+    /// Opens (without touching the filesystem) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>, fingerprint: u64) -> Cache {
+        Cache {
+            dir: dir.into(),
+            fingerprint,
+        }
+    }
+
+    /// The cache root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The content key a valid entry for `cell` at `scale` must carry.
+    pub fn key(&self, cell: &CellSpec, scale: Scale) -> u64 {
+        let mut h = Fnv::new();
+        h.write(cell.params().serialize().as_bytes());
+        h.write(b"\0");
+        h.write(scale_tag(scale).as_bytes());
+        h.write(b"\0");
+        h.write(&self.fingerprint.to_le_bytes());
+        h.write(&SCHEMA_VERSION.to_le_bytes());
+        h.finish()
+    }
+
+    fn path(&self, cell: &CellSpec, scale: Scale) -> PathBuf {
+        self.dir.join(scale_tag(scale)).join(cell.id() + ".json")
+    }
+
+    /// Loads the cached result for `cell`, or `None` on a miss (absent,
+    /// unreadable, or carrying a stale key).
+    pub fn load(&self, cell: &CellSpec, scale: Scale) -> Option<Json> {
+        let text = std::fs::read_to_string(self.path(cell, scale)).ok()?;
+        let entry = Json::parse(&text).ok()?;
+        let stored_key = entry.get("key")?.as_str()?;
+        if stored_key != format!("{:016x}", self.key(cell, scale)) {
+            return None;
+        }
+        entry.get("result").cloned()
+    }
+
+    /// Stores `result` for `cell`, overwriting any stale entry.
+    ///
+    /// The write goes through a same-directory temp file and rename, so an
+    /// interrupted run leaves either the old entry or the new one — never
+    /// a torn file — and resuming re-runs only genuinely missing cells.
+    pub fn store(&self, cell: &CellSpec, scale: Scale, result: &Json) -> io::Result<()> {
+        let path = self.path(cell, scale);
+        let parent = path.parent().expect("cache path has a parent");
+        std::fs::create_dir_all(parent)?;
+        let entry = Json::obj(vec![
+            ("key", Json::Str(format!("{:016x}", self.key(cell, scale)))),
+            ("cell", cell.params()),
+            ("result", result.clone()),
+        ]);
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, entry.serialize())?;
+        std::fs::rename(&tmp, &path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(name: &str, fingerprint: u64) -> Cache {
+        let dir = std::env::temp_dir().join(format!("pdd_cache_test_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        Cache::new(dir, fingerprint)
+    }
+
+    fn cell() -> CellSpec {
+        CellSpec::Plr { sigma: 2.0 }
+    }
+
+    #[test]
+    fn store_then_load_hits() {
+        let cache = temp_cache("hit", 7);
+        let result = Json::obj(vec![("x", Json::Int(1))]);
+        assert!(cache.load(&cell(), Scale::Bench).is_none(), "cold miss");
+        cache.store(&cell(), Scale::Bench, &result).unwrap();
+        assert_eq!(cache.load(&cell(), Scale::Bench), Some(result));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn cell_change_misses() {
+        let cache = temp_cache("cellchange", 7);
+        let result = Json::Int(1);
+        cache.store(&cell(), Scale::Bench, &result).unwrap();
+        // A different cell of the same group stores under a different file.
+        let other = CellSpec::Plr { sigma: 4.0 };
+        assert!(cache.load(&other, Scale::Bench).is_none());
+        // Same id, different parameters ⇒ different key ⇒ miss. Simulate a
+        // parameter change by writing `other`'s entry over `cell()`'s file.
+        let dir = cache.dir().join(scale_tag(Scale::Bench));
+        std::fs::copy(
+            dir.join(other.id() + ".json"),
+            dir.join(cell().id() + ".json"),
+        )
+        .ok();
+        assert_ne!(
+            cache.key(&cell(), Scale::Bench),
+            cache.key(&other, Scale::Bench)
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn scale_and_fingerprint_changes_miss() {
+        let cache = temp_cache("fp", 7);
+        let result = Json::Int(1);
+        cache.store(&cell(), Scale::Bench, &result).unwrap();
+        // Same dir, same cell, different scale ⇒ different subdirectory.
+        assert!(cache.load(&cell(), Scale::Quick).is_none());
+        // Same dir, same cell, different source fingerprint ⇒ key mismatch.
+        let other_sources = Cache::new(cache.dir().to_path_buf(), 8);
+        assert!(other_sources.load(&cell(), Scale::Bench).is_none());
+        // And the original still hits.
+        assert!(cache.load(&cell(), Scale::Bench).is_some());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let cache = temp_cache("corrupt", 7);
+        cache.store(&cell(), Scale::Bench, &Json::Int(1)).unwrap();
+        let path = cache
+            .dir()
+            .join(scale_tag(Scale::Bench))
+            .join(cell().id() + ".json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(cache.load(&cell(), Scale::Bench).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn scale_tags_are_distinct() {
+        assert_eq!(scale_tag(Scale::Quick), "quick");
+        assert_eq!(
+            scale_tag(Scale::Custom {
+                punits: 12_000,
+                nseeds: 2
+            }),
+            "p12000s2"
+        );
+    }
+}

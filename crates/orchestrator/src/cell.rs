@@ -1,0 +1,511 @@
+//! One cell of the experiment sweep: its identity, its parameters as
+//! canonical JSON (the cache key input), and its execution.
+
+use experiments::{ablations, fig1, fig2, fig3, fig45, table1, Scale};
+use pdd::netsim::StudyBConfig;
+use pdd::sched::SchedulerKind;
+use pdd::telemetry::{CountingProbe, MetricsReport};
+
+use crate::json::Json;
+
+/// One independently runnable, independently cacheable unit of work.
+///
+/// Cell granularity matches the parallel-job granularity the per-figure
+/// binaries already used, so a sweep's cells shard across threads exactly
+/// as before — the difference is that each result now lands in the cache
+/// under its own key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellSpec {
+    /// One (SDP spacing, utilization) point of Figure 1 (WTP and BPR).
+    Fig1 {
+        /// Successive-class spacing ratio (2 for panel a, 4 for panel b).
+        sdp_ratio: f64,
+        /// Link utilization ρ.
+        utilization: f64,
+    },
+    /// One (SDP spacing, load split) point of Figure 2 at ρ = 0.95.
+    Fig2 {
+        /// Successive-class spacing ratio.
+        sdp_ratio: f64,
+        /// Index into [`fig2::DISTRIBUTIONS`].
+        dist: usize,
+    },
+    /// One scheduler's full τ ladder of Figure 3.
+    Fig3 {
+        /// The scheduler measured.
+        kind: SchedulerKind,
+    },
+    /// One scheduler's microscopic views (Figure 4 for BPR, 5 for WTP).
+    Fig45 {
+        /// The scheduler measured.
+        kind: SchedulerKind,
+    },
+    /// One (K, ρ, F, R_u) Study-B cell of Table 1.
+    Table1 {
+        /// Hop count K.
+        k_hops: usize,
+        /// Link utilization ρ.
+        utilization: f64,
+        /// User-flow length F in packets.
+        flow_len: u32,
+        /// User-flow rate R_u in kbps.
+        flow_rate_kbps: f64,
+    },
+    /// The all-scheduler shoot-out ablation (one cell).
+    Shootout,
+    /// One (utilization, spacing) probe of the Eq. (7) feasibility region.
+    Feasibility {
+        /// Link utilization ρ.
+        utilization: f64,
+        /// DDP spacing ratio probed.
+        spacing: f64,
+    },
+    /// The Proposition-2 starvation ablation (one pure cell, no scale).
+    Starvation,
+    /// One utilization point of the moderate-load undershoot ablation.
+    ModerateLoad {
+        /// Link utilization ρ.
+        utilization: f64,
+    },
+    /// One target loss-spacing point of the PLR ablation.
+    Plr {
+        /// Target loss ratio σ₁/σ₂.
+        sigma: f64,
+    },
+    /// The additive-differentiation (Eq. 3) ablation (one cell).
+    Additive,
+    /// The M/G/1 analytic-validation ablation (one cell).
+    Analytic,
+    /// One deployment scenario of the mixed-path ablation.
+    MixedPath {
+        /// Index into [`ablations::mixed_path_scenarios`].
+        scenario: usize,
+    },
+}
+
+/// Formats an f64 parameter compactly and losslessly for ids/keys.
+fn fmt_f64(v: f64) -> String {
+    // `Display` prints the shortest round-tripping decimal, so distinct
+    // parameters can't collide.
+    format!("{v}")
+}
+
+impl CellSpec {
+    /// The experiment group this cell belongs to (stable slug).
+    pub fn group(&self) -> &'static str {
+        match self {
+            CellSpec::Fig1 { .. } => "fig1",
+            CellSpec::Fig2 { .. } => "fig2",
+            CellSpec::Fig3 { .. } => "fig3",
+            CellSpec::Fig45 { .. } => "fig45",
+            CellSpec::Table1 { .. } => "table1",
+            CellSpec::Shootout => "shootout",
+            CellSpec::Feasibility { .. } => "feasibility",
+            CellSpec::Starvation => "starvation",
+            CellSpec::ModerateLoad { .. } => "moderate-load",
+            CellSpec::Plr { .. } => "plr",
+            CellSpec::Additive => "additive",
+            CellSpec::Analytic => "analytic",
+            CellSpec::MixedPath { .. } => "mixed-path",
+        }
+    }
+
+    /// A unique, filesystem-safe identifier (the cache file stem).
+    pub fn id(&self) -> String {
+        let sanitize = |s: String| s.replace('.', "_");
+        match self {
+            CellSpec::Fig1 {
+                sdp_ratio,
+                utilization,
+            } => sanitize(format!(
+                "fig1-s{}-u{}",
+                fmt_f64(*sdp_ratio),
+                fmt_f64(*utilization)
+            )),
+            CellSpec::Fig2 { sdp_ratio, dist } => {
+                sanitize(format!("fig2-s{}-d{dist}", fmt_f64(*sdp_ratio)))
+            }
+            CellSpec::Fig3 { kind } => format!("fig3-{}", kind_slug(*kind)),
+            CellSpec::Fig45 { kind } => format!("fig45-{}", kind_slug(*kind)),
+            CellSpec::Table1 {
+                k_hops,
+                utilization,
+                flow_len,
+                flow_rate_kbps,
+            } => sanitize(format!(
+                "table1-k{k_hops}-u{}-f{flow_len}-r{}",
+                fmt_f64(*utilization),
+                fmt_f64(*flow_rate_kbps)
+            )),
+            CellSpec::Shootout => "shootout".into(),
+            CellSpec::Feasibility {
+                utilization,
+                spacing,
+            } => sanitize(format!(
+                "feasibility-u{}-s{}",
+                fmt_f64(*utilization),
+                fmt_f64(*spacing)
+            )),
+            CellSpec::Starvation => "starvation".into(),
+            CellSpec::ModerateLoad { utilization } => {
+                sanitize(format!("moderate-load-u{}", fmt_f64(*utilization)))
+            }
+            CellSpec::Plr { sigma } => sanitize(format!("plr-s{}", fmt_f64(*sigma))),
+            CellSpec::Additive => "additive".into(),
+            CellSpec::Analytic => "analytic".into(),
+            CellSpec::MixedPath { scenario } => format!("mixed-path-{scenario}"),
+        }
+    }
+
+    /// The cell's parameters as canonical JSON — the manifest half of the
+    /// cache key. Any change here (new parameter, different value) changes
+    /// the key and misses the cache.
+    pub fn params(&self) -> Json {
+        let mut pairs = vec![("group", Json::Str(self.group().into()))];
+        match self {
+            CellSpec::Fig1 {
+                sdp_ratio,
+                utilization,
+            } => {
+                pairs.push(("sdp_ratio", Json::num(*sdp_ratio)));
+                pairs.push(("utilization", Json::num(*utilization)));
+            }
+            CellSpec::Fig2 { sdp_ratio, dist } => {
+                pairs.push(("sdp_ratio", Json::num(*sdp_ratio)));
+                pairs.push(("dist", Json::Int(*dist as i64)));
+                pairs.push(("fractions", Json::nums(&fig2::DISTRIBUTIONS[*dist])));
+            }
+            CellSpec::Fig3 { kind } | CellSpec::Fig45 { kind } => {
+                pairs.push(("scheduler", Json::Str(kind.name().into())));
+            }
+            CellSpec::Table1 {
+                k_hops,
+                utilization,
+                flow_len,
+                flow_rate_kbps,
+            } => {
+                pairs.push(("k_hops", Json::Int(*k_hops as i64)));
+                pairs.push(("utilization", Json::num(*utilization)));
+                pairs.push(("flow_len", Json::Int(*flow_len as i64)));
+                pairs.push(("flow_rate_kbps", Json::num(*flow_rate_kbps)));
+            }
+            CellSpec::Feasibility {
+                utilization,
+                spacing,
+            } => {
+                pairs.push(("utilization", Json::num(*utilization)));
+                pairs.push(("spacing", Json::num(*spacing)));
+            }
+            CellSpec::ModerateLoad { utilization } => {
+                pairs.push(("utilization", Json::num(*utilization)));
+            }
+            CellSpec::Plr { sigma } => pairs.push(("sigma", Json::num(*sigma))),
+            CellSpec::MixedPath { scenario } => {
+                pairs.push(("scenario", Json::Int(*scenario as i64)));
+            }
+            CellSpec::Shootout | CellSpec::Starvation | CellSpec::Additive | CellSpec::Analytic => {
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    /// Runs the cell at `scale`, returning its result as JSON plus — for
+    /// the probed harnesses (fig1, fig2, table1) — the run's telemetry
+    /// snapshot for progress reporting.
+    pub fn execute(&self, scale: Scale) -> (Json, Option<MetricsReport>) {
+        match self {
+            CellSpec::Fig1 {
+                sdp_ratio,
+                utilization,
+            } => {
+                let mut probe = CountingProbe::new(4);
+                let row = fig1::cell_probed(*sdp_ratio, *utilization, scale, &mut probe);
+                (
+                    Json::obj(vec![
+                        ("utilization", Json::num(row.utilization)),
+                        ("wtp", Json::nums(&row.wtp)),
+                        ("bpr", Json::nums(&row.bpr)),
+                    ]),
+                    Some(probe.report()),
+                )
+            }
+            CellSpec::Fig2 { sdp_ratio, dist } => {
+                let mut probe = CountingProbe::new(4);
+                let row =
+                    fig2::cell_probed(*sdp_ratio, fig2::DISTRIBUTIONS[*dist], scale, &mut probe);
+                (
+                    Json::obj(vec![
+                        ("fractions", Json::nums(&row.fractions)),
+                        ("wtp", Json::nums(&row.wtp)),
+                        ("bpr", Json::nums(&row.bpr)),
+                    ]),
+                    Some(probe.report()),
+                )
+            }
+            CellSpec::Fig3 { kind } => {
+                let results = fig3::cell(*kind, scale);
+                let taus = results
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("tau_punits", Json::Int(r.tau_punits as i64)),
+                            ("five_number", Json::nums(&r.five_number)),
+                            ("intervals", Json::Int(r.intervals as i64)),
+                        ])
+                    })
+                    .collect();
+                (
+                    Json::obj(vec![
+                        ("scheduler", Json::Str(kind.name().into())),
+                        ("taus", Json::Arr(taus)),
+                    ]),
+                    None,
+                )
+            }
+            CellSpec::Fig45 { kind } => {
+                let v = fig45::cell(*kind, scale);
+                let view1 = v
+                    .view1
+                    .iter()
+                    .map(|(start, avgs)| {
+                        Json::Arr(vec![
+                            Json::Int(*start as i64),
+                            Json::Arr(
+                                avgs.iter()
+                                    .map(|a| a.map(Json::num).unwrap_or(Json::Null))
+                                    .collect(),
+                            ),
+                        ])
+                    })
+                    .collect();
+                let view2 = v
+                    .view2
+                    .iter()
+                    .map(|&(t, c, d)| {
+                        Json::Arr(vec![Json::Int(t as i64), Json::Int(c as i64), Json::num(d)])
+                    })
+                    .collect();
+                (
+                    Json::obj(vec![
+                        ("scheduler", Json::Str(v.kind.name().into())),
+                        ("roughness", Json::nums(&v.roughness)),
+                        ("mean_roughness", Json::num(v.mean_roughness())),
+                        ("view1", Json::Arr(view1)),
+                        ("view2", Json::Arr(view2)),
+                    ]),
+                    None,
+                )
+            }
+            CellSpec::Table1 {
+                k_hops,
+                utilization,
+                flow_len,
+                flow_rate_kbps,
+            } => {
+                let classes =
+                    StudyBConfig::paper(*k_hops, *utilization, *flow_len, *flow_rate_kbps)
+                        .num_classes();
+                let mut probe = CountingProbe::new(classes);
+                let cell = table1::cell_run_probed(
+                    *k_hops,
+                    *utilization,
+                    *flow_len,
+                    *flow_rate_kbps,
+                    scale,
+                    &mut probe,
+                );
+                let r = &cell.result;
+                (
+                    Json::obj(vec![
+                        ("rd", Json::num(r.rd)),
+                        ("experiments", Json::Int(r.experiments as i64)),
+                        (
+                            "inconsistent_experiments",
+                            Json::Int(r.inconsistent_experiments as i64),
+                        ),
+                        (
+                            "inconsistent_strict",
+                            Json::Int(r.inconsistent_strict as i64),
+                        ),
+                        ("skipped_ratios", Json::Int(r.skipped_ratios as i64)),
+                        ("class_median_ticks", Json::nums(&r.class_median_ticks)),
+                    ]),
+                    Some(probe.report()),
+                )
+            }
+            CellSpec::Shootout => {
+                let s = ablations::schedulers(scale);
+                let rows = s
+                    .rows
+                    .iter()
+                    .map(|(k, ratios, dev)| {
+                        Json::obj(vec![
+                            ("scheduler", Json::Str(k.name().into())),
+                            ("ratios", Json::nums(ratios)),
+                            ("deviation", Json::num(*dev)),
+                        ])
+                    })
+                    .collect();
+                (Json::obj(vec![("rows", Json::Arr(rows))]), None)
+            }
+            CellSpec::Feasibility {
+                utilization,
+                spacing,
+            } => {
+                let p = ablations::feasibility_cell(*utilization, *spacing, scale);
+                (
+                    Json::obj(vec![
+                        ("utilization", Json::num(p.utilization)),
+                        ("spacing", Json::num(p.spacing)),
+                        ("feasible", Json::Bool(p.feasible)),
+                        ("worst_slack", Json::num(p.worst_slack)),
+                    ]),
+                    None,
+                )
+            }
+            CellSpec::Starvation => {
+                let probes = ablations::starvation();
+                let rows = probes
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("sdp_ratio", Json::num(p.sdp_ratio)),
+                            ("condition_lhs", Json::num(p.condition_lhs)),
+                            ("condition_rhs", Json::num(p.condition_rhs)),
+                            ("predicted", Json::Bool(p.predicted)),
+                            ("observed", Json::Bool(p.observed)),
+                        ])
+                    })
+                    .collect();
+                (Json::obj(vec![("probes", Json::Arr(rows))]), None)
+            }
+            CellSpec::ModerateLoad { utilization } => {
+                let (rho, rows) = ablations::moderate_load_cell(*utilization, scale);
+                let rows = rows
+                    .iter()
+                    .map(|(k, mean)| {
+                        Json::obj(vec![
+                            ("scheduler", Json::Str(k.name().into())),
+                            ("mean_ratio", Json::num(*mean)),
+                        ])
+                    })
+                    .collect();
+                (
+                    Json::obj(vec![
+                        ("utilization", Json::num(rho)),
+                        ("rows", Json::Arr(rows)),
+                    ]),
+                    None,
+                )
+            }
+            CellSpec::Plr { sigma } => {
+                let (s, plr_ratio, tail_ratio, delay_ratio) = ablations::plr_cell(*sigma, scale);
+                (
+                    Json::obj(vec![
+                        ("sigma", Json::num(s)),
+                        ("plr_loss_ratio", Json::num(plr_ratio)),
+                        ("taildrop_loss_ratio", Json::num(tail_ratio)),
+                        ("delay_ratio", Json::num(delay_ratio)),
+                    ]),
+                    None,
+                )
+            }
+            CellSpec::Additive => {
+                let a = ablations::additive(scale);
+                (
+                    Json::obj(vec![
+                        ("offsets", Json::nums(&a.offsets)),
+                        ("delays", Json::nums(&a.delays)),
+                        ("differences", Json::nums(&a.differences)),
+                        ("targets", Json::nums(&a.targets)),
+                    ]),
+                    None,
+                )
+            }
+            CellSpec::Analytic => {
+                let c = ablations::analytic(scale);
+                let rows = c
+                    .rows
+                    .iter()
+                    .map(|(kind, class, m, p)| {
+                        Json::obj(vec![
+                            ("scheduler", Json::Str(kind.name().into())),
+                            ("class", Json::Int(*class as i64 + 1)),
+                            ("simulated", Json::num(*m)),
+                            ("theory", Json::num(*p)),
+                        ])
+                    })
+                    .collect();
+                (Json::obj(vec![("rows", Json::Arr(rows))]), None)
+            }
+            CellSpec::MixedPath { scenario } => {
+                let (label, rd, inconsistent) = ablations::mixed_path_cell(*scenario, scale);
+                (
+                    Json::obj(vec![
+                        ("label", Json::Str(label.into())),
+                        ("rd", Json::num(rd)),
+                        ("inconsistent_experiments", Json::Int(inconsistent as i64)),
+                    ]),
+                    None,
+                )
+            }
+        }
+    }
+
+    /// Whether the cell runs with a [`CountingProbe`] (the rest run the
+    /// zero-cost no-op probe and report no telemetry).
+    pub fn is_probed(&self) -> bool {
+        matches!(
+            self,
+            CellSpec::Fig1 { .. } | CellSpec::Fig2 { .. } | CellSpec::Table1 { .. }
+        )
+    }
+}
+
+fn kind_slug(kind: SchedulerKind) -> String {
+    kind.name().to_ascii_lowercase().replace('+', "")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_filesystem_safe() {
+        let cells = crate::manifest::suite("all").expect("all suite").cells;
+        let mut ids: Vec<String> = cells.iter().map(CellSpec::id).collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate cell ids");
+        for id in &ids {
+            assert!(
+                id.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'),
+                "unsafe id {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn params_distinguish_cells() {
+        let a = CellSpec::Fig1 {
+            sdp_ratio: 2.0,
+            utilization: 0.7,
+        };
+        let b = CellSpec::Fig1 {
+            sdp_ratio: 2.0,
+            utilization: 0.75,
+        };
+        assert_ne!(a.params().serialize(), b.params().serialize());
+        assert!(a.params().serialize().contains("\"group\":\"fig1\""));
+    }
+
+    #[test]
+    fn starvation_cell_executes_without_scale_sensitivity() {
+        let (bench, _) = CellSpec::Starvation.execute(Scale::Bench);
+        let (quick, _) = CellSpec::Starvation.execute(Scale::Quick);
+        assert_eq!(bench.serialize(), quick.serialize());
+        assert!(bench.get("probes").and_then(Json::as_arr).is_some());
+    }
+}

@@ -1,0 +1,34 @@
+//! # orchestrator — declarative, cached, parallel experiment runs
+//!
+//! Every figure, table, and ablation in the reproduction is expressed as a
+//! cell in a sweep [`manifest`]: one independent unit of simulation work
+//! (one utilization point of Figure 1, one Table-1 topology configuration,
+//! one PLR σ target, …). The [`runner`] shards a manifest's uncached cells
+//! across worker threads via the experiment crate's work-stealing
+//! `parallel_map_on`, stores each cell's result in the on-disk [`cache`]
+//! keyed by a content hash of (cell parameters, scale, source
+//! [`fingerprint`], schema version), and merges everything back in manifest
+//! order — so the merged JSON is byte-stable regardless of thread count and
+//! a warm re-run does zero simulation work.
+//!
+//! Two binaries front this crate:
+//!
+//! - `propdiff-run` — the cached, parallel path (`run`, `render`, `list`
+//!   subcommands; see its `--help`).
+//! - `all_experiments` — the sequential compatibility wrapper, printing the
+//!   same reports the retired per-figure binaries printed.
+//!
+//! The [`render`] module closes the docs loop: measured-number tables in
+//! `EXPERIMENTS.md` live between `<!-- generated:NAME -->` markers and are
+//! regenerated from cached cell results, so the document cannot silently
+//! drift from the code.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod cell;
+pub mod fingerprint;
+pub mod json;
+pub mod manifest;
+pub mod render;
+pub mod runner;

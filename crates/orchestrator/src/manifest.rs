@@ -1,0 +1,218 @@
+//! Declarative sweep manifests: every figure, table, and ablation as a
+//! list of [`CellSpec`]s built from the experiment crate's own sweep
+//! constants, so the manifest can never drift from the harness.
+
+use experiments::{ablations, fig1, fig2};
+use pdd::sched::SchedulerKind;
+
+use crate::cell::CellSpec;
+
+/// A named sweep: the unit `propdiff-run` executes.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// The suite name this manifest was built from.
+    pub suite: String,
+    /// Cells in canonical (merge) order.
+    pub cells: Vec<CellSpec>,
+}
+
+/// The suite names [`suite`] accepts, in canonical order.
+pub const SUITES: [&str; 16] = [
+    "all",
+    "figures",
+    "ablations",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig45",
+    "table1",
+    "shootout",
+    "feasibility",
+    "starvation",
+    "moderate-load",
+    "plr",
+    "additive",
+    "analytic",
+    "mixed-path",
+];
+
+fn fig1_cells() -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for sdp_ratio in [2.0, 4.0] {
+        for &utilization in &fig1::UTILIZATIONS {
+            cells.push(CellSpec::Fig1 {
+                sdp_ratio,
+                utilization,
+            });
+        }
+    }
+    cells
+}
+
+fn fig2_cells() -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for sdp_ratio in [2.0, 4.0] {
+        for dist in 0..fig2::DISTRIBUTIONS.len() {
+            cells.push(CellSpec::Fig2 { sdp_ratio, dist });
+        }
+    }
+    cells
+}
+
+fn fig3_cells() -> Vec<CellSpec> {
+    vec![
+        CellSpec::Fig3 {
+            kind: SchedulerKind::Wtp,
+        },
+        CellSpec::Fig3 {
+            kind: SchedulerKind::Bpr,
+        },
+    ]
+}
+
+fn fig45_cells() -> Vec<CellSpec> {
+    vec![
+        CellSpec::Fig45 {
+            kind: SchedulerKind::Bpr,
+        },
+        CellSpec::Fig45 {
+            kind: SchedulerKind::Wtp,
+        },
+    ]
+}
+
+fn table1_cells() -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for k_hops in [4usize, 8] {
+        for utilization in [0.85, 0.95] {
+            for flow_len in [10u32, 100] {
+                for flow_rate_kbps in [50.0, 200.0] {
+                    cells.push(CellSpec::Table1 {
+                        k_hops,
+                        utilization,
+                        flow_len,
+                        flow_rate_kbps,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+fn feasibility_cells() -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for &utilization in &ablations::FEASIBILITY_UTILS {
+        for &spacing in &ablations::FEASIBILITY_SPACINGS {
+            cells.push(CellSpec::Feasibility {
+                utilization,
+                spacing,
+            });
+        }
+    }
+    cells
+}
+
+fn moderate_load_cells() -> Vec<CellSpec> {
+    ablations::MODERATE_LOAD_UTILS
+        .iter()
+        .map(|&utilization| CellSpec::ModerateLoad { utilization })
+        .collect()
+}
+
+fn plr_cells() -> Vec<CellSpec> {
+    ablations::PLR_SIGMAS
+        .iter()
+        .map(|&sigma| CellSpec::Plr { sigma })
+        .collect()
+}
+
+fn mixed_path_cells() -> Vec<CellSpec> {
+    (0..ablations::mixed_path_scenarios().len())
+        .map(|scenario| CellSpec::MixedPath { scenario })
+        .collect()
+}
+
+fn figures_cells() -> Vec<CellSpec> {
+    let mut cells = fig1_cells();
+    cells.extend(fig2_cells());
+    cells.extend(fig3_cells());
+    cells.extend(fig45_cells());
+    cells.extend(table1_cells());
+    cells
+}
+
+fn ablation_cells() -> Vec<CellSpec> {
+    let mut cells = vec![CellSpec::Shootout];
+    cells.extend(feasibility_cells());
+    cells.push(CellSpec::Starvation);
+    cells.extend(moderate_load_cells());
+    cells.extend(plr_cells());
+    cells.push(CellSpec::Additive);
+    cells.push(CellSpec::Analytic);
+    cells.extend(mixed_path_cells());
+    cells
+}
+
+/// Builds the manifest for a suite name, or `None` for an unknown name.
+///
+/// `figures` covers Figures 1–5 + Table 1; `ablations` the eight ablation
+/// studies; `all` both; the remaining names select one experiment each.
+pub fn suite(name: &str) -> Option<Manifest> {
+    let cells = match name {
+        "all" => {
+            let mut cells = figures_cells();
+            cells.extend(ablation_cells());
+            cells
+        }
+        "figures" => figures_cells(),
+        "ablations" => ablation_cells(),
+        "fig1" => fig1_cells(),
+        "fig2" => fig2_cells(),
+        "fig3" => fig3_cells(),
+        "fig45" => fig45_cells(),
+        "table1" => table1_cells(),
+        "shootout" => vec![CellSpec::Shootout],
+        "feasibility" => feasibility_cells(),
+        "starvation" => vec![CellSpec::Starvation],
+        "moderate-load" => moderate_load_cells(),
+        "plr" => plr_cells(),
+        "additive" => vec![CellSpec::Additive],
+        "analytic" => vec![CellSpec::Analytic],
+        "mixed-path" => mixed_path_cells(),
+        _ => return None,
+    };
+    Some(Manifest {
+        suite: name.to_string(),
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_suite_name_resolves() {
+        for name in SUITES {
+            let m = suite(name).unwrap_or_else(|| panic!("suite {name}"));
+            assert!(!m.cells.is_empty(), "{name} is empty");
+        }
+        assert!(suite("nope").is_none());
+    }
+
+    #[test]
+    fn all_is_figures_plus_ablations() {
+        let all = suite("all").unwrap().cells.len();
+        let figures = suite("figures").unwrap().cells.len();
+        let ablations = suite("ablations").unwrap().cells.len();
+        assert_eq!(all, figures + ablations);
+        // The sweep sizes the per-figure binaries used to run.
+        assert_eq!(suite("fig1").unwrap().cells.len(), 14);
+        assert_eq!(suite("fig2").unwrap().cells.len(), 14);
+        assert_eq!(suite("table1").unwrap().cells.len(), 16);
+        assert_eq!(suite("feasibility").unwrap().cells.len(), 18);
+        assert_eq!(figures, 48);
+        assert_eq!(ablations, 34);
+    }
+}

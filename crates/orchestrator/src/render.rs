@@ -1,0 +1,659 @@
+//! The generated-docs pipeline: measured-number tables in EXPERIMENTS.md
+//! live between `<!-- generated:NAME -->` / `<!-- /generated:NAME -->`
+//! markers and are rewritten from merged results, so the document can
+//! never silently drift from the code (CI regenerates and diffs).
+
+use crate::json::Json;
+
+/// Renders every generated block derivable from a merged results document
+/// as `(name, markdown body)` pairs.
+pub fn generated_blocks(merged: &Json) -> Vec<(String, String)> {
+    let mut blocks = Vec::new();
+    let push = |blocks: &mut Vec<(String, String)>, name: &str, body: Option<String>| {
+        if let Some(body) = body {
+            blocks.push((name.to_string(), body));
+        }
+    };
+    push(&mut blocks, "fig1a", fig1_table(merged, 2.0));
+    push(&mut blocks, "fig1b", fig1_table(merged, 4.0));
+    push(&mut blocks, "fig2a", fig2_table(merged, 2.0));
+    push(&mut blocks, "fig3", fig3_table(merged));
+    push(&mut blocks, "fig45", fig45_table(merged));
+    push(&mut blocks, "table1", table1_grid(merged));
+    push(
+        &mut blocks,
+        "table1-consistency",
+        table1_consistency(merged),
+    );
+    push(&mut blocks, "shootout", shootout_table(merged));
+    push(&mut blocks, "feasibility", feasibility_table(merged));
+    push(&mut blocks, "starvation", starvation_table(merged));
+    push(&mut blocks, "moderate-load", moderate_load_table(merged));
+    push(&mut blocks, "plr", plr_table(merged));
+    push(&mut blocks, "additive", additive_table(merged));
+    push(&mut blocks, "analytic", analytic_table(merged));
+    push(&mut blocks, "mixed-path", mixed_path_table(merged));
+    blocks
+}
+
+/// Rewrites every generated block that appears in `doc`.
+///
+/// Returns the new document, or an error naming markers present in the
+/// document that no renderer produced (a drift bug in itself) or
+/// malformed marker pairs.
+pub fn render_doc(doc: &str, merged: &Json) -> Result<String, String> {
+    let blocks = generated_blocks(merged);
+    let mut out = doc.to_string();
+    for name in marker_names(doc)? {
+        let Some((_, body)) = blocks.iter().find(|(n, _)| *n == name) else {
+            return Err(format!("no renderer for generated block `{name}`"));
+        };
+        out = substitute(&out, &name, body)?;
+    }
+    Ok(out)
+}
+
+/// Lists the generated-block names appearing in a document, in order.
+pub fn marker_names(doc: &str) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for line in doc.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("<!-- generated:") {
+            let name = rest
+                .strip_suffix("-->")
+                .ok_or_else(|| format!("malformed marker line `{line}`"))?
+                .trim();
+            names.push(name.to_string());
+        }
+    }
+    Ok(names)
+}
+
+/// Replaces the contents between `<!-- generated:name -->` and
+/// `<!-- /generated:name -->` with `body`.
+pub fn substitute(doc: &str, name: &str, body: &str) -> Result<String, String> {
+    let open = format!("<!-- generated:{name} -->");
+    let close = format!("<!-- /generated:{name} -->");
+    let start = doc
+        .find(&open)
+        .ok_or_else(|| format!("missing marker {open}"))?
+        + open.len();
+    let end = doc[start..]
+        .find(&close)
+        .ok_or_else(|| format!("missing closing marker {close}"))?
+        + start;
+    Ok(format!(
+        "{}\n{}\n{}",
+        &doc[..start],
+        body.trim_end(),
+        &doc[end..]
+    ))
+}
+
+/// The result objects (with params) of every complete cell in a group.
+fn group_cells<'a>(merged: &'a Json, group: &str) -> Vec<&'a Json> {
+    merged
+        .get("cells")
+        .and_then(Json::as_arr)
+        .unwrap_or_default()
+        .iter()
+        .filter(|c| c.get("group").and_then(Json::as_str) == Some(group))
+        .filter(|c| c.get("result").is_some_and(|r| *r != Json::Null))
+        .collect()
+}
+
+fn param_f64(cell: &Json, key: &str) -> Option<f64> {
+    cell.get("params")?.get(key)?.as_f64()
+}
+
+fn result(cell: &Json) -> &Json {
+    cell.get("result").expect("complete cell")
+}
+
+fn fmt_row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+fn markdown_table(header: &[&str], rows: Vec<Vec<String>>) -> String {
+    let mut out = fmt_row(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    out.push('\n');
+    out.push_str(&fmt_row(
+        &header.iter().map(|_| "---".to_string()).collect::<Vec<_>>(),
+    ));
+    for row in rows {
+        out.push('\n');
+        out.push_str(&fmt_row(&row));
+    }
+    out
+}
+
+fn ratio_cells(result: &Json, key: &str) -> Vec<String> {
+    result
+        .get(key)
+        .and_then(Json::as_arr)
+        .unwrap_or_default()
+        .iter()
+        .map(|r| format!("{:.2}", r.as_f64().unwrap_or(f64::NAN)))
+        .collect()
+}
+
+fn fig1_table(merged: &Json, sdp_ratio: f64) -> Option<String> {
+    let cells: Vec<_> = group_cells(merged, "fig1")
+        .into_iter()
+        .filter(|c| param_f64(c, "sdp_ratio") == Some(sdp_ratio))
+        .collect();
+    if cells.is_empty() {
+        return None;
+    }
+    let rows = cells
+        .iter()
+        .map(|c| {
+            let r = result(c);
+            let mut row = vec![format!(
+                "{:.1}%",
+                r.get("utilization").and_then(Json::as_f64).unwrap_or(0.0) * 100.0
+            )];
+            row.extend(ratio_cells(r, "wtp"));
+            row.extend(ratio_cells(r, "bpr"));
+            row
+        })
+        .collect();
+    Some(markdown_table(
+        &[
+            "util", "WTP 1/2", "WTP 2/3", "WTP 3/4", "BPR 1/2", "BPR 2/3", "BPR 3/4",
+        ],
+        rows,
+    ))
+}
+
+fn fig2_table(merged: &Json, sdp_ratio: f64) -> Option<String> {
+    let cells: Vec<_> = group_cells(merged, "fig2")
+        .into_iter()
+        .filter(|c| param_f64(c, "sdp_ratio") == Some(sdp_ratio))
+        .collect();
+    if cells.is_empty() {
+        return None;
+    }
+    let rows = cells
+        .iter()
+        .map(|c| {
+            let r = result(c);
+            let label = r
+                .get("fractions")
+                .and_then(Json::as_arr)
+                .unwrap_or_default()
+                .iter()
+                .map(|f| format!("{}", (f.as_f64().unwrap_or(0.0) * 100.0).round() as u64))
+                .collect::<Vec<_>>()
+                .join("/");
+            let mut row = vec![label];
+            row.extend(ratio_cells(r, "wtp"));
+            row.extend(ratio_cells(r, "bpr"));
+            row
+        })
+        .collect();
+    Some(markdown_table(
+        &[
+            "loads %", "WTP 1/2", "WTP 2/3", "WTP 3/4", "BPR 1/2", "BPR 2/3", "BPR 3/4",
+        ],
+        rows,
+    ))
+}
+
+fn fig3_table(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "fig3");
+    if cells.is_empty() {
+        return None;
+    }
+    let mut rows = Vec::new();
+    for c in cells {
+        let r = result(c);
+        let sched = r.get("scheduler").and_then(Json::as_str).unwrap_or("?");
+        for tau in r.get("taus").and_then(Json::as_arr).unwrap_or_default() {
+            let five: Vec<String> = tau
+                .get("five_number")
+                .and_then(Json::as_arr)
+                .unwrap_or_default()
+                .iter()
+                .map(|v| format!("{:.2}", v.as_f64().unwrap_or(f64::NAN)))
+                .collect();
+            let mut row = vec![
+                sched.to_string(),
+                format!(
+                    "{}",
+                    tau.get("tau_punits").and_then(Json::as_i64).unwrap_or(0)
+                ),
+            ];
+            row.extend(five);
+            rows.push(row);
+        }
+    }
+    Some(markdown_table(
+        &["sched", "τ (p-units)", "p5", "p25", "median", "p75", "p95"],
+        rows,
+    ))
+}
+
+fn fig45_table(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "fig45");
+    if cells.is_empty() {
+        return None;
+    }
+    let rows = cells
+        .iter()
+        .map(|c| {
+            let r = result(c);
+            let mut row = vec![r
+                .get("scheduler")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string()];
+            for v in r
+                .get("roughness")
+                .and_then(Json::as_arr)
+                .unwrap_or_default()
+            {
+                row.push(format!("{:.3}", v.as_f64().unwrap_or(f64::NAN)));
+            }
+            row.push(format!(
+                "**{:.3}**",
+                r.get("mean_roughness")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN)
+            ));
+            row
+        })
+        .collect();
+    Some(markdown_table(
+        &["scheduler", "class 1", "class 2", "class 3", "mean"],
+        rows,
+    ))
+}
+
+fn table1_grid(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "table1");
+    if cells.is_empty() {
+        return None;
+    }
+    let lookup = |k: i64, rho: f64, f: i64, rate: f64| -> Option<f64> {
+        let matches = |c: &&&Json| -> Option<bool> {
+            let p = c.get("params")?;
+            Some(
+                p.get("k_hops")?.as_i64()? == k
+                    && (p.get("utilization")?.as_f64()? - rho).abs() < 1e-9
+                    && p.get("flow_len")?.as_i64()? == f
+                    && (p.get("flow_rate_kbps")?.as_f64()? - rate).abs() < 1e-9,
+            )
+        };
+        cells
+            .iter()
+            .find(|c| matches(c).unwrap_or(false))
+            .and_then(|c| result(c).get("rd").and_then(Json::as_f64))
+    };
+    let mut rows = Vec::new();
+    for k in [4i64, 8] {
+        for rho in [0.85, 0.95] {
+            let mut row = vec![format!("K={k} ρ={:.0}%", rho * 100.0)];
+            for (f, rate) in [(10i64, 50.0), (10, 200.0), (100, 50.0), (100, 200.0)] {
+                row.push(match lookup(k, rho, f, rate) {
+                    Some(rd) => format!("{rd:.1}"),
+                    None => "—".into(),
+                });
+            }
+            rows.push(row);
+        }
+    }
+    Some(markdown_table(
+        &["", "F=10 R=50", "F=10 R=200", "F=100 R=50", "F=100 R=200"],
+        rows,
+    ))
+}
+
+fn table1_consistency(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "table1");
+    if cells.is_empty() {
+        return None;
+    }
+    let sum = |key: &str| -> i64 {
+        cells
+            .iter()
+            .filter_map(|c| result(c).get(key).and_then(Json::as_i64))
+            .sum()
+    };
+    let total = sum("experiments");
+    let inconsistent = sum("inconsistent_experiments");
+    let strict = sum("inconsistent_strict");
+    Some(format!(
+        "Inconsistent differentiation: **{inconsistent} of {total}** user experiments \
+         beyond one packet transmission time per hop ({strict} at strict nanosecond \
+         resolution); the paper reports zero."
+    ))
+}
+
+fn shootout_table(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "shootout");
+    let r = result(cells.first()?);
+    let rows = r
+        .get("rows")
+        .and_then(Json::as_arr)?
+        .iter()
+        .map(|row| {
+            let mut out = vec![row
+                .get("scheduler")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string()];
+            out.extend(ratio_cells(row, "ratios"));
+            out.push(format!(
+                "{:.1}%",
+                row.get("deviation")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::NAN)
+                    * 100.0
+            ));
+            out
+        })
+        .collect();
+    Some(markdown_table(
+        &[
+            "scheduler",
+            "d1/d2",
+            "d2/d3",
+            "d3/d4",
+            "mean \\|dev\\| from 2.0",
+        ],
+        rows,
+    ))
+}
+
+fn feasibility_table(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "feasibility");
+    if cells.is_empty() {
+        return None;
+    }
+    let rows = cells
+        .iter()
+        .map(|c| {
+            let r = result(c);
+            vec![
+                format!(
+                    "{:.0}%",
+                    r.get("utilization").and_then(Json::as_f64).unwrap_or(0.0) * 100.0
+                ),
+                format!(
+                    "{:.1}",
+                    r.get("spacing").and_then(Json::as_f64).unwrap_or(0.0)
+                ),
+                if r.get("feasible").and_then(Json::as_bool).unwrap_or(false) {
+                    "yes".into()
+                } else {
+                    "**NO**".to_string()
+                },
+                format!(
+                    "{:+.3}",
+                    r.get("worst_slack")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(f64::NAN)
+                ),
+            ]
+        })
+        .collect();
+    Some(markdown_table(
+        &["util", "spacing", "feasible", "worst subset slack"],
+        rows,
+    ))
+}
+
+fn starvation_table(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "starvation");
+    let r = result(cells.first()?);
+    let rows = r
+        .get("probes")
+        .and_then(Json::as_arr)?
+        .iter()
+        .map(|p| {
+            let flag = |key: &str| {
+                if p.get(key).and_then(Json::as_bool).unwrap_or(false) {
+                    "starve".to_string()
+                } else {
+                    "-".to_string()
+                }
+            };
+            vec![
+                format!(
+                    "{:.1}",
+                    p.get("sdp_ratio").and_then(Json::as_f64).unwrap_or(0.0)
+                ),
+                format!(
+                    "{:.2}",
+                    p.get("condition_lhs").and_then(Json::as_f64).unwrap_or(0.0)
+                ),
+                format!(
+                    "{:.2}",
+                    p.get("condition_rhs").and_then(Json::as_f64).unwrap_or(0.0)
+                ),
+                flag("predicted"),
+                flag("observed"),
+            ]
+        })
+        .collect();
+    Some(markdown_table(
+        &["s2/s1", "1−R/R₁", "s1/s2", "predicted", "observed"],
+        rows,
+    ))
+}
+
+fn moderate_load_table(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "moderate-load");
+    if cells.is_empty() {
+        return None;
+    }
+    let rows = cells
+        .iter()
+        .map(|c| {
+            let r = result(c);
+            let mut row = vec![format!(
+                "{:.0}%",
+                r.get("utilization").and_then(Json::as_f64).unwrap_or(0.0) * 100.0
+            )];
+            for entry in r.get("rows").and_then(Json::as_arr).unwrap_or_default() {
+                row.push(format!(
+                    "{:.2}",
+                    entry
+                        .get("mean_ratio")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(f64::NAN)
+                ));
+            }
+            row
+        })
+        .collect();
+    Some(markdown_table(&["util", "WTP", "BPR", "PAD", "HPD"], rows))
+}
+
+fn plr_table(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "plr");
+    if cells.is_empty() {
+        return None;
+    }
+    let num = |r: &Json, key: &str| match r.get(key).and_then(Json::as_f64) {
+        Some(v) => format!("{v:.2}"),
+        None => "n/a".into(),
+    };
+    let rows = cells
+        .iter()
+        .map(|c| {
+            let r = result(c);
+            vec![
+                format!(
+                    "{:.0}",
+                    r.get("sigma").and_then(Json::as_f64).unwrap_or(0.0)
+                ),
+                num(r, "plr_loss_ratio"),
+                num(r, "taildrop_loss_ratio"),
+                num(r, "delay_ratio"),
+            ]
+        })
+        .collect();
+    Some(markdown_table(
+        &[
+            "target σ1/σ2",
+            "PLR loss ratio",
+            "tail-drop loss ratio",
+            "delay ratio (target 2)",
+        ],
+        rows,
+    ))
+}
+
+fn additive_table(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "additive");
+    let r = result(cells.first()?);
+    let p = pdd::traffic::PAPER_MEAN_PACKET_BYTES;
+    let diffs = r.get("differences").and_then(Json::as_arr)?;
+    let targets = r.get("targets").and_then(Json::as_arr)?;
+    let rows = diffs
+        .iter()
+        .zip(targets)
+        .enumerate()
+        .map(|(i, (d, t))| {
+            vec![
+                format!("{}/{}", i + 1, i + 2),
+                format!("{:.1}", d.as_f64().unwrap_or(f64::NAN) / p),
+                format!("{:.1}", t.as_f64().unwrap_or(f64::NAN) / p),
+            ]
+        })
+        .collect();
+    Some(markdown_table(
+        &["pair", "measured dᵢ−dⱼ (p-units)", "target sⱼ−sᵢ (p-units)"],
+        rows,
+    ))
+}
+
+fn analytic_table(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "analytic");
+    let r = result(cells.first()?);
+    let rows = r
+        .get("rows")
+        .and_then(Json::as_arr)?
+        .iter()
+        .map(|row| {
+            let m = row
+                .get("simulated")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN);
+            let p = row.get("theory").and_then(Json::as_f64).unwrap_or(f64::NAN);
+            vec![
+                row.get("scheduler")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                format!("{}", row.get("class").and_then(Json::as_i64).unwrap_or(0)),
+                format!("{m:.1}"),
+                format!("{p:.1}"),
+                format!("{:+.1}%", (m / p - 1.0) * 100.0),
+            ]
+        })
+        .collect();
+    Some(markdown_table(
+        &["scheduler", "class", "simulated", "theory", "error"],
+        rows,
+    ))
+}
+
+fn mixed_path_table(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "mixed-path");
+    if cells.is_empty() {
+        return None;
+    }
+    let rows = cells
+        .iter()
+        .map(|c| {
+            let r = result(c);
+            vec![
+                r.get("label")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                format!(
+                    "{:.2}",
+                    r.get("rd").and_then(Json::as_f64).unwrap_or(f64::NAN)
+                ),
+                format!(
+                    "{}",
+                    r.get("inconsistent_experiments")
+                        .and_then(Json::as_i64)
+                        .unwrap_or(0)
+                ),
+            ]
+        })
+        .collect();
+    Some(markdown_table(
+        &["per-hop schedulers", "end-to-end R_D", "inconsistent exps"],
+        rows,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitute_replaces_between_markers() {
+        let doc = "before\n<!-- generated:x -->\nstale\n<!-- /generated:x -->\nafter\n";
+        let out = substitute(doc, "x", "fresh").unwrap();
+        assert_eq!(
+            out,
+            "before\n<!-- generated:x -->\nfresh\n<!-- /generated:x -->\nafter\n"
+        );
+        // Idempotent.
+        assert_eq!(substitute(&out, "x", "fresh").unwrap(), out);
+    }
+
+    #[test]
+    fn substitute_reports_missing_markers() {
+        assert!(substitute("nothing here", "x", "body").is_err());
+        assert!(substitute("<!-- generated:x -->\nno close", "x", "body").is_err());
+    }
+
+    #[test]
+    fn marker_names_are_found_in_order() {
+        let doc = "<!-- generated:b -->\n<!-- /generated:b -->\n<!-- generated:a -->\n<!-- /generated:a -->";
+        assert_eq!(marker_names(doc).unwrap(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn render_doc_rejects_unknown_blocks() {
+        let merged = Json::obj(vec![("cells", Json::Arr(vec![]))]);
+        let doc = "<!-- generated:bogus -->\n<!-- /generated:bogus -->";
+        assert!(render_doc(doc, &merged).is_err());
+    }
+
+    #[test]
+    fn tables_render_from_synthetic_results() {
+        let cell = Json::obj(vec![
+            ("id", Json::Str("fig1-s2-u0_7".into())),
+            ("group", Json::Str("fig1".into())),
+            (
+                "params",
+                Json::obj(vec![
+                    ("group", Json::Str("fig1".into())),
+                    ("sdp_ratio", Json::Int(2)),
+                    ("utilization", Json::Float(0.7)),
+                ]),
+            ),
+            (
+                "result",
+                Json::obj(vec![
+                    ("utilization", Json::Float(0.7)),
+                    ("wtp", Json::nums(&[1.49, 1.43, 1.27])),
+                    ("bpr", Json::nums(&[1.33, 1.26, 1.12])),
+                ]),
+            ),
+        ]);
+        let merged = Json::obj(vec![("cells", Json::Arr(vec![cell]))]);
+        let table = fig1_table(&merged, 2.0).expect("renders");
+        assert!(table.contains("| 70.0% | 1.49 | 1.43 | 1.27 | 1.33 | 1.26 | 1.12 |"));
+        assert!(fig1_table(&merged, 4.0).is_none(), "no panel-b cells");
+    }
+}

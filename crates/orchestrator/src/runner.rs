@@ -1,0 +1,225 @@
+//! The work-stealing runner: shards a manifest's cells across threads,
+//! consults the cache before simulating, and merges results in manifest
+//! order so the output is byte-stable regardless of thread count or
+//! completion order.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use experiments::{parallel_map_on, Scale};
+
+use crate::cache::{scale_tag, Cache, SCHEMA_VERSION};
+use crate::cell::CellSpec;
+use crate::fingerprint::{source_fingerprint, workspace_root};
+use crate::json::Json;
+use crate::manifest::Manifest;
+
+/// Options governing one runner invocation.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// The scale every cell runs at.
+    pub scale: Scale,
+    /// Worker threads (0 = one per available core).
+    pub workers: usize,
+    /// Cache root directory.
+    pub cache_dir: PathBuf,
+    /// Execute at most this many uncached cells (`None` = all). Cells past
+    /// the budget are left for the next invocation — the resume mechanism.
+    pub max_cells: Option<usize>,
+    /// Suppress per-cell progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl RunOptions {
+    /// Quick-scale defaults with the standard `out/cache` directory.
+    pub fn new(scale: Scale) -> RunOptions {
+        RunOptions {
+            scale,
+            workers: 0,
+            cache_dir: PathBuf::from("out/cache"),
+            max_cells: None,
+            quiet: false,
+        }
+    }
+}
+
+/// The outcome of one runner invocation.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The merged results document (manifest order, byte-stable).
+    pub merged: Json,
+    /// Cells actually simulated this invocation.
+    pub executed: usize,
+    /// Cells served from the cache.
+    pub cached: usize,
+    /// Cells skipped by the `max_cells` budget.
+    pub skipped: usize,
+}
+
+impl RunReport {
+    /// Whether every manifest cell has a result in `merged`.
+    pub fn complete(&self) -> bool {
+        self.skipped == 0
+    }
+}
+
+/// Runs `manifest` under `opts`: cache lookups first, then the missing
+/// cells in parallel via the experiments crate's work-stealing
+/// [`parallel_map_on`], then a deterministic merge.
+pub fn run(manifest: &Manifest, opts: &RunOptions) -> RunReport {
+    let fingerprint = source_fingerprint(&workspace_root());
+    let cache = Cache::new(opts.cache_dir.clone(), fingerprint);
+    let scale = opts.scale;
+
+    // Phase 1: cache lookups, in manifest order.
+    let lookups: Vec<(usize, &CellSpec, Option<Json>)> = manifest
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| (i, cell, cache.load(cell, scale)))
+        .collect();
+    let cached = lookups.iter().filter(|(_, _, r)| r.is_some()).count();
+    let misses: Vec<(usize, &CellSpec)> = lookups
+        .iter()
+        .filter(|(_, _, r)| r.is_none())
+        .map(|&(i, cell, _)| (i, cell))
+        .collect();
+
+    // Phase 2: honor the resume budget, then execute the rest in parallel.
+    let budget = opts.max_cells.unwrap_or(misses.len());
+    let skipped = misses.len().saturating_sub(budget);
+    let to_run = &misses[..misses.len() - skipped];
+    let workers = if opts.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        opts.workers
+    };
+
+    let done = AtomicUsize::new(0);
+    let total = to_run.len();
+    let jobs: Vec<_> = to_run
+        .iter()
+        .map(|&(i, cell)| {
+            let cache = &cache;
+            let done = &done;
+            move || {
+                let started = std::time::Instant::now();
+                let (result, metrics) = cell.execute(scale);
+                if let Err(e) = cache.store(cell, scale, &result) {
+                    eprintln!("warning: could not cache {}: {e}", cell.id());
+                }
+                if !opts.quiet {
+                    let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    let mut line = format!(
+                        "[{n:>3}/{total}] {:<28} {:>6.1}s",
+                        cell.id(),
+                        started.elapsed().as_secs_f64()
+                    );
+                    if let Some(m) = &metrics {
+                        line.push_str(&format!(
+                            "  {} departures, {:.1}M probe events/s",
+                            m.total_departures(),
+                            m.events_per_sec() / 1.0e6
+                        ));
+                    }
+                    let _ = writeln!(std::io::stderr().lock(), "{line}");
+                }
+                (i, result)
+            }
+        })
+        .collect();
+    let executed_results = parallel_map_on(jobs, workers);
+    let executed = executed_results.len();
+
+    // Phase 3: deterministic merge — manifest order, independent of which
+    // thread finished which cell when.
+    let mut results: Vec<Option<Json>> = lookups.into_iter().map(|(_, _, r)| r).collect();
+    for (i, r) in executed_results {
+        results[i] = Some(r);
+    }
+    let cells = manifest
+        .cells
+        .iter()
+        .zip(&results)
+        .map(|(cell, result)| {
+            Json::obj(vec![
+                ("id", Json::Str(cell.id())),
+                ("group", Json::Str(cell.group().into())),
+                ("params", cell.params()),
+                ("result", result.clone().unwrap_or(Json::Null)),
+            ])
+        })
+        .collect();
+    let merged = Json::obj(vec![
+        ("schema", Json::Int(SCHEMA_VERSION as i64)),
+        ("suite", Json::Str(manifest.suite.clone())),
+        ("scale", Json::Str(scale_tag(scale))),
+        ("complete", Json::Bool(results.iter().all(Option::is_some))),
+        ("cells", Json::Arr(cells)),
+    ]);
+
+    RunReport {
+        merged,
+        executed,
+        cached,
+        skipped,
+    }
+}
+
+/// Writes the Figures-4/5 view CSVs (`fig4_view1.csv` … `fig5_view2.csv`)
+/// under `dir` from a merged results document, byte-identical to what the
+/// retired `fig45` binary wrote. No-op for suites without fig45 cells.
+pub fn write_fig45_csvs(merged: &Json, dir: &std::path::Path) -> std::io::Result<()> {
+    let Some(cells) = merged.get("cells").and_then(Json::as_arr) else {
+        return Ok(());
+    };
+    for cell in cells {
+        if cell.get("group").and_then(Json::as_str) != Some("fig45") {
+            continue;
+        }
+        let Some(result) = cell.get("result").filter(|r| **r != Json::Null) else {
+            continue;
+        };
+        let fig = match result.get("scheduler").and_then(Json::as_str) {
+            Some("BPR") => "fig4",
+            Some("WTP") => "fig5",
+            _ => continue,
+        };
+        std::fs::create_dir_all(dir)?;
+        let mut v1 = String::from("interval_start_ticks,class1,class2,class3\n");
+        for row in result
+            .get("view1")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+        {
+            let row = row.as_arr().unwrap_or_default();
+            let start = row.first().and_then(Json::as_i64).unwrap_or(0);
+            let avgs: Vec<String> = row
+                .get(1)
+                .and_then(Json::as_arr)
+                .unwrap_or_default()
+                .iter()
+                .map(|a| a.as_f64().map(|d| format!("{d:.1}")).unwrap_or_default())
+                .collect();
+            v1.push_str(&format!("{start},{}\n", avgs.join(",")));
+        }
+        std::fs::write(dir.join(format!("{fig}_view1.csv")), v1)?;
+        let mut v2 = String::from("departure_ticks,class,delay_ticks\n");
+        for row in result
+            .get("view2")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+        {
+            let row = row.as_arr().unwrap_or_default();
+            let t = row.first().and_then(Json::as_i64).unwrap_or(0);
+            let c = row.get(1).and_then(Json::as_i64).unwrap_or(0);
+            let d = row.get(2).and_then(Json::as_f64).unwrap_or(0.0);
+            v2.push_str(&format!("{t},{},{d:.1}\n", c + 1));
+        }
+        std::fs::write(dir.join(format!("{fig}_view2.csv")), v2)?;
+    }
+    Ok(())
+}

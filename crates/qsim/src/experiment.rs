@@ -3,9 +3,10 @@
 use sched::{Scheduler, SchedulerKind, SchedulerVisitor, Sdp};
 use simcore::Time;
 use stats::{P2Quantile, Summary};
+use telemetry::{NoopProbe, Probe};
 use traffic::{ClassSource, LoadPlan, MergedStream, SizeDist, Trace, TraceEntry};
 
-use crate::server::run_trace_on;
+use crate::server::run_trace_probed;
 
 /// Configuration of one Study-A experiment point.
 #[derive(Debug, Clone)]
@@ -81,18 +82,42 @@ impl Experiment {
         S: Scheduler + ?Sized,
         I: IntoIterator<Item = TraceEntry>,
     {
+        self.run_one_probed(scheduler, arrivals, &mut NoopProbe)
+    }
+
+    /// [`Experiment::run_one_on`] with a telemetry [`Probe`] observing the
+    /// replay. With [`NoopProbe`] this monomorphizes to exactly the
+    /// unobserved loop; with a counting probe the orchestrator turns the
+    /// event stream into per-cell progress without touching the results.
+    pub fn run_one_probed<S, I, P>(
+        &self,
+        scheduler: &mut S,
+        arrivals: I,
+        probe: &mut P,
+    ) -> SeedResult
+    where
+        S: Scheduler + ?Sized,
+        I: IntoIterator<Item = TraceEntry>,
+        P: Probe,
+    {
         let n = self.sdp.num_classes();
         let mut per_class = vec![Summary::new(); n];
         let mut p95: Vec<P2Quantile> = (0..n).map(|_| P2Quantile::new(0.95)).collect();
         let warmup = Time::from_ticks(self.warmup_ticks);
-        run_trace_on(scheduler, arrivals, 1.0, |d| {
-            if d.start >= warmup {
-                let c = d.packet.class as usize;
-                let w = d.wait().as_f64();
-                per_class[c].push(w);
-                p95[c].push(w);
-            }
-        });
+        run_trace_probed(
+            scheduler,
+            arrivals,
+            1.0,
+            |d| {
+                if d.start >= warmup {
+                    let c = d.packet.class as usize;
+                    let w = d.wait().as_f64();
+                    per_class[c].push(w);
+                    p95[c].push(w);
+                }
+            },
+            probe,
+        );
         SeedResult {
             per_class,
             p95: p95.iter().map(|q| q.estimate().unwrap_or(0.0)).collect(),
@@ -122,6 +147,17 @@ impl Experiment {
     /// once and replayed through every scheduler, amortizing the generation
     /// cost across kinds (one seed's trace in memory at a time).
     pub fn run_many(&self, kinds: &[SchedulerKind]) -> Vec<ExperimentResult> {
+        self.run_many_probed(kinds, &mut NoopProbe)
+    }
+
+    /// [`Experiment::run_many`] with a telemetry [`Probe`] attached to every
+    /// (seed, scheduler) replay. The probe sees the concatenated packet
+    /// lifecycle of all replays; results are unaffected.
+    pub fn run_many_probed<P: Probe>(
+        &self,
+        kinds: &[SchedulerKind],
+        probe: &mut P,
+    ) -> Vec<ExperimentResult> {
         let mut per_kind: Vec<Vec<SeedResult>> = kinds
             .iter()
             .map(|_| Vec::with_capacity(self.seeds.len()))
@@ -135,6 +171,7 @@ impl Experiment {
                     MeasureTrace {
                         e: self,
                         trace: &trace,
+                        probe: &mut *probe,
                     },
                 ));
             }
@@ -163,17 +200,21 @@ impl SchedulerVisitor for MeasureSeed<'_> {
 }
 
 /// Visitor measuring one materialized trace with an unboxed scheduler.
-struct MeasureTrace<'a> {
+struct MeasureTrace<'a, P: Probe> {
     e: &'a Experiment,
     trace: &'a Trace,
+    probe: &'a mut P,
 }
 
-impl SchedulerVisitor for MeasureTrace<'_> {
+impl<P: Probe> SchedulerVisitor for MeasureTrace<'_, P> {
     type Out = SeedResult;
 
     fn visit<S: Scheduler>(self, mut scheduler: S) -> SeedResult {
-        self.e
-            .run_one_on(&mut scheduler, self.trace.entries().iter().copied())
+        self.e.run_one_probed(
+            &mut scheduler,
+            self.trace.entries().iter().copied(),
+            self.probe,
+        )
     }
 }
 

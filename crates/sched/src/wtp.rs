@@ -16,6 +16,19 @@ use crate::packet::Packet;
 use crate::scheduler::{ClassQueues, Scheduler};
 
 /// The Waiting-Time Priority scheduler.
+///
+/// ```
+/// use sched::{Packet, Scheduler, Sdp, Wtp};
+/// use simcore::Time;
+///
+/// // Two classes with SDP spacing 2: class 1 accrues priority twice as fast.
+/// let mut wtp = Wtp::new(Sdp::geometric(2, 2.0).unwrap());
+/// wtp.enqueue(Packet::new(0, 0, 100, Time::from_ticks(0)));
+/// wtp.enqueue(Packet::new(1, 1, 100, Time::from_ticks(0)));
+/// // Equal waits ⇒ the higher SDP wins the decision.
+/// assert_eq!(wtp.dequeue(Time::from_ticks(10)).unwrap().class, 1);
+/// assert_eq!(wtp.dequeue(Time::from_ticks(20)).unwrap().class, 0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Wtp {
     queues: ClassQueues,

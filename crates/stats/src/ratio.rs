@@ -16,6 +16,19 @@
 /// Ratios with a zero higher-class delay are skipped (no finite ratio
 /// exists); an all-`None` or single-active-class vector yields an empty
 /// result.
+///
+/// ```
+/// use stats::{rd_for_interval, successive_ratios};
+///
+/// // Delays 8,4,2,1 → per-step ratios 2,2,2 → R_D = 2 (on target).
+/// let avgs = [Some(8.0), Some(4.0), Some(2.0), Some(1.0)];
+/// assert_eq!(successive_ratios(&avgs), vec![2.0, 2.0, 2.0]);
+/// assert_eq!(rd_for_interval(&avgs), Some(2.0));
+///
+/// // Class 1 idle this interval: the 0→2 ratio spans two class steps and
+/// // is geometrically normalized, (16/4)^(1/2) = 2.
+/// assert_eq!(successive_ratios(&[Some(16.0), None, Some(4.0)]), vec![2.0]);
+/// ```
 pub fn successive_ratios(averages: &[Option<f64>]) -> Vec<f64> {
     let active: Vec<(usize, f64)> = averages
         .iter()
