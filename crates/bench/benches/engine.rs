@@ -2,8 +2,8 @@
 //! replay loop and events/second through the multi-hop simulator.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use pdd::netsim::{run_study_b, StudyBConfig};
-use pdd::qsim::{run_trace, Experiment};
+use pdd::netsim::{Session as NetSession, StudyBConfig};
+use pdd::qsim::{Experiment, Session};
 use pdd::sched::{SchedulerKind, Sdp};
 
 fn bench_qsim_throughput(c: &mut Criterion) {
@@ -15,7 +15,7 @@ fn bench_qsim_throughput(c: &mut Criterion) {
         b.iter(|| {
             let mut s = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
             let mut n = 0u64;
-            run_trace(s.as_mut(), &trace, 1.0, |_| n += 1);
+            Session::trace(&trace, 1.0).run(s.as_mut(), |_| n += 1);
             n
         });
     });
@@ -28,7 +28,7 @@ fn bench_netsim_throughput(c: &mut Criterion) {
             let mut cfg = StudyBConfig::paper(4, 0.95, 10, 200.0);
             cfg.experiments = 1;
             cfg.warmup_secs = 1.0;
-            run_study_b(&cfg)
+            NetSession::study_b(&cfg).run().0
         });
     });
 }

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use experiments::{table1, Scale};
-use pdd::netsim::{analyze, packet_time_tolerance, run_study_b, StudyBConfig};
+use pdd::netsim::{analyze, packet_time_tolerance, Session, StudyBConfig};
 
 /// One representative cell (K=4, ρ=0.95, F=10, R_u=200) at bench scale.
 fn bench_table1_cell(c: &mut Criterion) {
@@ -12,7 +12,7 @@ fn bench_table1_cell(c: &mut Criterion) {
             let mut cfg = StudyBConfig::paper(4, 0.95, 10, 200.0);
             cfg.experiments = 4;
             cfg.warmup_secs = 2.0;
-            let records = run_study_b(&cfg);
+            let (records, _) = Session::study_b(&cfg).run();
             analyze(&records, cfg.num_classes(), packet_time_tolerance(&cfg))
         })
     });

@@ -8,8 +8,8 @@
 //! * **engine** — events/second through the `simcore` event loop (a
 //!   self-rescheduling ticker model, pure queue+dispatch overhead) and
 //!   packets/second through the single-link replay loop, both the `dyn`
-//!   path (`run_trace`) and the monomorphized path (`run_trace_on` via
-//!   `SchedulerKind::build_and_visit`).
+//!   path (`Session::trace(..).run`) and the monomorphized path
+//!   (`run_trace_on` via `SchedulerKind::build_and_visit`).
 //! * **schedulers** — packets/second per scheduler under the saturated
 //!   4-class workload of [`pdd_bench::saturate`].
 //! * **experiments** — wall milliseconds to regenerate Fig. 1 and Table 1
@@ -25,7 +25,7 @@
 use std::time::Instant;
 
 use experiments::{fig1, table1, Scale};
-use pdd::qsim::{run_trace, run_trace_on, Departure, Experiment};
+use pdd::qsim::{run_trace_on, Departure, Experiment, Session};
 use pdd::sched::{Packet, Scheduler, SchedulerKind, SchedulerVisitor, Sdp, Wtp};
 use pdd::simcore::{Context, Dur, Model, Simulation, Time};
 use pdd::traffic::TraceEntry;
@@ -86,7 +86,7 @@ fn replay_packets_per_sec() -> (f64, f64, u64) {
     let dyn_secs = best_of(|| {
         let mut s = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
         let mut n = 0u64;
-        run_trace(s.as_mut(), &trace, 1.0, |_| n += 1);
+        Session::trace(&trace, 1.0).run(s.as_mut(), |_| n += 1);
         n
     });
 

@@ -89,13 +89,13 @@ pub fn trace_of(arrivals: &[Arrival]) -> Trace {
 }
 
 /// Replays `arrivals` through a freshly built `kind` scheduler on a link
-/// of `rate` bytes/tick (via the production `qsim::run_trace` path) and
-/// records every departure.
+/// of `rate` bytes/tick (via the production `qsim::Session` trace path)
+/// and records every departure.
 pub fn replay(kind: SchedulerKind, sdp: &Sdp, arrivals: &[Arrival], rate: f64) -> Vec<Dep> {
     let trace = trace_of(arrivals);
     let mut s = kind.build(sdp, rate);
     let mut out = Vec::with_capacity(arrivals.len());
-    qsim::run_trace(s.as_mut(), &trace, rate, |d| {
+    qsim::Session::trace(&trace, rate).run(s.as_mut(), |d| {
         out.push(Dep {
             seq: d.packet.seq,
             class: d.packet.class,
@@ -114,7 +114,7 @@ pub fn replay(kind: SchedulerKind, sdp: &Sdp, arrivals: &[Arrival], rate: f64) -
 pub fn replay_on(s: &mut dyn Scheduler, arrivals: &[Arrival], rate: f64) -> Vec<Dep> {
     let trace = trace_of(arrivals);
     let mut out = Vec::with_capacity(arrivals.len());
-    qsim::run_trace(s, &trace, rate, |d| {
+    qsim::Session::trace(&trace, rate).run(s, |d| {
         out.push(Dep {
             seq: d.packet.seq,
             class: d.packet.class,

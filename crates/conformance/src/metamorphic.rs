@@ -266,8 +266,9 @@ impl SchedulerVisitor for StreamRun {
 }
 
 /// Interleave equivalence: for the same sources, horizon and seed, the
-/// materialized `run_trace` path (`Box<dyn Scheduler>`) and the streaming
-/// `MergedStream` path (monomorphized) must produce identical departures.
+/// materialized `Session` trace path (`Box<dyn Scheduler>`) and the
+/// streaming `MergedStream` path (monomorphized) must produce identical
+/// departures.
 pub fn interleave_check(kind: SchedulerKind, sdp: &Sdp, seed: u64) -> Result<(), String> {
     let horizon = Time::from_ticks(200_000);
     let mk_sources = || -> Vec<ClassSource> {
@@ -285,7 +286,7 @@ pub fn interleave_check(kind: SchedulerKind, sdp: &Sdp, seed: u64) -> Result<(),
     let trace = Trace::generate_per_source(&mut mk_sources(), horizon, seed);
     let mut s = kind.build(sdp, 1.0);
     let mut trace_deps = Vec::new();
-    qsim::run_trace(s.as_mut(), &trace, 1.0, |d| {
+    qsim::Session::trace(&trace, 1.0).run(s.as_mut(), |d| {
         trace_deps.push((d.packet.class, d.packet.arrival.ticks(), d.start.ticks()));
     });
 

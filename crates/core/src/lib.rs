@@ -27,7 +27,8 @@
 //!   link without touching the lower-level crates.
 //! * Re-exports of the substrate crates: [`simcore`], [`traffic`],
 //!   [`sched`], [`stats`], [`qsim`] (single-link Study A), [`netsim`]
-//!   (multi-hop Study B), and [`telemetry`] (zero-cost probes, trace
+//!   (multi-hop Study B), [`scenario`] (dynamic perturbation timelines
+//!   for `Session` runs), and [`telemetry`] (zero-cost probes, trace
 //!   sinks, run metrics).
 //!
 //! ## Quick start
@@ -62,6 +63,7 @@ pub use system::{PddSystem, PddSystemBuilder, SystemError};
 
 pub use netsim;
 pub use qsim;
+pub use scenario;
 pub use sched;
 pub use simcore;
 pub use stats;
@@ -72,8 +74,9 @@ pub use traffic;
 pub mod prelude {
     pub use crate::model::{Ddp, ProportionalModel};
     pub use crate::system::PddSystem;
-    pub use netsim::{analyze, run_study_b, StudyBConfig};
+    pub use netsim::{analyze, StudyBConfig};
     pub use qsim::{Experiment, Microscope, ShortTimescale};
+    pub use scenario::{DownPolicy, Scenario};
     pub use sched::{Scheduler, SchedulerKind, Sdp};
     pub use simcore::{Dur, Time};
     pub use stats::{check_feasibility, Percentiles, Summary, Table};

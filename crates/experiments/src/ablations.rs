@@ -314,7 +314,7 @@ pub const PLR_SIGMAS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
 /// Measures one PLR point: `(sigma_ratio, plr_loss_ratio,
 /// taildrop_loss_ratio, delay_ratio)` for one target loss spacing.
 pub fn plr_cell(sigma_ratio: f64, scale: Scale) -> (f64, f64, f64, f64) {
-    use pdd::qsim::{run_trace_lossy, LossMode};
+    use pdd::qsim::{LossMode, Session};
     use pdd::sched::PlrDropper;
     use pdd::simcore::Time as SimTime;
     use pdd::traffic::{ClassSource, IatDist, SizeDist};
@@ -340,9 +340,13 @@ pub fn plr_cell(sigma_ratio: f64, scale: Scale) -> (f64, f64, f64, f64) {
     let sdp = Sdp::new(&[1.0, 2.0]).expect("static");
     let mut s = SchedulerKind::Wtp.build(&sdp, 1.0);
     let plr_mode = LossMode::Plr(PlrDropper::new(&[sigma_ratio, 1.0]).expect("static"));
-    let r_plr = run_trace_lossy(s.as_mut(), &trace, 1.0, 6_000, plr_mode);
+    let r_plr = Session::trace(&trace, 1.0)
+        .lossy(6_000, plr_mode)
+        .run(s.as_mut());
     let mut s2 = SchedulerKind::Wtp.build(&sdp, 1.0);
-    let r_tail = run_trace_lossy(s2.as_mut(), &trace, 1.0, 6_000, LossMode::TailDrop);
+    let r_tail = Session::trace(&trace, 1.0)
+        .lossy(6_000, LossMode::TailDrop)
+        .run(s2.as_mut());
     (
         sigma_ratio,
         r_plr.loss_ratio(0, 1).unwrap_or(f64::NAN),
@@ -467,7 +471,7 @@ pub struct AnalyticCheck {
 /// the paper's packet sizes and 40/30/20/10 class mix.
 pub fn analytic(scale: Scale) -> AnalyticCheck {
     use pdd::analytic::Mg1;
-    use pdd::qsim::run_trace;
+    use pdd::qsim::Session;
     use pdd::simcore::Time as SimTime;
     use pdd::stats::Summary;
     use pdd::traffic::{IatDist, LoadPlan, SizeDist};
@@ -501,7 +505,7 @@ pub fn analytic(scale: Scale) -> AnalyticCheck {
                 for (kind, _) in &predicted {
                     let mut s = kind.build(&Sdp::geometric(4, 2.0).expect("static"), 1.0);
                     let mut acc = vec![Summary::new(); 4];
-                    run_trace(s.as_mut(), &trace, 1.0, |d| {
+                    Session::trace(&trace, 1.0).run(s.as_mut(), |d| {
                         if d.start >= warmup {
                             acc[d.packet.class as usize].push(d.wait().as_f64());
                         }
@@ -581,7 +585,7 @@ pub fn mixed_path_scenarios() -> Vec<(&'static str, Vec<SchedulerKind>)> {
 
 /// Measures one mixed-path scenario by its [`mixed_path_scenarios`] index.
 pub fn mixed_path_cell(scenario: usize, scale: Scale) -> (&'static str, f64, usize) {
-    use pdd::netsim::{analyze, packet_time_tolerance, run_study_b, StudyBConfig};
+    use pdd::netsim::{analyze, packet_time_tolerance, Session, StudyBConfig};
 
     let (experiments, warmup) = scale.study_b();
     let (label, links) = mixed_path_scenarios()
@@ -593,7 +597,7 @@ pub fn mixed_path_cell(scenario: usize, scale: Scale) -> (&'static str, f64, usi
     cfg.warmup_secs = warmup;
     cfg.link_schedulers = Some(links);
     cfg.seed = 5;
-    let records = run_study_b(&cfg);
+    let (records, _) = Session::study_b(&cfg).run();
     let r = analyze(&records, cfg.num_classes(), packet_time_tolerance(&cfg));
     (label, r.rd, r.inconsistent_experiments)
 }

@@ -14,7 +14,7 @@ use std::io::Write;
 use std::process::ExitCode;
 
 use pdd::model::{Ddp, ProportionalModel};
-use pdd::qsim::run_trace;
+use pdd::qsim::Session;
 use pdd::sched::{SchedulerKind, Sdp};
 use pdd::simcore::Time;
 use pdd::stats::{hurst_estimate, idc_curve, variance_time, Summary, Table};
@@ -188,7 +188,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     }
     let mut s = kind.build(&sdp, 1.0);
     let mut acc = vec![Summary::new(); sdp.num_classes()];
-    run_trace(s.as_mut(), &trace, 1.0, |d| {
+    Session::trace(&trace, 1.0).run(s.as_mut(), |d| {
         acc[d.packet.class as usize].push(d.wait().as_f64());
     });
     say!("scheduler: {}", kind.name());

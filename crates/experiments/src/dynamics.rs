@@ -1,0 +1,295 @@
+//! Dynamics study: how fast the proportional model *reconverges* after a
+//! live perturbation.
+//!
+//! The paper evaluates stationary workloads; this study perturbs a running
+//! Study-A link mid-flight through the [`Session`] scenario axis and
+//! measures, with [`stats::reconvergence_times`], how long each
+//! successive-class delay ratio d̄ᵢ/d̄ᵢ₊₁ takes to re-enter (and stay
+//! inside) a tolerance band around its target:
+//!
+//! * **SDP step** — the operator doubles the spacing (2 → 4) while the
+//!   queue is backlogged. WTP's recovery is a pure short-timescale
+//!   effect: its priorities are a function of the *current* waiting
+//!   times, so the new ratios emerge within a few busy periods. HPD adds
+//!   a long-run-average (PAD) term whose pre-step history keeps steering
+//!   the priorities until new departures dilute it.
+//! * **Link flap** — the link holds (buffers, no service) for a short
+//!   outage, then restores. Reconvergence is measured from the
+//!   restoration: the accumulated backlog compresses the class delays
+//!   together (one huge common wait), and the ratios return to target
+//!   only as the backlog drains — a capacity-limited transient that is
+//!   nearly scheduler-independent.
+
+use pdd::qsim::Session;
+use pdd::scenario::{DownPolicy, Scenario};
+use pdd::sched::{SchedulerKind, Sdp};
+use pdd::simcore::Time;
+use pdd::stats::{reconvergence_times, ReconvergenceConfig, Table};
+use pdd::traffic::{LoadPlan, SizeDist, PAPER_MEAN_PACKET_BYTES};
+
+use crate::{banner, parallel_map, Scale};
+
+/// Utilization for all dynamics cells — high enough that the schedulers
+/// track their targets tightly once converged.
+pub const UTILIZATION: f64 = 0.95;
+
+/// The schedulers compared: memoryless WTP vs the history-keeping HPD.
+pub const SCHEDULERS: [SchedulerKind; 2] = [SchedulerKind::Wtp, SchedulerKind::Hpd];
+
+/// Window width for the reconvergence metric, in p-units (mean packet
+/// transmission times). Wide enough that the 10 %-share class sees tens
+/// of departures per window at ρ = 0.95.
+pub const WINDOW_PUNITS: u64 = 250;
+
+/// The perturbation a dynamics cell injects at mid-horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// Live SDP swap: spacing 2 → spacing 4, same four classes.
+    SdpStep,
+    /// Link outage (hold policy) for ~1 % of the horizon, then restore.
+    LinkFlap,
+}
+
+/// Both perturbations, in canonical order.
+pub const PERTURBATIONS: [Perturbation; 2] = [Perturbation::SdpStep, Perturbation::LinkFlap];
+
+impl Perturbation {
+    /// Stable slug for ids, params, and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Perturbation::SdpStep => "sdp-step",
+            Perturbation::LinkFlap => "link-flap",
+        }
+    }
+}
+
+/// One (scheduler, perturbation) cell's seed-aggregated reconvergence.
+#[derive(Debug, Clone)]
+pub struct DynamicsRow {
+    /// The scheduler measured.
+    pub scheduler: SchedulerKind,
+    /// The perturbation injected.
+    pub perturbation: Perturbation,
+    /// Seeds measured.
+    pub seeds: usize,
+    /// Per successive class pair: how many seeds settled within the
+    /// horizon.
+    pub settled: Vec<usize>,
+    /// Per successive class pair: mean settling time over the settled
+    /// seeds, in p-units; `None` when no seed settled.
+    pub mean_settle_punits: Vec<Option<f64>>,
+}
+
+impl DynamicsRow {
+    /// Mean settling time across all pairs that settled in at least one
+    /// seed — the scalar used to compare schedulers.
+    pub fn headline_punits(&self) -> Option<f64> {
+        let vals: Vec<f64> = self.mean_settle_punits.iter().flatten().copied().collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+}
+
+/// The SDP every run starts under (the paper's default, spacing 2).
+pub fn start_sdp() -> Sdp {
+    Sdp::paper_default()
+}
+
+/// The SDP an [`Perturbation::SdpStep`] switches to (spacing 4).
+pub fn stepped_sdp() -> Sdp {
+    Sdp::geometric(start_sdp().num_classes(), 4.0).expect("static")
+}
+
+/// The scenario for one cell plus the instant reconvergence is measured
+/// from (ticks) and the post-perturbation target ratios.
+fn timeline(perturbation: Perturbation, scale: Scale) -> (Scenario, u64, Vec<f64>) {
+    let p = PAPER_MEAN_PACKET_BYTES as u64;
+    let mid = (scale.punits() / 2) * p;
+    let targets = |sdp: &Sdp| -> Vec<f64> {
+        (0..sdp.num_classes() - 1)
+            .map(|i| sdp.target_ratio(i))
+            .collect()
+    };
+    match perturbation {
+        Perturbation::SdpStep => {
+            let sdp = stepped_sdp();
+            let targets = targets(&sdp);
+            let sc = Scenario::builder()
+                .set_sdp(Time::from_ticks(mid), sdp)
+                .build()
+                .expect("static timeline");
+            (sc, mid, targets)
+        }
+        Perturbation::LinkFlap => {
+            // ~1 % of the horizon down; at ρ = 0.95 the backlog drains in
+            // ~19× the outage, well inside the remaining half-horizon.
+            let outage = (scale.punits() / 100).max(20) * p;
+            let sc = Scenario::builder()
+                .link_down(Time::from_ticks(mid), 0, DownPolicy::Hold)
+                .link_up(Time::from_ticks(mid + outage), 0)
+                .build()
+                .expect("static timeline");
+            (sc, mid + outage, targets(&start_sdp()))
+        }
+    }
+}
+
+/// Measures one (scheduler, perturbation) cell at `scale`: one perturbed
+/// Study-A run per seed, reduced to per-pair reconvergence times.
+pub fn cell(scheduler: SchedulerKind, perturbation: Perturbation, scale: Scale) -> DynamicsRow {
+    let p = PAPER_MEAN_PACKET_BYTES as u64;
+    let horizon = Time::from_ticks(scale.punits() * p);
+    let (sc, perturb_at, targets) = timeline(perturbation, scale);
+    let sdp = start_sdp();
+    let n = sdp.num_classes();
+    let cfg = ReconvergenceConfig {
+        window_ticks: WINDOW_PUNITS * p,
+        epsilon: 0.25,
+        settle_windows: 3,
+    };
+    let plan = LoadPlan::new(1.0, UTILIZATION, &[0.4, 0.3, 0.2, 0.1], SizeDist::paper())
+        .expect("validated parameters");
+    let sources = plan.pareto_sources().expect("valid plan");
+
+    let mut settled = vec![0usize; n - 1];
+    let mut sums = vec![0.0f64; n - 1];
+    let seeds = scale.seeds();
+    for &seed in &seeds {
+        let mut samples: Vec<(u64, usize, f64)> = Vec::new();
+        let mut s = scheduler.build(&sdp, 1.0);
+        Session::sources(&sources, horizon, seed, 1.0)
+            .scenario(sc.clone())
+            .run(s.as_mut(), |d| {
+                samples.push((d.finish.ticks(), d.packet.class as usize, d.wait().as_f64()));
+            });
+        let times = reconvergence_times(&samples, n, perturb_at, &targets, &cfg);
+        for (i, t) in times.iter().enumerate() {
+            if let Some(t) = t {
+                settled[i] += 1;
+                sums[i] += *t as f64 / PAPER_MEAN_PACKET_BYTES;
+            }
+        }
+    }
+    let mean_settle_punits = sums
+        .iter()
+        .zip(&settled)
+        .map(|(&sum, &k)| (k > 0).then(|| sum / k as f64))
+        .collect();
+    DynamicsRow {
+        scheduler,
+        perturbation,
+        seeds: seeds.len(),
+        settled,
+        mean_settle_punits,
+    }
+}
+
+/// The full study: both schedulers × both perturbations.
+#[derive(Debug, Clone)]
+pub struct Dynamics {
+    /// One row per (scheduler, perturbation), scheduler-major.
+    pub rows: Vec<DynamicsRow>,
+}
+
+/// Regenerates the dynamics study.
+pub fn run(scale: Scale) -> Dynamics {
+    let mut jobs = Vec::new();
+    for &scheduler in &SCHEDULERS {
+        for &perturbation in &PERTURBATIONS {
+            jobs.push(move || cell(scheduler, perturbation, scale));
+        }
+    }
+    Dynamics {
+        rows: parallel_map(jobs),
+    }
+}
+
+impl Dynamics {
+    /// Renders the reconvergence table.
+    pub fn render(&self) -> String {
+        let mut out = banner("Dynamics: reconvergence after live perturbations (ρ = 0.95)");
+        let mut t = Table::new(["scheduler", "perturbation", "1/2", "2/3", "3/4", "mean"]);
+        for row in &self.rows {
+            let mut cells = vec![
+                row.scheduler.name().to_string(),
+                row.perturbation.name().to_string(),
+            ];
+            for (mean, &k) in row.mean_settle_punits.iter().zip(&row.settled) {
+                cells.push(match mean {
+                    Some(m) => format!("{m:.0} p ({k}/{})", row.seeds),
+                    None => "—".into(),
+                });
+            }
+            cells.push(match row.headline_punits() {
+                Some(m) => format!("{m:.0} p"),
+                None => "—".into(),
+            });
+            t.row(cells);
+        }
+        out.push_str(&t.to_string());
+        out.push_str(
+            "\nSettling time from the perturbation to the start of the first run of\n\
+             3 consecutive 250-p-unit windows whose achieved ratio stays within\n\
+             ±25 % of target; (k/N) = seeds that settled within the horizon.\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST_SCALE: Scale = Scale::Custom {
+        punits: 20_000,
+        nseeds: 2,
+    };
+
+    #[test]
+    fn wtp_settles_after_an_sdp_step() {
+        let row = cell(SchedulerKind::Wtp, Perturbation::SdpStep, TEST_SCALE);
+        assert_eq!(row.seeds, 2);
+        assert!(
+            row.settled.iter().any(|&k| k > 0),
+            "no pair settled: {row:?}"
+        );
+        assert!(row.headline_punits().is_some());
+    }
+
+    #[test]
+    fn link_flap_recovers_to_the_unchanged_targets() {
+        let row = cell(SchedulerKind::Wtp, Perturbation::LinkFlap, TEST_SCALE);
+        assert!(
+            row.settled.iter().any(|&k| k > 0),
+            "no pair settled after the flap: {row:?}"
+        );
+    }
+
+    #[test]
+    fn render_mentions_both_schedulers() {
+        let d = Dynamics {
+            rows: vec![
+                DynamicsRow {
+                    scheduler: SchedulerKind::Wtp,
+                    perturbation: Perturbation::SdpStep,
+                    seeds: 2,
+                    settled: vec![2, 1, 0],
+                    mean_settle_punits: vec![Some(500.0), Some(1000.0), None],
+                },
+                DynamicsRow {
+                    scheduler: SchedulerKind::Hpd,
+                    perturbation: Perturbation::SdpStep,
+                    seeds: 2,
+                    settled: vec![0, 0, 0],
+                    mean_settle_punits: vec![None, None, None],
+                },
+            ],
+        };
+        let s = d.render();
+        assert!(s.contains("WTP") && s.contains("HPD"));
+        assert!(s.contains("500 p"));
+    }
+}

@@ -16,10 +16,12 @@
 //! | [`fig45`] | Figs. 4–5 — microscopic views, BPR sawtooth vs WTP |
 //! | [`table1`] | Table 1 — end-to-end R_D over the Fig.-6 topology |
 //! | [`ablations`] | scheduler shoot-out, feasibility region, starvation, moderate-load undershoot |
+//! | [`dynamics`] | reconvergence after live perturbations (SDP step, link flap) |
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod dynamics;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

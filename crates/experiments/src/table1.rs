@@ -151,7 +151,7 @@ impl Table1 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pdd::netsim::run_study_b;
+    use pdd::netsim::Session;
 
     /// One small cell rather than the full grid (the grid runs in the
     /// binary/bench); asserts the paper's two headline claims.
@@ -160,7 +160,7 @@ mod tests {
         let mut cfg = StudyBConfig::paper(4, 0.95, 10, 200.0);
         cfg.experiments = 8;
         cfg.warmup_secs = 4.0;
-        let records = run_study_b(&cfg);
+        let (records, _) = Session::study_b(&cfg).run();
         let result = analyze(&records, cfg.num_classes(), packet_time_tolerance(&cfg));
         assert!(
             (result.rd - 2.0).abs() < 0.6,

@@ -42,13 +42,15 @@ impl CrossModel {
 /// # Example
 ///
 /// ```no_run
-/// use netsim::{analyze, packet_time_tolerance, run_study_b, StudyBConfig};
+/// use netsim::{analyze, packet_time_tolerance, Session, StudyBConfig};
 ///
 /// // One Table-1 cell, scaled down.
-/// let mut cfg = StudyBConfig::paper(4, 0.95, 10, 200.0);
-/// cfg.experiments = 10;
-/// cfg.warmup_secs = 5.0;
-/// let records = run_study_b(&cfg);
+/// let cfg = StudyBConfig::builder(4, 0.95, 10, 200.0)
+///     .experiments(10)
+///     .warmup_secs(5.0)
+///     .build()
+///     .unwrap();
+/// let (records, _links) = Session::study_b(&cfg).run();
 /// let result = analyze(&records, cfg.num_classes(), packet_time_tolerance(&cfg));
 /// assert!((result.rd - 2.0).abs() < 0.6); // ideal 2.00
 /// ```
@@ -124,6 +126,20 @@ impl StudyBConfig {
             user_path: None,
             utilization_per_link: None,
             propagation_ns: 0,
+        }
+    }
+
+    /// A validating builder seeded from the paper cell `(K, ρ, F, R_u)`:
+    /// chain the optional knobs, then [`build`](StudyBConfigBuilder::build)
+    /// returns `Err` instead of deferring to a panic inside the engine.
+    pub fn builder(
+        k_hops: usize,
+        utilization: f64,
+        flow_len: u32,
+        flow_rate_kbps: f64,
+    ) -> StudyBConfigBuilder {
+        StudyBConfigBuilder {
+            cfg: StudyBConfig::paper(k_hops, utilization, flow_len, flow_rate_kbps),
         }
     }
 
@@ -270,6 +286,88 @@ impl StudyBConfig {
     }
 }
 
+/// Builder for [`StudyBConfig`] whose [`build`](Self::build) validates the
+/// whole configuration, returning `Err` for rejected combinations instead
+/// of panicking mid-run. Created by [`StudyBConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct StudyBConfigBuilder {
+    cfg: StudyBConfig,
+}
+
+impl StudyBConfigBuilder {
+    /// Scheduler used at every link (default WTP).
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.cfg.scheduler = kind;
+        self
+    }
+
+    /// Scheduler Differentiation Parameters (default 1, 2, 4, 8).
+    pub fn sdp(mut self, sdp: Sdp) -> Self {
+        self.cfg.sdp = sdp;
+        self
+    }
+
+    /// Link bandwidth in bits per second (default 25 Mbps).
+    pub fn link_bps(mut self, bps: f64) -> Self {
+        self.cfg.link_bps = bps;
+        self
+    }
+
+    /// Number of user experiments M (default 100).
+    pub fn experiments(mut self, m: u32) -> Self {
+        self.cfg.experiments = m;
+        self
+    }
+
+    /// Warm-up before the first experiment, seconds (default 100).
+    pub fn warmup_secs(mut self, secs: f64) -> Self {
+        self.cfg.warmup_secs = secs;
+        self
+    }
+
+    /// RNG seed (default 1).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Cross-traffic generation model (default open-loop Pareto).
+    pub fn cross_model(mut self, model: CrossModel) -> Self {
+        self.cfg.cross_model = model;
+        self
+    }
+
+    /// Per-link scheduler override, one entry per hop.
+    pub fn link_schedulers(mut self, kinds: Vec<SchedulerKind>) -> Self {
+        self.cfg.link_schedulers = Some(kinds);
+        self
+    }
+
+    /// The user flows' path as `(entry_hop, exit_hop)`.
+    pub fn user_path(mut self, entry: usize, exit: usize) -> Self {
+        self.cfg.user_path = Some((entry, exit));
+        self
+    }
+
+    /// Per-link utilization override, one entry per hop.
+    pub fn utilization_per_link(mut self, targets: Vec<f64>) -> Self {
+        self.cfg.utilization_per_link = Some(targets);
+        self
+    }
+
+    /// Propagation delay per link, in ns (default 0).
+    pub fn propagation_ns(mut self, ns: u64) -> Self {
+        self.cfg.propagation_ns = ns;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<StudyBConfig, String> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +440,54 @@ mod tests {
         assert!(c.validate().is_err());
         c.user_path = Some((0, 5));
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_accepts_the_paper_cell() {
+        let cfg = StudyBConfig::builder(4, 0.95, 10, 200.0)
+            .experiments(10)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.experiments, 10);
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_link_schedulers() {
+        let err = StudyBConfig::builder(4, 0.9, 10, 50.0)
+            .link_schedulers(vec![SchedulerKind::Fcfs; 3])
+            .build()
+            .unwrap_err();
+        assert!(err.contains("link_schedulers"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_overloaded_links() {
+        let err = StudyBConfig::builder(4, 0.95, 100, 50.0)
+            .link_bps(1_500_000.0)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("utilization target"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_bad_user_path() {
+        let err = StudyBConfig::builder(4, 0.9, 10, 50.0)
+            .user_path(3, 3)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("user_path"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_per_link_utilization() {
+        let err = StudyBConfig::builder(3, 0.85, 10, 50.0)
+            .utilization_per_link(vec![0.5, 1.2, 0.5])
+            .build()
+            .unwrap_err();
+        assert!(err.contains("(0,1)"), "{err}");
     }
 
     #[test]

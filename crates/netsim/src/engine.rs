@@ -2,7 +2,8 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use sched::{Packet, Scheduler};
+use scenario::{Command, DownPolicy, Scenario, ScenarioRuntime};
+use sched::{Packet, ReconfigureError, Scheduler};
 use simcore::{Context, Dur, Model, RunOutcome, Simulation, Time};
 use telemetry::{NoopProbe, PacketId, Probe};
 use traffic::IatDist;
@@ -33,6 +34,9 @@ enum Ev {
     TxDone { link: u16 },
     /// A user packet finished propagating to its next hop.
     Propagated { link: u16, class: u8, tag: u64 },
+    /// The next scenario event is due: apply every perturbation at or
+    /// before now, then reschedule for the following one.
+    ScenarioTick,
 }
 
 /// Per-link measurement summary returned alongside the experiment records.
@@ -71,7 +75,14 @@ struct UserMeta {
 
 struct Link {
     scheduler: Box<dyn Scheduler>,
+    /// Current transmission rate in bytes per tick (scenario-adjustable).
+    rate: f64,
     in_flight: Option<Packet>,
+    /// Start of the in-flight transmission (valid while `in_flight` is
+    /// `Some`); transmissions keep the rate they started with.
+    tx_start: Time,
+    /// Accumulated transmitting time, ticks.
+    busy_ticks: u64,
 }
 
 struct Net<'p, P: Probe> {
@@ -94,8 +105,11 @@ struct Net<'p, P: Probe> {
     cross_rate: Vec<f64>,
     /// Last instant at which cross sources may emit.
     cross_end: Time,
+    /// Perturbation timeline state (empty scenarios are all-pass).
+    rt: ScenarioRuntime,
+    /// Scratch for draining scenario commands, reused across ticks.
+    cmd_buf: Vec<Command>,
     seq: u64,
-    tx_ticks: u64,
     /// Per-link delivered packet count (cross + user), for sanity checks.
     link_departures: Vec<u64>,
     /// Per-link transmitted bytes.
@@ -136,7 +150,8 @@ impl<P: Probe> Net<'_, P> {
     }
 
     /// Delivers a packet into a link's queue and starts transmission if the
-    /// link is idle.
+    /// link is idle. A packet reaching a down link is dropped (fault drop)
+    /// under [`DownPolicy::Drop`], buffered under [`DownPolicy::Hold`].
     fn arrive(&mut self, link: usize, class: u8, tag: u64, ctx: &mut Context<Ev>) {
         let pkt = Packet {
             seq: self.seq,
@@ -147,9 +162,21 @@ impl<P: Probe> Net<'_, P> {
         };
         self.seq += 1;
         if P::ENABLED {
-            let id = packet_id(&pkt, link);
-            self.probe.on_arrival(pkt.arrival, id);
-            self.probe.on_enqueue(pkt.arrival, id);
+            self.probe.on_arrival(pkt.arrival, packet_id(&pkt, link));
+        }
+        if !self.rt.link_up(link as u16) && self.rt.down_policy(link as u16) == DownPolicy::Drop {
+            if P::ENABLED {
+                self.probe.on_drop(
+                    pkt.arrival,
+                    packet_id(&pkt, link),
+                    self.links[link].scheduler.total_backlog_bytes(),
+                    0,
+                );
+            }
+            return;
+        }
+        if P::ENABLED {
+            self.probe.on_enqueue(pkt.arrival, packet_id(&pkt, link));
         }
         self.links[link].scheduler.enqueue(pkt);
         if self.links[link].in_flight.is_none() {
@@ -158,6 +185,10 @@ impl<P: Probe> Net<'_, P> {
     }
 
     fn start_tx(&mut self, link: usize, ctx: &mut Context<Ev>) {
+        if !self.rt.link_up(link as u16) {
+            // Held packets wait; the LinkUp command restarts service.
+            return;
+        }
         let now = ctx.now();
         if P::ENABLED {
             self.audit_buf.clear();
@@ -183,11 +214,47 @@ impl<P: Probe> Net<'_, P> {
         if pkt.tag != CROSS_TAG {
             self.metas[pkt.tag as usize].acc_wait += wait;
         }
+        let tx = ((pkt.size as f64 / self.links[link].rate).round() as u64).max(1);
         self.links[link].in_flight = Some(pkt);
-        ctx.schedule_in(
-            Dur::from_ticks(self.tx_ticks),
-            Ev::TxDone { link: link as u16 },
-        );
+        self.links[link].tx_start = now;
+        ctx.schedule_in(Dur::from_ticks(tx), Ev::TxDone { link: link as u16 });
+    }
+
+    /// Applies every scenario command due at `now` to the network.
+    fn apply_scenario(&mut self, ctx: &mut Context<Ev>) {
+        let mut cmds = std::mem::take(&mut self.cmd_buf);
+        self.rt
+            .apply_due(ctx.now(), &mut *self.probe, |c| cmds.push(c));
+        for c in cmds.drain(..) {
+            match c {
+                Command::Reconfigure(sdp) => {
+                    // Every hop swaps its SDP; fixed-policy schedulers
+                    // (FCFS hops) legitimately ignore the change.
+                    for l in &mut self.links {
+                        match l.scheduler.reconfigure(&sdp) {
+                            Ok(()) | Err(ReconfigureError::Unsupported(_)) => {}
+                            Err(e) => panic!("scenario set_sdp: {e}"),
+                        }
+                    }
+                }
+                Command::SetLinkRate { link, rate } => {
+                    let l = &mut self.links[link as usize];
+                    l.rate = rate;
+                    l.scheduler.set_link_rate(rate);
+                }
+                Command::LinkDown { .. } => {
+                    // Non-preemptive: an in-flight packet completes; the
+                    // runtime state blocks the next start_tx.
+                }
+                Command::LinkUp { link } => {
+                    let l = link as usize;
+                    if self.links[l].in_flight.is_none() {
+                        self.start_tx(l, ctx);
+                    }
+                }
+            }
+        }
+        self.cmd_buf = cmds;
     }
 }
 
@@ -199,7 +266,9 @@ impl<P: Probe> Model for Net<'_, P> {
             Ev::Cross { node, src } => {
                 if ctx.now() <= self.cross_end {
                     let class = self.sample_cross_class();
-                    self.arrive(node as usize, class, CROSS_TAG, ctx);
+                    if self.rt.admits(class) {
+                        self.arrive(node as usize, class, CROSS_TAG, ctx);
+                    }
                     let idx = node as usize * self.cfg.cross_sources + src as usize;
                     let gap = match self.cfg.cross_model.clone() {
                         // Fresh Pareto gap, accumulated in f64 to avoid
@@ -239,14 +308,16 @@ impl<P: Probe> Model for Net<'_, P> {
             }
             Ev::UserPacket { exp, class, idx } => {
                 let (entry, exit) = self.cfg.user_hops();
-                let tag = self.metas.len() as u64;
-                self.metas.push(UserMeta {
-                    exp,
-                    class,
-                    remaining_hops: (exit - entry) as u16,
-                    acc_wait: 0,
-                });
-                self.arrive(entry, class, tag, ctx);
+                if self.rt.admits(class) {
+                    let tag = self.metas.len() as u64;
+                    self.metas.push(UserMeta {
+                        exp,
+                        class,
+                        remaining_hops: (exit - entry) as u16,
+                        acc_wait: 0,
+                    });
+                    self.arrive(entry, class, tag, ctx);
+                }
                 if idx + 1 < self.cfg.flow_len {
                     ctx.schedule_in(
                         Dur::from_ticks(self.cfg.user_packet_gap_ticks()),
@@ -267,6 +338,8 @@ impl<P: Probe> Model for Net<'_, P> {
                     .in_flight
                     .take()
                     .expect("TxDone without in-flight packet");
+                let start = self.links[link].tx_start;
+                self.links[link].busy_ticks += ctx.now().since(start).ticks();
                 self.link_departures[link] += 1;
                 self.link_bytes[link] += pkt.size as u64;
                 if P::ENABLED {
@@ -276,10 +349,8 @@ impl<P: Probe> Model for Net<'_, P> {
                     // exactly once however many hops it crossed.
                     let eol =
                         pkt.tag == CROSS_TAG || self.metas[pkt.tag as usize].remaining_hops == 1;
-                    let finish = ctx.now();
-                    let start = finish - Dur::from_ticks(self.tx_ticks);
                     self.probe
-                        .on_depart(packet_id(&pkt, link), pkt.arrival, start, finish, eol);
+                        .on_depart(packet_id(&pkt, link), pkt.arrival, start, ctx.now(), eol);
                 }
                 if pkt.tag != CROSS_TAG {
                     let meta = &mut self.metas[pkt.tag as usize];
@@ -307,6 +378,12 @@ impl<P: Probe> Model for Net<'_, P> {
                 // Cross traffic exits at the next node's sink: nothing to do.
                 self.start_tx(link, ctx);
             }
+            Ev::ScenarioTick => {
+                self.apply_scenario(ctx);
+                if let Some(at) = self.rt.next_at() {
+                    ctx.schedule(at, Ev::ScenarioTick);
+                }
+            }
         }
     }
 }
@@ -317,17 +394,19 @@ impl<P: Probe> Model for Net<'_, P> {
 /// # Panics
 /// Panics if the configuration fails [`StudyBConfig::validate`] or if any
 /// user flow fails to deliver all its packets (an engine invariant).
+#[deprecated(note = "use netsim::Session::study_b(cfg).run().0")]
 pub fn run_study_b(cfg: &StudyBConfig) -> Vec<ExperimentRecord> {
-    run_study_b_with_links(cfg).0
+    run_study_b_probed(cfg, &mut NoopProbe).0
 }
 
-/// Like [`run_study_b`], additionally returning per-link statistics
+/// Like `run_study_b`, additionally returning per-link statistics
 /// (achieved utilization, throughput, per-hop class waits).
+#[deprecated(note = "use netsim::Session::study_b(cfg).run()")]
 pub fn run_study_b_with_links(cfg: &StudyBConfig) -> (Vec<ExperimentRecord>, Vec<LinkStats>) {
     run_study_b_probed(cfg, &mut NoopProbe)
 }
 
-/// [`run_study_b_with_links`] with a [`Probe`] observing every hop.
+/// Stationary (scenario-free) probed run.
 ///
 /// Each *user* packet's events carry its end-to-end span id (its flow
 /// bookkeeping index) across every hop, with `hop` identifying the link and
@@ -340,14 +419,41 @@ pub fn run_study_b_probed<P: Probe>(
     cfg: &StudyBConfig,
     probe: &mut P,
 ) -> (Vec<ExperimentRecord>, Vec<LinkStats>) {
+    run_study_b_scenario_probed(cfg, &Scenario::empty(), probe)
+}
+
+/// [`run_study_b_probed`] under a perturbation timeline: scenario events
+/// (live SDP swaps, link-rate changes, link faults, class joins/leaves)
+/// apply to the whole chain at their timestamps, and the probe hears an
+/// `on_scenario_event` for each. With a non-empty scenario the
+/// packets-delivered invariant is not asserted (faults may legitimately
+/// drop or strand user packets).
+///
+/// # Panics
+/// Panics if the scenario references a link `>= k_hops` or a class the SDP
+/// does not define, if it contains a load surge (the chain engine's cross
+/// traffic is rate-derived from the utilization target, not scalable
+/// per-class), or if a scenario SDP's class count differs from the
+/// configuration's.
+pub fn run_study_b_scenario_probed<P: Probe>(
+    cfg: &StudyBConfig,
+    scenario: &Scenario,
+    probe: &mut P,
+) -> (Vec<ExperimentRecord>, Vec<LinkStats>) {
     cfg.validate().expect("invalid Study-B configuration");
+    assert!(
+        !scenario.has_load_surge(),
+        "load_surge is not supported by the multi-hop engine"
+    );
     let n_classes = cfg.num_classes();
     let rate = cfg.link_bytes_per_tick();
-    let tx_ticks = (cfg.packet_bytes as f64 / rate).round() as u64;
     let links: Vec<Link> = (0..cfg.k_hops)
         .map(|l| Link {
             scheduler: cfg.scheduler_for_link(l).build(&cfg.sdp, rate),
+            rate,
             in_flight: None,
+            tx_start: Time::ZERO,
+            busy_ticks: 0,
         })
         .collect();
     // C independent Pareto streams per node — the superposition of C
@@ -379,8 +485,9 @@ pub fn run_study_b_probed<P: Probe>(
             .map(|i| cfg.cross_total_bps_for_link(i / cfg.cross_sources) / cfg.cross_sources as f64)
             .collect(),
         cross_end,
+        rt: ScenarioRuntime::new(scenario, cfg.k_hops, n_classes),
+        cmd_buf: Vec::new(),
         seq: 0,
-        tx_ticks,
         link_departures: vec![0; cfg.k_hops],
         link_bytes: vec![0; cfg.k_hops],
         link_waits: vec![vec![(0.0, 0); n_classes]; cfg.k_hops],
@@ -408,6 +515,10 @@ pub fn run_study_b_probed<P: Probe>(
             sim.schedule(t, Ev::UserPacket { exp, class, idx: 0 });
         }
     }
+    // Arm the perturbation timeline (no-op for empty scenarios).
+    if let Some(at) = sim.model_mut().rt.next_at() {
+        sim.schedule(at, Ev::ScenarioTick);
+    }
     if P::ENABLED {
         // Chunked run so the model's probe (mutably borrowed by the sim)
         // can hear a progress heartbeat between chunks.
@@ -425,7 +536,7 @@ pub fn run_study_b_probed<P: Probe>(
         .map(|l| LinkStats {
             departures: net.link_departures[l],
             bytes: net.link_bytes[l],
-            busy_ticks: net.link_departures[l] * tx_ticks,
+            busy_ticks: net.links[l].busy_ticks,
             span_ticks: span,
             class_mean_wait: net.link_waits[l]
                 .iter()
@@ -438,14 +549,18 @@ pub fn run_study_b_probed<P: Probe>(
         .into_iter()
         .enumerate()
         .map(|(exp, per_class)| {
-            for (c, waits) in per_class.iter().enumerate() {
-                assert_eq!(
-                    waits.len(),
-                    cfg.flow_len as usize,
-                    "experiment {exp} class {c} delivered {} of {} packets",
-                    waits.len(),
-                    cfg.flow_len
-                );
+            // Faults may drop or strand packets; the lossless-delivery
+            // invariant only holds for stationary runs.
+            if scenario.is_empty() {
+                for (c, waits) in per_class.iter().enumerate() {
+                    assert_eq!(
+                        waits.len(),
+                        cfg.flow_len as usize,
+                        "experiment {exp} class {c} delivered {} of {} packets",
+                        waits.len(),
+                        cfg.flow_len
+                    );
+                }
             }
             ExperimentRecord {
                 experiment: exp as u32,
@@ -471,7 +586,7 @@ mod tests {
     #[test]
     fn all_user_packets_are_delivered() {
         let cfg = tiny(2, 0.85);
-        let recs = run_study_b(&cfg);
+        let recs = crate::Session::study_b(&cfg).run().0;
         assert_eq!(recs.len(), 5);
         for r in &recs {
             assert_eq!(r.per_class_waits.len(), 4);
@@ -484,7 +599,7 @@ mod tests {
     #[test]
     fn higher_classes_see_lower_mean_e2e_delay() {
         let cfg = tiny(3, 0.9);
-        let recs = run_study_b(&cfg);
+        let recs = crate::Session::study_b(&cfg).run().0;
         let mut mean = [0.0f64; 4];
         let mut n = 0.0;
         for r in &recs {
@@ -579,7 +694,7 @@ mod tests {
     #[test]
     fn probed_run_equals_unprobed_run() {
         let cfg = tiny(2, 0.9);
-        let plain = run_study_b(&cfg);
+        let plain = crate::Session::study_b(&cfg).run().0;
         let mut counter = telemetry::CountingProbe::new(4);
         let (probed, _) = run_study_b_probed(&cfg, &mut counter);
         for (x, y) in plain.iter().zip(&probed) {
@@ -600,8 +715,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let cfg = tiny(2, 0.85);
-        let a = run_study_b(&cfg);
-        let b = run_study_b(&cfg);
+        let a = crate::Session::study_b(&cfg).run().0;
+        let b = crate::Session::study_b(&cfg).run().0;
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.per_class_waits, y.per_class_waits);
         }
@@ -611,7 +726,7 @@ mod tests {
     fn achieved_utilization_matches_target() {
         let mut cfg = tiny(3, 0.9);
         cfg.experiments = 8;
-        let (_, links) = run_study_b_with_links(&cfg);
+        let (_, links) = crate::Session::study_b(&cfg).run();
         assert_eq!(links.len(), 3);
         for (l, stats) in links.iter().enumerate() {
             let u = stats.utilization();
@@ -626,7 +741,7 @@ mod tests {
     #[test]
     fn per_hop_class_waits_are_ordered() {
         let cfg = tiny(2, 0.95);
-        let (_, links) = run_study_b_with_links(&cfg);
+        let (_, links) = crate::Session::study_b(&cfg).run();
         for stats in &links {
             for w in stats.class_mean_wait.windows(2) {
                 assert!(
@@ -650,8 +765,8 @@ mod tests {
                 .map(|&w| w as f64)
                 .sum()
         };
-        let t_full = total(&run_study_b(&full));
-        let t_partial = total(&run_study_b(&partial));
+        let t_full = total(&crate::Session::study_b(&full).run().0);
+        let t_partial = total(&crate::Session::study_b(&partial).run().0);
         assert!(
             t_partial < 0.8 * t_full,
             "2-hop path total {t_partial} vs 4-hop {t_full}"
@@ -682,8 +797,8 @@ mod tests {
             };
             mean(0) / mean(3)
         };
-        let s_wtp = spread(&run_study_b(&wtp));
-        let s_mixed = spread(&run_study_b(&mixed));
+        let s_wtp = spread(&crate::Session::study_b(&wtp).run().0);
+        let s_mixed = spread(&crate::Session::study_b(&mixed).run().0);
         assert!(s_wtp > s_mixed, "WTP spread {s_wtp} vs mixed {s_mixed}");
         assert!(
             s_mixed > 1.2,
@@ -699,7 +814,7 @@ mod tests {
         let mut cfg = tiny(2, 0.98);
         cfg.experiments = 6;
         cfg.cross_model = CrossModel::default_ecn();
-        let (records, links) = run_study_b_with_links(&cfg);
+        let (records, links) = crate::Session::study_b(&cfg).run();
         assert_eq!(records.len(), 6);
         // Utilization remains high (the sources probe upward)...
         for stats in &links {
@@ -727,7 +842,7 @@ mod tests {
         use crate::config::CrossModel;
         let mut cfg = tiny(2, 0.95);
         cfg.cross_model = CrossModel::default_ecn();
-        let recs = run_study_b(&cfg);
+        let recs = crate::Session::study_b(&cfg).run().0;
         let mut mean = [0.0f64; 4];
         for r in &recs {
             for (c, m) in mean.iter_mut().enumerate() {
@@ -743,7 +858,7 @@ mod tests {
     fn bottleneck_link_dominates_end_to_end_delay() {
         let mut cfg = tiny(3, 0.9);
         cfg.utilization_per_link = Some(vec![0.4, 0.95, 0.4]);
-        let (recs, links) = run_study_b_with_links(&cfg);
+        let (recs, links) = crate::Session::study_b(&cfg).run();
         assert!(!recs.is_empty());
         // The hot middle link carries most of the queueing.
         let w = |l: usize| links[l].class_mean_wait[0];
@@ -770,8 +885,8 @@ mod tests {
             }
             s / n
         };
-        let a = run_study_b(&base);
-        let b = run_study_b(&prop);
+        let a = crate::Session::study_b(&base).run().0;
+        let b = crate::Session::study_b(&prop).run().0;
         let spread_a = mean_of(&a, 0) / mean_of(&a, 3);
         let spread_b = mean_of(&b, 0) / mean_of(&b, 3);
         assert!(spread_a > 1.5 && spread_b > 1.5);
@@ -782,9 +897,139 @@ mod tests {
     }
 
     #[test]
+    fn scenario_sdp_step_flattens_differentiation() {
+        use scenario::Scenario;
+        use sched::Sdp;
+        // Stepping the SDP to all-equal mid-run must pull the class means
+        // closer together than the stationary paper SDP keeps them.
+        let mut cfg = tiny(2, 0.9);
+        cfg.experiments = 6;
+        let spread = |recs: &[ExperimentRecord]| -> f64 {
+            let mean = |c: usize| -> f64 {
+                let (mut s, mut n) = (0.0, 0.0);
+                for r in recs {
+                    s += r.per_class_waits[c].iter().sum::<u64>() as f64;
+                    n += r.per_class_waits[c].len() as f64;
+                }
+                s / (n.max(1.0))
+            };
+            mean(0) / mean(3).max(1.0)
+        };
+        let stationary = crate::Session::study_b(&cfg).run().0;
+        let sc = Scenario::builder()
+            .set_sdp(Time::ZERO, Sdp::new(&[1.0, 1.0, 1.0, 1.0]).unwrap())
+            .build()
+            .unwrap();
+        let stepped = crate::Session::study_b(&cfg).scenario(sc).run().0;
+        assert!(
+            spread(&stationary) > 1.5 * spread(&stepped),
+            "stationary spread {} vs flattened {}",
+            spread(&stationary),
+            spread(&stepped)
+        );
+    }
+
+    #[test]
+    fn scenario_link_flap_hold_delivers_everything() {
+        use scenario::{DownPolicy, Scenario};
+        // Holding packets across a mid-run outage delays but never loses
+        // them: every user packet is still delivered.
+        let cfg = tiny(2, 0.85);
+        let down = Time::from_ticks(3 * TICKS_PER_SEC);
+        let up = Time::from_ticks(3 * TICKS_PER_SEC + TICKS_PER_SEC / 2);
+        let sc = Scenario::builder()
+            .link_down(down, 1, DownPolicy::Hold)
+            .link_up(up, 1)
+            .build()
+            .unwrap();
+        let recs = crate::Session::study_b(&cfg).scenario(sc).run().0;
+        let delivered: usize = recs
+            .iter()
+            .flat_map(|r| r.per_class_waits.iter())
+            .map(|w| w.len())
+            .sum();
+        assert_eq!(delivered, 5 * 4 * 10, "Hold outage lost packets");
+    }
+
+    #[test]
+    fn scenario_link_flap_drop_loses_packets_and_is_probed() {
+        use scenario::{DownPolicy, Scenario};
+        let cfg = tiny(2, 0.85);
+        let down = Time::from_ticks(3 * TICKS_PER_SEC);
+        let up = Time::from_ticks(5 * TICKS_PER_SEC);
+        let sc = Scenario::builder()
+            .link_down(down, 1, DownPolicy::Drop)
+            .link_up(up, 1)
+            .build()
+            .unwrap();
+        let mut counter = telemetry::CountingProbe::new(4);
+        let (recs, _) = run_study_b_scenario_probed(&cfg, &sc, &mut counter);
+        let delivered: usize = recs
+            .iter()
+            .flat_map(|r| r.per_class_waits.iter())
+            .map(|w| w.len())
+            .sum();
+        assert!(
+            delivered < 5 * 4 * 10,
+            "a 2 s Drop outage across the experiment window must lose packets"
+        );
+        let report = counter.report();
+        let drops: u64 = report.classes.iter().map(|c| c.drops).sum();
+        assert!(drops > 0, "fault drops must be probed");
+        assert_eq!(report.scenario_events, 2, "both flap edges recorded");
+    }
+
+    #[test]
+    fn scenario_link_rate_change_shifts_utilization() {
+        use scenario::Scenario;
+        // Halving link 0's rate at t=0 doubles its busy time per byte.
+        let cfg = tiny(1, 0.7);
+        let rate = cfg.link_bytes_per_tick();
+        let sc = Scenario::builder()
+            .set_link_rate(Time::ZERO, 0, rate / 2.0)
+            .build()
+            .unwrap();
+        let (_, base) = crate::Session::study_b(&cfg).run();
+        let (_, slowed) = crate::Session::study_b(&cfg).scenario(sc).run();
+        let per_byte = |l: &LinkStats| l.busy_ticks as f64 / l.bytes as f64;
+        assert!(
+            (per_byte(&slowed[0]) / per_byte(&base[0]) - 2.0).abs() < 0.05,
+            "slowed {} vs base {}",
+            per_byte(&slowed[0]),
+            per_byte(&base[0])
+        );
+    }
+
+    #[test]
+    fn empty_scenario_run_is_identical_to_stationary() {
+        use scenario::Scenario;
+        let cfg = tiny(2, 0.9);
+        let plain = crate::Session::study_b(&cfg).run().0;
+        let via_scenario = crate::Session::study_b(&cfg)
+            .scenario(Scenario::empty())
+            .run()
+            .0;
+        for (x, y) in plain.iter().zip(&via_scenario) {
+            assert_eq!(x.per_class_waits, y.per_class_waits);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "load_surge is not supported")]
+    fn load_surge_is_rejected_by_the_chain_engine() {
+        use scenario::Scenario;
+        let cfg = tiny(1, 0.8);
+        let sc = Scenario::builder()
+            .load_surge(Time::from_ticks(1), 0, 0.5)
+            .build()
+            .unwrap();
+        let _ = crate::Session::study_b(&cfg).scenario(sc).run();
+    }
+
+    #[test]
     fn delays_scale_with_utilization() {
-        let lo = run_study_b(&tiny(2, 0.7));
-        let hi = run_study_b(&tiny(2, 0.95));
+        let lo = crate::Session::study_b(&tiny(2, 0.7)).run().0;
+        let hi = crate::Session::study_b(&tiny(2, 0.95)).run().0;
         let total = |recs: &[ExperimentRecord]| -> f64 {
             recs.iter()
                 .flat_map(|r| r.per_class_waits.iter().flatten())

@@ -16,6 +16,12 @@
 //! topologies (flows routed over explicit link sequences) so crossing
 //! paths and shared bottlenecks can be studied.
 //!
+//! [`Session`] is the unified entry point for both workloads: chain or
+//! mesh, with optional probe and scenario axes (the legacy `run_*`
+//! functions survive as deprecated one-line wrappers over it). Dynamic
+//! scenarios ([`scenario::Scenario`]) perturb a run mid-flight: live SDP
+//! reconfiguration, link-rate changes, link faults, class joins/leaves.
+//!
 //! Time unit: 1 tick = 1 ns.
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,10 +30,14 @@ mod analysis;
 mod config;
 mod engine;
 pub mod mesh;
+mod session;
 
 pub use analysis::{analyze, packet_time_tolerance, ExperimentRecord, StudyBResult};
-pub use config::{CrossModel, StudyBConfig};
-pub use engine::{run_study_b, run_study_b_probed, run_study_b_with_links, LinkStats};
+pub use config::{CrossModel, StudyBConfig, StudyBConfigBuilder};
+#[allow(deprecated)]
+pub use engine::{run_study_b, run_study_b_with_links};
+pub use engine::{run_study_b_probed, run_study_b_scenario_probed, LinkStats};
+pub use session::{MeshWorkload, Session, StudyBWorkload};
 
 /// Ticks per second (1 tick = 1 ns).
 pub const TICKS_PER_SEC: u64 = 1_000_000_000;

@@ -13,8 +13,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sched::{Packet, Scheduler, SchedulerKind, Sdp};
+use scenario::{Command, DownPolicy, Scenario, ScenarioRuntime};
+use sched::{Packet, ReconfigureError, Scheduler, SchedulerKind, Sdp};
 use simcore::{Context, Dur, Model, Simulation, Time};
+use telemetry::{NoopProbe, PacketId, Probe};
 use traffic::IatDist;
 
 /// One unidirectional link of the mesh.
@@ -75,6 +77,20 @@ pub struct MeshConfig {
 }
 
 impl MeshConfig {
+    /// A validating builder: add links and flows, then
+    /// [`build`](MeshConfigBuilder::build) returns `Err` for rejected
+    /// topologies instead of deferring to a panic inside the engine.
+    pub fn builder(sdp: Sdp) -> MeshConfigBuilder {
+        MeshConfigBuilder {
+            cfg: MeshConfig {
+                sdp,
+                links: Vec::new(),
+                flows: Vec::new(),
+                seed: 0,
+            },
+        }
+    }
+
     /// Validates routes, classes, and link parameters.
     pub fn validate(&self) -> Result<(), String> {
         if self.links.is_empty() {
@@ -112,6 +128,39 @@ impl MeshConfig {
     }
 }
 
+/// Builder for [`MeshConfig`] whose [`build`](Self::build) validates the
+/// whole topology. Created by [`MeshConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct MeshConfigBuilder {
+    cfg: MeshConfig,
+}
+
+impl MeshConfigBuilder {
+    /// Adds a unidirectional link (index = insertion order).
+    pub fn link(mut self, link: MeshLink) -> Self {
+        self.cfg.links.push(link);
+        self
+    }
+
+    /// Adds a flow routed over previously added links.
+    pub fn flow(mut self, flow: MeshFlow) -> Self {
+        self.cfg.flows.push(flow);
+        self
+    }
+
+    /// RNG seed for the Pareto flows (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<MeshConfig, String> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 /// Per-flow outcome: one end-to-end queueing wait (ticks) per delivered
 /// packet, in delivery order.
 #[derive(Debug, Clone)]
@@ -140,6 +189,8 @@ enum Ev {
     Emit { flow: u32, idx: u32 },
     /// Link finished its in-flight packet.
     TxDone { link: u16 },
+    /// The next scenario event is due.
+    ScenarioTick,
 }
 
 struct PacketMeta {
@@ -152,19 +203,38 @@ struct LinkState {
     scheduler: Box<dyn Scheduler>,
     rate: f64,
     in_flight: Option<Packet>,
+    /// Start of the in-flight transmission (valid while `in_flight` is
+    /// `Some`).
+    tx_start: Time,
     departures: u64,
 }
 
-struct Mesh {
+struct Mesh<'p, P: Probe> {
     cfg: MeshConfig,
     links: Vec<LinkState>,
     metas: Vec<PacketMeta>,
     waits: Vec<Vec<u64>>,
     /// Per-Pareto-flow (rng, cumulative clock).
     pareto: Vec<Option<(StdRng, f64, IatDist)>>,
+    probe: &'p mut P,
+    rt: ScenarioRuntime,
+    cmd_buf: Vec<Command>,
+    audit_buf: Vec<(usize, f64)>,
 }
 
-impl Mesh {
+/// Probe identity of mesh packet `pkt` at hop `link`: the per-packet tag
+/// is the end-to-end span (one journey = one trace track).
+fn packet_id(pkt: &Packet, link: usize) -> PacketId {
+    PacketId {
+        span: pkt.tag,
+        seq: pkt.seq,
+        class: pkt.class,
+        size: pkt.size,
+        hop: link as u16,
+    }
+}
+
+impl<P: Probe> Mesh<'_, P> {
     fn arrive(&mut self, link: usize, class: u8, size: u32, tag: u64, ctx: &mut Context<Ev>) {
         let pkt = Packet {
             seq: tag,
@@ -173,6 +243,23 @@ impl Mesh {
             arrival: ctx.now(),
             tag,
         };
+        if P::ENABLED {
+            self.probe.on_arrival(pkt.arrival, packet_id(&pkt, link));
+        }
+        if !self.rt.link_up(link as u16) && self.rt.down_policy(link as u16) == DownPolicy::Drop {
+            if P::ENABLED {
+                self.probe.on_drop(
+                    pkt.arrival,
+                    packet_id(&pkt, link),
+                    self.links[link].scheduler.total_backlog_bytes(),
+                    0,
+                );
+            }
+            return;
+        }
+        if P::ENABLED {
+            self.probe.on_enqueue(pkt.arrival, packet_id(&pkt, link));
+        }
         self.links[link].scheduler.enqueue(pkt);
         if self.links[link].in_flight.is_none() {
             self.start_tx(link, ctx);
@@ -180,32 +267,84 @@ impl Mesh {
     }
 
     fn start_tx(&mut self, link: usize, ctx: &mut Context<Ev>) {
+        if !self.rt.link_up(link as u16) {
+            return;
+        }
         let now = ctx.now();
+        if P::ENABLED {
+            self.audit_buf.clear();
+            self.links[link]
+                .scheduler
+                .decision_values(now, &mut self.audit_buf);
+        }
         let Some(pkt) = self.links[link].scheduler.dequeue(now) else {
             return;
         };
+        if P::ENABLED {
+            self.probe.on_decision(
+                now,
+                self.links[link].scheduler.name(),
+                packet_id(&pkt, link),
+                &self.audit_buf,
+            );
+        }
         let wait = now.since(pkt.arrival).ticks();
         self.metas[pkt.tag as usize].acc_wait += wait;
         let tx = ((pkt.size as f64 / self.links[link].rate).round() as u64).max(1);
         self.links[link].in_flight = Some(pkt);
+        self.links[link].tx_start = now;
         ctx.schedule_in(Dur::from_ticks(tx), Ev::TxDone { link: link as u16 });
+    }
+
+    /// Applies every scenario command due at `now` to the mesh.
+    fn apply_scenario(&mut self, ctx: &mut Context<Ev>) {
+        let mut cmds = std::mem::take(&mut self.cmd_buf);
+        self.rt
+            .apply_due(ctx.now(), &mut *self.probe, |c| cmds.push(c));
+        for c in cmds.drain(..) {
+            match c {
+                Command::Reconfigure(sdp) => {
+                    for l in &mut self.links {
+                        match l.scheduler.reconfigure(&sdp) {
+                            Ok(()) | Err(ReconfigureError::Unsupported(_)) => {}
+                            Err(e) => panic!("scenario set_sdp: {e}"),
+                        }
+                    }
+                }
+                Command::SetLinkRate { link, rate } => {
+                    let l = &mut self.links[link as usize];
+                    l.rate = rate;
+                    l.scheduler.set_link_rate(rate);
+                }
+                Command::LinkDown { .. } => {}
+                Command::LinkUp { link } => {
+                    let l = link as usize;
+                    if self.links[l].in_flight.is_none() {
+                        self.start_tx(l, ctx);
+                    }
+                }
+            }
+        }
+        self.cmd_buf = cmds;
     }
 }
 
-impl Model for Mesh {
+impl<P: Probe> Model for Mesh<'_, P> {
     type Event = Ev;
 
     fn handle(&mut self, ev: Ev, ctx: &mut Context<Ev>) {
         match ev {
             Ev::Emit { flow, idx } => {
                 let f = self.cfg.flows[flow as usize].clone();
-                let tag = self.metas.len() as u64;
-                self.metas.push(PacketMeta {
-                    flow,
-                    hop: 0,
-                    acc_wait: 0,
-                });
-                self.arrive(f.route[0], f.class, f.packet_bytes, tag, ctx);
+                if self.rt.admits(f.class) {
+                    let tag = self.metas.len() as u64;
+                    self.metas.push(PacketMeta {
+                        flow,
+                        hop: 0,
+                        acc_wait: 0,
+                    });
+                    self.arrive(f.route[0], f.class, f.packet_bytes, tag, ctx);
+                }
                 // Schedule the next emission.
                 match f.model {
                     FlowModel::Periodic { gap_ticks, count } => {
@@ -241,7 +380,18 @@ impl Model for Mesh {
                 let meta = &mut self.metas[pkt.tag as usize];
                 meta.hop += 1;
                 let route = &self.cfg.flows[meta.flow as usize].route;
-                if (meta.hop as usize) < route.len() {
+                let delivered = meta.hop as usize >= route.len();
+                if P::ENABLED {
+                    let start = self.links[link].tx_start;
+                    self.probe.on_depart(
+                        packet_id(&pkt, link),
+                        pkt.arrival,
+                        start,
+                        ctx.now(),
+                        delivered,
+                    );
+                }
+                if !delivered {
                     let next_link = route[meta.hop as usize];
                     let (class, size, tag) = (pkt.class, pkt.size, pkt.tag);
                     self.arrive(next_link, class, size, tag, ctx);
@@ -250,6 +400,12 @@ impl Model for Mesh {
                     self.waits[flow as usize].push(acc);
                 }
                 self.start_tx(link, ctx);
+            }
+            Ev::ScenarioTick => {
+                self.apply_scenario(ctx);
+                if let Some(at) = self.rt.next_at() {
+                    ctx.schedule(at, Ev::ScenarioTick);
+                }
             }
         }
     }
@@ -260,8 +416,31 @@ impl Model for Mesh {
 ///
 /// # Panics
 /// Panics if the configuration fails [`MeshConfig::validate`].
+#[deprecated(note = "use netsim::Session::mesh(cfg).run()")]
 pub fn run_mesh(cfg: &MeshConfig) -> MeshOutcome {
+    run_mesh_scenario_probed(cfg, &Scenario::empty(), &mut NoopProbe)
+}
+
+/// [`run_mesh`](crate::Session::mesh) under a perturbation timeline with a
+/// [`Probe`] observing every hop: scenario events (live SDP swaps,
+/// link-rate changes, link faults, class joins/leaves) apply to the whole
+/// mesh at their timestamps. With a non-empty scenario, flows may
+/// legitimately deliver fewer packets than they emitted.
+///
+/// # Panics
+/// Panics if the configuration fails [`MeshConfig::validate`], if the
+/// scenario references a link or class the mesh does not define, or if it
+/// contains a load surge (mesh flows carry explicit emission models).
+pub fn run_mesh_scenario_probed<P: Probe>(
+    cfg: &MeshConfig,
+    scenario: &Scenario,
+    probe: &mut P,
+) -> MeshOutcome {
     cfg.validate().expect("invalid mesh configuration");
+    assert!(
+        !scenario.has_load_surge(),
+        "load_surge is not supported by the mesh engine"
+    );
     let links: Vec<LinkState> = cfg
         .links
         .iter()
@@ -271,6 +450,7 @@ pub fn run_mesh(cfg: &MeshConfig) -> MeshOutcome {
                 .build(&cfg.sdp, l.bps / 8.0 / crate::TICKS_PER_SEC as f64),
             rate: l.bps / 8.0 / crate::TICKS_PER_SEC as f64,
             in_flight: None,
+            tx_start: Time::ZERO,
             departures: 0,
         })
         .collect();
@@ -292,6 +472,10 @@ pub fn run_mesh(cfg: &MeshConfig) -> MeshOutcome {
         metas: Vec::new(),
         waits: vec![Vec::new(); cfg.flows.len()],
         pareto,
+        probe,
+        rt: ScenarioRuntime::new(scenario, cfg.links.len(), cfg.sdp.num_classes()),
+        cmd_buf: Vec::new(),
+        audit_buf: Vec::new(),
         cfg: cfg.clone(),
     };
     let mut sim = Simulation::new(mesh);
@@ -303,6 +487,10 @@ pub fn run_mesh(cfg: &MeshConfig) -> MeshOutcome {
                 idx: 0,
             },
         );
+    }
+    // Arm the perturbation timeline (no-op for empty scenarios).
+    if let Some(at) = sim.model_mut().rt.next_at() {
+        sim.schedule(at, Ev::ScenarioTick);
     }
     sim.run();
     let mesh = sim.into_model();
@@ -370,7 +558,7 @@ mod tests {
             flows: vec![probe(vec![0, 1], 3, 0)],
             seed: 1,
         };
-        let out = run_mesh(&cfg);
+        let out = crate::Session::mesh(&cfg).run();
         assert_eq!(out.per_flow_waits[0].len(), 50);
         assert!(out.per_flow_waits[0].iter().all(|&w| w == 0));
         assert_eq!(out.link_departures, vec![50, 50]);
@@ -394,7 +582,7 @@ mod tests {
             flows,
             seed: 7,
         };
-        let out = run_mesh(&cfg);
+        let out = crate::Session::mesh(&cfg).run();
         for f in 0..4 {
             assert_eq!(out.per_flow_waits[f].len(), 50, "flow {f} incomplete");
         }
@@ -429,8 +617,8 @@ mod tests {
             flows: base_flows(extra),
             seed: 3,
         };
-        let private_loaded = run_mesh(&mk(background_mix(0, horizon)));
-        let shared_loaded = run_mesh(&mk(background_mix(2, horizon)));
+        let private_loaded = crate::Session::mesh(&mk(background_mix(0, horizon))).run();
+        let shared_loaded = crate::Session::mesh(&mk(background_mix(2, horizon))).run();
         // Flow 1 (path B) barely notices path A's private congestion...
         assert!(
             private_loaded.mean_wait(1) < private_loaded.mean_wait(0) / 4.0,
@@ -460,9 +648,107 @@ mod tests {
                 seed: 11,
             }
         };
-        let a = run_mesh(&mk());
-        let b = run_mesh(&mk());
+        let a = crate::Session::mesh(&mk()).run();
+        let b = crate::Session::mesh(&mk()).run();
         assert_eq!(a.per_flow_waits, b.per_flow_waits);
+    }
+
+    #[test]
+    fn scenario_link_flap_holds_and_releases_the_shared_bottleneck() {
+        use scenario::{DownPolicy, Scenario};
+        // Flap the shared link of the Y topology with Hold: every probe
+        // packet is still delivered, but the outage inflates the waits of
+        // flows crossing it relative to the un-flapped run.
+        let mk = || {
+            MeshConfig::builder(Sdp::paper_default())
+                .link(wtp_link())
+                .link(wtp_link())
+                .link(wtp_link())
+                .flow(probe(vec![0, 2], 0, 0))
+                .flow(probe(vec![1, 2], 3, 0))
+                .seed(5)
+                .build()
+                .unwrap()
+        };
+        let base = crate::Session::mesh(&mk()).run();
+        let sc = Scenario::builder()
+            .link_down(Time::from_ticks(100_000_000), 2, DownPolicy::Hold)
+            .link_up(Time::from_ticks(400_000_000), 2)
+            .build()
+            .unwrap();
+        let flapped = crate::Session::mesh(&mk()).scenario(sc).run();
+        for f in 0..2 {
+            assert_eq!(flapped.per_flow_waits[f].len(), 50, "flow {f} lost packets");
+        }
+        assert!(
+            flapped.mean_wait(0) > base.mean_wait(0) + 1_000_000.0,
+            "outage must inflate path-A waits: {} vs {}",
+            flapped.mean_wait(0),
+            base.mean_wait(0)
+        );
+        assert!(
+            flapped.mean_wait(1) > base.mean_wait(1) + 1_000_000.0,
+            "outage must inflate path-B waits: {} vs {}",
+            flapped.mean_wait(1),
+            base.mean_wait(1)
+        );
+    }
+
+    #[test]
+    fn scenario_link_flap_drop_loses_mesh_packets() {
+        use scenario::{DownPolicy, Scenario};
+        let cfg = MeshConfig::builder(Sdp::paper_default())
+            .link(wtp_link())
+            .flow(probe(vec![0], 2, 0))
+            .build()
+            .unwrap();
+        // The 50-packet probe spans 1 s; a 0.4 s Drop outage eats packets.
+        let sc = Scenario::builder()
+            .link_down(Time::from_ticks(100_000_000), 0, DownPolicy::Drop)
+            .link_up(Time::from_ticks(500_000_000), 0)
+            .build()
+            .unwrap();
+        let mut counter = telemetry::CountingProbe::new(4);
+        let out = run_mesh_scenario_probed(&cfg, &sc, &mut counter);
+        assert!(
+            out.per_flow_waits[0].len() < 50,
+            "Drop outage delivered all {} packets",
+            out.per_flow_waits[0].len()
+        );
+        let report = counter.report();
+        let drops: u64 = report.classes.iter().map(|c| c.drops).sum();
+        assert_eq!(
+            drops as usize + out.per_flow_waits[0].len(),
+            50,
+            "dropped + delivered must cover the flow"
+        );
+        assert_eq!(report.scenario_events, 2);
+    }
+
+    #[test]
+    fn mesh_builder_rejects_bad_topologies() {
+        let err = MeshConfig::builder(Sdp::paper_default())
+            .flow(probe(vec![0], 0, 0))
+            .build()
+            .unwrap_err();
+        assert!(err.contains("at least one link"), "{err}");
+        let err = MeshConfig::builder(Sdp::paper_default())
+            .link(wtp_link())
+            .flow(probe(vec![0, 1], 0, 0))
+            .build()
+            .unwrap_err();
+        assert!(err.contains("unknown link"), "{err}");
+        let err = MeshConfig::builder(Sdp::paper_default())
+            .link(wtp_link())
+            .flow(probe(vec![0], 9, 0))
+            .build()
+            .unwrap_err();
+        assert!(err.contains("without an SDP"), "{err}");
+        assert!(MeshConfig::builder(Sdp::paper_default())
+            .link(wtp_link())
+            .flow(probe(vec![0], 0, 0))
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! The unified multi-hop entry point.
+//!
+//! Mirrors `qsim::Session` for the network simulators: pick a workload
+//! (the Study-B chain or an arbitrary [`mesh`](crate::mesh)), then chain
+//! the optional axes before `run`:
+//!
+//! * [`probe`](Session::probe) attaches any [`telemetry::Probe`] (pass
+//!   `&mut sink` to keep ownership for `finish()`);
+//! * [`scenario`](Session::scenario) attaches a perturbation timeline
+//!   ([`scenario::Scenario`]) — live SDP swaps, link-rate changes, link
+//!   faults, class joins/leaves — applied at every hop.
+//!
+//! ```no_run
+//! use netsim::{Session, StudyBConfig};
+//!
+//! let mut cfg = StudyBConfig::paper(4, 0.95, 10, 200.0);
+//! cfg.experiments = 10;
+//! let (records, links) = Session::study_b(&cfg).run();
+//! assert_eq!(records.len(), 10);
+//! assert_eq!(links.len(), 4);
+//! ```
+
+use scenario::Scenario;
+use telemetry::{NoopProbe, Probe};
+
+use crate::analysis::ExperimentRecord;
+use crate::config::StudyBConfig;
+use crate::engine::{run_study_b_scenario_probed, LinkStats};
+use crate::mesh::{run_mesh_scenario_probed, MeshConfig, MeshOutcome};
+
+/// The Figure-6 chain workload (a [`StudyBConfig`]).
+#[derive(Debug)]
+pub struct StudyBWorkload<'a> {
+    cfg: &'a StudyBConfig,
+}
+
+/// An arbitrary-topology workload (a [`MeshConfig`]).
+#[derive(Debug)]
+pub struct MeshWorkload<'a> {
+    cfg: &'a MeshConfig,
+}
+
+/// A composable network simulation run: workload × probe × scenario. See
+/// the [module docs](self) for the axes.
+#[derive(Debug)]
+pub struct Session<W, P = NoopProbe> {
+    workload: W,
+    scenario: Scenario,
+    probe: P,
+}
+
+impl<'a> Session<StudyBWorkload<'a>> {
+    /// Runs the Study-B chain described by `cfg`.
+    pub fn study_b(cfg: &'a StudyBConfig) -> Self {
+        Session {
+            workload: StudyBWorkload { cfg },
+            scenario: Scenario::empty(),
+            probe: NoopProbe,
+        }
+    }
+}
+
+impl<'a> Session<MeshWorkload<'a>> {
+    /// Runs the mesh described by `cfg`.
+    pub fn mesh(cfg: &'a MeshConfig) -> Self {
+        Session {
+            workload: MeshWorkload { cfg },
+            scenario: Scenario::empty(),
+            probe: NoopProbe,
+        }
+    }
+}
+
+impl<W, P: Probe> Session<W, P> {
+    /// Attaches a probe observing every hop (and scenario events). Pass
+    /// `&mut sink` to keep ownership of sinks that need a `finish()` call.
+    pub fn probe<Q: Probe>(self, probe: Q) -> Session<W, Q> {
+        Session {
+            workload: self.workload,
+            scenario: self.scenario,
+            probe,
+        }
+    }
+
+    /// Attaches a perturbation timeline. An empty scenario (the default)
+    /// leaves the run stationary.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+}
+
+impl<'a, P: Probe> Session<StudyBWorkload<'a>, P> {
+    /// Runs the chain to completion: per-experiment end-to-end class
+    /// waits plus per-link statistics.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`StudyBConfig::validate`], if
+    /// the scenario references links or classes outside the chain, or if
+    /// it contains a load surge (unsupported on the chain engine).
+    pub fn run(mut self) -> (Vec<ExperimentRecord>, Vec<LinkStats>) {
+        run_study_b_scenario_probed(self.workload.cfg, &self.scenario, &mut self.probe)
+    }
+}
+
+impl<'a, P: Probe> Session<MeshWorkload<'a>, P> {
+    /// Runs the mesh to completion: per-flow end-to-end waits plus
+    /// per-link departure counts.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`MeshConfig::validate`], if the
+    /// scenario references links or classes outside the mesh, or if it
+    /// contains a load surge (unsupported on the mesh engine).
+    pub fn run(mut self) -> MeshOutcome {
+        run_mesh_scenario_probed(self.workload.cfg, &self.scenario, &mut self.probe)
+    }
+}

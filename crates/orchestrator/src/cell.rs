@@ -1,7 +1,7 @@
 //! One cell of the experiment sweep: its identity, its parameters as
 //! canonical JSON (the cache key input), and its execution.
 
-use experiments::{ablations, fig1, fig2, fig3, fig45, table1, Scale};
+use experiments::{ablations, dynamics, fig1, fig2, fig3, fig45, table1, Scale};
 use pdd::netsim::StudyBConfig;
 use pdd::sched::SchedulerKind;
 use pdd::telemetry::{CountingProbe, MetricsReport};
@@ -81,6 +81,14 @@ pub enum CellSpec {
         /// Index into [`ablations::mixed_path_scenarios`].
         scenario: usize,
     },
+    /// One (scheduler, perturbation) reconvergence cell of the dynamics
+    /// study.
+    Dynamics {
+        /// The scheduler measured.
+        kind: SchedulerKind,
+        /// The perturbation injected at mid-horizon.
+        perturbation: dynamics::Perturbation,
+    },
 }
 
 /// Formats an f64 parameter compactly and losslessly for ids/keys.
@@ -107,6 +115,7 @@ impl CellSpec {
             CellSpec::Additive => "additive",
             CellSpec::Analytic => "analytic",
             CellSpec::MixedPath { .. } => "mixed-path",
+            CellSpec::Dynamics { .. } => "dynamics",
         }
     }
 
@@ -154,6 +163,9 @@ impl CellSpec {
             CellSpec::Additive => "additive".into(),
             CellSpec::Analytic => "analytic".into(),
             CellSpec::MixedPath { scenario } => format!("mixed-path-{scenario}"),
+            CellSpec::Dynamics { kind, perturbation } => {
+                format!("dynamics-{}-{}", kind_slug(*kind), perturbation.name())
+            }
         }
     }
 
@@ -202,6 +214,10 @@ impl CellSpec {
             CellSpec::Plr { sigma } => pairs.push(("sigma", Json::num(*sigma))),
             CellSpec::MixedPath { scenario } => {
                 pairs.push(("scenario", Json::Int(*scenario as i64)));
+            }
+            CellSpec::Dynamics { kind, perturbation } => {
+                pairs.push(("scheduler", Json::Str(kind.name().into())));
+                pairs.push(("perturbation", Json::Str(perturbation.name().into())));
             }
             CellSpec::Shootout | CellSpec::Starvation | CellSpec::Additive | CellSpec::Analytic => {
             }
@@ -445,6 +461,36 @@ impl CellSpec {
                         ("label", Json::Str(label.into())),
                         ("rd", Json::num(rd)),
                         ("inconsistent_experiments", Json::Int(inconsistent as i64)),
+                    ]),
+                    None,
+                )
+            }
+            CellSpec::Dynamics { kind, perturbation } => {
+                let row = dynamics::cell(*kind, *perturbation, scale);
+                let pairs = row
+                    .mean_settle_punits
+                    .iter()
+                    .zip(&row.settled)
+                    .map(|(mean, &settled)| {
+                        Json::obj(vec![
+                            (
+                                "mean_settle_punits",
+                                mean.map(Json::num).unwrap_or(Json::Null),
+                            ),
+                            ("settled", Json::Int(settled as i64)),
+                        ])
+                    })
+                    .collect();
+                (
+                    Json::obj(vec![
+                        ("scheduler", Json::Str(row.scheduler.name().into())),
+                        ("perturbation", Json::Str(row.perturbation.name().into())),
+                        ("seeds", Json::Int(row.seeds as i64)),
+                        ("pairs", Json::Arr(pairs)),
+                        (
+                            "headline_punits",
+                            row.headline_punits().map(Json::num).unwrap_or(Json::Null),
+                        ),
                     ]),
                     None,
                 )

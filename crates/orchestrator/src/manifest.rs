@@ -2,7 +2,7 @@
 //! list of [`CellSpec`]s built from the experiment crate's own sweep
 //! constants, so the manifest can never drift from the harness.
 
-use experiments::{ablations, fig1, fig2};
+use experiments::{ablations, dynamics, fig1, fig2};
 use pdd::sched::SchedulerKind;
 
 use crate::cell::CellSpec;
@@ -17,7 +17,7 @@ pub struct Manifest {
 }
 
 /// The suite names [`suite`] accepts, in canonical order.
-pub const SUITES: [&str; 16] = [
+pub const SUITES: [&str; 17] = [
     "all",
     "figures",
     "ablations",
@@ -34,6 +34,7 @@ pub const SUITES: [&str; 16] = [
     "additive",
     "analytic",
     "mixed-path",
+    "dynamics",
 ];
 
 fn fig1_cells() -> Vec<CellSpec> {
@@ -133,6 +134,16 @@ fn mixed_path_cells() -> Vec<CellSpec> {
         .collect()
 }
 
+fn dynamics_cells() -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for &kind in &dynamics::SCHEDULERS {
+        for &perturbation in &dynamics::PERTURBATIONS {
+            cells.push(CellSpec::Dynamics { kind, perturbation });
+        }
+    }
+    cells
+}
+
 fn figures_cells() -> Vec<CellSpec> {
     let mut cells = fig1_cells();
     cells.extend(fig2_cells());
@@ -151,13 +162,15 @@ fn ablation_cells() -> Vec<CellSpec> {
     cells.push(CellSpec::Additive);
     cells.push(CellSpec::Analytic);
     cells.extend(mixed_path_cells());
+    cells.extend(dynamics_cells());
     cells
 }
 
 /// Builds the manifest for a suite name, or `None` for an unknown name.
 ///
 /// `figures` covers Figures 1–5 + Table 1; `ablations` the eight ablation
-/// studies; `all` both; the remaining names select one experiment each.
+/// studies plus the dynamics reconvergence study; `all` both; the
+/// remaining names select one experiment each.
 pub fn suite(name: &str) -> Option<Manifest> {
     let cells = match name {
         "all" => {
@@ -180,6 +193,7 @@ pub fn suite(name: &str) -> Option<Manifest> {
         "additive" => vec![CellSpec::Additive],
         "analytic" => vec![CellSpec::Analytic],
         "mixed-path" => mixed_path_cells(),
+        "dynamics" => dynamics_cells(),
         _ => return None,
     };
     Some(Manifest {
@@ -212,7 +226,8 @@ mod tests {
         assert_eq!(suite("fig2").unwrap().cells.len(), 14);
         assert_eq!(suite("table1").unwrap().cells.len(), 16);
         assert_eq!(suite("feasibility").unwrap().cells.len(), 18);
+        assert_eq!(suite("dynamics").unwrap().cells.len(), 4);
         assert_eq!(figures, 48);
-        assert_eq!(ablations, 34);
+        assert_eq!(ablations, 38);
     }
 }

@@ -33,6 +33,7 @@ pub fn generated_blocks(merged: &Json) -> Vec<(String, String)> {
     push(&mut blocks, "additive", additive_table(merged));
     push(&mut blocks, "analytic", analytic_table(merged));
     push(&mut blocks, "mixed-path", mixed_path_table(merged));
+    push(&mut blocks, "dynamics", dynamics_table(merged));
     blocks
 }
 
@@ -590,6 +591,55 @@ fn mixed_path_table(merged: &Json) -> Option<String> {
         .collect();
     Some(markdown_table(
         &["per-hop schedulers", "end-to-end R_D", "inconsistent exps"],
+        rows,
+    ))
+}
+
+fn dynamics_table(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "dynamics");
+    if cells.is_empty() {
+        return None;
+    }
+    let rows = cells
+        .iter()
+        .map(|c| {
+            let r = result(c);
+            let seeds = r.get("seeds").and_then(Json::as_i64).unwrap_or(0);
+            let mut row = vec![
+                r.get("scheduler")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                r.get("perturbation")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+            ];
+            for pair in r.get("pairs").and_then(Json::as_arr).unwrap_or_default() {
+                let settled = pair.get("settled").and_then(Json::as_i64).unwrap_or(0);
+                row.push(
+                    match pair.get("mean_settle_punits").and_then(Json::as_f64) {
+                        Some(m) => format!("{m:.0} ({settled}/{seeds})"),
+                        None => "not settled".into(),
+                    },
+                );
+            }
+            row.push(match r.get("headline_punits").and_then(Json::as_f64) {
+                Some(m) => format!("**{m:.0}**"),
+                None => "—".into(),
+            });
+            row
+        })
+        .collect();
+    Some(markdown_table(
+        &[
+            "scheduler",
+            "perturbation",
+            "1/2 (p-units)",
+            "2/3 (p-units)",
+            "3/4 (p-units)",
+            "mean",
+        ],
         rows,
     ))
 }

@@ -9,10 +9,16 @@
 //! scheduler comparisons (and the Eq. (7) feasibility replays) see
 //! *identical* input.
 //!
-//! * [`run_trace`] — the core replay loop (1 tick = 1 byte at link rate 1,
-//!   or any rate you pass); [`run_trace_on`] is its generic form, taking
-//!   any scheduler and any arrival iterator (e.g. a streaming
-//!   [`traffic::MergedStream`]) with static dispatch.
+//! * [`Session`] — the unified entry point: workload (trace or live
+//!   sources) × probe × scenario × buffer, one builder chain. The legacy
+//!   `run_*` functions survive as deprecated one-line wrappers over it.
+//! * [`run_trace_on`] / [`run_trace_probed`] — the generic (monomorphized)
+//!   replay engine underneath (1 tick = 1 byte at link rate 1, or any rate
+//!   you pass), taking any scheduler and any arrival iterator (e.g. a
+//!   streaming [`traffic::MergedStream`]) with static dispatch.
+//! * Dynamic scenarios ([`scenario::Scenario`]) attach to any session:
+//!   live SDP reconfiguration, link-rate changes, link faults, class
+//!   joins/leaves, and load surges, with one shared dispatch point.
 //! * [`Experiment`] — the Fig. 1/Fig. 2 harness: long-run per-class average
 //!   delays and successive-class ratios, averaged over seeds.
 //! * [`ShortTimescale`] — the Fig. 3 harness: R_D percentiles per
@@ -26,13 +32,22 @@
 mod experiment;
 mod lossy;
 mod micro;
+mod scenario_run;
 mod server;
+mod session;
 mod shortts;
 mod streaming;
 
 pub use experiment::{Experiment, ExperimentResult, SeedResult};
-pub use lossy::{run_trace_lossy, run_trace_lossy_probed, LossMode, LossyReport};
+#[allow(deprecated)]
+pub use lossy::run_trace_lossy;
+pub use lossy::{run_trace_lossy_probed, LossMode, LossyReport};
 pub use micro::{MicroViews, Microscope};
-pub use server::{run_trace, run_trace_on, run_trace_probed, Departure};
+#[allow(deprecated)]
+pub use server::run_trace;
+pub use server::{run_trace_on, run_trace_probed, Departure};
+pub use session::{LossySession, Session, SourcesWorkload, TraceWorkload};
 pub use shortts::{ShortTimescale, TimescaleResult};
-pub use streaming::{run_sources, run_sources_probed};
+#[allow(deprecated)]
+pub use streaming::run_sources;
+pub use streaming::run_sources_probed;

@@ -16,7 +16,7 @@
 use sched::{Packet, PlrDropper, Scheduler};
 use simcore::{Dur, Time};
 use stats::Summary;
-use telemetry::{NoopProbe, PacketId, Probe};
+use telemetry::{PacketId, Probe};
 use traffic::Trace;
 
 /// The drop policy for [`run_trace_lossy`].
@@ -71,6 +71,9 @@ impl LossyReport {
 /// # Panics
 /// Panics if `buffer_bytes` cannot hold the largest packet in the trace,
 /// or `rate` is not positive.
+#[deprecated(
+    note = "use qsim::Session::trace(trace, rate).lossy(buffer_bytes, mode).run(scheduler)"
+)]
 pub fn run_trace_lossy(
     scheduler: &mut dyn Scheduler,
     trace: &Trace,
@@ -78,7 +81,9 @@ pub fn run_trace_lossy(
     buffer_bytes: u64,
     mode: LossMode,
 ) -> LossyReport {
-    run_trace_lossy_probed(scheduler, trace, rate, buffer_bytes, mode, &mut NoopProbe)
+    crate::Session::trace(trace, rate)
+        .lossy(buffer_bytes, mode)
+        .run(scheduler)
 }
 
 /// [`run_trace_lossy`] with a [`Probe`] observing the packet lifecycle.
@@ -261,7 +266,9 @@ mod tests {
     fn plr_holds_the_loss_ratio() {
         let mut s = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
         let mode = LossMode::Plr(PlrDropper::new(&[2.0, 1.0]).unwrap());
-        let r = run_trace_lossy(s.as_mut(), &overload_trace(3), 1.0, 4_000, mode);
+        let r = crate::Session::trace(&overload_trace(3), 1.0)
+            .lossy(4_000, mode)
+            .run(s.as_mut());
         assert!(
             r.total_drops() > 1000,
             "need real overload, got {} drops",
@@ -274,13 +281,9 @@ mod tests {
     #[test]
     fn tail_drop_does_not_differentiate_loss() {
         let mut s = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
-        let r = run_trace_lossy(
-            s.as_mut(),
-            &overload_trace(3),
-            1.0,
-            4_000,
-            LossMode::TailDrop,
-        );
+        let r = crate::Session::trace(&overload_trace(3), 1.0)
+            .lossy(4_000, LossMode::TailDrop)
+            .run(s.as_mut());
         let ratio = r.loss_ratio(0, 1).expect("both classes lose");
         assert!(
             (ratio - 1.0).abs() < 0.35,
@@ -291,13 +294,9 @@ mod tests {
     #[test]
     fn buffer_limit_is_respected() {
         let mut s = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
-        let r = run_trace_lossy(
-            s.as_mut(),
-            &overload_trace(5),
-            1.0,
-            2_000,
-            LossMode::TailDrop,
-        );
+        let r = crate::Session::trace(&overload_trace(5), 1.0)
+            .lossy(2_000, LossMode::TailDrop)
+            .run(s.as_mut());
         assert!(r.max_backlog_bytes <= 2_000);
         assert!(r.total_drops() > 0);
     }
@@ -306,11 +305,13 @@ mod tests {
     fn huge_buffer_reproduces_lossless_run() {
         let trace = overload_trace(7);
         let mut lossy = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
-        let r = run_trace_lossy(lossy.as_mut(), &trace, 1.0, u64::MAX, LossMode::TailDrop);
+        let r = crate::Session::trace(&trace, 1.0)
+            .lossy(u64::MAX, LossMode::TailDrop)
+            .run(lossy.as_mut());
         assert_eq!(r.total_drops(), 0);
         let mut lossless = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
         let mut count = 0u64;
-        crate::run_trace(lossless.as_mut(), &trace, 1.0, |_| count += 1);
+        crate::Session::trace(&trace, 1.0).run(lossless.as_mut(), |_| count += 1);
         assert_eq!(count, r.delays.iter().map(|d| d.count()).sum::<u64>());
     }
 
@@ -320,7 +321,9 @@ mod tests {
         // losses, on the same lossy link.
         let mut s = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
         let mode = LossMode::Plr(PlrDropper::new(&[2.0, 1.0]).unwrap());
-        let r = run_trace_lossy(s.as_mut(), &overload_trace(9), 1.0, 6_000, mode);
+        let r = crate::Session::trace(&overload_trace(9), 1.0)
+            .lossy(6_000, mode)
+            .run(s.as_mut());
         // Delays ordered by class...
         assert!(r.delays[0].mean() > r.delays[1].mean());
         // ...and losses too.
@@ -341,7 +344,9 @@ mod tests {
             .collect();
         let trace = Trace::from_entries(burst);
         let mut s = SchedulerKind::Fcfs.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
-        let r = run_trace_lossy(s.as_mut(), &trace, 1.0, 300, LossMode::TailDrop);
+        let r = crate::Session::trace(&trace, 1.0)
+            .lossy(300, LossMode::TailDrop)
+            .run(s.as_mut());
         assert_eq!(r.drops[0], 2);
         assert_eq!(r.delays[0].count(), 3);
         assert_eq!(
@@ -360,7 +365,9 @@ mod tests {
                 })
                 .collect(),
         );
-        let r = run_trace_lossy(s.as_mut(), &trace, 1.0, 299, LossMode::TailDrop);
+        let r = crate::Session::trace(&trace, 1.0)
+            .lossy(299, LossMode::TailDrop)
+            .run(s.as_mut());
         assert_eq!(r.drops[0], 3);
         assert_eq!(r.max_backlog_bytes, 200);
     }
@@ -388,7 +395,9 @@ mod tests {
         for kind in [SchedulerKind::Fcfs, SchedulerKind::Wtp, SchedulerKind::Bpr] {
             let mut s = kind.build(&Sdp::paper_default(), 1.0);
             let mode = LossMode::Plr(PlrDropper::new(&[8.0, 4.0, 2.0, 1.0]).unwrap());
-            let r = run_trace_lossy(s.as_mut(), &overload_trace_4(13), 1.0, 8_000, mode);
+            let r = crate::Session::trace(&overload_trace_4(13), 1.0)
+                .lossy(8_000, mode)
+                .run(s.as_mut());
             assert!(r.total_drops() > 2_000, "{}: weak overload", kind.name());
             for c in 0..3 {
                 let ratio = r
@@ -415,7 +424,9 @@ mod tests {
                 LossMode::Plr(PlrDropper::new(&[8.0, 4.0, 2.0, 1.0]).unwrap()),
             ] {
                 let mut s = kind.build(&Sdp::paper_default(), 1.0);
-                let r = run_trace_lossy(s.as_mut(), &trace, 1.0, u64::MAX, mode);
+                let r = crate::Session::trace(&trace, 1.0)
+                    .lossy(u64::MAX, mode)
+                    .run(s.as_mut());
                 assert_eq!(
                     r.total_drops(),
                     0,
@@ -463,7 +474,9 @@ mod tests {
     #[should_panic(expected = "buffer")]
     fn buffer_smaller_than_packet_panics() {
         let mut s = SchedulerKind::Fcfs.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
-        run_trace_lossy(s.as_mut(), &overload_trace(1), 1.0, 10, LossMode::TailDrop);
+        crate::Session::trace(&overload_trace(1), 1.0)
+            .lossy(10, LossMode::TailDrop)
+            .run(s.as_mut());
     }
 
     mod properties {
@@ -516,7 +529,7 @@ mod tests {
                         LossMode::TailDrop
                     };
                     let mut s = kind.build(&Sdp::paper_default(), 1.0);
-                    let r = run_trace_lossy(s.as_mut(), &trace, 1.0, buffer, mode);
+                    let r = crate::Session::trace(&trace, 1.0).lossy(buffer, mode).run(s.as_mut());
                     prop_assert!(r.max_backlog_bytes <= buffer);
                     let mut per_class_arrivals = [0u64; 4];
                     for &(_, c, _) in &arrivals {

@@ -11,7 +11,6 @@ use simcore::Time;
 use stats::IntervalSeries;
 
 use crate::experiment::Experiment;
-use crate::server::run_trace;
 
 /// Configuration of the microscopic study (3 classes, s = 1, 2, 4,
 /// ρ = 0.95 in the paper).
@@ -66,7 +65,7 @@ impl Microscope {
         let mut delay_sum = vec![0.0f64; n];
         let mut delay_cnt = vec![0u64; n];
         let mut s = kind.build(&self.base.sdp, 1.0);
-        run_trace(s.as_mut(), &trace, 1.0, |d| {
+        crate::Session::trace(&trace, 1.0).run(s.as_mut(), |d| {
             if d.start < warmup {
                 return;
             }

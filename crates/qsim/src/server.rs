@@ -44,31 +44,14 @@ fn tx_ticks(size: u32, rate: f64) -> u64 {
 /// * arrivals at exactly a decision instant are enqueued *before* the
 ///   decision (arrival-before-departure tie rule);
 /// * queues are unbounded (the §3 lossless ECN-regulated regime).
-/// # Example
-///
-/// ```
-/// use qsim::run_trace;
-/// use sched::{Sdp, SchedulerKind};
-/// use simcore::Time;
-/// use traffic::{Trace, TraceEntry};
-///
-/// // Two same-time arrivals: WTP serves the higher class first.
-/// let trace = Trace::from_entries(vec![
-///     TraceEntry { at: Time::ZERO, class: 0, size: 100 },
-///     TraceEntry { at: Time::ZERO, class: 1, size: 100 },
-/// ]);
-/// let mut sched = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
-/// let mut order = Vec::new();
-/// run_trace(sched.as_mut(), &trace, 1.0, |d| order.push(d.packet.class));
-/// assert_eq!(order, vec![1, 0]);
-/// ```
+#[deprecated(note = "use qsim::Session::trace(trace, rate).run(scheduler, on_depart)")]
 pub fn run_trace(
     scheduler: &mut dyn Scheduler,
     trace: &Trace,
     rate: f64,
     on_depart: impl FnMut(&Departure),
 ) {
-    run_trace_on(scheduler, trace.entries().iter().copied(), rate, on_depart)
+    crate::Session::trace(trace, rate).run(scheduler, on_depart)
 }
 
 /// The generic (monomorphized) form of [`run_trace`]: replays any stream
@@ -192,7 +175,7 @@ mod tests {
         let tr = trace(&[(0, 0, 100), (0, 1, 100), (0, 0, 100)]);
         let mut s = Fcfs::new(2);
         let mut waits = Vec::new();
-        run_trace(&mut s, &tr, 1.0, |d| waits.push(d.wait().ticks()));
+        crate::Session::trace(&tr, 1.0).run(&mut s, |d| waits.push(d.wait().ticks()));
         assert_eq!(waits, vec![0, 100, 200]);
     }
 
@@ -201,7 +184,7 @@ mod tests {
         let tr = trace(&[(0, 0, 50), (500, 0, 50)]);
         let mut s = Fcfs::new(1);
         let mut starts = Vec::new();
-        run_trace(&mut s, &tr, 1.0, |d| starts.push(d.start.ticks()));
+        crate::Session::trace(&tr, 1.0).run(&mut s, |d| starts.push(d.start.ticks()));
         assert_eq!(starts, vec![0, 500]);
     }
 
@@ -210,7 +193,7 @@ mod tests {
         let tr = trace(&[(0, 0, 100), (0, 0, 100)]);
         let mut s = Fcfs::new(1);
         let mut finishes = Vec::new();
-        run_trace(&mut s, &tr, 2.0, |d| finishes.push(d.finish.ticks()));
+        crate::Session::trace(&tr, 2.0).run(&mut s, |d| finishes.push(d.finish.ticks()));
         assert_eq!(finishes, vec![50, 100]);
     }
 
@@ -218,7 +201,7 @@ mod tests {
     fn sojourn_includes_transmission() {
         let tr = trace(&[(10, 0, 100)]);
         let mut s = Fcfs::new(1);
-        run_trace(&mut s, &tr, 1.0, |d| {
+        crate::Session::trace(&tr, 1.0).run(&mut s, |d| {
             assert_eq!(d.wait().ticks(), 0);
             assert_eq!(d.sojourn().ticks(), 100);
         });
@@ -230,7 +213,7 @@ mod tests {
         let tr = trace(&[(0, 0, 100), (100, 1, 100)]);
         let mut s = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
         let mut count = 0;
-        run_trace(s.as_mut(), &tr, 1.0, |d| {
+        crate::Session::trace(&tr, 1.0).run(s.as_mut(), |d| {
             count += 1;
             if d.packet.class == 1 {
                 assert_eq!(d.start.ticks(), 100);
@@ -319,7 +302,7 @@ mod tests {
         for kind in SchedulerKind::ALL {
             let mut plain = Vec::new();
             let mut s = kind.build(&Sdp::paper_default(), 1.0);
-            run_trace(s.as_mut(), &tr, 1.0, |d| {
+            crate::Session::trace(&tr, 1.0).run(s.as_mut(), |d| {
                 plain.push((d.packet.seq, d.start, d.finish))
             });
             let mut probed = Vec::new();
@@ -351,7 +334,7 @@ mod tests {
         for kind in SchedulerKind::ALL {
             let mut s = kind.build(&Sdp::paper_default(), 1.0);
             let mut n = 0;
-            run_trace(s.as_mut(), &tr, 1.0, |_| n += 1);
+            crate::Session::trace(&tr, 1.0).run(s.as_mut(), |_| n += 1);
             assert_eq!(n, 5, "{} dropped packets", kind.name());
         }
     }

@@ -1,0 +1,367 @@
+//! The unified single-link entry point.
+//!
+//! Historically every combination of workload (materialized trace vs live
+//! sources), instrumentation (probed vs not), and buffering (lossless vs
+//! lossy) had its own `run_*` function — ten entry points for one replay
+//! loop. A [`Session`] composes those axes instead:
+//!
+//! ```
+//! use qsim::Session;
+//! use sched::{Sdp, SchedulerKind};
+//! use simcore::Time;
+//! use traffic::{Trace, TraceEntry};
+//!
+//! // Two same-time arrivals: WTP serves the higher class first.
+//! let trace = Trace::from_entries(vec![
+//!     TraceEntry { at: Time::ZERO, class: 0, size: 100 },
+//!     TraceEntry { at: Time::ZERO, class: 1, size: 100 },
+//! ]);
+//! let mut sched = SchedulerKind::Wtp.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+//! let mut order = Vec::new();
+//! Session::trace(&trace, 1.0).run(sched.as_mut(), |d| order.push(d.packet.class));
+//! assert_eq!(order, vec![1, 0]);
+//! ```
+//!
+//! Optional axes chain before `run`:
+//!
+//! * [`probe`](Session::probe) attaches any [`telemetry::Probe`] (pass
+//!   `&mut sink` to keep ownership for `finish()`);
+//! * [`scenario`](Session::scenario) attaches a perturbation timeline
+//!   ([`scenario::Scenario`]) — live SDP swaps, link faults, load surges;
+//! * [`lossy`](Session::lossy) bounds the buffer (trace workloads only).
+//!
+//! The default configuration (no probe, empty scenario) monomorphizes to
+//! exactly the historical uninstrumented loop — the golden determinism
+//! tests and the perf baseline's A/B gate both pin this.
+
+use scenario::Scenario;
+use sched::Scheduler;
+use simcore::Time;
+use telemetry::{NoopProbe, Probe};
+use traffic::{ClassSource, Trace};
+
+use crate::lossy::{LossMode, LossyReport};
+use crate::scenario_run::{
+    run_sources_scenario_probed, run_trace_lossy_scenario_probed, run_trace_scenario_probed,
+};
+use crate::server::Departure;
+
+/// A materialized-trace workload (replay identical input through many
+/// schedulers).
+#[derive(Debug)]
+pub struct TraceWorkload<'a> {
+    trace: &'a Trace,
+}
+
+/// A live-source workload (O(sources) memory, arrivals drawn on the fly).
+#[derive(Debug)]
+pub struct SourcesWorkload<'a> {
+    sources: &'a [ClassSource],
+    horizon: Time,
+    base_seed: u64,
+}
+
+/// A composable single-link simulation run: workload × probe × scenario
+/// (× buffer). See the [module docs](self) for the axes.
+#[derive(Debug)]
+pub struct Session<W, P = NoopProbe> {
+    workload: W,
+    rate: f64,
+    scenario: Scenario,
+    probe: P,
+}
+
+impl<'a> Session<TraceWorkload<'a>> {
+    /// Replays `trace` on a link of `rate` bytes/tick.
+    pub fn trace(trace: &'a Trace, rate: f64) -> Self {
+        Session {
+            workload: TraceWorkload { trace },
+            rate,
+            scenario: Scenario::empty(),
+            probe: NoopProbe,
+        }
+    }
+}
+
+impl<'a> Session<SourcesWorkload<'a>> {
+    /// Streams `sources` until `horizon` on a link of `rate` bytes/tick,
+    /// seeding source *i* with [`traffic::per_source_seed`]`(base_seed, i)`
+    /// — the workload is identical to replaying
+    /// [`Trace::generate_per_source`] with the same arguments.
+    pub fn sources(sources: &'a [ClassSource], horizon: Time, base_seed: u64, rate: f64) -> Self {
+        Session {
+            workload: SourcesWorkload {
+                sources,
+                horizon,
+                base_seed,
+            },
+            rate,
+            scenario: Scenario::empty(),
+            probe: NoopProbe,
+        }
+    }
+}
+
+impl<W, P: Probe> Session<W, P> {
+    /// Attaches a probe observing the packet lifecycle (and scenario
+    /// events). Pass `&mut sink` to keep ownership of sinks that need a
+    /// `finish()` call.
+    pub fn probe<Q: Probe>(self, probe: Q) -> Session<W, Q> {
+        Session {
+            workload: self.workload,
+            rate: self.rate,
+            scenario: self.scenario,
+            probe,
+        }
+    }
+
+    /// Attaches a perturbation timeline. An empty scenario (the default)
+    /// costs nothing: the run dispatches to the stationary loop.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+}
+
+impl<'a, P: Probe> Session<TraceWorkload<'a>, P> {
+    /// Runs the replay, invoking `on_depart` for every departure in order.
+    ///
+    /// # Panics
+    /// Panics if the scenario contains a load surge (a prerecorded trace's
+    /// arrival instants are data, not a rate process — use
+    /// [`Session::sources`]) or if a scenario SDP's class count does not
+    /// match the scheduler's.
+    pub fn run<S: Scheduler + ?Sized>(
+        mut self,
+        scheduler: &mut S,
+        on_depart: impl FnMut(&Departure),
+    ) {
+        assert!(
+            !self.scenario.has_load_surge(),
+            "load_surge cannot re-time a prerecorded trace; use Session::sources"
+        );
+        run_trace_scenario_probed(
+            scheduler,
+            self.workload.trace.entries().iter().copied(),
+            self.rate,
+            &self.scenario,
+            on_depart,
+            &mut self.probe,
+        );
+    }
+
+    /// Bounds the shared buffer to `buffer_bytes` with drop policy `mode`,
+    /// turning the run lossy (the §7 extension).
+    pub fn lossy(self, buffer_bytes: u64, mode: LossMode) -> LossySession<'a, P> {
+        LossySession {
+            trace: self.workload.trace,
+            rate: self.rate,
+            scenario: self.scenario,
+            probe: self.probe,
+            buffer_bytes,
+            mode,
+        }
+    }
+}
+
+impl<'a, P: Probe> Session<SourcesWorkload<'a>, P> {
+    /// Runs the streaming replay, invoking `on_depart` for every departure
+    /// in order. Scenario load surges re-time the sources via
+    /// [`traffic::SurgedSource`].
+    pub fn run<S: Scheduler + ?Sized>(
+        mut self,
+        scheduler: &mut S,
+        on_depart: impl FnMut(&Departure),
+    ) {
+        run_sources_scenario_probed(
+            scheduler,
+            self.workload.sources,
+            self.workload.horizon,
+            self.workload.base_seed,
+            self.rate,
+            &self.scenario,
+            on_depart,
+            &mut self.probe,
+        );
+    }
+}
+
+/// A [`Session`] with a finite buffer; built by [`Session::lossy`].
+#[derive(Debug)]
+pub struct LossySession<'a, P = NoopProbe> {
+    trace: &'a Trace,
+    rate: f64,
+    scenario: Scenario,
+    probe: P,
+    buffer_bytes: u64,
+    mode: LossMode,
+}
+
+impl<'a, P: Probe> LossySession<'a, P> {
+    /// Runs the lossy replay and reports per-class arrivals, drops, and
+    /// delivered-packet delay summaries.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`Session::run`], or if the
+    /// buffer cannot hold the largest packet in the trace.
+    pub fn run(mut self, scheduler: &mut dyn Scheduler) -> LossyReport {
+        assert!(
+            !self.scenario.has_load_surge(),
+            "load_surge cannot re-time a prerecorded trace; use Session::sources"
+        );
+        run_trace_lossy_scenario_probed(
+            scheduler,
+            self.trace,
+            self.rate,
+            self.buffer_bytes,
+            self.mode,
+            &self.scenario,
+            &mut self.probe,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenario::DownPolicy;
+    use sched::{SchedulerKind, Sdp};
+    use traffic::{IatDist, SizeDist, TraceEntry};
+
+    fn small_trace() -> Trace {
+        Trace::from_entries(
+            [
+                (0u64, 0u8, 550u32),
+                (10, 3, 40),
+                (20, 1, 1500),
+                (30, 2, 550),
+            ]
+            .iter()
+            .map(|&(t, class, size)| TraceEntry {
+                at: Time::from_ticks(t),
+                class,
+                size,
+            })
+            .collect(),
+        )
+    }
+
+    #[test]
+    fn default_session_equals_the_probed_loop_with_noop_probe() {
+        let tr = small_trace();
+        let mut via_session = Vec::new();
+        let mut s = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+        Session::trace(&tr, 1.0).run(s.as_mut(), |d| {
+            via_session.push((d.packet.seq, d.start, d.finish))
+        });
+        let mut via_probed = Vec::new();
+        let mut s = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+        crate::run_trace_probed(
+            s.as_mut(),
+            tr.entries().iter().copied(),
+            1.0,
+            |d| via_probed.push((d.packet.seq, d.start, d.finish)),
+            &mut NoopProbe,
+        );
+        assert_eq!(via_session, via_probed);
+    }
+
+    #[test]
+    fn probe_axis_observes_the_run() {
+        let tr = small_trace();
+        let mut counter = telemetry::CountingProbe::new(4);
+        let mut s = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+        Session::trace(&tr, 1.0)
+            .probe(&mut counter)
+            .run(s.as_mut(), |_| {});
+        assert_eq!(counter.report().total_departures(), 4);
+    }
+
+    #[test]
+    fn lossy_axis_reports_drops() {
+        // A same-instant burst is admitted before the head enters service,
+        // so a 200-byte buffer holds two of the three packets.
+        let tr = Trace::from_entries(vec![
+            TraceEntry {
+                at: Time::ZERO,
+                class: 0,
+                size: 100,
+            },
+            TraceEntry {
+                at: Time::ZERO,
+                class: 0,
+                size: 100,
+            },
+            TraceEntry {
+                at: Time::ZERO,
+                class: 0,
+                size: 100,
+            },
+        ]);
+        let mut s = SchedulerKind::Fcfs.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        let r = Session::trace(&tr, 1.0)
+            .lossy(200, LossMode::TailDrop)
+            .run(s.as_mut());
+        assert_eq!(r.arrivals[0], 3);
+        assert_eq!(r.drops[0], 1);
+    }
+
+    #[test]
+    fn sources_session_equals_trace_session() {
+        let sources = vec![ClassSource::new(
+            0,
+            IatDist::deterministic(100.0).unwrap(),
+            SizeDist::fixed(50),
+        )];
+        let horizon = Time::from_ticks(1_000);
+        let trace = Trace::generate_per_source(&mut sources.clone(), horizon, 5);
+        let mut a = Vec::new();
+        let mut s = SchedulerKind::Fcfs.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        Session::trace(&trace, 1.0).run(s.as_mut(), |d| a.push(d.finish));
+        let mut b = Vec::new();
+        let mut s = SchedulerKind::Fcfs.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        Session::sources(&sources, horizon, 5, 1.0).run(s.as_mut(), |d| b.push(d.finish));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scenario_axis_reaches_the_lossy_path() {
+        let tr = Trace::from_entries(vec![
+            TraceEntry {
+                at: Time::from_ticks(0),
+                class: 0,
+                size: 100,
+            },
+            TraceEntry {
+                at: Time::from_ticks(200),
+                class: 0,
+                size: 100,
+            },
+        ]);
+        let sc = Scenario::builder()
+            .link_down(Time::from_ticks(150), 0, DownPolicy::Drop)
+            .link_up(Time::from_ticks(300), 0)
+            .build()
+            .unwrap();
+        let mut s = SchedulerKind::Fcfs.build(&Sdp::new(&[1.0, 2.0]).unwrap(), 1.0);
+        let r = Session::trace(&tr, 1.0)
+            .scenario(sc)
+            .lossy(10_000, LossMode::TailDrop)
+            .run(s.as_mut());
+        assert_eq!(r.drops[0], 1, "the downtime arrival is a fault drop");
+    }
+
+    #[test]
+    #[should_panic(expected = "load_surge cannot re-time a prerecorded trace")]
+    fn load_surge_on_a_trace_is_rejected() {
+        let tr = small_trace();
+        let sc = Scenario::builder()
+            .load_surge(Time::from_ticks(10), 0, 0.5)
+            .build()
+            .unwrap();
+        let mut s = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+        Session::trace(&tr, 1.0)
+            .scenario(sc)
+            .run(s.as_mut(), |_| {});
+    }
+}

@@ -6,7 +6,6 @@ use stats::{IntervalSeries, Percentiles, RdCollector};
 use traffic::Trace;
 
 use crate::experiment::Experiment;
-use crate::server::run_trace;
 
 /// Configuration for the short-timescale study: a base experiment plus a
 /// list of monitoring timescales τ, expressed in p-units.
@@ -60,7 +59,7 @@ impl ShortTimescale {
                 .collect();
             let warmup = Time::from_ticks(self.base.warmup_ticks);
             let mut s = kind.build(&self.base.sdp, 1.0);
-            run_trace(s.as_mut(), &trace, 1.0, |d| {
+            crate::Session::trace(&trace, 1.0).run(s.as_mut(), |d| {
                 if d.start >= warmup {
                     for ser in series.iter_mut() {
                         ser.record(d.start, d.packet.class as usize, d.wait().as_f64());

@@ -15,7 +15,7 @@ use simcore::Time;
 use telemetry::Probe;
 use traffic::{ClassSource, MergedStream};
 
-use crate::server::{run_trace_on, run_trace_probed, Departure};
+use crate::server::{run_trace_probed, Departure};
 
 /// Replays live sources through `scheduler` until `horizon` (arrivals
 /// after the horizon are discarded), on a link of `rate` bytes/tick.
@@ -26,6 +26,9 @@ use crate::server::{run_trace_on, run_trace_probed, Departure};
 /// This is the `dyn` entry point; call
 /// [`run_trace_on`](crate::run_trace_on) with a [`MergedStream`] directly
 /// for a fully monomorphized loop.
+#[deprecated(
+    note = "use qsim::Session::sources(sources, horizon, base_seed, rate).run(scheduler, on_depart)"
+)]
 pub fn run_sources(
     scheduler: &mut dyn Scheduler,
     sources: &[ClassSource],
@@ -34,8 +37,7 @@ pub fn run_sources(
     rate: f64,
     on_depart: impl FnMut(&Departure),
 ) {
-    let stream = MergedStream::per_source(sources.to_vec(), base_seed, horizon);
-    run_trace_on(scheduler, stream, rate, on_depart);
+    crate::Session::sources(sources, horizon, base_seed, rate).run(scheduler, on_depart)
 }
 
 /// [`run_sources`] with a [`Probe`] observing the packet lifecycle.
@@ -79,13 +81,13 @@ mod tests {
         let trace = Trace::generate_per_source(&mut src_copy, horizon, 21);
         let mut s1 = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
         let mut trace_deps = Vec::new();
-        crate::run_trace(s1.as_mut(), &trace, 1.0, |d| {
+        crate::Session::trace(&trace, 1.0).run(s1.as_mut(), |d| {
             trace_deps.push((d.packet.class, d.packet.arrival, d.start));
         });
         // Streaming path.
         let mut s2 = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
         let mut stream_deps = Vec::new();
-        run_sources(s2.as_mut(), &sources, horizon, 21, 1.0, |d| {
+        crate::Session::sources(&sources, horizon, 21, 1.0).run(s2.as_mut(), |d| {
             stream_deps.push((d.packet.class, d.packet.arrival, d.start));
         });
         assert_eq!(trace_deps.len(), stream_deps.len());
@@ -101,7 +103,7 @@ mod tests {
         )];
         let mut s = SchedulerKind::Fcfs.build(&Sdp::new(&[1.0, 1.0]).unwrap(), 1.0);
         let mut count = 0;
-        run_sources(s.as_mut(), &sources, Time::from_ticks(1_000), 0, 1.0, |d| {
+        crate::Session::sources(&sources, Time::from_ticks(1_000), 0, 1.0).run(s.as_mut(), |d| {
             count += 1;
             assert_eq!(d.wait().ticks(), 0); // load 0.5, deterministic: no queueing
         });
@@ -112,9 +114,7 @@ mod tests {
     fn empty_sources_do_nothing() {
         let mut s = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
         let mut count = 0;
-        run_sources(s.as_mut(), &[], Time::from_ticks(100), 0, 1.0, |_| {
-            count += 1
-        });
+        crate::Session::sources(&[], Time::from_ticks(100), 0, 1.0).run(s.as_mut(), |_| count += 1);
         assert_eq!(count, 0);
     }
 }

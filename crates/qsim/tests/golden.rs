@@ -11,7 +11,7 @@
 //! The full `(seq, class, start, finish)` stream is FNV-hashed so a
 //! mismatch anywhere in hundreds of thousands of departures fails loudly.
 
-use qsim::{run_sources, run_trace, run_trace_on, Departure};
+use qsim::{run_trace_on, Departure, Session};
 use sched::{Scheduler, SchedulerKind, SchedulerVisitor, Sdp};
 use simcore::Time;
 use traffic::{LoadPlan, Trace};
@@ -60,7 +60,7 @@ fn dyn_trace_hash(kind: SchedulerKind, rho: f64, seed: u64) -> (u64, usize) {
     let mut s = kind.build(&Sdp::paper_default(), 1.0);
     let mut h = DepartureHash::new();
     let mut n = 0usize;
-    run_trace(s.as_mut(), &trace, 1.0, |d| {
+    Session::trace(&trace, 1.0).run(s.as_mut(), |d| {
         h.push(d);
         n += 1;
     });
@@ -95,12 +95,8 @@ fn streaming_hash(kind: SchedulerKind, rho: f64, seed: u64) -> (u64, usize) {
     let mut s = kind.build(&Sdp::paper_default(), 1.0);
     let mut h = DepartureHash::new();
     let mut n = 0usize;
-    run_sources(
+    Session::sources(&sources(rho), Time::from_ticks(HORIZON_TICKS), seed, 1.0).run(
         s.as_mut(),
-        &sources(rho),
-        Time::from_ticks(HORIZON_TICKS),
-        seed,
-        1.0,
         |d| {
             h.push(d);
             n += 1;
@@ -221,4 +217,120 @@ fn jsonl_trace_is_byte_identical_across_replay_paths() {
     let text = String::from_utf8(from_trace).unwrap();
     let lines = telemetry::schema::validate_jsonl(&text).expect("golden JSONL is schema-valid");
     assert!(lines > 0);
+}
+
+#[test]
+fn noop_scenario_is_byte_identical_on_the_trace_path() {
+    // Identity events (re-assert the SDP and rate already in force) must
+    // not perturb a single departure or telemetry byte: after stripping
+    // the scenario-event records themselves, the JSONL export and the
+    // departure stream match the scenario-free run exactly.
+    use qsim::run_trace_probed;
+    use telemetry::JsonlSink;
+
+    let horizon = Time::from_ticks(300_000);
+    let trace = Trace::generate_per_source(&mut sources(0.9), horizon, 21);
+
+    let mut s1 = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+    let mut sink1 = JsonlSink::new(Vec::new());
+    let mut plain = DepartureHash::new();
+    run_trace_probed(
+        s1.as_mut(),
+        trace.entries().iter().copied(),
+        1.0,
+        |d| plain.push(d),
+        &mut sink1,
+    );
+    let baseline = sink1.finish().unwrap();
+
+    let sc = scenario::Scenario::builder()
+        .set_sdp(Time::from_ticks(100_000), Sdp::paper_default())
+        .set_link_rate(Time::from_ticks(150_000), 0, 1.0)
+        .build()
+        .unwrap();
+    let mut s2 = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+    let mut sink2 = JsonlSink::new(Vec::new());
+    let mut perturbed = DepartureHash::new();
+    Session::trace(&trace, 1.0)
+        .probe(&mut sink2)
+        .scenario(sc)
+        .run(s2.as_mut(), |d| perturbed.push(d));
+    let with_scenario = sink2.finish().unwrap();
+
+    assert_eq!(plain.0, perturbed.0, "identity scenario changed departures");
+    let stripped = strip_scenario_lines(&with_scenario);
+    assert!(
+        with_scenario.len() > stripped.len(),
+        "scenario events were never recorded"
+    );
+    assert_eq!(
+        baseline, stripped,
+        "identity scenario perturbed the telemetry stream"
+    );
+}
+
+#[test]
+fn noop_scenario_is_byte_identical_on_the_streaming_path() {
+    // Same guarantee on the O(sources) path, including a unit load surge
+    // (scale 1.0 routes every source through SurgedSource, which must be
+    // an exact identity).
+    use qsim::run_sources_probed;
+    use telemetry::JsonlSink;
+
+    let horizon = Time::from_ticks(300_000);
+    let seed = 21;
+
+    let mut s1 = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+    let mut sink1 = JsonlSink::new(Vec::new());
+    let mut plain = DepartureHash::new();
+    run_sources_probed(
+        s1.as_mut(),
+        &sources(0.9),
+        horizon,
+        seed,
+        1.0,
+        |d| plain.push(d),
+        &mut sink1,
+    );
+    let baseline = sink1.finish().unwrap();
+
+    let sc = scenario::Scenario::builder()
+        .set_sdp(Time::from_ticks(100_000), Sdp::paper_default())
+        .load_surge(Time::from_ticks(50_000), 0, 1.0)
+        .set_link_rate(Time::from_ticks(150_000), 0, 1.0)
+        .build()
+        .unwrap();
+    let mut s2 = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+    let mut sink2 = JsonlSink::new(Vec::new());
+    let mut perturbed = DepartureHash::new();
+    Session::sources(&sources(0.9), horizon, seed, 1.0)
+        .probe(&mut sink2)
+        .scenario(sc)
+        .run(s2.as_mut(), |d| perturbed.push(d));
+    let with_scenario = sink2.finish().unwrap();
+
+    assert_eq!(plain.0, perturbed.0, "identity scenario changed departures");
+    let stripped = strip_scenario_lines(&with_scenario);
+    assert!(
+        with_scenario.len() > stripped.len(),
+        "scenario events were never recorded"
+    );
+    assert_eq!(
+        baseline, stripped,
+        "identity scenario perturbed the telemetry stream"
+    );
+}
+
+/// Drops the `"ev":"scenario"` records a scenario run adds, keeping every
+/// other byte (including the trailing newline structure) intact.
+fn strip_scenario_lines(jsonl: &[u8]) -> Vec<u8> {
+    let text = std::str::from_utf8(jsonl).expect("JSONL is UTF-8");
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        if !line.contains("\"ev\":\"scenario\"") {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out.into_bytes()
 }

@@ -1,0 +1,781 @@
+//! # scenario — dynamic-scenario timelines for live reconfiguration
+//!
+//! The paper evaluates schedulers in *stationary* regimes; operationally the
+//! interesting moments are the non-stationary ones — an operator changes the
+//! delay differentiation parameters, a link flaps, a class of traffic joins
+//! or surges. This crate models those moments as a validated, virtual-time
+//! **timeline** ([`Scenario`]) plus one shared dispatch point
+//! ([`ScenarioRuntime`]) that every replay loop and network engine drives
+//! the same way:
+//!
+//! 1. before admitting work at time `t`, call
+//!    [`ScenarioRuntime::apply_due`]`(t, …)`;
+//! 2. the runtime updates its own state (link up/down, class membership,
+//!    load scales), emits one [`Probe::on_scenario_event`] record per
+//!    applied event, and forwards engine-facing work ([`Command`]s: SDP
+//!    swaps via [`sched::Scheduler::reconfigure`], link-rate changes, link
+//!    faults) to the caller's closure;
+//! 3. the loop consults the runtime's queries ([`admits`], [`link_up`],
+//!    [`gap_scale`], …) when admitting and serving packets.
+//!
+//! [`admits`]: ScenarioRuntime::admits
+//! [`link_up`]: ScenarioRuntime::link_up
+//! [`gap_scale`]: ScenarioRuntime::gap_scale
+//!
+//! Because state transitions, telemetry, and command fan-out all live here,
+//! `qsim`'s trace/lossy/streaming loops and `netsim`'s engine/mesh agree on
+//! scenario semantics by construction.
+//!
+//! An **empty** scenario is the common case and is free: loops dispatch on
+//! [`Scenario::is_empty`] up front and run the unmodified stationary path.
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use sched::Sdp;
+use simcore::Time;
+use telemetry::Probe;
+
+/// What a downed link does with packets that arrive while it is down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DownPolicy {
+    /// Queue arrivals; they are served when the link comes back up.
+    #[default]
+    Hold,
+    /// Discard arrivals (probes see `on_arrival` + `on_drop`).
+    Drop,
+}
+
+/// One perturbation in a [`Scenario`] timeline.
+///
+/// Link indices are engine-defined: 0 is the only valid link on a
+/// single-link (`qsim`) run; `netsim` numbers its links in configuration
+/// order. Class indices use the usual 0-based, higher-is-better convention.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioEvent {
+    /// Swap the delay differentiation parameters on every scheduler, live
+    /// (via [`sched::Scheduler::reconfigure`]). Schedulers that refuse with
+    /// [`sched::ReconfigureError::Unsupported`] keep running unchanged.
+    SetSdp(Sdp),
+    /// Change a link's capacity to `rate` bytes/tick.
+    SetLinkRate {
+        /// Which link.
+        link: u16,
+        /// New capacity in bytes/tick; must be positive and finite.
+        rate: f64,
+    },
+    /// Take a link down. Must be matched by a later [`ScenarioEvent::LinkUp`].
+    LinkDown {
+        /// Which link.
+        link: u16,
+        /// What to do with arrivals while down.
+        policy: DownPolicy,
+    },
+    /// Bring a downed link back up.
+    LinkUp {
+        /// Which link.
+        link: u16,
+    },
+    /// Re-admit a class that previously [left](ScenarioEvent::ClassLeave).
+    ClassJoin {
+        /// Which class.
+        class: u8,
+    },
+    /// Stop admitting new arrivals of `class` (already-queued packets are
+    /// still served). All classes start joined.
+    ClassLeave {
+        /// Which class.
+        class: u8,
+    },
+    /// Scale the mean inter-arrival gap of `class`'s sources by
+    /// `gap_scale` from this instant on (piecewise constant; `< 1` is a
+    /// surge, `> 1` a lull, `1` an identity marker). Only meaningful for
+    /// generated workloads — prerecorded traces cannot be re-timed.
+    LoadSurge {
+        /// Which class.
+        class: u8,
+        /// Multiplier on the mean inter-arrival gap; positive and finite.
+        gap_scale: f64,
+    },
+}
+
+impl ScenarioEvent {
+    /// The event's stable telemetry name (the `kind` field of the JSONL
+    /// `scenario` record).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScenarioEvent::SetSdp(_) => "set_sdp",
+            ScenarioEvent::SetLinkRate { .. } => "set_link_rate",
+            ScenarioEvent::LinkDown { .. } => "link_down",
+            ScenarioEvent::LinkUp { .. } => "link_up",
+            ScenarioEvent::ClassJoin { .. } => "class_join",
+            ScenarioEvent::ClassLeave { .. } => "class_leave",
+            ScenarioEvent::LoadSurge { .. } => "load_surge",
+        }
+    }
+
+    /// The `(link, value)` pair the telemetry record carries. Class-scoped
+    /// events report the class index in the `link` slot; events without a
+    /// scalar payload report 0.
+    fn telemetry_fields(&self) -> (u16, f64) {
+        match *self {
+            ScenarioEvent::SetSdp(_) => (0, 0.0),
+            ScenarioEvent::SetLinkRate { link, rate } => (link, rate),
+            ScenarioEvent::LinkDown { link, policy } => {
+                (link, if policy == DownPolicy::Drop { 1.0 } else { 0.0 })
+            }
+            ScenarioEvent::LinkUp { link } => (link, 0.0),
+            ScenarioEvent::ClassJoin { class } => (class as u16, 0.0),
+            ScenarioEvent::ClassLeave { class } => (class as u16, 0.0),
+            ScenarioEvent::LoadSurge { class, gap_scale } => (class as u16, gap_scale),
+        }
+    }
+}
+
+/// An event bound to its virtual-time activation instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// When the event takes effect (applied at the first dispatch-point
+    /// visit with `now ≥ at`; engines visit before every admission and
+    /// decision, so activation is exact at packet granularity).
+    pub at: Time,
+    /// What happens.
+    pub event: ScenarioEvent,
+}
+
+/// Why a [`ScenarioBuilder::build`] was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A `SetLinkRate` carried a non-positive or non-finite rate.
+    BadRate {
+        /// The offending event's activation time (ticks).
+        at: u64,
+        /// The offending rate.
+        rate: f64,
+    },
+    /// A `LoadSurge` carried a non-positive or non-finite gap scale.
+    BadGapScale {
+        /// The offending event's activation time (ticks).
+        at: u64,
+        /// The offending scale.
+        gap_scale: f64,
+    },
+    /// A link was taken down and never brought back up — the replay loops
+    /// would deadlock waiting for capacity that never returns.
+    LinkNeverRestored {
+        /// The link left down.
+        link: u16,
+    },
+    /// `LinkDown` on a link that is already down.
+    LinkAlreadyDown {
+        /// The event's activation time (ticks).
+        at: u64,
+        /// The link.
+        link: u16,
+    },
+    /// `LinkUp` on a link that is not down.
+    LinkNotDown {
+        /// The event's activation time (ticks).
+        at: u64,
+        /// The link.
+        link: u16,
+    },
+    /// `ClassJoin` for a class that never left (all classes start joined).
+    ClassAlreadyJoined {
+        /// The event's activation time (ticks).
+        at: u64,
+        /// The class.
+        class: u8,
+    },
+    /// `ClassLeave` for a class that already left.
+    ClassAlreadyLeft {
+        /// The event's activation time (ticks).
+        at: u64,
+        /// The class.
+        class: u8,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::BadRate { at, rate } => {
+                write!(
+                    f,
+                    "set_link_rate at t={at}: rate {rate} must be positive and finite"
+                )
+            }
+            ScenarioError::BadGapScale { at, gap_scale } => {
+                write!(
+                    f,
+                    "load_surge at t={at}: gap scale {gap_scale} must be positive and finite"
+                )
+            }
+            ScenarioError::LinkNeverRestored { link } => {
+                write!(f, "link {link} is taken down but never brought back up")
+            }
+            ScenarioError::LinkAlreadyDown { at, link } => {
+                write!(f, "link_down at t={at}: link {link} is already down")
+            }
+            ScenarioError::LinkNotDown { at, link } => {
+                write!(f, "link_up at t={at}: link {link} is not down")
+            }
+            ScenarioError::ClassAlreadyJoined { at, class } => {
+                write!(f, "class_join at t={at}: class {class} is already joined")
+            }
+            ScenarioError::ClassAlreadyLeft { at, class } => {
+                write!(f, "class_leave at t={at}: class {class} already left")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A validated, time-sorted perturbation timeline.
+///
+/// Build one with [`Scenario::builder`]; [`Scenario::empty`] is the free
+/// stationary case. The timeline is immutable after construction, so one
+/// scenario can parameterize many runs (seeds, schedulers) without
+/// revalidation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Scenario {
+    events: Vec<TimedEvent>,
+}
+
+impl Scenario {
+    /// The stationary (no perturbation) scenario.
+    pub fn empty() -> Self {
+        Scenario::default()
+    }
+
+    /// Starts building a timeline.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder { events: Vec::new() }
+    }
+
+    /// True when there is nothing to apply — replay loops dispatch to their
+    /// unmodified stationary path in this case.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events, sorted by activation time (stable: events sharing an
+    /// instant apply in insertion order).
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Number of timeline events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the timeline re-times generated sources — such scenarios
+    /// are rejected for prerecorded-trace workloads, whose arrival instants
+    /// are data, not a rate process.
+    pub fn has_load_surge(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.event, ScenarioEvent::LoadSurge { .. }))
+    }
+
+    /// The piecewise-constant gap-scale profile of `class`: `(from, scale)`
+    /// breakpoints in time order (implicitly `scale = 1` before the first).
+    /// Source wrappers consume this ahead of the replay clock, since
+    /// generated streams draw arrivals before the loop reaches them.
+    pub fn gap_scale_breakpoints(&self, class: u8) -> Vec<(Time, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.event {
+                ScenarioEvent::LoadSurge {
+                    class: c,
+                    gap_scale,
+                } if c == class => Some((e.at, gap_scale)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Accumulates [`TimedEvent`]s and validates them into a [`Scenario`].
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioBuilder {
+    events: Vec<TimedEvent>,
+}
+
+impl ScenarioBuilder {
+    /// Adds an event at `at` (any insertion order; `build` sorts stably).
+    pub fn at(mut self, at: Time, event: ScenarioEvent) -> Self {
+        self.events.push(TimedEvent { at, event });
+        self
+    }
+
+    /// Adds a live SDP swap.
+    pub fn set_sdp(self, at: Time, sdp: Sdp) -> Self {
+        self.at(at, ScenarioEvent::SetSdp(sdp))
+    }
+
+    /// Adds a link-capacity change.
+    pub fn set_link_rate(self, at: Time, link: u16, rate: f64) -> Self {
+        self.at(at, ScenarioEvent::SetLinkRate { link, rate })
+    }
+
+    /// Adds a link fault.
+    pub fn link_down(self, at: Time, link: u16, policy: DownPolicy) -> Self {
+        self.at(at, ScenarioEvent::LinkDown { link, policy })
+    }
+
+    /// Adds a link restoration.
+    pub fn link_up(self, at: Time, link: u16) -> Self {
+        self.at(at, ScenarioEvent::LinkUp { link })
+    }
+
+    /// Adds a class join (after an earlier leave).
+    pub fn class_join(self, at: Time, class: u8) -> Self {
+        self.at(at, ScenarioEvent::ClassJoin { class })
+    }
+
+    /// Adds a class departure.
+    pub fn class_leave(self, at: Time, class: u8) -> Self {
+        self.at(at, ScenarioEvent::ClassLeave { class })
+    }
+
+    /// Adds a load surge/lull for one class's sources.
+    pub fn load_surge(self, at: Time, class: u8, gap_scale: f64) -> Self {
+        self.at(at, ScenarioEvent::LoadSurge { class, gap_scale })
+    }
+
+    /// Sorts, validates, and freezes the timeline.
+    pub fn build(mut self) -> Result<Scenario, ScenarioError> {
+        self.events.sort_by_key(|e| e.at);
+        // Walk the sorted timeline once, checking payloads and simulating
+        // the link/class state machines.
+        let mut down: Vec<u16> = Vec::new();
+        let mut left: Vec<u8> = Vec::new();
+        for TimedEvent { at, event } in &self.events {
+            let at = at.ticks();
+            match *event {
+                ScenarioEvent::SetSdp(_) => {}
+                ScenarioEvent::SetLinkRate { rate, .. } => {
+                    if !(rate > 0.0 && rate.is_finite()) {
+                        return Err(ScenarioError::BadRate { at, rate });
+                    }
+                }
+                ScenarioEvent::LinkDown { link, .. } => {
+                    if down.contains(&link) {
+                        return Err(ScenarioError::LinkAlreadyDown { at, link });
+                    }
+                    down.push(link);
+                }
+                ScenarioEvent::LinkUp { link } => {
+                    let Some(i) = down.iter().position(|&l| l == link) else {
+                        return Err(ScenarioError::LinkNotDown { at, link });
+                    };
+                    down.swap_remove(i);
+                }
+                ScenarioEvent::ClassJoin { class } => {
+                    let Some(i) = left.iter().position(|&c| c == class) else {
+                        return Err(ScenarioError::ClassAlreadyJoined { at, class });
+                    };
+                    left.swap_remove(i);
+                }
+                ScenarioEvent::ClassLeave { class } => {
+                    if left.contains(&class) {
+                        return Err(ScenarioError::ClassAlreadyLeft { at, class });
+                    }
+                    left.push(class);
+                }
+                ScenarioEvent::LoadSurge { gap_scale, .. } => {
+                    if !(gap_scale > 0.0 && gap_scale.is_finite()) {
+                        return Err(ScenarioError::BadGapScale { at, gap_scale });
+                    }
+                }
+            }
+        }
+        if let Some(&link) = down.first() {
+            return Err(ScenarioError::LinkNeverRestored { link });
+        }
+        Ok(Scenario {
+            events: self.events,
+        })
+    }
+}
+
+/// Engine-facing work forwarded by [`ScenarioRuntime::apply_due`].
+///
+/// State-only events (class membership, load surges) are absorbed by the
+/// runtime and never appear here; the engine reads them back through the
+/// runtime's queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Apply new SDPs to every scheduler via
+    /// [`sched::Scheduler::reconfigure`]. [`Unsupported`] schedulers keep
+    /// running; a class-count mismatch is a configuration bug the engine
+    /// should surface loudly.
+    ///
+    /// [`Unsupported`]: sched::ReconfigureError::Unsupported
+    Reconfigure(Sdp),
+    /// Retime the link: future transmissions (and rate-based schedulers,
+    /// via [`sched::Scheduler::set_link_rate`]) use the new capacity. The
+    /// packet in flight, if any, completes at the old rate.
+    SetLinkRate {
+        /// Which link.
+        link: u16,
+        /// New capacity, bytes/tick (validated positive and finite).
+        rate: f64,
+    },
+    /// Stop serving the link. Non-preemptive: an in-flight packet
+    /// completes; no new transmission starts until the matching
+    /// [`Command::LinkUp`].
+    LinkDown {
+        /// Which link.
+        link: u16,
+        /// Fate of arrivals while down (also queryable via
+        /// [`ScenarioRuntime::down_policy`]).
+        policy: DownPolicy,
+    },
+    /// Resume serving the link (the engine should immediately try to start
+    /// a transmission if the link is idle and backlogged).
+    LinkUp {
+        /// Which link.
+        link: u16,
+    },
+}
+
+/// The shared dispatch point: owns the timeline cursor and the scenario
+/// state machine during one run.
+///
+/// Replay loops call [`apply_due`](ScenarioRuntime::apply_due) at every
+/// admission and decision instant; events activate exactly once, in time
+/// order, with their telemetry records emitted here — no engine duplicates
+/// that logic.
+#[derive(Debug, Clone)]
+pub struct ScenarioRuntime {
+    events: Vec<TimedEvent>,
+    next: usize,
+    link_up: Vec<bool>,
+    policy: Vec<DownPolicy>,
+    class_active: Vec<bool>,
+    gap_scale: Vec<f64>,
+}
+
+impl ScenarioRuntime {
+    /// Binds `scenario` to an engine with `num_links` links and
+    /// `num_classes` classes.
+    ///
+    /// # Panics
+    /// Panics if any event references a link or class outside those ranges
+    /// — the timeline does not fit the topology it was asked to drive.
+    pub fn new(scenario: &Scenario, num_links: usize, num_classes: usize) -> Self {
+        for TimedEvent { at, event } in scenario.events() {
+            let (link_ok, class_ok) = match *event {
+                ScenarioEvent::SetSdp(_) => (true, true),
+                ScenarioEvent::SetLinkRate { link, .. }
+                | ScenarioEvent::LinkDown { link, .. }
+                | ScenarioEvent::LinkUp { link } => ((link as usize) < num_links, true),
+                ScenarioEvent::ClassJoin { class }
+                | ScenarioEvent::ClassLeave { class }
+                | ScenarioEvent::LoadSurge { class, .. } => (true, (class as usize) < num_classes),
+            };
+            assert!(
+                link_ok,
+                "scenario event {} at t={} references a link outside 0..{num_links}",
+                event.kind(),
+                at.ticks()
+            );
+            assert!(
+                class_ok,
+                "scenario event {} at t={} references a class outside 0..{num_classes}",
+                event.kind(),
+                at.ticks()
+            );
+        }
+        ScenarioRuntime {
+            events: scenario.events().to_vec(),
+            next: 0,
+            link_up: vec![true; num_links],
+            policy: vec![DownPolicy::Hold; num_links],
+            class_active: vec![true; num_classes],
+            gap_scale: vec![1.0; num_classes],
+        }
+    }
+
+    /// The activation time of the next pending event, if any. Loops stalled
+    /// by a downed link jump their clock here (validation guarantees a
+    /// restoring event exists).
+    pub fn next_at(&self) -> Option<Time> {
+        self.events.get(self.next).map(|e| e.at)
+    }
+
+    /// Applies every event with `at ≤ now`, in order: updates the runtime
+    /// state, emits one [`Probe::on_scenario_event`] per event (timestamped
+    /// at the event's scheduled instant), and forwards engine-facing work
+    /// to `apply`.
+    pub fn apply_due<P: Probe>(
+        &mut self,
+        now: Time,
+        probe: &mut P,
+        mut apply: impl FnMut(Command),
+    ) {
+        while self.next < self.events.len() && self.events[self.next].at <= now {
+            let TimedEvent { at, event } = self.events[self.next].clone();
+            self.next += 1;
+            if P::ENABLED {
+                let (link, value) = event.telemetry_fields();
+                probe.on_scenario_event(at, link, event.kind(), value);
+            }
+            match event {
+                ScenarioEvent::SetSdp(sdp) => apply(Command::Reconfigure(sdp)),
+                ScenarioEvent::SetLinkRate { link, rate } => {
+                    apply(Command::SetLinkRate { link, rate });
+                }
+                ScenarioEvent::LinkDown { link, policy } => {
+                    self.link_up[link as usize] = false;
+                    self.policy[link as usize] = policy;
+                    apply(Command::LinkDown { link, policy });
+                }
+                ScenarioEvent::LinkUp { link } => {
+                    self.link_up[link as usize] = true;
+                    apply(Command::LinkUp { link });
+                }
+                ScenarioEvent::ClassJoin { class } => {
+                    self.class_active[class as usize] = true;
+                }
+                ScenarioEvent::ClassLeave { class } => {
+                    self.class_active[class as usize] = false;
+                }
+                ScenarioEvent::LoadSurge { class, gap_scale } => {
+                    self.gap_scale[class as usize] = gap_scale;
+                }
+            }
+        }
+    }
+
+    /// True when new arrivals of `class` are admitted (classes that
+    /// [left](ScenarioEvent::ClassLeave) are filtered at the source: their
+    /// packets simply never enter the system).
+    pub fn admits(&self, class: u8) -> bool {
+        self.class_active[class as usize]
+    }
+
+    /// The current gap multiplier of `class`'s sources (1 until the first
+    /// [`ScenarioEvent::LoadSurge`]).
+    pub fn gap_scale(&self, class: u8) -> f64 {
+        self.gap_scale[class as usize]
+    }
+
+    /// Whether `link` is currently up.
+    pub fn link_up(&self, link: u16) -> bool {
+        self.link_up[link as usize]
+    }
+
+    /// The arrival policy of `link`'s most recent fault (meaningful while
+    /// the link is down).
+    pub fn down_policy(&self, link: u16) -> DownPolicy {
+        self.policy[link as usize]
+    }
+
+    /// True when every timeline event has been applied.
+    pub fn is_done(&self) -> bool {
+        self.next == self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::NoopProbe;
+
+    fn t(ticks: u64) -> Time {
+        Time::from_ticks(ticks)
+    }
+
+    #[test]
+    fn empty_scenario_is_empty_and_free() {
+        let sc = Scenario::empty();
+        assert!(sc.is_empty());
+        assert_eq!(sc.len(), 0);
+        let mut rt = ScenarioRuntime::new(&sc, 1, 4);
+        assert_eq!(rt.next_at(), None);
+        assert!(rt.is_done());
+        rt.apply_due(t(1_000_000), &mut NoopProbe, |_| panic!("no commands"));
+        assert!(rt.admits(3) && rt.link_up(0));
+        assert_eq!(rt.gap_scale(0), 1.0);
+    }
+
+    #[test]
+    fn builder_sorts_and_preserves_same_instant_insertion_order() {
+        let sc = Scenario::builder()
+            .set_link_rate(t(200), 0, 2.0)
+            .set_sdp(t(100), Sdp::paper_default())
+            .load_surge(t(100), 1, 0.5)
+            .build()
+            .unwrap();
+        let kinds: Vec<&str> = sc.events().iter().map(|e| e.event.kind()).collect();
+        assert_eq!(kinds, vec!["set_sdp", "load_surge", "set_link_rate"]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_payloads_and_dangling_faults() {
+        let bad_rate = Scenario::builder().set_link_rate(t(1), 0, 0.0).build();
+        assert_eq!(
+            bad_rate.unwrap_err(),
+            ScenarioError::BadRate { at: 1, rate: 0.0 }
+        );
+
+        let bad_scale = Scenario::builder().load_surge(t(2), 0, -1.0).build();
+        assert_eq!(
+            bad_scale.unwrap_err(),
+            ScenarioError::BadGapScale {
+                at: 2,
+                gap_scale: -1.0
+            }
+        );
+
+        let dangling = Scenario::builder()
+            .link_down(t(3), 1, DownPolicy::Hold)
+            .build();
+        assert_eq!(
+            dangling.unwrap_err(),
+            ScenarioError::LinkNeverRestored { link: 1 }
+        );
+
+        let double_down = Scenario::builder()
+            .link_down(t(1), 0, DownPolicy::Hold)
+            .link_down(t(2), 0, DownPolicy::Drop)
+            .link_up(t(3), 0)
+            .build();
+        assert_eq!(
+            double_down.unwrap_err(),
+            ScenarioError::LinkAlreadyDown { at: 2, link: 0 }
+        );
+
+        let up_while_up = Scenario::builder().link_up(t(1), 0).build();
+        assert_eq!(
+            up_while_up.unwrap_err(),
+            ScenarioError::LinkNotDown { at: 1, link: 0 }
+        );
+
+        let join_joined = Scenario::builder().class_join(t(1), 2).build();
+        assert_eq!(
+            join_joined.unwrap_err(),
+            ScenarioError::ClassAlreadyJoined { at: 1, class: 2 }
+        );
+
+        let leave_left = Scenario::builder()
+            .class_leave(t(1), 2)
+            .class_leave(t(2), 2)
+            .build();
+        assert_eq!(
+            leave_left.unwrap_err(),
+            ScenarioError::ClassAlreadyLeft { at: 2, class: 2 }
+        );
+    }
+
+    #[test]
+    fn runtime_applies_events_once_in_order_with_commands() {
+        let sc = Scenario::builder()
+            .set_sdp(t(10), Sdp::paper_default())
+            .link_down(t(20), 0, DownPolicy::Drop)
+            .link_up(t(30), 0)
+            .class_leave(t(30), 3)
+            .load_surge(t(40), 0, 0.5)
+            .build()
+            .unwrap();
+        let mut rt = ScenarioRuntime::new(&sc, 1, 4);
+        assert_eq!(rt.next_at(), Some(t(10)));
+
+        let mut cmds = Vec::new();
+        rt.apply_due(t(25), &mut NoopProbe, |c| cmds.push(c));
+        assert_eq!(cmds.len(), 2);
+        assert!(matches!(cmds[0], Command::Reconfigure(_)));
+        assert_eq!(
+            cmds[1],
+            Command::LinkDown {
+                link: 0,
+                policy: DownPolicy::Drop
+            }
+        );
+        assert!(!rt.link_up(0));
+        assert_eq!(rt.down_policy(0), DownPolicy::Drop);
+        assert_eq!(rt.next_at(), Some(t(30)));
+
+        cmds.clear();
+        rt.apply_due(t(40), &mut NoopProbe, |c| cmds.push(c));
+        // link_up forwarded; class_leave and load_surge are state-only.
+        assert_eq!(cmds, vec![Command::LinkUp { link: 0 }]);
+        assert!(rt.link_up(0));
+        assert!(!rt.admits(3) && rt.admits(2));
+        assert_eq!(rt.gap_scale(0), 0.5);
+        assert!(rt.is_done());
+
+        // Re-visiting never re-applies.
+        rt.apply_due(t(100), &mut NoopProbe, |_| panic!("already applied"));
+    }
+
+    #[test]
+    fn runtime_emits_one_telemetry_record_per_event() {
+        struct Rec(Vec<(u64, u16, &'static str, f64)>);
+        impl Probe for Rec {
+            fn on_scenario_event(&mut self, at: Time, link: u16, kind: &'static str, value: f64) {
+                self.0.push((at.ticks(), link, kind, value));
+            }
+        }
+        let sc = Scenario::builder()
+            .set_link_rate(t(5), 0, 2.5)
+            .class_leave(t(7), 2)
+            .link_down(t(9), 0, DownPolicy::Drop)
+            .link_up(t(11), 0)
+            .build()
+            .unwrap();
+        let mut rt = ScenarioRuntime::new(&sc, 1, 4);
+        let mut rec = Rec(Vec::new());
+        rt.apply_due(t(100), &mut rec, |_| {});
+        assert_eq!(
+            rec.0,
+            vec![
+                (5, 0, "set_link_rate", 2.5),
+                (7, 2, "class_leave", 0.0),
+                (9, 0, "link_down", 1.0),
+                (11, 0, "link_up", 0.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn gap_scale_breakpoints_filter_by_class() {
+        let sc = Scenario::builder()
+            .load_surge(t(10), 0, 0.5)
+            .load_surge(t(20), 1, 2.0)
+            .load_surge(t(30), 0, 1.0)
+            .build()
+            .unwrap();
+        assert!(sc.has_load_surge());
+        assert_eq!(
+            sc.gap_scale_breakpoints(0),
+            vec![(t(10), 0.5), (t(30), 1.0)]
+        );
+        assert_eq!(sc.gap_scale_breakpoints(1), vec![(t(20), 2.0)]);
+        assert!(sc.gap_scale_breakpoints(2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "references a link outside")]
+    fn runtime_rejects_out_of_range_link() {
+        let sc = Scenario::builder()
+            .link_down(t(1), 7, DownPolicy::Hold)
+            .link_up(t(2), 7)
+            .build()
+            .unwrap();
+        let _ = ScenarioRuntime::new(&sc, 2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "references a class outside")]
+    fn runtime_rejects_out_of_range_class() {
+        let sc = Scenario::builder().class_leave(t(1), 9).build().unwrap();
+        let _ = ScenarioRuntime::new(&sc, 1, 4);
+    }
+}

@@ -9,7 +9,7 @@ use simcore::Time;
 
 use crate::class::Sdp;
 use crate::packet::Packet;
-use crate::scheduler::{ClassQueues, Scheduler};
+use crate::scheduler::{ClassQueues, ReconfigureError, Scheduler};
 
 /// The additive (waiting-time + constant) priority scheduler.
 #[derive(Debug, Clone)]
@@ -64,6 +64,17 @@ impl Scheduler for Additive {
 
     fn name(&self) -> &'static str {
         "Additive"
+    }
+
+    fn reconfigure(&mut self, sdp: &Sdp) -> Result<(), ReconfigureError> {
+        if sdp.num_classes() != self.queues.num_classes() {
+            return Err(ReconfigureError::ClassCountMismatch {
+                have: self.queues.num_classes(),
+                want: sdp.num_classes(),
+            });
+        }
+        self.sdp = sdp.clone();
+        Ok(())
     }
 }
 

@@ -16,7 +16,7 @@ use simcore::Time;
 
 use crate::class::Sdp;
 use crate::packet::Packet;
-use crate::scheduler::{ClassQueues, Scheduler};
+use crate::scheduler::{ClassQueues, ReconfigureError, Scheduler};
 
 /// The packetized Backlog-Proportional Rate scheduler.
 #[derive(Debug, Clone)]
@@ -167,6 +167,31 @@ impl Scheduler for Bpr {
             out.push((c, head.size as f64 - accrued));
         }
     }
+
+    fn reconfigure(&mut self, sdp: &Sdp) -> Result<(), ReconfigureError> {
+        if sdp.num_classes() != self.queues.num_classes() {
+            return Err(ReconfigureError::ClassCountMismatch {
+                have: self.queues.num_classes(),
+                want: sdp.num_classes(),
+            });
+        }
+        self.sdp = sdp.clone();
+        // The fluid rates (Eq. 8 + 9) depend on the SDPs; refresh them so
+        // virtual service accrues at the new shares from this instant on.
+        // Already-accrued virtual service is kept — it is service the heads
+        // genuinely received.
+        self.recompute_rates();
+        Ok(())
+    }
+
+    fn set_link_rate(&mut self, rate: f64) {
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "link_rate must be positive, got {rate}"
+        );
+        self.link_rate = rate;
+        self.recompute_rates();
+    }
 }
 
 #[cfg(test)]
@@ -296,5 +321,41 @@ mod tests {
     #[should_panic(expected = "link_rate must be positive")]
     fn rejects_bad_link_rate() {
         let _ = Bpr::new(Sdp::paper_default(), 0.0);
+    }
+
+    #[test]
+    fn reconfigure_refreshes_fluid_rates_immediately() {
+        // Equal 100-byte backlogs under s = [1, 1] split the link evenly;
+        // after a live swap to s = [1, 3] the very next accrual window must
+        // run at the 1:3 split, visible through decision_values: in 40
+        // elapsed ticks the high head accrues 30 bytes, the low head 10.
+        let mut s = Bpr::new(Sdp::new(&[1.0, 1.0]).unwrap(), 1.0);
+        s.enqueue(pkt(1, 0, 100, 0));
+        s.enqueue(pkt(2, 1, 100, 0));
+        s.enqueue(pkt(3, 0, 100, 0));
+        s.enqueue(pkt(4, 1, 100, 0));
+        let _ = s.dequeue(Time::ZERO); // establish rates + last_decision
+        s.reconfigure(&Sdp::new(&[1.0, 3.0]).unwrap()).unwrap();
+        let mut out = Vec::new();
+        s.decision_values(Time::from_ticks(40), &mut out);
+        // Backlogs after the tie-win departure: class0 = 200 B, class1 =
+        // 100 B. Shares s_i·q_i: 200 vs 300 → rates 0.4 and 0.6 bytes/tick.
+        let low = out.iter().find(|(c, _)| *c == 0).unwrap().1;
+        let high = out.iter().find(|(c, _)| *c == 1).unwrap().1;
+        assert!((low - (100.0 - 0.4 * 40.0)).abs() < 1e-9, "low {low}");
+        assert!((high - (100.0 - 0.6 * 40.0)).abs() < 1e-9, "high {high}");
+    }
+
+    #[test]
+    fn set_link_rate_rescales_accrual() {
+        let mut s = Bpr::new(Sdp::new(&[1.0, 1.0]).unwrap(), 1.0);
+        s.enqueue(pkt(1, 0, 100, 0));
+        s.enqueue(pkt(2, 1, 100, 0));
+        let _ = s.dequeue(Time::ZERO);
+        s.set_link_rate(2.0);
+        // Single backlogged class now owns the whole doubled link.
+        let mut out = Vec::new();
+        s.decision_values(Time::from_ticks(10), &mut out);
+        assert_eq!(out, vec![(0, 100.0 - 2.0 * 10.0)]);
     }
 }

@@ -191,6 +191,42 @@ mod tests {
     }
 
     #[test]
+    fn reconfigure_support_matrix() {
+        use crate::scheduler::ReconfigureError;
+        // The proportional family accepts live SDP swaps; the baselines
+        // refuse with Unsupported naming themselves.
+        let supported = [
+            SchedulerKind::Wtp,
+            SchedulerKind::Bpr,
+            SchedulerKind::Pad,
+            SchedulerKind::Hpd,
+            SchedulerKind::Additive,
+        ];
+        let sdp = Sdp::paper_default();
+        let steeper = Sdp::geometric(4, 4.0).unwrap();
+        for kind in SchedulerKind::ALL {
+            let mut s = kind.build(&sdp, 1.0);
+            let got = s.reconfigure(&steeper);
+            if supported.contains(&kind) {
+                assert_eq!(got, Ok(()), "{kind} should accept reconfigure");
+                // Same-scheduler class-count mismatch is always refused.
+                let narrow = Sdp::new(&[1.0, 2.0]).unwrap();
+                assert_eq!(
+                    s.reconfigure(&narrow),
+                    Err(ReconfigureError::ClassCountMismatch { have: 4, want: 2 }),
+                    "{kind}"
+                );
+            } else {
+                assert_eq!(
+                    got,
+                    Err(ReconfigureError::Unsupported(kind.name())),
+                    "{kind} should refuse reconfigure"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn visitor_sees_every_kind_unboxed() {
         struct DrainOne;
         impl SchedulerVisitor for DrainOne {

@@ -14,7 +14,7 @@ use simcore::Time;
 
 use crate::class::Sdp;
 use crate::packet::Packet;
-use crate::scheduler::{ClassQueues, Scheduler};
+use crate::scheduler::{ClassQueues, ReconfigureError, Scheduler};
 
 /// The Hybrid Proportional Delay scheduler.
 #[derive(Debug, Clone)]
@@ -99,6 +99,23 @@ impl Scheduler for Hpd {
 
     fn name(&self) -> &'static str {
         "HPD"
+    }
+
+    fn reconfigure(&mut self, sdp: &Sdp) -> Result<(), ReconfigureError> {
+        if sdp.num_classes() != self.queues.num_classes() {
+            return Err(ReconfigureError::ClassCountMismatch {
+                have: self.queues.num_classes(),
+                want: sdp.num_classes(),
+            });
+        }
+        // The per-class delay history (`cum_delay`/`departed`) is kept: the
+        // PAD term keeps correcting toward equal s_i·d̄_i using the delays
+        // actually measured so far, so after a step the old averages steer
+        // the priorities until new departures dilute them — the dynamics
+        // suite measures how that shifts reconvergence relative to the
+        // memoryless WTP.
+        self.sdp = sdp.clone();
+        Ok(())
     }
 }
 

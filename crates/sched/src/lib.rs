@@ -64,7 +64,7 @@ pub use hpd::Hpd;
 pub use packet::Packet;
 pub use pad::Pad;
 pub use scfq::Scfq;
-pub use scheduler::{ClassQueues, Scheduler};
+pub use scheduler::{ClassQueues, ReconfigureError, Scheduler};
 pub use strict::StrictPriority;
 pub use wf2q::Wf2q;
 pub use wfq::Wfq;

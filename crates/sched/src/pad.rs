@@ -18,7 +18,7 @@ use simcore::Time;
 
 use crate::class::Sdp;
 use crate::packet::Packet;
-use crate::scheduler::{ClassQueues, Scheduler};
+use crate::scheduler::{ClassQueues, ReconfigureError, Scheduler};
 
 /// The Proportional Average Delay scheduler.
 #[derive(Debug, Clone)]
@@ -91,6 +91,19 @@ impl Scheduler for Pad {
 
     fn name(&self) -> &'static str {
         "PAD"
+    }
+
+    fn reconfigure(&mut self, sdp: &Sdp) -> Result<(), ReconfigureError> {
+        if sdp.num_classes() != self.queues.num_classes() {
+            return Err(ReconfigureError::ClassCountMismatch {
+                have: self.queues.num_classes(),
+                want: sdp.num_classes(),
+            });
+        }
+        // Delay history is kept; the normalized averages re-equalize under
+        // the new SDPs only as new departures accumulate.
+        self.sdp = sdp.clone();
+        Ok(())
     }
 }
 

@@ -1,10 +1,43 @@
 //! The scheduler trait and the shared per-class FIFO structure.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use simcore::Time;
 
+use crate::class::Sdp;
 use crate::packet::Packet;
+
+/// Why a live [`Scheduler::reconfigure`] call was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigureError {
+    /// The scheduler has no differentiation parameters to swap (FCFS,
+    /// strict priority, the fair-queueing baselines, …).
+    Unsupported(&'static str),
+    /// The new SDP vector has a different class count than the running
+    /// scheduler — queues cannot be re-mapped mid-flight.
+    ClassCountMismatch {
+        /// Classes the scheduler was built with.
+        have: usize,
+        /// Classes the new SDP vector describes.
+        want: usize,
+    },
+}
+
+impl fmt::Display for ReconfigureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigureError::Unsupported(name) => {
+                write!(f, "{name} does not support live reconfiguration")
+            }
+            ReconfigureError::ClassCountMismatch { have, want } => {
+                write!(f, "scheduler has {have} classes, new SDPs describe {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconfigureError {}
 
 /// A work-conserving, non-preemptive, class-based packet scheduler.
 ///
@@ -78,6 +111,25 @@ pub trait Scheduler {
     /// one allocation across every decision; implementations append without
     /// clearing.
     fn decision_values(&self, _now: Time, _out: &mut Vec<(usize, f64)>) {}
+
+    /// Swaps the differentiation parameters **mid-run**, without draining
+    /// the queues: packets already backlogged stay where they are and the
+    /// very next decision uses the new SDPs.
+    ///
+    /// The new vector must describe the same number of classes. The default
+    /// refuses ([`ReconfigureError::Unsupported`]); the proportional
+    /// schedulers (WTP, BPR, PAD, HPD, Additive) accept.
+    fn reconfigure(&mut self, _sdp: &Sdp) -> Result<(), ReconfigureError> {
+        Err(ReconfigureError::Unsupported(self.name()))
+    }
+
+    /// Informs the scheduler that the link it serves now runs at `rate`
+    /// bytes/tick. Only rate-based schedulers (BPR, WFQ) hold the link rate
+    /// internally; for everything else this is a no-op (the default).
+    ///
+    /// # Panics
+    /// Implementations may panic if `rate` is not positive and finite.
+    fn set_link_rate(&mut self, _rate: f64) {}
 }
 
 /// Per-class FIFO queues with byte accounting — the storage shared by every

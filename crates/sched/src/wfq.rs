@@ -141,6 +141,16 @@ impl Scheduler for Wfq {
     fn name(&self) -> &'static str {
         "WFQ"
     }
+
+    fn set_link_rate(&mut self, rate: f64) {
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "link_rate must be positive, got {rate}"
+        );
+        // Already-assigned finish tags keep their virtual timestamps; only
+        // the rate at which the virtual clock advances changes.
+        self.link_rate = rate;
+    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use simcore::Time;
 
 use crate::class::Sdp;
 use crate::packet::Packet;
-use crate::scheduler::{ClassQueues, Scheduler};
+use crate::scheduler::{ClassQueues, ReconfigureError, Scheduler};
 
 /// The Waiting-Time Priority scheduler.
 ///
@@ -127,6 +127,20 @@ impl Scheduler for Wtp {
             }
         }
     }
+
+    fn reconfigure(&mut self, sdp: &Sdp) -> Result<(), ReconfigureError> {
+        if sdp.num_classes() != self.queues.num_classes() {
+            return Err(ReconfigureError::ClassCountMismatch {
+                have: self.queues.num_classes(),
+                want: sdp.num_classes(),
+            });
+        }
+        // Backlogged packets keep their waiting time; only the accrual
+        // slopes change, so priorities jump to the new SDPs at the very
+        // next decision instant.
+        self.sdp = sdp.clone();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +236,35 @@ mod tests {
         s.decision_values(Time::from_ticks(10), &mut out);
         assert_eq!(out.len(), 4);
         assert_eq!(s.dequeue(Time::from_ticks(10)).unwrap().class, 1);
+    }
+
+    #[test]
+    fn reconfigure_changes_the_next_decision_without_draining() {
+        // Two backlogged heads: under s = [1, 2] at t=30 the priorities are
+        // 30 vs 20 (class 0 wins); after a live swap to s = [1, 8] they are
+        // 30 vs 80 and class 1 wins — same queues, same waiting times.
+        let mut s = wtp_1_2();
+        s.enqueue(pkt(1, 0, 0));
+        s.enqueue(pkt(2, 1, 20));
+        s.reconfigure(&Sdp::new(&[1.0, 8.0]).unwrap()).unwrap();
+        assert_eq!(s.backlog_packets(0) + s.backlog_packets(1), 2);
+        assert_eq!(s.dequeue(Time::from_ticks(30)).unwrap().class, 1);
+        assert_eq!(s.sdp().values(), &[1.0, 8.0]);
+    }
+
+    #[test]
+    fn reconfigure_rejects_class_count_mismatch() {
+        use crate::scheduler::ReconfigureError;
+        let mut s = wtp_1_2();
+        s.enqueue(pkt(1, 0, 0));
+        let err = s.reconfigure(&Sdp::paper_default()).unwrap_err();
+        assert_eq!(
+            err,
+            ReconfigureError::ClassCountMismatch { have: 2, want: 4 }
+        );
+        // The running configuration is untouched on failure.
+        assert_eq!(s.sdp().values(), &[1.0, 2.0]);
+        assert_eq!(s.backlog_packets(0), 1);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`fcfs_mean_wait`] / [`check_feasibility`] — the Eq. (7) feasibility
 //!   conditions, evaluated by replaying class subsets through an FCFS
 //!   server exactly as the paper prescribes.
+//! * [`reconvergence_times`] — how fast the achieved delay ratios return
+//!   to their targets after a dynamic-scenario perturbation (an SDP swap,
+//!   a link flap).
 //! * [`Histogram`] — log-binned delay histograms for reports.
 //! * [`Table`] — aligned ASCII tables for the experiment harness output.
 #![deny(missing_docs)]
@@ -26,6 +29,7 @@ mod histogram;
 mod percentile;
 mod plot;
 mod ratio;
+mod reconverge;
 mod series;
 mod summary;
 mod table;
@@ -36,6 +40,7 @@ pub use histogram::Histogram;
 pub use percentile::{percentile, P2Quantile, Percentiles};
 pub use plot::AsciiPlot;
 pub use ratio::{rd_for_interval, successive_ratios, RdCollector};
+pub use reconverge::{reconvergence_times, ReconvergenceConfig};
 pub use series::IntervalSeries;
 pub use summary::Summary;
 pub use table::Table;

@@ -71,6 +71,7 @@ pub struct CountingProbe {
     decisions: u64,
     events: u64,
     heartbeats: u64,
+    scenario_events: u64,
     heap_high_water: usize,
     first_event: Option<Time>,
     last_event: Time,
@@ -85,6 +86,7 @@ impl CountingProbe {
             decisions: 0,
             events: 0,
             heartbeats: 0,
+            scenario_events: 0,
             heap_high_water: 0,
             first_event: None,
             last_event: Time::ZERO,
@@ -117,6 +119,7 @@ impl CountingProbe {
             decisions: self.decisions,
             probe_events: self.events,
             heartbeats: self.heartbeats,
+            scenario_events: self.scenario_events,
             heap_high_water: self.heap_high_water,
             virtual_span_ticks: self
                 .last_event
@@ -177,6 +180,11 @@ impl Probe for CountingProbe {
         self.heartbeats += 1;
         self.heap_high_water = self.heap_high_water.max(heap_depth);
     }
+
+    fn on_scenario_event(&mut self, at: Time, _link: u16, _kind: &'static str, _value: f64) {
+        self.touch(at);
+        self.scenario_events += 1;
+    }
 }
 
 /// A frozen snapshot of a [`CountingProbe`].
@@ -190,6 +198,8 @@ pub struct MetricsReport {
     pub probe_events: u64,
     /// Heartbeats received from the discrete-event runner.
     pub heartbeats: u64,
+    /// Dynamic-scenario timeline events applied during the run.
+    pub scenario_events: u64,
     /// Largest event-queue depth reported by any heartbeat.
     pub heap_high_water: usize,
     /// Virtual-time span covered by the run, in ticks.
@@ -225,6 +235,7 @@ impl MetricsReport {
         s.push_str(&format!("\"decisions\":{},", self.decisions));
         s.push_str(&format!("\"probe_events\":{},", self.probe_events));
         s.push_str(&format!("\"heartbeats\":{},", self.heartbeats));
+        s.push_str(&format!("\"scenario_events\":{},", self.scenario_events));
         s.push_str(&format!("\"heap_high_water\":{},", self.heap_high_water));
         s.push_str(&format!(
             "\"virtual_span_ticks\":{},",
@@ -377,6 +388,16 @@ mod tests {
         let r = p.report();
         assert_eq!(r.heartbeats, 2);
         assert_eq!(r.heap_high_water, 7);
+    }
+
+    #[test]
+    fn scenario_events_are_tallied() {
+        let mut p = CountingProbe::new(1);
+        p.on_scenario_event(Time::from_ticks(5), 0, "set_sdp", 0.0);
+        p.on_scenario_event(Time::from_ticks(9), 1, "link_down", 0.0);
+        let r = p.report();
+        assert_eq!(r.scenario_events, 2);
+        assert!(r.to_json().contains("\"scenario_events\":2"));
     }
 
     #[test]

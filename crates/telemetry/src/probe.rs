@@ -107,6 +107,17 @@ pub trait Probe {
     fn on_heartbeat(&mut self, at: Time, events_handled: u64, heap_depth: usize) {
         let _ = (at, events_handled, heap_depth);
     }
+
+    /// A dynamic-scenario timeline event was applied at `at` — a live SDP
+    /// swap, link-rate change, link fault, class membership change, or load
+    /// surge (see the `scenario` crate). `link` is the affected link index
+    /// (0 on a single link; the scenario runtime uses it for the class index
+    /// of class-scoped events). `kind` is the event's stable name
+    /// (`"set_sdp"`, `"link_down"`, …) and `value` its scalar payload
+    /// (new rate, gap scale, …; 0 when the event carries none).
+    fn on_scenario_event(&mut self, at: Time, link: u16, kind: &'static str, value: f64) {
+        let _ = (at, link, kind, value);
+    }
 }
 
 /// The zero-cost probe: observes nothing, costs nothing.
@@ -149,6 +160,10 @@ impl<P: Probe + ?Sized> Probe for &mut P {
 
     fn on_heartbeat(&mut self, at: Time, events_handled: u64, heap_depth: usize) {
         (**self).on_heartbeat(at, events_handled, heap_depth);
+    }
+
+    fn on_scenario_event(&mut self, at: Time, link: u16, kind: &'static str, value: f64) {
+        (**self).on_scenario_event(at, link, kind, value);
     }
 }
 
@@ -194,6 +209,11 @@ impl<A: Probe, B: Probe> Probe for Tee<A, B> {
     fn on_heartbeat(&mut self, at: Time, events_handled: u64, heap_depth: usize) {
         self.0.on_heartbeat(at, events_handled, heap_depth);
         self.1.on_heartbeat(at, events_handled, heap_depth);
+    }
+
+    fn on_scenario_event(&mut self, at: Time, link: u16, kind: &'static str, value: f64) {
+        self.0.on_scenario_event(at, link, kind, value);
+        self.1.on_scenario_event(at, link, kind, value);
     }
 }
 

@@ -262,12 +262,19 @@ fn required(ev: &str) -> Option<&'static [(&'static str, Kind)]> {
         ("events", Kind::Number),
         ("heap", Kind::Number),
     ];
+    const SCENARIO: &[(&str, Kind)] = &[
+        ("t", Kind::Number),
+        ("link", Kind::Number),
+        ("kind", Kind::String),
+        ("value", Kind::Number),
+    ];
     match ev {
         "arrival" | "enqueue" => Some(PACKET),
         "decision" => Some(DECISION),
         "depart" => Some(DEPART),
         "drop" => Some(DROP),
         "heartbeat" => Some(HEARTBEAT),
+        "scenario" => Some(SCENARIO),
         _ => None,
     }
 }
@@ -347,6 +354,22 @@ mod tests {
              \"backlog\":200,\"buffer\":256}",
         )
         .unwrap();
+        validate_line(
+            "{\"ev\":\"scenario\",\"t\":500,\"link\":2,\"kind\":\"set_link_rate\",\"value\":3.125}",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn scenario_event_requires_its_fields() {
+        let e =
+            validate_line("{\"ev\":\"scenario\",\"t\":500,\"link\":2,\"value\":1}").unwrap_err();
+        assert!(e.message.contains("missing field \"kind\""), "{e}");
+        let e = validate_line(
+            "{\"ev\":\"scenario\",\"t\":500,\"link\":2,\"kind\":\"link_up\",\"value\":\"x\"}",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("expected Number"), "{e}");
     }
 
     #[test]

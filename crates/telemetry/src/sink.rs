@@ -43,6 +43,7 @@ fn id_fields(id: PacketId) -> String {
 /// {"ev":"depart","t":finish,…id fields…,"arrival":…,"start":…,"finish":…,"eol":true|false}
 /// {"ev":"drop","t":…,…id fields…,"backlog":…,"buffer":…}
 /// {"ev":"heartbeat","t":…,"events":…,"heap":…}
+/// {"ev":"scenario","t":…,"link":…,"kind":"set_sdp","value":…}
 /// ```
 ///
 /// Write errors are sticky: the first failure is remembered, later events
@@ -161,6 +162,16 @@ impl<W: Write> Probe for JsonlSink<W> {
             at.ticks(),
             events_handled,
             heap_depth
+        ));
+    }
+
+    fn on_scenario_event(&mut self, at: Time, link: u16, kind: &'static str, value: f64) {
+        self.line(&format!(
+            "{{\"ev\":\"scenario\",\"t\":{},\"link\":{},\"kind\":\"{}\",\"value\":{}}}",
+            at.ticks(),
+            link,
+            escape(kind),
+            value
         ));
     }
 }
@@ -307,6 +318,19 @@ impl<W: Write> Probe for ChromeTraceSink<W> {
             heap_depth
         ));
     }
+
+    fn on_scenario_event(&mut self, at: Time, link: u16, kind: &'static str, value: f64) {
+        // Global instant (scope "g") so the perturbation is a vertical line
+        // across every class track.
+        self.event(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"scenario\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":0,\"tid\":0,\
+             \"args\":{{\"link\":{},\"value\":{}}}}}",
+            escape(kind),
+            at.ticks(),
+            link,
+            value
+        ));
+    }
 }
 
 #[cfg(test)]
@@ -335,17 +359,18 @@ mod tests {
         );
         p.on_drop(Time::from_ticks(104), id(1, 0, 40), 200, 256);
         p.on_heartbeat(Time::from_ticks(105), 42, 3);
+        p.on_scenario_event(Time::from_ticks(106), 0, "set_sdp", 0.0);
     }
 
     #[test]
     fn jsonl_lines_match_the_documented_vocabulary() {
         let mut sink = JsonlSink::new(Vec::new());
         drive(&mut sink);
-        assert_eq!(sink.lines(), 6);
+        assert_eq!(sink.lines(), 7);
         let bytes = sink.finish().unwrap();
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 6);
+        assert_eq!(lines.len(), 7);
         assert_eq!(
             lines[0],
             "{\"ev\":\"arrival\",\"t\":0,\"span\":0,\"seq\":0,\"class\":1,\"size\":100,\"hop\":0}"
@@ -357,6 +382,10 @@ mod tests {
         assert!(lines[3].contains("\"eol\":true"));
         assert!(lines[4].contains("\"backlog\":200"));
         assert!(lines[5].contains("\"heap\":3"));
+        assert_eq!(
+            lines[6],
+            "{\"ev\":\"scenario\",\"t\":106,\"link\":0,\"kind\":\"set_sdp\",\"value\":0}"
+        );
         // Every line validates against the schema.
         for l in &lines {
             crate::schema::validate_line(l).unwrap();
@@ -383,8 +412,9 @@ mod tests {
         // One begin and one matching end for the departed packet.
         assert_eq!(text.matches("\"ph\":\"b\"").count(), 1);
         assert_eq!(text.matches("\"ph\":\"e\"").count(), 1);
-        // Decision + drop instants, heartbeat counter.
-        assert_eq!(text.matches("\"ph\":\"i\"").count(), 2);
+        // Decision + drop instants, global scenario instant, heartbeat.
+        assert_eq!(text.matches("\"ph\":\"i\"").count(), 3);
+        assert_eq!(text.matches("\"s\":\"g\"").count(), 1);
         assert_eq!(text.matches("\"ph\":\"C\"").count(), 1);
     }
 

@@ -19,6 +19,8 @@
 //! * [`Trace`] — a recorded, mergeable, replayable arrival trace.
 //! * [`SourceStream`] / [`MergedStream`] — iterator-backed generation that
 //!   reproduces [`Trace::generate_per_source`] lazily in O(sources) memory.
+//! * [`SurgedSource`] — piecewise gap rescaling of any source, the workload
+//!   half of dynamic scenarios' load-surge events.
 //! * [`LoadPlan`] — helper that converts (utilization, class shares, link
 //!   rate) into per-class mean interarrivals, as §5 of the paper does.
 #![deny(missing_docs)]
@@ -31,6 +33,7 @@ mod onoff;
 mod sizes;
 mod source;
 mod stream;
+mod surge;
 mod trace;
 
 pub use dist::{u01, DistError, IatDist};
@@ -40,6 +43,7 @@ pub use onoff::OnOffSource;
 pub use sizes::SizeDist;
 pub use source::ClassSource;
 pub use stream::{ArrivalSource, MergedStream, SourceStream};
+pub use surge::SurgedSource;
 pub use trace::{per_source_seed, Trace, TraceEntry};
 
 /// The Pareto shape parameter used throughout the paper's evaluation (§5).

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example lossy_link`
 
-use propdiff::qsim::{run_trace_lossy, LossMode};
+use propdiff::qsim::{LossMode, Session};
 use propdiff::sched::{PlrDropper, SchedulerKind, Sdp};
 use propdiff::simcore::Time;
 use propdiff::stats::Table;
@@ -54,7 +54,9 @@ fn main() {
         ),
     ] {
         let mut s = SchedulerKind::Wtp.build(&sdp, 1.0);
-        let r = run_trace_lossy(s.as_mut(), &trace, 1.0, 6_000, mode);
+        let r = Session::trace(&trace, 1.0)
+            .lossy(6_000, mode)
+            .run(s.as_mut());
         t.row([
             label.to_string(),
             format!("{:.1}%", r.loss_fraction(0) * 100.0),

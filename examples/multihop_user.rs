@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example multihop_user`
 
-use propdiff::netsim::{analyze, packet_time_tolerance, run_study_b, StudyBConfig};
+use propdiff::netsim::{analyze, packet_time_tolerance, Session, StudyBConfig};
 use propdiff::stats::Table;
 
 fn main() {
@@ -34,7 +34,7 @@ fn main() {
         cfg.flow_rate_kbps
     );
 
-    let records = run_study_b(&cfg);
+    let (records, _) = Session::study_b(&cfg).run();
     let result = analyze(&records, cfg.num_classes(), packet_time_tolerance(&cfg));
 
     let mut t = Table::new(["class", "median end-to-end queueing delay (ms)"]);

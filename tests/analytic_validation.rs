@@ -7,7 +7,7 @@
 //! within Monte-Carlo noise.
 
 use propdiff::analytic::Mg1;
-use propdiff::qsim::run_trace;
+use propdiff::qsim::Session;
 use propdiff::sched::{SchedulerKind, Sdp};
 use propdiff::simcore::Time;
 use propdiff::stats::Summary;
@@ -28,7 +28,7 @@ fn simulate(kind: SchedulerKind, rho: f64, fractions: &[f64], seed: u64) -> Vec<
     let mut s = kind.build(&sdp, 1.0);
     let mut acc = vec![Summary::new(); n];
     let warmup = Time::from_ticks(5_000_000);
-    run_trace(s.as_mut(), &trace, 1.0, |d| {
+    Session::trace(&trace, 1.0).run(s.as_mut(), |d| {
         if d.start >= warmup {
             acc[d.packet.class as usize].push(d.wait().as_f64());
         }

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the paper's headline claims, asserted
 //! end-to-end through the public `propdiff` API at reduced scale.
 
-use propdiff::qsim::{run_trace, Experiment};
+use propdiff::qsim::{Experiment, Session};
 use propdiff::sched::{SchedulerKind, Sdp};
 use propdiff::PddSystem;
 
@@ -52,7 +52,7 @@ fn conservation_law_across_all_schedulers() {
     for kind in SchedulerKind::ALL {
         let mut s = kind.build(&Sdp::paper_default(), 1.0);
         let mut total: u128 = 0;
-        run_trace(s.as_mut(), &trace, 1.0, |d| {
+        Session::trace(&trace, 1.0).run(s.as_mut(), |d| {
             total += d.packet.size as u128 * d.wait().ticks() as u128;
         });
         weighted.push((kind.name().to_string(), total));

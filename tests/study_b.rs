@@ -1,7 +1,11 @@
 //! Integration tests for the multi-hop user-perspective study (§6).
 
-use propdiff::netsim::{analyze, packet_time_tolerance, run_study_b, StudyBConfig};
+use propdiff::netsim::{analyze, packet_time_tolerance, ExperimentRecord, Session, StudyBConfig};
 use propdiff::sched::SchedulerKind;
+
+fn run_study_b(cfg: &StudyBConfig) -> Vec<ExperimentRecord> {
+    Session::study_b(cfg).run().0
+}
 
 fn small_cfg(k: usize, rho: f64) -> StudyBConfig {
     let mut cfg = StudyBConfig::paper(k, rho, 10, 200.0);
