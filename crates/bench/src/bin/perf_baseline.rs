@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use experiments::{fig1, table1, Scale};
 use pdd::qsim::{run_trace_on, Departure, Experiment, Session};
-use pdd::sched::{Packet, Scheduler, SchedulerKind, SchedulerVisitor, Sdp, Wtp};
+use pdd::sched::{Packet, RankKind, Scheduler, SchedulerKind, SchedulerVisitor, Sdp, Wtp};
 use pdd::simcore::{Context, Dur, Model, Simulation, Time};
 use pdd::traffic::TraceEntry;
 use pdd_bench::saturate;
@@ -232,8 +232,14 @@ fn observability_overhead() -> (f64, f64, f64) {
 }
 
 fn scheduler_packets_per_sec() -> Vec<(&'static str, f64)> {
+    // The bespoke kinds, plus the rank-core WTP twin as an informational
+    // overhead track against bespoke WTP (no gate; the two are proved
+    // decision-identical by `conformance::rank_diff`, so any gap is pure
+    // core overhead).
     SchedulerKind::ALL
         .iter()
+        .copied()
+        .chain([SchedulerKind::Pifo(RankKind::Wtp)])
         .map(|kind| {
             let secs = best_of(|| {
                 let mut s = kind.build(&Sdp::paper_default(), 1.0);

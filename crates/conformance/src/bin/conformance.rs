@@ -8,7 +8,8 @@
 //! the suite passed. With `--expect-detect` the polarity flips: the run
 //! succeeds only if at least one check FAILS — that mode, combined with
 //! building against `--features mutated` (which flips WTP's tie-break in
-//! `sched`), is the proof that the harness is non-vacuous. CI runs both
+//! `sched`) or `--features mutated-pifo` (which flips the rank core's
+//! tie-break), is the proof that the harness is non-vacuous. CI runs all
 //! polarities.
 
 use std::process::ExitCode;
@@ -34,15 +35,14 @@ fn main() -> ExitCode {
         }
     }
 
-    let mutated = cfg!(feature = "mutated");
-    println!(
-        "conformance suite: {seeds} seed(s) per check{}",
-        if mutated {
-            " [MUTATED build: sched/mutate-wtp-tiebreak active]"
-        } else {
-            ""
-        }
-    );
+    let mutated = if cfg!(feature = "mutated") {
+        " [MUTATED build: sched/mutate-wtp-tiebreak active]"
+    } else if cfg!(feature = "mutated-pifo") {
+        " [MUTATED build: sched/mutate-pifo-rank active]"
+    } else {
+        ""
+    };
+    println!("conformance suite: {seeds} seed(s) per check{mutated}");
 
     let failures = conformance::suite::run_suite(seeds, |_, _, _| {});
 

@@ -18,11 +18,17 @@
 //!   per-class service lag against the exact fluid server
 //!   ([`sched::FluidBpr`]): a few max-packets within draining busy
 //!   periods, float-noise reconciliation whenever the backlog empties.
-//! * [`metamorphic`] — properties over all 11 [`sched::SchedulerKind`]s:
-//!   the Eq. 5 conservation audit on overloaded traffic, exact time/size
+//! * [`metamorphic`] — properties over all 11 bespoke
+//!   [`sched::SchedulerKind`]s plus the rank-core `Pifo(_)` kinds: the
+//!   Eq. 5 conservation audit on overloaded traffic, exact time/size
 //!   rescaling invariance, statistical class-label permutation invariance
 //!   of delay ratios, and `run_trace` ↔ streaming `MergedStream`
 //!   interleave equivalence.
+//! * [`rank_diff`] — the rank-core differential: every bespoke scheduler
+//!   replayed in lockstep against its `sched::rank` PIFO twin, asserting
+//!   bit-identical per-decision winners (via decision-value audits and
+//!   `peek_winner` hooks) and departure timestamps on both the trace and
+//!   streaming replay paths.
 //!
 //! [`suite`] names each check so the `conformance` binary (the **mutation
 //! smoke-runner**) can run them all and prove the net catches a seeded
@@ -38,6 +44,7 @@
 pub mod fluid;
 pub mod metamorphic;
 pub mod oracle;
+pub mod rank_diff;
 pub mod suite;
 
 use rand::rngs::StdRng;

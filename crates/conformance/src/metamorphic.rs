@@ -1,4 +1,5 @@
-//! Metamorphic properties over all 11 [`SchedulerKind`]s.
+//! Metamorphic properties over all 11 bespoke [`SchedulerKind`]s plus the
+//! rank-core `Pifo(_)` kinds.
 //!
 //! Each property transforms a workload in a way with a *known* effect on
 //! the output and fails if the implementation disagrees:
@@ -9,9 +10,10 @@
 //! * **time rescaling** — arrival times ×k and link rate ÷k (k a power of
 //!   two, so every float operation is an exact exponent shift) must scale
 //!   every departure time by exactly k and keep the departure order
-//!   bit-for-bit. Holds for every scheduler except **Additive**, whose
-//!   priority `w + s` is inhomogeneous in time — the paper's own §4.2
-//!   critique of Eq. 3;
+//!   bit-for-bit. Holds for every scheduler except **Additive** (and its
+//!   rank twin), whose priority `w + s` is inhomogeneous in time — the
+//!   paper's own §4.2 critique of Eq. 3 — and **LSTF**, whose slack
+//!   budgets are likewise absolute tick offsets;
 //! * **size rescaling** — sizes ×k and times ×k at fixed rate likewise
 //!   scales delays by k. Additionally excludes **DRR**, whose quantum is a
 //!   fixed 1500 bytes and does not scale with the workload;
@@ -27,7 +29,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use sched::{Scheduler, SchedulerKind, SchedulerVisitor, Sdp};
+use sched::{RankKind, Scheduler, SchedulerKind, SchedulerVisitor, Sdp};
 use simcore::Time;
 use traffic::{ClassSource, IatDist, MergedStream, SizeDist, Trace};
 
@@ -37,7 +39,10 @@ use crate::{class_mean_waits, replay, Arrival};
 /// across every scheduler on the same trace, and nobody loses packets.
 pub fn conservation_audit(sdp: &Sdp, arrivals: &[Arrival]) -> Result<(), String> {
     let mut reference: Option<(&'static str, u128, u64)> = None;
-    for kind in SchedulerKind::ALL {
+    for kind in SchedulerKind::ALL
+        .into_iter()
+        .chain(SchedulerKind::PIFO_ALL)
+    {
         let deps = replay(kind, sdp, arrivals, 1.0);
         if deps.len() != arrivals.len() {
             return Err(format!(
@@ -74,11 +79,23 @@ pub fn conservation_audit(sdp: &Sdp, arrivals: &[Arrival]) -> Result<(), String>
 }
 
 /// Schedulers for which time rescaling is an exact invariance.
+///
+/// Excluded: Additive and its rank twin (priority `w + s` mixes ticks
+/// with dimensionless offsets) and LSTF (slack budgets are absolute tick
+/// offsets) — the same time-inhomogeneity, expressed as a rank.
 pub fn time_rescale_kinds() -> Vec<SchedulerKind> {
     SchedulerKind::ALL
         .iter()
+        .chain(SchedulerKind::PIFO_ALL.iter())
         .copied()
-        .filter(|k| !matches!(k, SchedulerKind::Additive))
+        .filter(|k| {
+            !matches!(
+                k,
+                SchedulerKind::Additive
+                    | SchedulerKind::Pifo(RankKind::Additive)
+                    | SchedulerKind::Pifo(RankKind::Lstf)
+            )
+        })
         .collect()
 }
 
@@ -86,8 +103,17 @@ pub fn time_rescale_kinds() -> Vec<SchedulerKind> {
 pub fn size_rescale_kinds() -> Vec<SchedulerKind> {
     SchedulerKind::ALL
         .iter()
+        .chain(SchedulerKind::PIFO_ALL.iter())
         .copied()
-        .filter(|k| !matches!(k, SchedulerKind::Additive | SchedulerKind::Drr))
+        .filter(|k| {
+            !matches!(
+                k,
+                SchedulerKind::Additive
+                    | SchedulerKind::Drr
+                    | SchedulerKind::Pifo(RankKind::Additive)
+                    | SchedulerKind::Pifo(RankKind::Lstf)
+            )
+        })
         .collect()
 }
 
@@ -242,9 +268,17 @@ pub fn permutation_check(
     Ok(())
 }
 
-/// The proportional schedulers the permutation metamorphic applies to.
-pub fn proportional_kinds() -> [SchedulerKind; 3] {
-    [SchedulerKind::Wtp, SchedulerKind::Pad, SchedulerKind::Hpd]
+/// The proportional schedulers the permutation metamorphic applies to —
+/// the bespoke trio and their rank-core twins.
+pub fn proportional_kinds() -> [SchedulerKind; 6] {
+    [
+        SchedulerKind::Wtp,
+        SchedulerKind::Pad,
+        SchedulerKind::Hpd,
+        SchedulerKind::Pifo(RankKind::Wtp),
+        SchedulerKind::Pifo(RankKind::Pad),
+        SchedulerKind::Pifo(RankKind::Hpd),
+    ]
 }
 
 struct StreamRun {
@@ -358,7 +392,10 @@ mod tests {
     #[test]
     fn interleave_equivalence_for_all_kinds() {
         let sdp = Sdp::paper_default();
-        for kind in SchedulerKind::ALL {
+        for kind in SchedulerKind::ALL
+            .into_iter()
+            .chain(SchedulerKind::PIFO_ALL)
+        {
             interleave_check(kind, &sdp, 21).unwrap();
         }
     }

@@ -20,7 +20,7 @@ use crate::{class_mean_waits, replay, Arrival, Dep};
 
 /// Transmission ticks for `size` bytes at `rate` bytes/tick (the model's
 /// at-least-one-tick rule, restated independently of `qsim`).
-fn tx_ticks(size: u32, rate: f64) -> u64 {
+pub(crate) fn tx_ticks(size: u32, rate: f64) -> u64 {
     ((size as f64 / rate).round() as u64).max(1)
 }
 

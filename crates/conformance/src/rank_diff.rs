@@ -1,0 +1,501 @@
+//! Differential verification of the rank-core twins.
+//!
+//! `sched::rank` re-expresses WTP, PAD, HPD, Additive, Strict and FCFS as
+//! rank functions on one PIFO core. The rewrite is only trustworthy if it
+//! is **bit-identical**: this module replays identical workloads through
+//! each bespoke scheduler and its `Pifo(_)` twin and diffs them at three
+//! independent levels —
+//!
+//! 1. **Lockstep manual drive** — a from-scratch replay loop (the
+//!    [`oracle`](crate::oracle) drive restated) feeding both schedulers
+//!    the same admissions and comparing the dequeued packet at every
+//!    decision instant. Before each decision the rank core's
+//!    [`decision_values`](sched::Scheduler::decision_values) are
+//!    re-argmaxed under the documented tie rule (the
+//!    [`Wtp::peek_winner`](sched::Wtp::peek_winner)-style audit hook), so
+//!    a tie-break drift inside the core is caught even when the ranks
+//!    themselves agree.
+//! 2. **Trace replay** — both kinds through the production
+//!    `qsim::Session` path, diffing the complete departure records
+//!    including start *and finish* timestamps.
+//! 3. **Streaming replay** — both kinds through the monomorphized
+//!    `MergedStream` path (via [`sched::SchedulerVisitor`]), the same
+//!    generator setup the interleave metamorphic uses.
+//!
+//! The WTP pair additionally runs a concrete-type lockstep where
+//! `Wtp::peek_winner` and `PifoCore::peek_winner` are compared directly
+//! at every decision instant ([`lockstep_peek_wtp`]).
+
+use std::fmt;
+
+use sched::{PifoCore, RankKind, Scheduler, SchedulerKind, SchedulerVisitor, Sdp, Wtp, WtpRank};
+use simcore::Time;
+use traffic::{ClassSource, IatDist, MergedStream, SizeDist};
+
+use crate::oracle::tx_ticks;
+use crate::{replay, Arrival};
+
+/// The bespoke↔rank twin pairs, in [`RankKind::ALL`] order (LSTF has no
+/// bespoke twin and is covered by the metamorphic net instead).
+pub fn pairs() -> Vec<(SchedulerKind, SchedulerKind)> {
+    RankKind::ALL
+        .iter()
+        .filter_map(|rk| rk.bespoke_twin().map(|b| (b, SchedulerKind::Pifo(*rk))))
+        .collect()
+}
+
+/// A point where a rank-core twin disagreed with its bespoke scheduler.
+#[derive(Debug, Clone)]
+pub struct RankDivergence {
+    /// The bespoke scheduler.
+    pub bespoke: SchedulerKind,
+    /// Its rank-core twin.
+    pub rank: SchedulerKind,
+    /// Which diff stage caught it.
+    pub stage: &'static str,
+    /// Decision/departure index of the first disagreement.
+    pub index: usize,
+    /// Human-readable specifics (winners, records, audit values).
+    pub detail: String,
+}
+
+impl fmt::Display for RankDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vs {} diverged at {} #{}: {}",
+            self.bespoke.name(),
+            self.rank.name(),
+            self.stage,
+            self.index,
+            self.detail
+        )
+    }
+}
+
+fn divergence(
+    bespoke: SchedulerKind,
+    rank: SchedulerKind,
+    stage: &'static str,
+    index: usize,
+    detail: String,
+) -> RankDivergence {
+    RankDivergence {
+        bespoke,
+        rank,
+        stage,
+        index,
+        detail,
+    }
+}
+
+/// Re-derives the winner from reported decision values under the paper's
+/// tie rule (ties to the **higher** class) — an independent recomputation
+/// of the core's argmax, so a drifted tie-break inside `dequeue` cannot
+/// hide behind agreeing ranks.
+fn argmax_paper_rule(values: &[(usize, f64)]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for &(c, p) in values {
+        match best {
+            Some((_, bp)) if p < bp => {}
+            _ => best = Some((c, p)),
+        }
+    }
+    best.map(|(c, _)| c)
+}
+
+/// Stage 1: lockstep manual drive of `bespoke` and `rank` over the same
+/// time-sorted arrivals at `rate` bytes/tick, diffing per-decision
+/// winners (through the rank core's decision-value audit) and every
+/// dequeued packet.
+pub fn lockstep_diff(
+    bespoke: SchedulerKind,
+    rank: SchedulerKind,
+    sdp: &Sdp,
+    arrivals: &[Arrival],
+    rate: f64,
+) -> Result<(), RankDivergence> {
+    let mut b = bespoke.build(sdp, rate);
+    let mut r = rank.build(sdp, rate);
+    let mut vals: Vec<(usize, f64)> = Vec::new();
+    let mut next = 0usize;
+    let mut free = 0u64;
+    let mut seq = 0u64;
+    let mut index = 0usize;
+    loop {
+        if b.is_empty() {
+            if next >= arrivals.len() {
+                break;
+            }
+            let (t, c, sz) = arrivals[next];
+            next += 1;
+            b.enqueue(sched::Packet::new(seq, c, sz, Time::from_ticks(t)));
+            r.enqueue(sched::Packet::new(seq, c, sz, Time::from_ticks(t)));
+            seq += 1;
+            free = free.max(t);
+        }
+        while next < arrivals.len() && arrivals[next].0 <= free {
+            let (t, c, sz) = arrivals[next];
+            next += 1;
+            b.enqueue(sched::Packet::new(seq, c, sz, Time::from_ticks(t)));
+            r.enqueue(sched::Packet::new(seq, c, sz, Time::from_ticks(t)));
+            seq += 1;
+        }
+        // Decision-instant audit: the rank core's reported values,
+        // re-argmaxed here, must predict the bespoke winner.
+        vals.clear();
+        r.decision_values(Time::from_ticks(free), &mut vals);
+        let predicted = argmax_paper_rule(&vals);
+        let Some(bp) = b.dequeue(Time::from_ticks(free)) else {
+            return Err(divergence(
+                bespoke,
+                rank,
+                "lockstep drive",
+                index,
+                "bespoke scheduler violated work conservation".into(),
+            ));
+        };
+        if predicted != Some(bp.class as usize) {
+            return Err(divergence(
+                bespoke,
+                rank,
+                "decision-instant audit",
+                index,
+                format!(
+                    "at t={free} rank values {vals:?} predict class {predicted:?}, \
+                     bespoke served class {}",
+                    bp.class
+                ),
+            ));
+        }
+        let Some(rp) = r.dequeue(Time::from_ticks(free)) else {
+            return Err(divergence(
+                bespoke,
+                rank,
+                "lockstep drive",
+                index,
+                "rank core empty while bespoke was backlogged".into(),
+            ));
+        };
+        if (bp.seq, bp.class) != (rp.seq, rp.class) {
+            return Err(divergence(
+                bespoke,
+                rank,
+                "lockstep departure",
+                index,
+                format!(
+                    "at t={free} bespoke served (seq {}, class {}), \
+                     rank core served (seq {}, class {}); rank values {vals:?}",
+                    bp.seq, bp.class, rp.seq, rp.class
+                ),
+            ));
+        }
+        index += 1;
+        free += tx_ticks(bp.size, rate);
+    }
+    if !r.is_empty() {
+        return Err(divergence(
+            bespoke,
+            rank,
+            "lockstep drive",
+            index,
+            "rank core still backlogged after bespoke drained".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// The WTP pair's concrete-type lockstep: `Wtp::peek_winner` and
+/// `PifoCore::peek_winner` compared directly at every decision instant,
+/// then both dequeued — no trait objects, no derived argmax.
+pub fn lockstep_peek_wtp(sdp: &Sdp, arrivals: &[Arrival], rate: f64) -> Result<(), String> {
+    let mut b = Wtp::new(sdp.clone());
+    let mut r = PifoCore::new(sdp.num_classes(), WtpRank::new(sdp.clone()));
+    let mut next = 0usize;
+    let mut free = 0u64;
+    let mut seq = 0u64;
+    let mut index = 0usize;
+    loop {
+        if b.is_empty() {
+            if next >= arrivals.len() {
+                break;
+            }
+            let (t, c, sz) = arrivals[next];
+            next += 1;
+            b.enqueue(sched::Packet::new(seq, c, sz, Time::from_ticks(t)));
+            r.enqueue(sched::Packet::new(seq, c, sz, Time::from_ticks(t)));
+            seq += 1;
+            free = free.max(t);
+        }
+        while next < arrivals.len() && arrivals[next].0 <= free {
+            let (t, c, sz) = arrivals[next];
+            next += 1;
+            b.enqueue(sched::Packet::new(seq, c, sz, Time::from_ticks(t)));
+            r.enqueue(sched::Packet::new(seq, c, sz, Time::from_ticks(t)));
+            seq += 1;
+        }
+        let now = Time::from_ticks(free);
+        let bw = b.peek_winner(now);
+        let rw = r.peek_winner(now);
+        if bw != rw {
+            return Err(format!(
+                "peek_winner diverged at decision #{index} (t={free}): \
+                 Wtp peeks {bw:?}, PIFO(WTP) peeks {rw:?}"
+            ));
+        }
+        let bp = b.dequeue(now).expect("backlogged");
+        let rp = r.dequeue(now).expect("backlogged");
+        if (bp.seq, bp.class) != (rp.seq, rp.class) {
+            return Err(format!(
+                "dequeue diverged at decision #{index} (t={free}): \
+                 Wtp served (seq {}, class {}), PIFO(WTP) served (seq {}, class {})",
+                bp.seq, bp.class, rp.seq, rp.class
+            ));
+        }
+        index += 1;
+        free += tx_ticks(bp.size, rate);
+    }
+    Ok(())
+}
+
+/// Stage 2: both kinds through the production `qsim::Session` trace path;
+/// the complete departure records — sequence, class, size, arrival,
+/// start and finish ticks — must be identical.
+pub fn replay_diff(
+    bespoke: SchedulerKind,
+    rank: SchedulerKind,
+    sdp: &Sdp,
+    arrivals: &[Arrival],
+    rate: f64,
+) -> Result<(), RankDivergence> {
+    let b = replay(bespoke, sdp, arrivals, rate);
+    let r = replay(rank, sdp, arrivals, rate);
+    if b.len() != r.len() {
+        return Err(divergence(
+            bespoke,
+            rank,
+            "trace replay",
+            b.len().min(r.len()),
+            format!("departure counts differ: {} vs {}", b.len(), r.len()),
+        ));
+    }
+    for (i, (db, dr)) in b.iter().zip(&r).enumerate() {
+        if db != dr {
+            return Err(divergence(
+                bespoke,
+                rank,
+                "trace replay",
+                i,
+                format!("bespoke {db:?}, rank core {dr:?}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+struct StreamDeps {
+    sources: Vec<ClassSource>,
+    seed: u64,
+    horizon: Time,
+}
+
+impl SchedulerVisitor for StreamDeps {
+    type Out = Vec<(u64, u8, u64, u64)>;
+    fn visit<S: Scheduler>(self, mut s: S) -> Self::Out {
+        let stream = MergedStream::per_source(self.sources, self.seed, self.horizon);
+        let mut out = Vec::new();
+        qsim::run_trace_on(&mut s, stream, 1.0, |d| {
+            out.push((
+                d.packet.seq,
+                d.packet.class,
+                d.start.ticks(),
+                d.finish.ticks(),
+            ));
+        });
+        out
+    }
+}
+
+fn stream_sources() -> Vec<ClassSource> {
+    (0..4u8)
+        .map(|c| {
+            ClassSource::new(
+                c,
+                IatDist::paper_pareto(600.0 * (c as f64 + 1.0)).expect("valid mean"),
+                SizeDist::paper(),
+            )
+        })
+        .collect()
+}
+
+/// Stage 3: both kinds through the streaming `MergedStream` replay path
+/// (monomorphized), on four heterogeneous Pareto sources derived from
+/// `seed`; departure records must be identical.
+pub fn stream_diff(
+    bespoke: SchedulerKind,
+    rank: SchedulerKind,
+    sdp: &Sdp,
+    seed: u64,
+) -> Result<(), RankDivergence> {
+    let horizon = Time::from_ticks(200_000);
+    let b = bespoke.build_and_visit(
+        sdp,
+        1.0,
+        StreamDeps {
+            sources: stream_sources(),
+            seed,
+            horizon,
+        },
+    );
+    let r = rank.build_and_visit(
+        sdp,
+        1.0,
+        StreamDeps {
+            sources: stream_sources(),
+            seed,
+            horizon,
+        },
+    );
+    if b != r {
+        let first = b
+            .iter()
+            .zip(&r)
+            .position(|(x, y)| x != y)
+            .unwrap_or(b.len().min(r.len()));
+        return Err(divergence(
+            bespoke,
+            rank,
+            "streaming replay",
+            first,
+            format!(
+                "bespoke {:?}, rank core {:?} (counts {} vs {})",
+                b.get(first),
+                r.get(first),
+                b.len(),
+                r.len()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Runs all three stages for one twin pair on one workload. Also verifies
+/// the trace consumed by stage 2 is well-formed (time-sorted) before
+/// replaying.
+pub fn diff_pair(
+    bespoke: SchedulerKind,
+    rank: SchedulerKind,
+    sdp: &Sdp,
+    arrivals: &[Arrival],
+    rate: f64,
+    seed: u64,
+) -> Result<(), RankDivergence> {
+    lockstep_diff(bespoke, rank, sdp, arrivals, rate)?;
+    replay_diff(bespoke, rank, sdp, arrivals, rate)?;
+    stream_diff(bespoke, rank, sdp, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{overloaded_arrivals, uniform_overloaded_arrivals};
+
+    #[test]
+    fn six_twin_pairs_exist() {
+        let p = pairs();
+        assert_eq!(p.len(), 6);
+        assert!(p
+            .iter()
+            .all(|(b, r)| matches!(r, SchedulerKind::Pifo(_))
+                && !matches!(b, SchedulerKind::Pifo(_))));
+        // LSTF is rank-only.
+        assert!(RankKind::Lstf.bespoke_twin().is_none());
+    }
+
+    #[test]
+    #[cfg_attr(
+        feature = "mutated",
+        ignore = "the bespoke WTP tie-break is deliberately mutated"
+    )]
+    #[cfg_attr(
+        feature = "mutated-pifo",
+        ignore = "the rank-core tie-break is deliberately mutated"
+    )]
+    fn every_twin_is_bit_identical_on_overload() {
+        let sdp = Sdp::paper_default();
+        for seed in 0..4 {
+            // Tie-rich overload: same-tick batches across classes.
+            let arrivals = overloaded_arrivals(seed, 300);
+            for (b, r) in pairs() {
+                diff_pair(b, r, &sdp, &arrivals, 1.0, seed)
+                    .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+            }
+        }
+    }
+
+    #[test]
+    #[cfg_attr(
+        feature = "mutated",
+        ignore = "the bespoke WTP tie-break is deliberately mutated"
+    )]
+    #[cfg_attr(
+        feature = "mutated-pifo",
+        ignore = "the rank-core tie-break is deliberately mutated"
+    )]
+    fn every_twin_is_bit_identical_on_uniform_ties() {
+        // Uniform sizes maximize exact priority collisions.
+        let sdp = Sdp::paper_default();
+        for seed in 0..4 {
+            let arrivals = uniform_overloaded_arrivals(seed, 300);
+            for (b, r) in pairs() {
+                diff_pair(b, r, &sdp, &arrivals, 1.0, seed)
+                    .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+            }
+        }
+    }
+
+    #[test]
+    #[cfg_attr(
+        feature = "mutated",
+        ignore = "the bespoke WTP tie-break is deliberately mutated"
+    )]
+    #[cfg_attr(
+        feature = "mutated-pifo",
+        ignore = "the rank-core tie-break is deliberately mutated"
+    )]
+    fn wtp_peek_winner_lockstep_is_clean() {
+        let sdp = Sdp::paper_default();
+        for seed in 0..4 {
+            lockstep_peek_wtp(&sdp, &overloaded_arrivals(seed, 300), 1.0)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "mutated-pifo")]
+    fn seeded_rank_mutation_is_caught() {
+        // The flipped tie-break must surface as a divergence on a
+        // tie-rich workload, through the lockstep stage.
+        let sdp = Sdp::paper_default();
+        let caught = (0..4).any(|seed| {
+            let arrivals = uniform_overloaded_arrivals(seed, 300);
+            pairs()
+                .iter()
+                .any(|&(b, r)| diff_pair(b, r, &sdp, &arrivals, 1.0, seed).is_err())
+        });
+        assert!(caught, "rank_diff failed to catch mutate-pifo-rank");
+    }
+
+    #[test]
+    fn divergence_display_names_both_schedulers() {
+        let d = divergence(
+            SchedulerKind::Wtp,
+            SchedulerKind::Pifo(RankKind::Wtp),
+            "trace replay",
+            7,
+            "example".into(),
+        );
+        let msg = d.to_string();
+        assert!(msg.contains("WTP") && msg.contains("PIFO(WTP)") && msg.contains("#7"));
+    }
+}

@@ -13,7 +13,7 @@ use crate::metamorphic::{
 };
 use crate::oracle::{diff_wtp, feasibility_witness, oracle_self_check};
 use crate::overloaded_arrivals;
-use crate::{fluid, Arrival};
+use crate::{fluid, rank_diff, Arrival};
 
 /// One named conformance check, runnable on any seed.
 pub struct Check {
@@ -95,6 +95,32 @@ fn check_permutation(seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+fn check_rank_twins(seed: u64) -> Result<(), String> {
+    let sdp = Sdp::paper_default();
+    // Two workload families: size-mixed overload and uniform sizes (the
+    // latter maximizes exact priority ties, the rank core's sharp edge).
+    for arrivals in [
+        workload(seed),
+        crate::uniform_overloaded_arrivals(seed, 300),
+    ] {
+        for (bespoke, rank) in rank_diff::pairs() {
+            rank_diff::lockstep_diff(bespoke, rank, &sdp, &arrivals, 1.0)
+                .and_then(|()| rank_diff::replay_diff(bespoke, rank, &sdp, &arrivals, 1.0))
+                .map_err(|d| d.to_string())?;
+        }
+        rank_diff::lockstep_peek_wtp(&sdp, &arrivals, 1.0)?;
+    }
+    Ok(())
+}
+
+fn check_rank_stream(seed: u64) -> Result<(), String> {
+    let sdp = Sdp::paper_default();
+    for (bespoke, rank) in rank_diff::pairs() {
+        rank_diff::stream_diff(bespoke, rank, &sdp, seed).map_err(|d| d.to_string())?;
+    }
+    Ok(())
+}
+
 /// Every check in the suite, in execution order (cheapest first).
 pub fn all_checks() -> Vec<Check> {
     vec![
@@ -125,6 +151,14 @@ pub fn all_checks() -> Vec<Check> {
         Check {
             name: "eq7-feasibility-witness",
             run: check_feasibility,
+        },
+        Check {
+            name: "rank-twin-diff",
+            run: check_rank_twins,
+        },
+        Check {
+            name: "rank-stream-diff",
+            run: check_rank_stream,
         },
         Check {
             name: "interleave-equivalence",
@@ -177,6 +211,10 @@ mod tests {
         feature = "mutated",
         ignore = "the suite intentionally fails under the seeded mutation"
     )]
+    #[cfg_attr(
+        feature = "mutated-pifo",
+        ignore = "the suite intentionally fails under the seeded rank mutation"
+    )]
     fn full_suite_passes_clean() {
         let failures = run_suite(3, |_, _, _| {});
         assert!(failures.is_empty(), "{failures:#?}");
@@ -189,6 +227,16 @@ mod tests {
         assert!(
             failures.iter().any(|f| f.check == "wtp-oracle-diff"),
             "the oracle diff must catch the flipped tie-break; failures: {failures:#?}"
+        );
+    }
+
+    #[test]
+    #[cfg(feature = "mutated-pifo")]
+    fn full_suite_catches_the_pifo_mutation() {
+        let failures = run_suite(3, |_, _, _| {});
+        assert!(
+            failures.iter().any(|f| f.check == "rank-twin-diff"),
+            "rank_diff must catch the flipped rank-core tie-break; failures: {failures:#?}"
         );
     }
 }

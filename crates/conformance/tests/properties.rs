@@ -9,7 +9,7 @@ use conformance::metamorphic::{
     time_rescale_kinds,
 };
 use conformance::oracle::{diff_wtp, feasibility_witness, oracle_self_check};
-use conformance::Arrival;
+use conformance::{rank_diff, Arrival};
 use proptest::prelude::*;
 use sched::{SchedulerKind, Sdp};
 
@@ -71,6 +71,40 @@ proptest! {
         let arrivals = sorted(slots.iter().map(|&(t, c, s)| (t * 500, c, s)).collect());
         if let Err(d) = diff_wtp(&Sdp::paper_default(), &arrivals, 1.0) {
             prop_assert!(false, "{d}");
+        }
+    }
+
+    /// Every bespoke scheduler and its rank-core twin are bit-identical —
+    /// per-decision winners via the decision-value audit, full departure
+    /// records via the production trace path.
+    #[test]
+    fn prop_rank_twins_match_bespoke(arrivals in arrivals_strategy()) {
+        let arrivals = sorted(arrivals);
+        let sdp = Sdp::paper_default();
+        for (bespoke, rank) in rank_diff::pairs() {
+            if let Err(d) = rank_diff::lockstep_diff(bespoke, rank, &sdp, &arrivals, 1.0)
+                .and_then(|()| rank_diff::replay_diff(bespoke, rank, &sdp, &arrivals, 1.0))
+            {
+                prop_assert!(false, "{d}");
+            }
+        }
+    }
+
+    /// Same differential on tie-rich batched traffic. Under the seeded
+    /// `mutated-pifo` feature this is the test that fails — and shrinks
+    /// the workload to a minimal same-tick counterexample before
+    /// reporting it.
+    #[test]
+    fn prop_rank_twins_match_on_tie_bursts(slots in tie_rich_strategy()) {
+        let arrivals = sorted(slots.iter().map(|&(t, c, s)| (t * 500, c, s)).collect());
+        let sdp = Sdp::paper_default();
+        for (bespoke, rank) in rank_diff::pairs() {
+            if let Err(d) = rank_diff::lockstep_diff(bespoke, rank, &sdp, &arrivals, 1.0) {
+                prop_assert!(false, "{d}");
+            }
+        }
+        if let Err(e) = rank_diff::lockstep_peek_wtp(&sdp, &arrivals, 1.0) {
+            prop_assert!(false, "{e}");
         }
     }
 

@@ -3,7 +3,7 @@
 //!
 //! The paper evaluates stationary workloads; this study perturbs a running
 //! Study-A link mid-flight through the [`Session`] scenario axis and
-//! measures, with [`stats::reconvergence_times`], how long each
+//! measures, with [`pdd::stats::reconvergence_times`], how long each
 //! successive-class delay ratio d̄ᵢ/d̄ᵢ₊₁ takes to re-enter (and stay
 //! inside) a tolerance band around its target:
 //!

@@ -17,6 +17,7 @@
 //! | [`table1`] | Table 1 — end-to-end R_D over the Fig.-6 topology |
 //! | [`ablations`] | scheduler shoot-out, feasibility region, starvation, moderate-load undershoot |
 //! | [`dynamics`] | reconvergence after live perturbations (SDP step, link flap) |
+//! | [`rank`] | LSTF universality probe — static-slack LSTF vs WTP over the Fig.-1 grid |
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
@@ -26,6 +27,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod fig45;
+pub mod rank;
 pub mod table1;
 
 /// How big to run an experiment.

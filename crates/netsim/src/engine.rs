@@ -807,6 +807,47 @@ mod tests {
     }
 
     #[test]
+    fn rank_core_twin_is_exact_through_the_mesh() {
+        use sched::{RankKind, SchedulerKind};
+        // The rank-core WTP twin is bit-identical to bespoke WTP per
+        // decision (see `conformance::rank_diff`), so swapping every hop's
+        // scheduler must reproduce the exact same multi-hop waits.
+        let mut wtp = tiny(3, 0.95);
+        wtp.experiments = 4;
+        let mut pifo = wtp.clone();
+        pifo.link_schedulers = Some(vec![SchedulerKind::Pifo(RankKind::Wtp); 3]);
+        let waits = |recs: &[ExperimentRecord]| -> Vec<Vec<Vec<u64>>> {
+            recs.iter().map(|r| r.per_class_waits.clone()).collect()
+        };
+        let w_wtp = waits(&crate::Session::study_b(&wtp).run().0);
+        let w_pifo = waits(&crate::Session::study_b(&pifo).run().0);
+        assert_eq!(w_wtp, w_pifo, "rank-core twin diverged through the mesh");
+    }
+
+    #[test]
+    fn lstf_hop_schedules_through_the_mesh() {
+        use sched::{RankKind, SchedulerKind};
+        // LSTF has no bespoke twin; this exercises the new kind through
+        // the full multi-hop engine and checks it still delivers and
+        // orders the classes.
+        let mut cfg = tiny(2, 0.95);
+        cfg.experiments = 6;
+        cfg.link_schedulers = Some(vec![SchedulerKind::Pifo(RankKind::Lstf); 2]);
+        let recs = crate::Session::study_b(&cfg).run().0;
+        assert_eq!(recs.len(), 6);
+        let mut mean = [0.0f64; 4];
+        for r in &recs {
+            for (c, m) in mean.iter_mut().enumerate() {
+                *m += r.per_class_waits[c].iter().sum::<u64>() as f64;
+            }
+        }
+        // Smaller slack budgets for higher classes ⇒ lower waits.
+        for c in 0..3 {
+            assert!(mean[c] > mean[c + 1], "LSTF broke class ordering: {mean:?}");
+        }
+    }
+
+    #[test]
     fn ecn_sources_self_regulate_queues() {
         use crate::config::CrossModel;
         // Open-loop Pareto at ρ=0.98 builds deep queues; the same target

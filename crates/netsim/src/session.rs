@@ -41,7 +41,7 @@ pub struct MeshWorkload<'a> {
 }
 
 /// A composable network simulation run: workload × probe × scenario. See
-/// the [module docs](self) for the axes.
+/// the crate docs for the axes.
 #[derive(Debug)]
 pub struct Session<W, P = NoopProbe> {
     workload: W,

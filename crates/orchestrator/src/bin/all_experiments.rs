@@ -24,4 +24,6 @@ fn main() {
     println!("{}", experiments::ablations::render_analytic(&an));
     let mp = experiments::ablations::mixed_path(scale);
     println!("{}", experiments::ablations::render_mixed_path(&mp));
+    println!("{}", experiments::dynamics::run(scale).render());
+    println!("{}", experiments::rank::run(scale).render());
 }

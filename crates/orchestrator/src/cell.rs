@@ -1,7 +1,7 @@
 //! One cell of the experiment sweep: its identity, its parameters as
 //! canonical JSON (the cache key input), and its execution.
 
-use experiments::{ablations, dynamics, fig1, fig2, fig3, fig45, table1, Scale};
+use experiments::{ablations, dynamics, fig1, fig2, fig3, fig45, rank, table1, Scale};
 use pdd::netsim::StudyBConfig;
 use pdd::sched::SchedulerKind;
 use pdd::telemetry::{CountingProbe, MetricsReport};
@@ -89,6 +89,14 @@ pub enum CellSpec {
         /// The perturbation injected at mid-horizon.
         perturbation: dynamics::Perturbation,
     },
+    /// One (SDP spacing, utilization) point of the LSTF universality probe
+    /// (static-slack LSTF rank core vs WTP).
+    Rank {
+        /// Successive-class spacing ratio (the target ratio).
+        sdp_ratio: f64,
+        /// Link utilization ρ.
+        utilization: f64,
+    },
 }
 
 /// Formats an f64 parameter compactly and losslessly for ids/keys.
@@ -116,6 +124,7 @@ impl CellSpec {
             CellSpec::Analytic => "analytic",
             CellSpec::MixedPath { .. } => "mixed-path",
             CellSpec::Dynamics { .. } => "dynamics",
+            CellSpec::Rank { .. } => "rank",
         }
     }
 
@@ -166,6 +175,14 @@ impl CellSpec {
             CellSpec::Dynamics { kind, perturbation } => {
                 format!("dynamics-{}-{}", kind_slug(*kind), perturbation.name())
             }
+            CellSpec::Rank {
+                sdp_ratio,
+                utilization,
+            } => sanitize(format!(
+                "rank-s{}-u{}",
+                fmt_f64(*sdp_ratio),
+                fmt_f64(*utilization)
+            )),
         }
     }
 
@@ -219,6 +236,13 @@ impl CellSpec {
                 pairs.push(("scheduler", Json::Str(kind.name().into())));
                 pairs.push(("perturbation", Json::Str(perturbation.name().into())));
             }
+            CellSpec::Rank {
+                sdp_ratio,
+                utilization,
+            } => {
+                pairs.push(("sdp_ratio", Json::num(*sdp_ratio)));
+                pairs.push(("utilization", Json::num(*utilization)));
+            }
             CellSpec::Shootout | CellSpec::Starvation | CellSpec::Additive | CellSpec::Analytic => {
             }
         }
@@ -226,8 +250,8 @@ impl CellSpec {
     }
 
     /// Runs the cell at `scale`, returning its result as JSON plus — for
-    /// the probed harnesses (fig1, fig2, table1) — the run's telemetry
-    /// snapshot for progress reporting.
+    /// the probed harnesses (fig1, fig2, table1, rank) — the run's
+    /// telemetry snapshot for progress reporting.
     pub fn execute(&self, scale: Scale) -> (Json, Option<MetricsReport>) {
         match self {
             CellSpec::Fig1 {
@@ -495,6 +519,22 @@ impl CellSpec {
                     None,
                 )
             }
+            CellSpec::Rank {
+                sdp_ratio,
+                utilization,
+            } => {
+                let mut probe = CountingProbe::new(4);
+                let row = rank::cell_probed(*sdp_ratio, *utilization, scale, &mut probe);
+                (
+                    Json::obj(vec![
+                        ("sdp_ratio", Json::num(row.sdp_ratio)),
+                        ("utilization", Json::num(row.utilization)),
+                        ("lstf", Json::nums(&row.lstf)),
+                        ("wtp", Json::nums(&row.wtp)),
+                    ]),
+                    Some(probe.report()),
+                )
+            }
         }
     }
 
@@ -503,7 +543,10 @@ impl CellSpec {
     pub fn is_probed(&self) -> bool {
         matches!(
             self,
-            CellSpec::Fig1 { .. } | CellSpec::Fig2 { .. } | CellSpec::Table1 { .. }
+            CellSpec::Fig1 { .. }
+                | CellSpec::Fig2 { .. }
+                | CellSpec::Table1 { .. }
+                | CellSpec::Rank { .. }
         )
     }
 }

@@ -2,7 +2,7 @@
 //! list of [`CellSpec`]s built from the experiment crate's own sweep
 //! constants, so the manifest can never drift from the harness.
 
-use experiments::{ablations, dynamics, fig1, fig2};
+use experiments::{ablations, dynamics, fig1, fig2, rank};
 use pdd::sched::SchedulerKind;
 
 use crate::cell::CellSpec;
@@ -17,7 +17,7 @@ pub struct Manifest {
 }
 
 /// The suite names [`suite`] accepts, in canonical order.
-pub const SUITES: [&str; 17] = [
+pub const SUITES: [&str; 18] = [
     "all",
     "figures",
     "ablations",
@@ -35,6 +35,7 @@ pub const SUITES: [&str; 17] = [
     "analytic",
     "mixed-path",
     "dynamics",
+    "rank",
 ];
 
 fn fig1_cells() -> Vec<CellSpec> {
@@ -144,6 +145,19 @@ fn dynamics_cells() -> Vec<CellSpec> {
     cells
 }
 
+fn rank_cells() -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for &sdp_ratio in &rank::SDP_RATIOS {
+        for &utilization in &fig1::UTILIZATIONS {
+            cells.push(CellSpec::Rank {
+                sdp_ratio,
+                utilization,
+            });
+        }
+    }
+    cells
+}
+
 fn figures_cells() -> Vec<CellSpec> {
     let mut cells = fig1_cells();
     cells.extend(fig2_cells());
@@ -163,14 +177,15 @@ fn ablation_cells() -> Vec<CellSpec> {
     cells.push(CellSpec::Analytic);
     cells.extend(mixed_path_cells());
     cells.extend(dynamics_cells());
+    cells.extend(rank_cells());
     cells
 }
 
 /// Builds the manifest for a suite name, or `None` for an unknown name.
 ///
 /// `figures` covers Figures 1–5 + Table 1; `ablations` the eight ablation
-/// studies plus the dynamics reconvergence study; `all` both; the
-/// remaining names select one experiment each.
+/// studies plus the dynamics reconvergence study and the LSTF rank probe;
+/// `all` both; the remaining names select one experiment each.
 pub fn suite(name: &str) -> Option<Manifest> {
     let cells = match name {
         "all" => {
@@ -194,6 +209,7 @@ pub fn suite(name: &str) -> Option<Manifest> {
         "analytic" => vec![CellSpec::Analytic],
         "mixed-path" => mixed_path_cells(),
         "dynamics" => dynamics_cells(),
+        "rank" => rank_cells(),
         _ => return None,
     };
     Some(Manifest {
@@ -227,7 +243,8 @@ mod tests {
         assert_eq!(suite("table1").unwrap().cells.len(), 16);
         assert_eq!(suite("feasibility").unwrap().cells.len(), 18);
         assert_eq!(suite("dynamics").unwrap().cells.len(), 4);
+        assert_eq!(suite("rank").unwrap().cells.len(), 14);
         assert_eq!(figures, 48);
-        assert_eq!(ablations, 38);
+        assert_eq!(ablations, 52);
     }
 }

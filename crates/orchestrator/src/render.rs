@@ -34,6 +34,7 @@ pub fn generated_blocks(merged: &Json) -> Vec<(String, String)> {
     push(&mut blocks, "analytic", analytic_table(merged));
     push(&mut blocks, "mixed-path", mixed_path_table(merged));
     push(&mut blocks, "dynamics", dynamics_table(merged));
+    push(&mut blocks, "rank", rank_table(merged));
     blocks
 }
 
@@ -639,6 +640,52 @@ fn dynamics_table(merged: &Json) -> Option<String> {
             "2/3 (p-units)",
             "3/4 (p-units)",
             "mean",
+        ],
+        rows,
+    ))
+}
+
+fn rank_table(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "rank");
+    if cells.is_empty() {
+        return None;
+    }
+    let dev = |r: &Json, key: &str, target: f64| -> String {
+        let ratios: Vec<f64> = r
+            .get(key)
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+            .iter()
+            .filter_map(Json::as_f64)
+            .collect();
+        if ratios.is_empty() || target == 0.0 {
+            return "—".into();
+        }
+        let mean =
+            ratios.iter().map(|v| (v / target - 1.0).abs()).sum::<f64>() / ratios.len() as f64;
+        format!("{:.0}%", mean * 100.0)
+    };
+    let rows = cells
+        .iter()
+        .map(|c| {
+            let r = result(c);
+            let target = r.get("sdp_ratio").and_then(Json::as_f64).unwrap_or(0.0);
+            let mut row = vec![
+                format!("{target:.0}"),
+                format!(
+                    "{:.1}%",
+                    r.get("utilization").and_then(Json::as_f64).unwrap_or(0.0) * 100.0
+                ),
+            ];
+            row.extend(ratio_cells(r, "lstf"));
+            row.push(dev(r, "lstf", target));
+            row.push(dev(r, "wtp", target));
+            row
+        })
+        .collect();
+    Some(markdown_table(
+        &[
+            "target", "util", "LSTF 1/2", "LSTF 2/3", "LSTF 3/4", "LSTF dev", "WTP dev",
         ],
         rows,
     ))

@@ -299,7 +299,10 @@ mod tests {
             (30, 2, 550),
             (2000, 0, 40),
         ]);
-        for kind in SchedulerKind::ALL {
+        for kind in SchedulerKind::ALL
+            .into_iter()
+            .chain(SchedulerKind::PIFO_ALL)
+        {
             let mut plain = Vec::new();
             let mut s = kind.build(&Sdp::paper_default(), 1.0);
             crate::Session::trace(&tr, 1.0).run(s.as_mut(), |d| {
@@ -331,7 +334,10 @@ mod tests {
             (30, 2, 550),
             (2000, 0, 40),
         ]);
-        for kind in SchedulerKind::ALL {
+        for kind in SchedulerKind::ALL
+            .into_iter()
+            .chain(SchedulerKind::PIFO_ALL)
+        {
             let mut s = kind.build(&Sdp::paper_default(), 1.0);
             let mut n = 0;
             crate::Session::trace(&tr, 1.0).run(s.as_mut(), |_| n += 1);

@@ -62,7 +62,7 @@ pub struct SourcesWorkload<'a> {
 }
 
 /// A composable single-link simulation run: workload × probe × scenario
-/// (× buffer). See the [module docs](self) for the axes.
+/// (× buffer). See the crate docs for the axes.
 #[derive(Debug)]
 pub struct Session<W, P = NoopProbe> {
     workload: W,

@@ -11,6 +11,7 @@ use crate::drr::Drr;
 use crate::fcfs::Fcfs;
 use crate::hpd::Hpd;
 use crate::pad::Pad;
+use crate::rank::RankKind;
 use crate::scfq::Scfq;
 use crate::scheduler::Scheduler;
 use crate::strict::StrictPriority;
@@ -43,6 +44,8 @@ pub enum SchedulerKind {
     Pad,
     /// Hybrid Proportional Delay with g = 0.875 (extension).
     Hpd,
+    /// A rank-function discipline on the PIFO core (`sched::rank`).
+    Pifo(RankKind),
 }
 
 impl SchedulerKind {
@@ -59,6 +62,20 @@ impl SchedulerKind {
         SchedulerKind::Bpr,
         SchedulerKind::Pad,
         SchedulerKind::Hpd,
+    ];
+
+    /// Every rank-core kind, in [`RankKind::ALL`] order. Kept separate
+    /// from [`SchedulerKind::ALL`] so the paper-report iterations stay
+    /// over the eleven bespoke schedulers; conformance and the `rank`
+    /// experiment suite iterate this list.
+    pub const PIFO_ALL: [SchedulerKind; 7] = [
+        SchedulerKind::Pifo(RankKind::Fcfs),
+        SchedulerKind::Pifo(RankKind::Strict),
+        SchedulerKind::Pifo(RankKind::Additive),
+        SchedulerKind::Pifo(RankKind::Wtp),
+        SchedulerKind::Pifo(RankKind::Pad),
+        SchedulerKind::Pifo(RankKind::Hpd),
+        SchedulerKind::Pifo(RankKind::Lstf),
     ];
 
     /// Builds a boxed scheduler.
@@ -81,6 +98,7 @@ impl SchedulerKind {
             SchedulerKind::Additive => Box::new(Additive::new(sdp.clone())),
             SchedulerKind::Pad => Box::new(Pad::new(sdp.clone())),
             SchedulerKind::Hpd => Box::new(Hpd::with_default_g(sdp.clone())),
+            SchedulerKind::Pifo(rk) => rk.build(sdp),
         }
     }
 
@@ -104,6 +122,7 @@ impl SchedulerKind {
             SchedulerKind::Additive => v.visit(Additive::new(sdp.clone())),
             SchedulerKind::Pad => v.visit(Pad::new(sdp.clone())),
             SchedulerKind::Hpd => v.visit(Hpd::with_default_g(sdp.clone())),
+            SchedulerKind::Pifo(rk) => rk.build_and_visit(sdp, v),
         }
     }
 
@@ -121,6 +140,7 @@ impl SchedulerKind {
             SchedulerKind::Additive => "Additive",
             SchedulerKind::Pad => "PAD",
             SchedulerKind::Hpd => "HPD",
+            SchedulerKind::Pifo(rk) => rk.name(),
         }
     }
 }
@@ -157,8 +177,17 @@ impl FromStr for SchedulerKind {
             "additive" => Ok(SchedulerKind::Additive),
             "pad" => Ok(SchedulerKind::Pad),
             "hpd" => Ok(SchedulerKind::Hpd),
+            // Rank-core kinds: both the display form ("pifo(wtp)") and the
+            // filesystem-safe slug ("pifo-wtp") parse.
+            "pifo(fcfs)" | "pifo-fcfs" => Ok(SchedulerKind::Pifo(RankKind::Fcfs)),
+            "pifo(strict)" | "pifo-strict" => Ok(SchedulerKind::Pifo(RankKind::Strict)),
+            "pifo(additive)" | "pifo-additive" => Ok(SchedulerKind::Pifo(RankKind::Additive)),
+            "pifo(wtp)" | "pifo-wtp" => Ok(SchedulerKind::Pifo(RankKind::Wtp)),
+            "pifo(pad)" | "pifo-pad" => Ok(SchedulerKind::Pifo(RankKind::Pad)),
+            "pifo(hpd)" | "pifo-hpd" => Ok(SchedulerKind::Pifo(RankKind::Hpd)),
+            "lstf" | "pifo(lstf)" | "pifo-lstf" => Ok(SchedulerKind::Pifo(RankKind::Lstf)),
             other => Err(format!(
-                "unknown scheduler '{other}' (expected one of: fcfs, strict, wtp, bpr, wfq, wf2q, scfq, drr, additive, pad, hpd)"
+                "unknown scheduler '{other}' (expected one of: fcfs, strict, wtp, bpr, wfq, wf2q, scfq, drr, additive, pad, hpd, pifo-<rank>, lstf)"
             )),
         }
     }
@@ -173,7 +202,10 @@ mod tests {
     #[test]
     fn every_kind_builds_and_round_trips() {
         let sdp = Sdp::paper_default();
-        for kind in SchedulerKind::ALL {
+        for kind in SchedulerKind::ALL
+            .into_iter()
+            .chain(SchedulerKind::PIFO_ALL)
+        {
             let mut s = kind.build(&sdp, 1.0);
             assert_eq!(s.num_classes(), 4);
             assert_eq!(s.name(), kind.name());
@@ -188,6 +220,40 @@ mod tests {
     #[test]
     fn from_str_rejects_unknown() {
         assert!("nope".parse::<SchedulerKind>().is_err());
+        assert!("pifo(bpr)".parse::<SchedulerKind>().is_err());
+    }
+
+    #[test]
+    fn pifo_slugs_parse_to_their_kind() {
+        for rk in RankKind::ALL {
+            assert_eq!(
+                rk.slug().parse::<SchedulerKind>().unwrap(),
+                SchedulerKind::Pifo(rk),
+                "{}",
+                rk.slug()
+            );
+        }
+    }
+
+    #[test]
+    fn pifo_reconfigure_mirrors_the_rank_support_matrix() {
+        use crate::scheduler::ReconfigureError;
+        let sdp = Sdp::paper_default();
+        let steeper = Sdp::geometric(4, 4.0).unwrap();
+        for rk in RankKind::ALL {
+            let mut s = SchedulerKind::Pifo(rk).build(&sdp, 1.0);
+            let got = s.reconfigure(&steeper);
+            if rk.supports_reconfigure() {
+                assert_eq!(got, Ok(()), "{} should accept reconfigure", rk.name());
+            } else {
+                assert_eq!(
+                    got,
+                    Err(ReconfigureError::Unsupported(rk.name())),
+                    "{} should refuse reconfigure",
+                    rk.name()
+                );
+            }
+        }
     }
 
     #[test]
@@ -238,7 +304,10 @@ mod tests {
             }
         }
         let sdp = Sdp::paper_default();
-        for kind in SchedulerKind::ALL {
+        for kind in SchedulerKind::ALL
+            .into_iter()
+            .chain(SchedulerKind::PIFO_ALL)
+        {
             assert_eq!(
                 kind.build_and_visit(&sdp, 1.0, DrainOne),
                 (4, true),

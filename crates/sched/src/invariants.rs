@@ -6,7 +6,23 @@ use proptest::prelude::*;
 
 use crate::class::Sdp;
 use crate::factory::SchedulerKind;
-use crate::testutil::{all_schedulers, arrivals_strategy, drive, sorted};
+use crate::rank::{PifoCore, RankFn};
+use crate::testutil::{all_schedulers, arrivals_strategy, drive, drive_streaming, sorted};
+
+/// A rank function where every rank ties: every decision falls through to
+/// the core's tie-break, exposing it directly to the property tests.
+#[derive(Debug, Clone, Default)]
+struct ConstRank;
+
+impl RankFn for ConstRank {
+    fn rank(&self, _class: usize, _head: &crate::packet::Packet, _now: simcore::Time) -> f64 {
+        0.0
+    }
+
+    fn name(&self) -> &'static str {
+        "PIFO(Const)"
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -100,6 +116,66 @@ proptest! {
                 "class {} avg {} < class {} avg {}",
                 c, avg[c], c + 1, avg[c + 1]
             );
+        }
+    }
+
+    /// PifoCore tie-break: with every rank equal, packets of the same
+    /// class depart in arrival order, cross-class ties follow the
+    /// documented higher-class rule (an all-ties core is
+    /// decision-identical to strict priority), and the trace (slice) and
+    /// streaming (iterator) replay paths agree bit-for-bit.
+    #[test]
+    #[cfg_attr(
+        feature = "mutate-pifo-rank",
+        ignore = "tie rule deliberately flipped by the mutation feature"
+    )]
+    fn prop_pifo_equal_ranks_depart_in_arrival_order(arrivals in arrivals_strategy()) {
+        let arrivals = sorted(arrivals);
+        let mut trace_core = PifoCore::new(4, ConstRank);
+        let trace_deps = drive(&mut trace_core, &arrivals);
+        let mut stream_core = PifoCore::new(4, ConstRank);
+        let stream_deps = drive_streaming(&mut stream_core, arrivals.iter().copied());
+        prop_assert_eq!(&trace_deps, &stream_deps, "replay paths diverged");
+        for class in 0..4u8 {
+            let class_seqs: Vec<u64> = trace_deps
+                .iter()
+                .filter(|d| d.class == class)
+                .map(|d| d.seq)
+                .collect();
+            prop_assert!(
+                class_seqs.windows(2).all(|w| w[0] < w[1]),
+                "equal ranks violated arrival order within class {class}"
+            );
+        }
+        let mut strict = SchedulerKind::Strict.build(&Sdp::paper_default(), 1.0);
+        let strict_deps = drive(strict.as_mut(), &arrivals);
+        prop_assert_eq!(&trace_deps, &strict_deps, "all-ties core is not strict priority");
+    }
+
+    /// Every shipped rank kind keeps FIFO within a class and produces
+    /// identical departures on the trace and streaming replay paths.
+    #[test]
+    fn prop_pifo_kinds_agree_across_replay_paths(arrivals in arrivals_strategy()) {
+        let arrivals = sorted(arrivals);
+        let sdp = Sdp::paper_default();
+        for kind in SchedulerKind::PIFO_ALL {
+            let mut a = kind.build(&sdp, 1.0);
+            let mut b = kind.build(&sdp, 1.0);
+            let trace_deps = drive(a.as_mut(), &arrivals);
+            let stream_deps = drive_streaming(b.as_mut(), arrivals.iter().copied());
+            prop_assert_eq!(&trace_deps, &stream_deps, "{} paths diverged", kind.name());
+            for class in 0..4u8 {
+                let class_seqs: Vec<u64> = trace_deps
+                    .iter()
+                    .filter(|d| d.class == class)
+                    .map(|d| d.seq)
+                    .collect();
+                prop_assert!(
+                    class_seqs.windows(2).all(|w| w[0] < w[1]),
+                    "{} violated FIFO within class {class}",
+                    kind.name()
+                );
+            }
         }
     }
 }

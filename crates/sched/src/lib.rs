@@ -17,6 +17,12 @@
 //!   hold the proportional model even at moderate loads — plus the
 //!   [`PlrDropper`] (proportional loss-rate differentiation) and simple
 //!   buffer policies for lossy operation.
+//! * The **rank-function PIFO core** ([`PifoCore`], [`RankFn`],
+//!   [`RankKind`]): one programmable engine that re-expresses WTP, PAD,
+//!   HPD, Additive, Strict and FCFS as rank functions (each differentially
+//!   verified against its bespoke twin by `conformance::rank_diff`) and
+//!   hosts [LSTF](RankKind::Lstf) — least-slack-time-first, from the
+//!   Universal Packet Scheduling line — as a rank-only discipline.
 //!
 //! All schedulers are **pure data structures**: they own per-class FIFO
 //! queues and answer `enqueue`/`dequeue(now)` queries. A link/server owner
@@ -45,6 +51,7 @@ mod fcfs;
 mod hpd;
 mod packet;
 mod pad;
+mod rank;
 mod scfq;
 mod scheduler;
 mod strict;
@@ -63,6 +70,10 @@ pub use fcfs::Fcfs;
 pub use hpd::Hpd;
 pub use packet::Packet;
 pub use pad::Pad;
+pub use rank::{
+    AdditiveRank, FcfsRank, HpdRank, LstfRank, PadRank, PifoCore, RankFn, RankKind, StrictRank,
+    WtpRank, DEFAULT_SLACK_BASE_TICKS,
+};
 pub use scfq::Scfq;
 pub use scheduler::{ClassQueues, ReconfigureError, Scheduler};
 pub use strict::StrictPriority;

@@ -1,0 +1,771 @@
+//! The rank-function PIFO core — programmable scheduling over one engine.
+//!
+//! The programmable-scheduling line (Sivaraman et al. 2016, "Programmable
+//! Packet Scheduling at Line Rate"; Mittal et al. 2015, "Universal Packet
+//! Scheduling") observes that most work-conserving disciplines are a single
+//! priority-queue core parameterized by a *rank function*. This module
+//! provides that core for the paper's scheduler family:
+//!
+//! * [`PifoCore`] owns the per-class FIFO queues and serves, at each
+//!   decision instant, the head-of-line packet with the **largest rank**
+//!   (ties to the higher class, FIFO within a class — exactly the
+//!   [`ClassQueues::select_by`] rule every bespoke scheduler uses).
+//! * [`RankFn`] is the discipline: a pure `(class, head, now) → f64` rank
+//!   plus an optional departure hook for history-keeping disciplines
+//!   (PAD/HPD) and an optional live-SDP swap.
+//! * [`RankKind`] enumerates the shipped rank functions: re-expressions of
+//!   WTP, PAD, HPD, Additive, Strict and FCFS — each verified
+//!   decision-by-decision against its bespoke twin by
+//!   `conformance::rank_diff` — plus [LSTF](RankKind::Lstf)
+//!   (least-slack-time-first), a discipline that exists *only* as a rank
+//!   function.
+//!
+//! ## Dynamic ranks
+//!
+//! A textbook PIFO computes the rank once at push time. The paper's
+//! disciplines are *time-dependent* (WTP priority grows while a packet
+//! waits), which a push-time rank cannot express, so [`PifoCore`]
+//! re-evaluates ranks on the head-of-line packets at every decision
+//! instant. With FIFO order within a class and per-class monotone rank
+//! functions this is equivalent to an idealized PIFO evaluated lazily, and
+//! it is exactly the evaluation model of the bespoke schedulers — which is
+//! what makes bit-identical differential verification possible.
+//!
+//! ## Exactness contract
+//!
+//! Rank functions that mirror a bespoke scheduler reproduce its priority
+//! expression **verbatim** (same operations, same operand order) so that
+//! ranks are bit-identical `f64`s, not merely close: the conformance layer
+//! diffs decision sequences and departure timestamps exactly.
+
+use simcore::Time;
+
+use crate::class::Sdp;
+use crate::factory::SchedulerKind;
+use crate::packet::Packet;
+use crate::scheduler::{ClassQueues, ReconfigureError, Scheduler};
+
+/// A scheduling discipline expressed as a rank function for [`PifoCore`].
+///
+/// The core serves the backlogged class whose head has the **largest**
+/// rank; ties go to the higher class. Implementations must be
+/// deterministic functions of their own state and the arguments — the
+/// differential harness replays workloads and expects identical decisions.
+pub trait RankFn {
+    /// Rank of `head` (the head-of-line packet of `class`) at `now`.
+    fn rank(&self, class: usize, head: &Packet, now: Time) -> f64;
+
+    /// Called after the core dequeues `pkt` from `class` at `now`.
+    ///
+    /// History-keeping disciplines (PAD/HPD) update their per-class
+    /// departure statistics here; memoryless ranks ignore it.
+    fn on_depart(&mut self, _class: usize, _pkt: &Packet, _now: Time) {}
+
+    /// Display name of the discipline this rank function implements.
+    fn name(&self) -> &'static str;
+
+    /// Swaps the differentiation parameters at runtime.
+    ///
+    /// The default refuses, naming the discipline — mirroring
+    /// [`Scheduler::reconfigure`]'s contract. The core has already
+    /// verified the class count before delegating here.
+    fn reconfigure(&mut self, _sdp: &Sdp) -> Result<(), ReconfigureError> {
+        Err(ReconfigureError::Unsupported(self.name()))
+    }
+}
+
+/// The PIFO engine: per-class FIFOs plus one rank function.
+///
+/// ```
+/// use sched::{Packet, PifoCore, Scheduler, Sdp, WtpRank};
+/// use simcore::Time;
+///
+/// let sdp = Sdp::geometric(2, 2.0).unwrap();
+/// let mut s = PifoCore::new(sdp.num_classes(), WtpRank::new(sdp));
+/// s.enqueue(Packet::new(0, 0, 100, Time::from_ticks(0)));
+/// s.enqueue(Packet::new(1, 1, 100, Time::from_ticks(0)));
+/// // Equal waits ⇒ the higher SDP accrues rank faster and wins.
+/// assert_eq!(s.dequeue(Time::from_ticks(10)).unwrap().class, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PifoCore<R: RankFn> {
+    queues: ClassQueues,
+    rank: R,
+}
+
+impl<R: RankFn> PifoCore<R> {
+    /// Creates a core over `num_classes` classes driven by `rank`.
+    pub fn new(num_classes: usize, rank: R) -> Self {
+        PifoCore {
+            queues: ClassQueues::new(num_classes),
+            rank,
+        }
+    }
+
+    /// The rank function (for inspection in tests and analyses).
+    pub fn rank_fn(&self) -> &R {
+        &self.rank
+    }
+
+    /// The class [`dequeue`](Scheduler::dequeue) would serve at `now`,
+    /// without dequeuing — the decision-instant audit hook
+    /// `conformance::rank_diff` diffs against, mirroring
+    /// [`Wtp::peek_winner`](crate::Wtp::peek_winner).
+    pub fn peek_winner(&self, now: Time) -> Option<usize> {
+        self.select_winner(now)
+    }
+
+    #[cfg(not(feature = "mutate-pifo-rank"))]
+    fn select_winner(&self, now: Time) -> Option<usize> {
+        self.queues
+            .select_by(|c, head| self.rank.rank(c, head, now))
+    }
+
+    /// MUTATED selection for the conformance smoke-runner: identical
+    /// ranks, but ties go to the **lower** class — the exact tie-break
+    /// drift `rank_diff` exists to catch in every twin at once.
+    #[cfg(feature = "mutate-pifo-rank")]
+    fn select_winner(&self, now: Time) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (c, head) in self.queues.heads().enumerate() {
+            let Some(head) = head else { continue };
+            let p = self.rank.rank(c, head, now);
+            match best {
+                // `<=` keeps the earlier (lower) class on ties.
+                Some((_, bp)) if p <= bp => {}
+                _ => best = Some((c, p)),
+            }
+        }
+        best.map(|(c, _)| c)
+    }
+}
+
+impl<R: RankFn> Scheduler for PifoCore<R> {
+    fn num_classes(&self) -> usize {
+        self.queues.num_classes()
+    }
+
+    fn enqueue(&mut self, pkt: Packet) {
+        self.queues.push(pkt);
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        let winner = self.select_winner(now)?;
+        let pkt = self.queues.pop(winner)?;
+        self.rank.on_depart(winner, &pkt, now);
+        Some(pkt)
+    }
+
+    fn backlog_packets(&self, class: usize) -> usize {
+        self.queues.len(class)
+    }
+
+    fn backlog_bytes(&self, class: usize) -> u64 {
+        self.queues.bytes(class)
+    }
+
+    fn drop_newest(&mut self, class: usize) -> Option<Packet> {
+        self.queues.pop_tail(class)
+    }
+
+    fn name(&self) -> &'static str {
+        self.rank.name()
+    }
+
+    fn decision_values(&self, now: Time, out: &mut Vec<(usize, f64)>) {
+        for (c, head) in self.queues.heads().enumerate() {
+            if let Some(head) = head {
+                out.push((c, self.rank.rank(c, head, now)));
+            }
+        }
+    }
+
+    fn reconfigure(&mut self, sdp: &Sdp) -> Result<(), ReconfigureError> {
+        if sdp.num_classes() != self.queues.num_classes() {
+            return Err(ReconfigureError::ClassCountMismatch {
+                have: self.queues.num_classes(),
+                want: sdp.num_classes(),
+            });
+        }
+        self.rank.reconfigure(sdp)
+    }
+}
+
+/// WTP as a rank: `rank = w_i(t) · s_i` (§4.2).
+#[derive(Debug, Clone)]
+pub struct WtpRank {
+    sdp: Sdp,
+}
+
+impl WtpRank {
+    /// Creates the WTP rank function with the given SDPs.
+    pub fn new(sdp: Sdp) -> Self {
+        WtpRank { sdp }
+    }
+}
+
+impl RankFn for WtpRank {
+    fn rank(&self, class: usize, head: &Packet, now: Time) -> f64 {
+        head.waiting(now).as_f64() * self.sdp.get(class)
+    }
+
+    fn name(&self) -> &'static str {
+        "PIFO(WTP)"
+    }
+
+    fn reconfigure(&mut self, sdp: &Sdp) -> Result<(), ReconfigureError> {
+        self.sdp = sdp.clone();
+        Ok(())
+    }
+}
+
+/// PAD as a rank: `rank = s_i · (D_i + w_i(t)) / (n_i + 1)`, with the
+/// departure history updated through [`RankFn::on_depart`].
+#[derive(Debug, Clone)]
+pub struct PadRank {
+    sdp: Sdp,
+    cum_delay: Vec<f64>,
+    departed: Vec<u64>,
+}
+
+impl PadRank {
+    /// Creates the PAD rank function with the given SDPs.
+    pub fn new(sdp: Sdp) -> Self {
+        let n = sdp.num_classes();
+        PadRank {
+            sdp,
+            cum_delay: vec![0.0; n],
+            departed: vec![0; n],
+        }
+    }
+}
+
+impl RankFn for PadRank {
+    fn rank(&self, class: usize, head: &Packet, now: Time) -> f64 {
+        let w = head.waiting(now).as_f64();
+        self.sdp.get(class) * (self.cum_delay[class] + w) / (self.departed[class] + 1) as f64
+    }
+
+    fn on_depart(&mut self, class: usize, pkt: &Packet, now: Time) {
+        self.cum_delay[class] += pkt.waiting(now).as_f64();
+        self.departed[class] += 1;
+    }
+
+    fn name(&self) -> &'static str {
+        "PIFO(PAD)"
+    }
+
+    fn reconfigure(&mut self, sdp: &Sdp) -> Result<(), ReconfigureError> {
+        // History is kept across swaps — same policy as the bespoke Pad.
+        self.sdp = sdp.clone();
+        Ok(())
+    }
+}
+
+/// HPD as a rank: the `g`-blend of the WTP and PAD terms (§7 extension).
+#[derive(Debug, Clone)]
+pub struct HpdRank {
+    sdp: Sdp,
+    g: f64,
+    cum_delay: Vec<f64>,
+    departed: Vec<u64>,
+}
+
+impl HpdRank {
+    /// Creates the HPD rank function with mixing factor `g ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `g` is outside `[0, 1]`.
+    pub fn new(sdp: Sdp, g: f64) -> Self {
+        assert!((0.0..=1.0).contains(&g), "g must be in [0,1], got {g}");
+        let n = sdp.num_classes();
+        HpdRank {
+            sdp,
+            g,
+            cum_delay: vec![0.0; n],
+            departed: vec![0; n],
+        }
+    }
+
+    /// The recommended default mixing factor (g = 0.875), matching
+    /// [`Hpd::with_default_g`](crate::Hpd::with_default_g).
+    pub fn with_default_g(sdp: Sdp) -> Self {
+        HpdRank::new(sdp, 0.875)
+    }
+}
+
+impl RankFn for HpdRank {
+    fn rank(&self, class: usize, head: &Packet, now: Time) -> f64 {
+        let w = head.waiting(now).as_f64();
+        let s = self.sdp.get(class);
+        let wtp_term = s * w;
+        let pad_term = s * (self.cum_delay[class] + w) / (self.departed[class] + 1) as f64;
+        self.g * wtp_term + (1.0 - self.g) * pad_term
+    }
+
+    fn on_depart(&mut self, class: usize, pkt: &Packet, now: Time) {
+        self.cum_delay[class] += pkt.waiting(now).as_f64();
+        self.departed[class] += 1;
+    }
+
+    fn name(&self) -> &'static str {
+        "PIFO(HPD)"
+    }
+
+    fn reconfigure(&mut self, sdp: &Sdp) -> Result<(), ReconfigureError> {
+        self.sdp = sdp.clone();
+        Ok(())
+    }
+}
+
+/// Additive (Eq. 3) as a rank: `rank = w_i(t) + s_i`.
+#[derive(Debug, Clone)]
+pub struct AdditiveRank {
+    sdp: Sdp,
+}
+
+impl AdditiveRank {
+    /// Creates the additive rank function; SDPs are tick offsets.
+    pub fn new(sdp: Sdp) -> Self {
+        AdditiveRank { sdp }
+    }
+}
+
+impl RankFn for AdditiveRank {
+    fn rank(&self, class: usize, head: &Packet, now: Time) -> f64 {
+        head.waiting(now).as_f64() + self.sdp.get(class)
+    }
+
+    fn name(&self) -> &'static str {
+        "PIFO(Additive)"
+    }
+
+    fn reconfigure(&mut self, sdp: &Sdp) -> Result<(), ReconfigureError> {
+        self.sdp = sdp.clone();
+        Ok(())
+    }
+}
+
+/// Strict priority as a rank: `rank = i` (the class index itself).
+///
+/// Ranks are distinct across classes, so the core's argmax reduces to
+/// "highest backlogged class" — the bespoke [`StrictPriority`](crate::StrictPriority)
+/// (crate::StrictPriority) rule, tie-free by construction.
+#[derive(Debug, Clone, Default)]
+pub struct StrictRank;
+
+impl RankFn for StrictRank {
+    fn rank(&self, class: usize, _head: &Packet, _now: Time) -> f64 {
+        class as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "PIFO(Strict)"
+    }
+}
+
+/// FCFS as a rank: `rank = −seq`.
+///
+/// Sequence numbers are unique and assigned in admission order by every
+/// harness in this workspace (see [`Packet::seq`]), so the head with the
+/// smallest `seq` — i.e. the largest `−seq` — is exactly the globally
+/// oldest packet. Using `seq` rather than the arrival *time* keeps the
+/// twin bit-identical to the bespoke shared-FIFO [`Fcfs`](crate::Fcfs)
+/// even when packets of different classes arrive on the same tick (an
+/// arrival-time rank would tie there and fall to the class tie-break).
+/// Exact in `f64` up to `2^53` packets.
+#[derive(Debug, Clone, Default)]
+pub struct FcfsRank;
+
+impl RankFn for FcfsRank {
+    fn rank(&self, _class: usize, head: &Packet, _now: Time) -> f64 {
+        -(head.seq as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "PIFO(FCFS)"
+    }
+}
+
+/// Default slack base for [`LstfRank`] budgets, in ticks.
+///
+/// Class `i` gets a slack budget of `base / s_i`, so the paper-default
+/// SDPs `[1, 2, 4, 8]` yield budgets `[8000, 4000, 2000, 1000]` — a few
+/// mean packet-transmission times apart at the 1 byte/tick reference
+/// link, enough to differentiate without starving class 0.
+pub const DEFAULT_SLACK_BASE_TICKS: f64 = 8_000.0;
+
+/// Least-Slack-Time-First (Mittal et al. 2015, "Universal Packet
+/// Scheduling") — a discipline that exists **only** as a rank function.
+///
+/// Each class carries a slack budget `δ_i = base / s_i` (higher class ⇒
+/// tighter budget) and the core serves the head with the least remaining
+/// slack, i.e. the largest `rank = w_i(t) − δ_i`. On a single hop this is
+/// an earliest-deadline-style discipline with *constant rank differences*
+/// between classes — the universality probe in the `rank` experiment
+/// suite measures how close that gets to the paper's *proportional* model
+/// across the fig1 load grid.
+#[derive(Debug, Clone)]
+pub struct LstfRank {
+    sdp: Sdp,
+    base: f64,
+    budget: Vec<f64>,
+}
+
+impl LstfRank {
+    /// Creates an LSTF rank with budgets `base / s_i` ticks.
+    pub fn new(sdp: Sdp, base: f64) -> Self {
+        let budget = sdp.values().iter().map(|s| base / s).collect();
+        LstfRank { sdp, base, budget }
+    }
+
+    /// Creates an LSTF rank with the default slack base.
+    pub fn with_default_base(sdp: Sdp) -> Self {
+        LstfRank::new(sdp, DEFAULT_SLACK_BASE_TICKS)
+    }
+
+    /// The slack budget of `class`, in ticks.
+    pub fn budget(&self, class: usize) -> f64 {
+        self.budget[class]
+    }
+}
+
+impl RankFn for LstfRank {
+    fn rank(&self, class: usize, head: &Packet, now: Time) -> f64 {
+        head.waiting(now).as_f64() - self.budget[class]
+    }
+
+    fn name(&self) -> &'static str {
+        "LSTF"
+    }
+
+    fn reconfigure(&mut self, sdp: &Sdp) -> Result<(), ReconfigureError> {
+        self.budget = sdp.values().iter().map(|s| self.base / s).collect();
+        self.sdp = sdp.clone();
+        Ok(())
+    }
+}
+
+/// Every rank function the factory can build, for use in
+/// [`SchedulerKind::Pifo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankKind {
+    /// WTP re-expressed as a rank (twin of [`SchedulerKind::Wtp`]).
+    Wtp,
+    /// PAD re-expressed as a rank (twin of [`SchedulerKind::Pad`]).
+    Pad,
+    /// HPD (g = 0.875) re-expressed as a rank (twin of
+    /// [`SchedulerKind::Hpd`]).
+    Hpd,
+    /// Additive (Eq. 3) re-expressed as a rank (twin of
+    /// [`SchedulerKind::Additive`]).
+    Additive,
+    /// Strict priority re-expressed as a rank (twin of
+    /// [`SchedulerKind::Strict`]).
+    Strict,
+    /// FCFS re-expressed as a rank (twin of [`SchedulerKind::Fcfs`]).
+    Fcfs,
+    /// Least-Slack-Time-First — rank-only, no bespoke twin.
+    Lstf,
+}
+
+impl RankKind {
+    /// All rank kinds, twins first, in the bespoke report order.
+    pub const ALL: [RankKind; 7] = [
+        RankKind::Fcfs,
+        RankKind::Strict,
+        RankKind::Additive,
+        RankKind::Wtp,
+        RankKind::Pad,
+        RankKind::Hpd,
+        RankKind::Lstf,
+    ];
+
+    /// Builds the boxed PIFO core for this rank kind.
+    pub fn build(&self, sdp: &Sdp) -> Box<dyn Scheduler> {
+        let n = sdp.num_classes();
+        match self {
+            RankKind::Wtp => Box::new(PifoCore::new(n, WtpRank::new(sdp.clone()))),
+            RankKind::Pad => Box::new(PifoCore::new(n, PadRank::new(sdp.clone()))),
+            RankKind::Hpd => Box::new(PifoCore::new(n, HpdRank::with_default_g(sdp.clone()))),
+            RankKind::Additive => Box::new(PifoCore::new(n, AdditiveRank::new(sdp.clone()))),
+            RankKind::Strict => Box::new(PifoCore::new(n, StrictRank)),
+            RankKind::Fcfs => Box::new(PifoCore::new(n, FcfsRank)),
+            RankKind::Lstf => Box::new(PifoCore::new(n, LstfRank::with_default_base(sdp.clone()))),
+        }
+    }
+
+    /// Builds the core **unboxed** and hands it to `visitor` — the
+    /// static-dispatch arm behind
+    /// [`SchedulerKind::build_and_visit`].
+    pub fn build_and_visit<V: crate::factory::SchedulerVisitor>(&self, sdp: &Sdp, v: V) -> V::Out {
+        let n = sdp.num_classes();
+        match self {
+            RankKind::Wtp => v.visit(PifoCore::new(n, WtpRank::new(sdp.clone()))),
+            RankKind::Pad => v.visit(PifoCore::new(n, PadRank::new(sdp.clone()))),
+            RankKind::Hpd => v.visit(PifoCore::new(n, HpdRank::with_default_g(sdp.clone()))),
+            RankKind::Additive => v.visit(PifoCore::new(n, AdditiveRank::new(sdp.clone()))),
+            RankKind::Strict => v.visit(PifoCore::new(n, StrictRank)),
+            RankKind::Fcfs => v.visit(PifoCore::new(n, FcfsRank)),
+            RankKind::Lstf => v.visit(PifoCore::new(n, LstfRank::with_default_base(sdp.clone()))),
+        }
+    }
+
+    /// Display name of the rank-core scheduler.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RankKind::Wtp => "PIFO(WTP)",
+            RankKind::Pad => "PIFO(PAD)",
+            RankKind::Hpd => "PIFO(HPD)",
+            RankKind::Additive => "PIFO(Additive)",
+            RankKind::Strict => "PIFO(Strict)",
+            RankKind::Fcfs => "PIFO(FCFS)",
+            RankKind::Lstf => "LSTF",
+        }
+    }
+
+    /// A lowercase, filesystem-safe identifier (used by the orchestrator
+    /// cache keys and accepted by `SchedulerKind::from_str`).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            RankKind::Wtp => "pifo-wtp",
+            RankKind::Pad => "pifo-pad",
+            RankKind::Hpd => "pifo-hpd",
+            RankKind::Additive => "pifo-additive",
+            RankKind::Strict => "pifo-strict",
+            RankKind::Fcfs => "pifo-fcfs",
+            RankKind::Lstf => "lstf",
+        }
+    }
+
+    /// The bespoke scheduler this rank re-expresses (`None` for the
+    /// rank-only LSTF). `conformance::rank_diff` derives its twin pairs
+    /// from this.
+    pub fn bespoke_twin(&self) -> Option<SchedulerKind> {
+        match self {
+            RankKind::Wtp => Some(SchedulerKind::Wtp),
+            RankKind::Pad => Some(SchedulerKind::Pad),
+            RankKind::Hpd => Some(SchedulerKind::Hpd),
+            RankKind::Additive => Some(SchedulerKind::Additive),
+            RankKind::Strict => Some(SchedulerKind::Strict),
+            RankKind::Fcfs => Some(SchedulerKind::Fcfs),
+            RankKind::Lstf => None,
+        }
+    }
+
+    /// Whether this rank supports [`Scheduler::reconfigure`] — mirrors the
+    /// bespoke support matrix, plus LSTF.
+    pub fn supports_reconfigure(&self) -> bool {
+        !matches!(self, RankKind::Strict | RankKind::Fcfs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u64, class: u8, at: u64) -> Packet {
+        Packet::new(seq, class, 100, Time::from_ticks(at))
+    }
+
+    #[test]
+    fn wtp_rank_equal_waits_highest_sdp_wins() {
+        let sdp = Sdp::new(&[1.0, 2.0]).unwrap();
+        let mut s = PifoCore::new(2, WtpRank::new(sdp));
+        s.enqueue(pkt(1, 0, 0));
+        s.enqueue(pkt(2, 1, 0));
+        assert_eq!(s.dequeue(Time::from_ticks(10)).unwrap().class, 1);
+        assert_eq!(s.dequeue(Time::from_ticks(10)).unwrap().class, 0);
+    }
+
+    #[test]
+    #[cfg_attr(
+        feature = "mutate-pifo-rank",
+        ignore = "tie rule deliberately flipped by the mutation feature"
+    )]
+    fn exact_rank_tie_goes_to_higher_class() {
+        // WTP rank at t=20: class 0 waited 20 (s=1) vs class 1 waited 10
+        // (s=2) — an exact 20.0 == 20.0 crossover.
+        let sdp = Sdp::new(&[1.0, 2.0]).unwrap();
+        let mut s = PifoCore::new(2, WtpRank::new(sdp));
+        s.enqueue(pkt(1, 0, 0));
+        s.enqueue(pkt(2, 1, 10));
+        assert_eq!(s.dequeue(Time::from_ticks(20)).unwrap().class, 1);
+    }
+
+    #[test]
+    fn fifo_within_class() {
+        let mut s = PifoCore::new(2, StrictRank);
+        s.enqueue(pkt(1, 1, 0));
+        s.enqueue(pkt(2, 1, 1));
+        s.enqueue(pkt(3, 1, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(Time::from_ticks(50)))
+            .map(|p| p.seq)
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn strict_rank_serves_highest_backlogged_class() {
+        let mut s = PifoCore::new(3, StrictRank);
+        s.enqueue(pkt(1, 0, 0));
+        s.enqueue(pkt(2, 2, 0));
+        s.enqueue(pkt(3, 1, 0));
+        assert_eq!(s.dequeue(Time::ZERO).unwrap().class, 2);
+        assert_eq!(s.dequeue(Time::ZERO).unwrap().class, 1);
+        assert_eq!(s.dequeue(Time::ZERO).unwrap().class, 0);
+    }
+
+    #[test]
+    fn fcfs_rank_is_global_fifo_even_on_same_tick_arrivals() {
+        let mut s = PifoCore::new(3, FcfsRank);
+        // Same arrival tick across classes: admission (seq) order decides.
+        s.enqueue(pkt(1, 2, 5));
+        s.enqueue(pkt(2, 0, 5));
+        s.enqueue(pkt(3, 1, 5));
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(Time::from_ticks(10)))
+            .map(|p| p.seq)
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pad_rank_keeps_departure_history() {
+        // A class-0 departure with a huge delay loads the PAD history;
+        // a later fresh race then goes to class 0 despite its smaller SDP.
+        let mut s = PifoCore::new(2, PadRank::new(Sdp::new(&[1.0, 2.0]).unwrap()));
+        s.enqueue(pkt(1, 0, 0));
+        s.dequeue(Time::from_ticks(1000));
+        s.enqueue(pkt(2, 0, 2000));
+        s.enqueue(pkt(3, 1, 2000));
+        // class-0 rank = 1·(1000+10)/2 = 505 vs class-1 rank = 2·10 = 20.
+        assert_eq!(s.dequeue(Time::from_ticks(2010)).unwrap().class, 0);
+    }
+
+    #[test]
+    fn lstf_tighter_budget_wins_at_equal_waits() {
+        let sdp = Sdp::paper_default(); // budgets [8000, 4000, 2000, 1000]
+        let mut s = PifoCore::new(4, LstfRank::with_default_base(sdp));
+        for c in 0..4u8 {
+            s.enqueue(pkt(c as u64, c, 0));
+        }
+        // Equal waits: least slack = tightest budget = highest class.
+        let order: Vec<u8> = std::iter::from_fn(|| s.dequeue(Time::from_ticks(10)))
+            .map(|p| p.class)
+            .collect();
+        assert_eq!(order, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn lstf_overdue_low_class_overtakes() {
+        let sdp = Sdp::new(&[1.0, 8.0]).unwrap(); // budgets [8000, 1000]
+        let mut s = PifoCore::new(2, LstfRank::new(sdp, 8_000.0));
+        s.enqueue(pkt(1, 0, 0));
+        s.enqueue(pkt(2, 1, 9_000));
+        // At t=9500: slack_0 = 8000−9500 = −1500 < slack_1 = 1000−500.
+        assert_eq!(s.dequeue(Time::from_ticks(9_500)).unwrap().class, 0);
+    }
+
+    #[test]
+    fn lstf_reconfigure_rederives_budgets() {
+        let mut s = LstfRank::with_default_base(Sdp::paper_default());
+        assert_eq!(s.budget(3), 1_000.0);
+        s.reconfigure(&Sdp::geometric(4, 4.0).unwrap()).unwrap();
+        assert_eq!(s.budget(0), 8_000.0);
+        assert_eq!(s.budget(3), 8_000.0 / 64.0);
+    }
+
+    #[test]
+    fn peek_winner_matches_dequeue() {
+        let sdp = Sdp::paper_default();
+        let mut s = PifoCore::new(4, WtpRank::new(sdp));
+        assert_eq!(s.peek_winner(Time::from_ticks(5)), None);
+        s.enqueue(pkt(1, 0, 0));
+        s.enqueue(pkt(2, 3, 20));
+        for now in [25u64, 45] {
+            let t = Time::from_ticks(now);
+            let peeked = s.peek_winner(t).unwrap();
+            assert_eq!(s.dequeue(t).unwrap().class as usize, peeked);
+        }
+    }
+
+    #[test]
+    fn decision_values_report_ranks_per_backlogged_head() {
+        let sdp = Sdp::new(&[1.0, 2.0]).unwrap();
+        let mut s = PifoCore::new(2, WtpRank::new(sdp));
+        let mut out = Vec::new();
+        s.decision_values(Time::from_ticks(10), &mut out);
+        assert!(out.is_empty());
+        s.enqueue(pkt(1, 1, 4));
+        s.enqueue(pkt(2, 0, 6));
+        s.decision_values(Time::from_ticks(10), &mut out);
+        assert_eq!(out, vec![(0, 4.0), (1, 12.0)]);
+    }
+
+    #[test]
+    fn reconfigure_support_follows_the_rank_kind() {
+        let sdp = Sdp::paper_default();
+        let steeper = Sdp::geometric(4, 4.0).unwrap();
+        for rk in RankKind::ALL {
+            let mut s = rk.build(&sdp);
+            let got = s.reconfigure(&steeper);
+            if rk.supports_reconfigure() {
+                assert_eq!(got, Ok(()), "{} should accept reconfigure", rk.name());
+                let narrow = Sdp::new(&[1.0, 2.0]).unwrap();
+                assert_eq!(
+                    s.reconfigure(&narrow),
+                    Err(ReconfigureError::ClassCountMismatch { have: 4, want: 2 }),
+                    "{}",
+                    rk.name()
+                );
+            } else {
+                assert_eq!(
+                    got,
+                    Err(ReconfigureError::Unsupported(rk.name())),
+                    "{} should refuse reconfigure",
+                    rk.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drop_newest_removes_the_class_tail() {
+        for rk in RankKind::ALL {
+            let mut s = rk.build(&Sdp::paper_default());
+            s.enqueue(pkt(1, 1, 0));
+            s.enqueue(pkt(2, 1, 5));
+            s.enqueue(pkt(3, 2, 5));
+            let dropped = s.drop_newest(1).unwrap();
+            assert_eq!(dropped.seq, 2, "{}", rk.name());
+            assert_eq!(s.backlog_packets(1), 1, "{}", rk.name());
+            assert_eq!(s.backlog_packets(2), 1, "{}", rk.name());
+        }
+    }
+
+    #[test]
+    #[cfg_attr(
+        feature = "mutate-pifo-rank",
+        ignore = "tie rule deliberately flipped by the mutation feature"
+    )]
+    fn twin_decisions_match_bespoke_on_a_smoke_workload() {
+        // The real differential harness lives in conformance::rank_diff;
+        // this is the in-crate smoke version over the shared drive loop.
+        let arrivals = crate::testutil::sorted(
+            (0..120u64)
+                .map(|i| (i * 37 % 900, (i % 4) as u8, 40 + (i % 3) as u32 * 500))
+                .collect(),
+        );
+        let sdp = Sdp::paper_default();
+        for rk in RankKind::ALL {
+            let Some(twin) = rk.bespoke_twin() else {
+                continue;
+            };
+            let mut bespoke = twin.build(&sdp, 1.0);
+            let mut rank = SchedulerKind::Pifo(rk).build(&sdp, 1.0);
+            let b = crate::testutil::drive(bespoke.as_mut(), &arrivals);
+            let r = crate::testutil::drive(rank.as_mut(), &arrivals);
+            assert_eq!(b, r, "{} diverged from {}", rk.name(), twin.name());
+        }
+    }
+}

@@ -40,12 +40,13 @@ pub(crate) fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
     let sdp = Sdp::paper_default();
     SchedulerKind::ALL
         .iter()
+        .chain(SchedulerKind::PIFO_ALL.iter())
         .map(|k| k.build(&sdp, 1.0))
         .collect()
 }
 
 /// One departed packet as observed by the test driver.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Departure {
     pub seq: u64,
     pub class: u8,
@@ -84,6 +85,45 @@ pub(crate) fn drive(s: &mut dyn Scheduler, arrivals: &[(u64, u8, u32)]) -> Vec<D
         while next < arrivals.len() && arrivals[next].0 <= free {
             let (t, c, sz) = arrivals[next];
             next += 1;
+            s.enqueue(Packet::new(seq, c, sz, Time::from_ticks(t)));
+            seq += 1;
+        }
+        let pkt = s
+            .dequeue(Time::from_ticks(free))
+            .expect("work conservation: backlogged scheduler must yield a packet");
+        out.push(Departure {
+            seq: pkt.seq,
+            class: pkt.class,
+            size: pkt.size,
+            arrival: pkt.arrival.ticks(),
+            start: free,
+        });
+        free += pkt.size as u64;
+    }
+    out
+}
+
+/// Streaming variant of [`drive`]: identical replay loop and admission
+/// semantics, but pulls arrivals lazily from an iterator (one-entry
+/// lookahead) instead of a materialized slice — the shape of qsim's
+/// streaming replay path, without a qsim dependency.
+pub(crate) fn drive_streaming<I>(s: &mut dyn Scheduler, arrivals: I) -> Vec<Departure>
+where
+    I: IntoIterator<Item = (u64, u8, u32)>,
+{
+    let mut it = arrivals.into_iter().peekable();
+    let mut out = Vec::new();
+    let mut free = 0u64;
+    let mut seq = 0u64;
+    loop {
+        if s.is_empty() {
+            let Some((t, c, sz)) = it.next() else { break };
+            s.enqueue(Packet::new(seq, c, sz, Time::from_ticks(t)));
+            seq += 1;
+            free = free.max(t);
+        }
+        while it.peek().is_some_and(|&(t, _, _)| t <= free) {
+            let (t, c, sz) = it.next().expect("peeked");
             s.enqueue(Packet::new(seq, c, sz, Time::from_ticks(t)));
             seq += 1;
         }

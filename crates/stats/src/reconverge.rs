@@ -193,6 +193,39 @@ mod tests {
     }
 
     #[test]
+    fn empty_series_is_all_none() {
+        // No samples at all: the horizon is undefined and every pair
+        // reports "never settled" rather than panicking or windowing.
+        let t = reconvergence_times(&[], 4, 0, &[2.0, 2.0, 2.0], &cfg());
+        assert_eq!(t, vec![None, None, None]);
+    }
+
+    #[test]
+    fn never_settling_series_is_none() {
+        // Constantly off-target (ratio 4.0 against target 2.0, ε = 0.1):
+        // no window ever enters the band, so the run never starts.
+        let s = samples_from_ratios(&[4.0; 12]);
+        let t = reconvergence_times(&s, 2, 0, &[2.0], &cfg());
+        assert_eq!(t, vec![None]);
+    }
+
+    #[test]
+    fn settle_run_may_end_at_the_last_sampled_window() {
+        // The in-band run reaches settle_windows exactly at the final
+        // window: the settling time is still reported (measured from the
+        // run's start), even though no later window confirms it.
+        let s = samples_from_ratios(&[4.0, 4.0, 2.0, 2.0]);
+        let t = reconvergence_times(&s, 2, 0, &[2.0], &cfg());
+        assert_eq!(t, vec![Some(200)]);
+
+        // One window shorter and the tail run (length 1 < settle_windows
+        // = 2) is truncated by the horizon: not settled.
+        let s = samples_from_ratios(&[4.0, 4.0, 4.0, 2.0]);
+        let t = reconvergence_times(&s, 2, 0, &[2.0], &cfg());
+        assert_eq!(t, vec![None]);
+    }
+
+    #[test]
     fn multi_class_ratios_settle_independently() {
         // Class 0/1 in band from the start; class 1/2 never.
         let mut v = Vec::new();
