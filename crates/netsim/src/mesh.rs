@@ -271,7 +271,7 @@ impl<P: Probe> Mesh<'_, P> {
             return;
         }
         let now = ctx.now();
-        if P::ENABLED {
+        if P::ENABLED && P::WANTS_DECISION_VALUES {
             self.audit_buf.clear();
             self.links[link]
                 .scheduler

@@ -21,7 +21,7 @@
 //! ```
 
 use scenario::Scenario;
-use telemetry::{NoopProbe, Probe};
+use telemetry::{MetricsRegistry, NoopProbe, Probe};
 
 use crate::analysis::ExperimentRecord;
 use crate::config::StudyBConfig;
@@ -113,5 +113,57 @@ impl<'a, P: Probe> Session<MeshWorkload<'a>, P> {
     /// contains a load surge (unsupported on the mesh engine).
     pub fn run(mut self) -> MeshOutcome {
         run_mesh_scenario_probed(self.workload.cfg, &self.scenario, &mut self.probe)
+    }
+}
+
+impl<'a> Session<StudyBWorkload<'a>> {
+    /// Runs the chain with a [`MetricsRegistry`] attached — one
+    /// [`telemetry::LinkMetrics`] instance per hop — and returns it next
+    /// to the normal outputs.
+    pub fn run_metered(self) -> (Vec<ExperimentRecord>, Vec<LinkStats>, MetricsRegistry) {
+        let mut registry = MetricsRegistry::new();
+        let (records, links) = self.probe(&mut registry).run();
+        (records, links, registry)
+    }
+}
+
+impl<'a> Session<MeshWorkload<'a>> {
+    /// Runs the mesh with a [`MetricsRegistry`] attached — one
+    /// [`telemetry::LinkMetrics`] instance per link — and returns it next
+    /// to the outcome.
+    pub fn run_metered(self) -> (MeshOutcome, MetricsRegistry) {
+        let mut registry = MetricsRegistry::new();
+        let outcome = self.probe(&mut registry).run();
+        (outcome, registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metered_chain_reports_per_hop_channels() {
+        let mut cfg = StudyBConfig::paper(3, 0.9, 10, 200.0);
+        cfg.experiments = 2;
+        let (records, links, reg) = Session::study_b(&cfg).run_metered();
+        assert_eq!(records.len(), 2);
+        assert_eq!(links.len(), 3);
+        assert_eq!(reg.num_links(), 3, "one LinkMetrics instance per hop");
+        // Per-class packet conservation across the whole chain, modulo
+        // the packets still in flight at the horizon cutoff (tracked by
+        // the network-wide depth gauge).
+        for c in 0..4 {
+            let t = reg.class_total(c);
+            assert!(t.arrivals > 0, "class {c} silent");
+            assert!(t.arrivals >= t.departures + t.drops);
+            let depth = reg.class_gauges()[c].depth;
+            assert!(depth >= 0, "class {c} gauge went negative");
+            assert_eq!(t.enqueues, t.hop_departures + depth as u64);
+        }
+        // Mid-chain hops transmit without ending packet lifetimes.
+        let links = reg.links();
+        let hop1 = &links[1].classes;
+        assert!(hop1.iter().any(|ch| ch.hop_departures > ch.departures));
     }
 }

@@ -111,6 +111,25 @@ impl Cache {
         std::fs::write(&tmp, entry.serialize())?;
         std::fs::rename(&tmp, &path)
     }
+
+    /// Writes a cell's metrics-registry snapshot next to its cache entry
+    /// as `<cell-id>.metrics.json` (same atomic temp-file discipline).
+    ///
+    /// Sidecars are artifacts, not cache entries: they carry no content
+    /// key and never feed cache hits, so a warm run — which skips the
+    /// simulation entirely — leaves the previous snapshot in place. They
+    /// also stay out of the merged results document, which must remain
+    /// byte-stable across cold and warm runs.
+    pub fn store_metrics(&self, cell: &CellSpec, scale: Scale, snapshot: &str) -> io::Result<()> {
+        let path = self
+            .dir
+            .join(scale_tag(scale))
+            .join(cell.id() + ".metrics.json");
+        std::fs::create_dir_all(path.parent().expect("cache path has a parent"))?;
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, snapshot)?;
+        std::fs::rename(&tmp, &path)
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +203,23 @@ mod tests {
             .join(scale_tag(Scale::Bench))
             .join(cell().id() + ".json");
         std::fs::write(&path, "{not json").unwrap();
+        assert!(cache.load(&cell(), Scale::Bench).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn metrics_sidecars_land_next_to_entries() {
+        let cache = temp_cache("sidecar", 7);
+        let snapshot = "{\"schema\":\"propdiff-metrics-v1\"}";
+        cache
+            .store_metrics(&cell(), Scale::Bench, snapshot)
+            .unwrap();
+        let path = cache
+            .dir()
+            .join(scale_tag(Scale::Bench))
+            .join(cell().id() + ".metrics.json");
+        assert_eq!(std::fs::read_to_string(path).unwrap(), snapshot);
+        // The sidecar is not a cache entry.
         assert!(cache.load(&cell(), Scale::Bench).is_none());
         let _ = std::fs::remove_dir_all(cache.dir());
     }

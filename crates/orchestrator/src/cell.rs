@@ -1,7 +1,7 @@
 //! One cell of the experiment sweep: its identity, its parameters as
 //! canonical JSON (the cache key input), and its execution.
 
-use experiments::{ablations, dynamics, fig1, fig2, fig3, fig45, rank, table1, Scale};
+use experiments::{ablations, dynamics, fig1, fig2, fig3, fig45, monitor, rank, table1, Scale};
 use pdd::netsim::StudyBConfig;
 use pdd::sched::SchedulerKind;
 use pdd::telemetry::{CountingProbe, MetricsReport};
@@ -97,6 +97,14 @@ pub enum CellSpec {
         /// Link utilization ρ.
         utilization: f64,
     },
+    /// One (scheduler, window) cell of the online conformance-monitor
+    /// study (SDP swap at mid-run, violations vs monitoring timescale).
+    Monitor {
+        /// The scheduler measured.
+        kind: SchedulerKind,
+        /// Monitoring window width in p-units.
+        window_punits: u64,
+    },
 }
 
 /// Formats an f64 parameter compactly and losslessly for ids/keys.
@@ -125,6 +133,7 @@ impl CellSpec {
             CellSpec::MixedPath { .. } => "mixed-path",
             CellSpec::Dynamics { .. } => "dynamics",
             CellSpec::Rank { .. } => "rank",
+            CellSpec::Monitor { .. } => "monitor",
         }
     }
 
@@ -183,6 +192,12 @@ impl CellSpec {
                 fmt_f64(*sdp_ratio),
                 fmt_f64(*utilization)
             )),
+            CellSpec::Monitor {
+                kind,
+                window_punits,
+            } => {
+                format!("monitor-{}-w{window_punits}", kind_slug(*kind))
+            }
         }
     }
 
@@ -243,6 +258,13 @@ impl CellSpec {
                 pairs.push(("sdp_ratio", Json::num(*sdp_ratio)));
                 pairs.push(("utilization", Json::num(*utilization)));
             }
+            CellSpec::Monitor {
+                kind,
+                window_punits,
+            } => {
+                pairs.push(("scheduler", Json::Str(kind.name().into())));
+                pairs.push(("window_punits", Json::Int(*window_punits as i64)));
+            }
             CellSpec::Shootout | CellSpec::Starvation | CellSpec::Additive | CellSpec::Analytic => {
             }
         }
@@ -251,8 +273,11 @@ impl CellSpec {
 
     /// Runs the cell at `scale`, returning its result as JSON plus — for
     /// the probed harnesses (fig1, fig2, table1, rank) — the run's
-    /// telemetry snapshot for progress reporting.
-    pub fn execute(&self, scale: Scale) -> (Json, Option<MetricsReport>) {
+    /// telemetry snapshot for progress reporting, plus — for cells that
+    /// run a [`telemetry::MetricsRegistry`](pdd::telemetry::MetricsRegistry)
+    /// — the full `propdiff-metrics-v1` snapshot text the runner writes as
+    /// a `<cell-id>.metrics.json` sidecar next to the cache entry.
+    pub fn execute(&self, scale: Scale) -> (Json, Option<MetricsReport>, Option<String>) {
         match self {
             CellSpec::Fig1 {
                 sdp_ratio,
@@ -267,6 +292,7 @@ impl CellSpec {
                         ("bpr", Json::nums(&row.bpr)),
                     ]),
                     Some(probe.report()),
+                    Some(probe.registry().to_json()),
                 )
             }
             CellSpec::Fig2 { sdp_ratio, dist } => {
@@ -280,6 +306,7 @@ impl CellSpec {
                         ("bpr", Json::nums(&row.bpr)),
                     ]),
                     Some(probe.report()),
+                    Some(probe.registry().to_json()),
                 )
             }
             CellSpec::Fig3 { kind } => {
@@ -299,6 +326,7 @@ impl CellSpec {
                         ("scheduler", Json::Str(kind.name().into())),
                         ("taus", Json::Arr(taus)),
                     ]),
+                    None,
                     None,
                 )
             }
@@ -333,6 +361,7 @@ impl CellSpec {
                         ("view1", Json::Arr(view1)),
                         ("view2", Json::Arr(view2)),
                     ]),
+                    None,
                     None,
                 )
             }
@@ -371,6 +400,7 @@ impl CellSpec {
                         ("class_median_ticks", Json::nums(&r.class_median_ticks)),
                     ]),
                     Some(probe.report()),
+                    Some(probe.registry().to_json()),
                 )
             }
             CellSpec::Shootout => {
@@ -386,7 +416,7 @@ impl CellSpec {
                         ])
                     })
                     .collect();
-                (Json::obj(vec![("rows", Json::Arr(rows))]), None)
+                (Json::obj(vec![("rows", Json::Arr(rows))]), None, None)
             }
             CellSpec::Feasibility {
                 utilization,
@@ -400,6 +430,7 @@ impl CellSpec {
                         ("feasible", Json::Bool(p.feasible)),
                         ("worst_slack", Json::num(p.worst_slack)),
                     ]),
+                    None,
                     None,
                 )
             }
@@ -417,7 +448,7 @@ impl CellSpec {
                         ])
                     })
                     .collect();
-                (Json::obj(vec![("probes", Json::Arr(rows))]), None)
+                (Json::obj(vec![("probes", Json::Arr(rows))]), None, None)
             }
             CellSpec::ModerateLoad { utilization } => {
                 let (rho, rows) = ablations::moderate_load_cell(*utilization, scale);
@@ -436,6 +467,7 @@ impl CellSpec {
                         ("rows", Json::Arr(rows)),
                     ]),
                     None,
+                    None,
                 )
             }
             CellSpec::Plr { sigma } => {
@@ -448,6 +480,7 @@ impl CellSpec {
                         ("delay_ratio", Json::num(delay_ratio)),
                     ]),
                     None,
+                    None,
                 )
             }
             CellSpec::Additive => {
@@ -459,6 +492,7 @@ impl CellSpec {
                         ("differences", Json::nums(&a.differences)),
                         ("targets", Json::nums(&a.targets)),
                     ]),
+                    None,
                     None,
                 )
             }
@@ -476,7 +510,7 @@ impl CellSpec {
                         ])
                     })
                     .collect();
-                (Json::obj(vec![("rows", Json::Arr(rows))]), None)
+                (Json::obj(vec![("rows", Json::Arr(rows))]), None, None)
             }
             CellSpec::MixedPath { scenario } => {
                 let (label, rd, inconsistent) = ablations::mixed_path_cell(*scenario, scale);
@@ -486,6 +520,7 @@ impl CellSpec {
                         ("rd", Json::num(rd)),
                         ("inconsistent_experiments", Json::Int(inconsistent as i64)),
                     ]),
+                    None,
                     None,
                 )
             }
@@ -517,6 +552,7 @@ impl CellSpec {
                         ),
                     ]),
                     None,
+                    None,
                 )
             }
             CellSpec::Rank {
@@ -533,6 +569,33 @@ impl CellSpec {
                         ("wtp", Json::nums(&row.wtp)),
                     ]),
                     Some(probe.report()),
+                    Some(probe.registry().to_json()),
+                )
+            }
+            CellSpec::Monitor {
+                kind,
+                window_punits,
+            } => {
+                let (row, registry) = monitor::cell_metered(*kind, *window_punits, scale);
+                (
+                    Json::obj(vec![
+                        ("scheduler", Json::Str(row.scheduler.name().into())),
+                        ("window_punits", Json::Int(row.window_punits as i64)),
+                        ("seeds", Json::Int(row.seeds as i64)),
+                        ("windows_closed", Json::Int(row.windows_closed as i64)),
+                        ("pairs_evaluated", Json::Int(row.pairs_evaluated as i64)),
+                        ("steady_violations", Json::Int(row.steady_violations as i64)),
+                        (
+                            "transient_violations",
+                            Json::Int(row.transient_violations as i64),
+                        ),
+                        ("inversions", Json::Int(row.inversions as i64)),
+                        ("violation_rate", Json::num(row.violation_rate())),
+                        ("mean_quiet_punits", Json::num(row.mean_quiet_punits)),
+                        ("max_drift", Json::num(row.max_drift)),
+                    ]),
+                    None,
+                    Some(registry.to_json()),
                 )
             }
         }
@@ -592,8 +655,8 @@ mod tests {
 
     #[test]
     fn starvation_cell_executes_without_scale_sensitivity() {
-        let (bench, _) = CellSpec::Starvation.execute(Scale::Bench);
-        let (quick, _) = CellSpec::Starvation.execute(Scale::Quick);
+        let (bench, _, _) = CellSpec::Starvation.execute(Scale::Bench);
+        let (quick, _, _) = CellSpec::Starvation.execute(Scale::Quick);
         assert_eq!(bench.serialize(), quick.serialize());
         assert!(bench.get("probes").and_then(Json::as_arr).is_some());
     }

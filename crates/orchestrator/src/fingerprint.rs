@@ -10,9 +10,11 @@
 use std::path::{Path, PathBuf};
 
 /// Crates (directory names under `crates/`) whose sources feed the
-/// fingerprint. Telemetry and the orchestrator are deliberately absent:
-/// probes observe without perturbing, and the runner only schedules.
-pub const FINGERPRINT_CRATES: [&str; 8] = [
+/// fingerprint. The orchestrator is deliberately absent — the runner only
+/// schedules. Telemetry joined the list when the conformance monitor
+/// became a result producer: a monitor cell's violation counts are
+/// computed by telemetry code, so edits there must invalidate its cells.
+pub const FINGERPRINT_CRATES: [&str; 9] = [
     "simcore",
     "traffic",
     "sched",
@@ -21,6 +23,7 @@ pub const FINGERPRINT_CRATES: [&str; 8] = [
     "stats",
     "core",
     "experiments",
+    "telemetry",
 ];
 
 /// FNV-1a 64-bit streaming hasher (dependency-free, stable across runs —

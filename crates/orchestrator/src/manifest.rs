@@ -2,7 +2,7 @@
 //! list of [`CellSpec`]s built from the experiment crate's own sweep
 //! constants, so the manifest can never drift from the harness.
 
-use experiments::{ablations, dynamics, fig1, fig2, rank};
+use experiments::{ablations, dynamics, fig1, fig2, monitor, rank};
 use pdd::sched::SchedulerKind;
 
 use crate::cell::CellSpec;
@@ -17,7 +17,7 @@ pub struct Manifest {
 }
 
 /// The suite names [`suite`] accepts, in canonical order.
-pub const SUITES: [&str; 18] = [
+pub const SUITES: [&str; 19] = [
     "all",
     "figures",
     "ablations",
@@ -36,6 +36,7 @@ pub const SUITES: [&str; 18] = [
     "mixed-path",
     "dynamics",
     "rank",
+    "monitor",
 ];
 
 fn fig1_cells() -> Vec<CellSpec> {
@@ -158,6 +159,19 @@ fn rank_cells() -> Vec<CellSpec> {
     cells
 }
 
+fn monitor_cells() -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    for &kind in &dynamics::SCHEDULERS {
+        for &window_punits in &monitor::WINDOW_LADDER {
+            cells.push(CellSpec::Monitor {
+                kind,
+                window_punits,
+            });
+        }
+    }
+    cells
+}
+
 fn figures_cells() -> Vec<CellSpec> {
     let mut cells = fig1_cells();
     cells.extend(fig2_cells());
@@ -178,14 +192,16 @@ fn ablation_cells() -> Vec<CellSpec> {
     cells.extend(mixed_path_cells());
     cells.extend(dynamics_cells());
     cells.extend(rank_cells());
+    cells.extend(monitor_cells());
     cells
 }
 
 /// Builds the manifest for a suite name, or `None` for an unknown name.
 ///
 /// `figures` covers Figures 1–5 + Table 1; `ablations` the eight ablation
-/// studies plus the dynamics reconvergence study and the LSTF rank probe;
-/// `all` both; the remaining names select one experiment each.
+/// studies plus the dynamics reconvergence study, the LSTF rank probe, and
+/// the online conformance-monitor study; `all` both; the remaining names
+/// select one experiment each.
 pub fn suite(name: &str) -> Option<Manifest> {
     let cells = match name {
         "all" => {
@@ -210,6 +226,7 @@ pub fn suite(name: &str) -> Option<Manifest> {
         "mixed-path" => mixed_path_cells(),
         "dynamics" => dynamics_cells(),
         "rank" => rank_cells(),
+        "monitor" => monitor_cells(),
         _ => return None,
     };
     Some(Manifest {
@@ -244,7 +261,8 @@ mod tests {
         assert_eq!(suite("feasibility").unwrap().cells.len(), 18);
         assert_eq!(suite("dynamics").unwrap().cells.len(), 4);
         assert_eq!(suite("rank").unwrap().cells.len(), 14);
+        assert_eq!(suite("monitor").unwrap().cells.len(), 8);
         assert_eq!(figures, 48);
-        assert_eq!(ablations, 52);
+        assert_eq!(ablations, 60);
     }
 }

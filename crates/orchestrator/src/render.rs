@@ -35,6 +35,7 @@ pub fn generated_blocks(merged: &Json) -> Vec<(String, String)> {
     push(&mut blocks, "mixed-path", mixed_path_table(merged));
     push(&mut blocks, "dynamics", dynamics_table(merged));
     push(&mut blocks, "rank", rank_table(merged));
+    push(&mut blocks, "monitor", monitor_table(merged));
     blocks
 }
 
@@ -686,6 +687,51 @@ fn rank_table(merged: &Json) -> Option<String> {
     Some(markdown_table(
         &[
             "target", "util", "LSTF 1/2", "LSTF 2/3", "LSTF 3/4", "LSTF dev", "WTP dev",
+        ],
+        rows,
+    ))
+}
+
+fn monitor_table(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "monitor");
+    if cells.is_empty() {
+        return None;
+    }
+    let rows = cells
+        .iter()
+        .map(|c| {
+            let r = result(c);
+            let int = |key: &str| r.get(key).and_then(Json::as_i64).unwrap_or(0);
+            let num = |key: &str| r.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+            vec![
+                r.get("scheduler")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                format!("{}", int("window_punits")),
+                format!("{}", int("pairs_evaluated")),
+                format!("{}", int("steady_violations")),
+                format!("{:.3}", num("violation_rate")),
+                format!(
+                    "{} ({} inv)",
+                    int("transient_violations"),
+                    int("inversions")
+                ),
+                format!("{:.0}", num("mean_quiet_punits")),
+                format!("{:.2}", num("max_drift")),
+            ]
+        })
+        .collect();
+    Some(markdown_table(
+        &[
+            "scheduler",
+            "window (p)",
+            "eval pairs",
+            "steady viol",
+            "viol rate",
+            "transient viol",
+            "quiet after (p)",
+            "max drift",
         ],
         rows,
     ))

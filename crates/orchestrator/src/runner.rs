@@ -107,9 +107,17 @@ pub fn run(manifest: &Manifest, opts: &RunOptions) -> RunReport {
             let done = &done;
             move || {
                 let started = std::time::Instant::now();
-                let (result, metrics) = cell.execute(scale);
+                let (result, metrics, registry_json) = cell.execute(scale);
                 if let Err(e) = cache.store(cell, scale, &result) {
                     eprintln!("warning: could not cache {}: {e}", cell.id());
+                }
+                if let Some(snapshot) = &registry_json {
+                    if let Err(e) = cache.store_metrics(cell, scale, snapshot) {
+                        eprintln!(
+                            "warning: could not write metrics sidecar for {}: {e}",
+                            cell.id()
+                        );
+                    }
                 }
                 if !opts.quiet {
                     let n = done.fetch_add(1, Ordering::Relaxed) + 1;

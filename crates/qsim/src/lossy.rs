@@ -216,7 +216,7 @@ pub fn run_trace_lossy_probed<P: Probe>(
         report.max_backlog_bytes = report
             .max_backlog_bytes
             .max(scheduler.total_backlog_bytes());
-        if P::ENABLED {
+        if P::ENABLED && P::WANTS_DECISION_VALUES {
             values.clear();
             scheduler.decision_values(free, &mut values);
         }

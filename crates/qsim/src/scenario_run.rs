@@ -146,7 +146,7 @@ pub(crate) fn run_trace_scenario_probed<S, I, F, P>(
         if scheduler.is_empty() {
             continue; // batch arrivals were all filtered or dropped
         }
-        if P::ENABLED {
+        if P::ENABLED && P::WANTS_DECISION_VALUES {
             values.clear();
             scheduler.decision_values(free, &mut values);
         }
@@ -320,7 +320,7 @@ pub(crate) fn run_trace_lossy_scenario_probed<P: Probe>(
         report.max_backlog_bytes = report
             .max_backlog_bytes
             .max(scheduler.total_backlog_bytes());
-        if P::ENABLED {
+        if P::ENABLED && P::WANTS_DECISION_VALUES {
             values.clear();
             scheduler.decision_values(free, &mut values);
         }

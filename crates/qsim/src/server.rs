@@ -129,7 +129,7 @@ pub fn run_trace_probed<S, I, F, P>(
             scheduler.enqueue(Packet::new(seq, e.class, e.size, e.at));
             seq += 1;
         }
-        if P::ENABLED {
+        if P::ENABLED && P::WANTS_DECISION_VALUES {
             values.clear();
             scheduler.decision_values(free, &mut values);
         }

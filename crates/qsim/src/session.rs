@@ -30,6 +30,11 @@
 //!   ([`scenario::Scenario`]) — live SDP swaps, link faults, load surges;
 //! * [`lossy`](Session::lossy) bounds the buffer (trace workloads only).
 //!
+//! Run metrics are a first-class output: [`run_metered`](Session::run_metered)
+//! attaches a [`telemetry::MetricsRegistry`] and returns it alongside the
+//! departures, and [`run_monitored`](Session::run_monitored) adds the
+//! online [`telemetry::PddMonitor`] conformance check.
+//!
 //! The default configuration (no probe, empty scenario) monomorphizes to
 //! exactly the historical uninstrumented loop — the golden determinism
 //! tests and the perf baseline's A/B gate both pin this.
@@ -37,7 +42,7 @@
 use scenario::Scenario;
 use sched::Scheduler;
 use simcore::Time;
-use telemetry::{NoopProbe, Probe};
+use telemetry::{MetricsRegistry, MonitorConfig, NoopProbe, PddMonitor, Probe, Tee};
 use traffic::{ClassSource, Trace};
 
 use crate::lossy::{LossMode, LossyReport};
@@ -161,6 +166,68 @@ impl<'a, P: Probe> Session<TraceWorkload<'a>, P> {
             buffer_bytes,
             mode,
         }
+    }
+}
+
+impl<'a> Session<TraceWorkload<'a>> {
+    /// Runs the replay with a [`MetricsRegistry`] attached and returns it
+    /// — run metrics as a first-class output next to the departures.
+    pub fn run_metered<S: Scheduler + ?Sized>(
+        self,
+        scheduler: &mut S,
+        on_depart: impl FnMut(&Departure),
+    ) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        self.probe(&mut registry).run(scheduler, on_depart);
+        registry
+    }
+
+    /// Runs the replay with both a [`MetricsRegistry`] and an online
+    /// [`PddMonitor`] (configured by `cfg`) attached; the monitor is
+    /// finalized before it is returned.
+    pub fn run_monitored<S: Scheduler + ?Sized>(
+        self,
+        cfg: MonitorConfig,
+        scheduler: &mut S,
+        on_depart: impl FnMut(&Departure),
+    ) -> (MetricsRegistry, PddMonitor) {
+        let mut registry = MetricsRegistry::new();
+        let mut monitor = PddMonitor::new(cfg);
+        self.probe(Tee(&mut registry, &mut monitor))
+            .run(scheduler, on_depart);
+        monitor.finish();
+        (registry, monitor)
+    }
+}
+
+impl<'a> Session<SourcesWorkload<'a>> {
+    /// Runs the streaming replay with a [`MetricsRegistry`] attached and
+    /// returns it.
+    pub fn run_metered<S: Scheduler + ?Sized>(
+        self,
+        scheduler: &mut S,
+        on_depart: impl FnMut(&Departure),
+    ) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        self.probe(&mut registry).run(scheduler, on_depart);
+        registry
+    }
+
+    /// Runs the streaming replay with both a [`MetricsRegistry`] and an
+    /// online [`PddMonitor`] attached; the monitor is finalized before it
+    /// is returned.
+    pub fn run_monitored<S: Scheduler + ?Sized>(
+        self,
+        cfg: MonitorConfig,
+        scheduler: &mut S,
+        on_depart: impl FnMut(&Departure),
+    ) -> (MetricsRegistry, PddMonitor) {
+        let mut registry = MetricsRegistry::new();
+        let mut monitor = PddMonitor::new(cfg);
+        self.probe(Tee(&mut registry, &mut monitor))
+            .run(scheduler, on_depart);
+        monitor.finish();
+        (registry, monitor)
     }
 }
 
@@ -349,6 +416,54 @@ mod tests {
             .lossy(10_000, LossMode::TailDrop)
             .run(s.as_mut());
         assert_eq!(r.drops[0], 1, "the downtime arrival is a fault drop");
+    }
+
+    #[test]
+    fn metered_run_returns_the_registry() {
+        let tr = small_trace();
+        let mut s = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+        let mut n = 0u64;
+        let reg = Session::trace(&tr, 1.0).run_metered(s.as_mut(), |_| n += 1);
+        assert_eq!(n, 4);
+        let departures: u64 = (0..4).map(|c| reg.class_total(c).departures).sum();
+        assert_eq!(departures, 4);
+        assert_eq!(reg.decisions(), 4);
+        assert_eq!(reg.num_links(), 1);
+    }
+
+    #[test]
+    fn metered_registry_matches_counting_probe() {
+        let tr = small_trace();
+        let mut s = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+        let reg = Session::trace(&tr, 1.0).run_metered(s.as_mut(), |_| {});
+        let mut counter = telemetry::CountingProbe::new(4);
+        let mut s = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+        Session::trace(&tr, 1.0)
+            .probe(&mut counter)
+            .run(s.as_mut(), |_| {});
+        assert_eq!(reg.to_json(), counter.registry().to_json());
+    }
+
+    #[test]
+    fn monitored_run_flags_the_engineered_miss() {
+        // small_trace's class-0 packet is served with zero wait while the
+        // later classes queue behind it, so pair 0 (d̄₀/d̄₁ = 0) inverts
+        // against any target > 1.
+        let tr = small_trace();
+        let mut cfg = telemetry::MonitorConfig::new(10_000, 0.25, vec![2.0, 2.0, 2.0]);
+        cfg.min_samples = 1;
+        let mut s = SchedulerKind::Wtp.build(&Sdp::paper_default(), 1.0);
+        let (reg, monitor) = Session::trace(&tr, 1.0).run_monitored(cfg, s.as_mut(), |_| {});
+        assert_eq!(reg.class_total(0).departures, 1);
+        assert_eq!(monitor.windows_closed(), 1);
+        assert!(
+            monitor
+                .violations()
+                .iter()
+                .any(|v| v.kind == telemetry::ViolationKind::Inversion),
+            "expected an inversion: {:?}",
+            monitor.violations()
+        );
     }
 
     #[test]

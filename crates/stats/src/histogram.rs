@@ -8,7 +8,6 @@
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     bins: Vec<u64>,
-    count: u64,
 }
 
 impl Histogram {
@@ -31,16 +30,47 @@ impl Histogram {
         } else {
             x.log2().floor() as usize + 1
         };
+        self.bump(bin);
+    }
+
+    /// Records an integer value on the pure-integer fast path (no float
+    /// log). Bins identically to [`record`](Self::record) for every `u64`
+    /// exactly representable as `f64`; on the hot metrics path (delays in
+    /// ticks) this avoids the transcendental entirely.
+    #[inline]
+    pub fn record_u64(&mut self, x: u64) {
+        // For x >= 1, floor(log2 x) = 63 - leading_zeros(x), and the value
+        // belongs to bin floor(log2 x) + 1; x = 0 lands in bin 0.
+        let bin = (64 - x.leading_zeros()) as usize;
+        self.bump(bin);
+    }
+
+    #[inline]
+    fn bump(&mut self, bin: usize) {
         if bin >= self.bins.len() {
             self.bins.resize(bin + 1, 0);
         }
         self.bins[bin] += 1;
-        self.count += 1;
     }
 
-    /// Total recorded values.
+    /// Merges `other` into `self`: the result is exactly the histogram
+    /// that would have recorded both input streams (lossless — log bins
+    /// are fixed, so merging is an elementwise integer sum and therefore
+    /// associative, commutative, and bit-identical to single-stream
+    /// accumulation in any sharding).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (b, &o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+    }
+
+    /// Total recorded values (derived from the bins, so the record hot
+    /// path pays for exactly one counter).
     pub fn count(&self) -> u64 {
-        self.count
+        self.bins.iter().sum()
     }
 
     /// The raw bin counts (bin 0 = `[0,1)`, bin k = `[2^(k−1), 2^k)`).
@@ -60,7 +90,8 @@ impl Histogram {
     /// Fraction of values at or above `threshold` (conservative: counts
     /// whole bins whose lower bound is ≥ threshold).
     pub fn tail_fraction(&self, threshold: f64) -> f64 {
-        if self.count == 0 {
+        let count = self.count();
+        if count == 0 {
             return 0.0;
         }
         let tail: u64 = self
@@ -70,7 +101,7 @@ impl Histogram {
             .filter(|&(k, _)| Self::bin_bounds(k).0 >= threshold)
             .map(|(_, &c)| c)
             .sum();
-        tail as f64 / self.count as f64
+        tail as f64 / count as f64
     }
 
     /// A compact single-line rendering: `bin_lo:count` pairs of nonempty
@@ -136,5 +167,112 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_negative() {
         Histogram::new().record(-1.0);
+    }
+
+    #[test]
+    fn record_u64_matches_float_binning() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for x in [0u64, 1, 2, 3, 4, 7, 8, 100, 441, u32::MAX as u64] {
+            a.record(x as f64);
+            b.record_u64(x);
+        }
+        assert_eq!(a.bins(), b.bins());
+        assert_eq!(a.count(), b.count());
+    }
+
+    #[test]
+    fn merge_is_lossless() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for x in [0.5, 3.0, 100.0] {
+            a.record(x);
+            whole.record(x);
+        }
+        for x in [7.0, 9000.0] {
+            b.record(x);
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.bins(), whole.bins());
+        assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(5.0);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a.bins(), before.bins());
+        assert_eq!(a.count(), before.count());
+
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty.bins(), before.bins());
+    }
+
+    mod merge_laws {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn hist(values: &[u64]) -> Histogram {
+            let mut h = Histogram::new();
+            for &v in values {
+                h.record_u64(v);
+            }
+            h
+        }
+
+        proptest! {
+            /// merge(a, merge(b, c)) == merge(merge(a, b), c), bitwise.
+            #[test]
+            fn associative(
+                a in prop::collection::vec(0u64..1u64 << 40, 0..50),
+                b in prop::collection::vec(0u64..1u64 << 40, 0..50),
+                c in prop::collection::vec(0u64..1u64 << 40, 0..50),
+            ) {
+                let mut left = hist(&a);
+                let mut bc = hist(&b);
+                bc.merge(&hist(&c));
+                left.merge(&bc);
+
+                let mut right = hist(&a);
+                right.merge(&hist(&b));
+                right.merge(&hist(&c));
+
+                prop_assert_eq!(left.bins(), right.bins());
+                prop_assert_eq!(left.count(), right.count());
+            }
+
+            /// merge(a, b) == merge(b, a), bitwise.
+            #[test]
+            fn commutative(
+                a in prop::collection::vec(0u64..1u64 << 40, 0..50),
+                b in prop::collection::vec(0u64..1u64 << 40, 0..50),
+            ) {
+                let mut ab = hist(&a);
+                ab.merge(&hist(&b));
+                let mut ba = hist(&b);
+                ba.merge(&hist(&a));
+                prop_assert_eq!(ab.bins(), ba.bins());
+            }
+
+            /// Sharding a stream arbitrarily and merging reproduces the
+            /// single-stream histogram exactly.
+            #[test]
+            fn sharded_equals_single_stream(
+                values in prop::collection::vec(0u64..1u64 << 40, 0..120),
+                cut in 0usize..120,
+            ) {
+                let cut = cut.min(values.len());
+                let mut sharded = hist(&values[..cut]);
+                sharded.merge(&hist(&values[cut..]));
+                let whole = hist(&values);
+                prop_assert_eq!(sharded.bins(), whole.bins());
+                prop_assert_eq!(sharded.count(), whole.count());
+            }
+        }
     }
 }

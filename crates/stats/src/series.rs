@@ -63,6 +63,44 @@ impl IntervalSeries {
         self.tau
     }
 
+    /// Number of classes tracked.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Merges `other` into `self` by summing per-interval per-class delay
+    /// sums and departure counts — the result is exactly the series that
+    /// would have recorded both departure streams. Integer counts merge
+    /// bit-identically; delay sums merge bit-identically whenever the
+    /// recorded delays are integer-valued ticks below 2⁵³ (the simulator's
+    /// case), because f64 addition of exactly-representable integers is
+    /// exact and therefore order-independent.
+    ///
+    /// # Panics
+    /// Panics if the two series disagree on `tau` or the class count.
+    pub fn merge(&mut self, other: &IntervalSeries) {
+        assert_eq!(
+            self.tau, other.tau,
+            "cannot merge series with different tau"
+        );
+        assert_eq!(
+            self.num_classes, other.num_classes,
+            "cannot merge series with different class counts"
+        );
+        if other.sums.len() > self.sums.len() {
+            self.sums
+                .resize(other.sums.len(), vec![0.0; self.num_classes]);
+            self.counts
+                .resize(other.counts.len(), vec![0; self.num_classes]);
+        }
+        for (k, (osums, ocounts)) in other.sums.iter().zip(&other.counts).enumerate() {
+            for c in 0..self.num_classes {
+                self.sums[k][c] += osums[c];
+                self.counts[k][c] += ocounts[c];
+            }
+        }
+    }
+
     /// Number of intervals touched so far.
     pub fn num_intervals(&self) -> usize {
         self.sums.len()
@@ -139,5 +177,106 @@ mod tests {
     fn class_bounds_checked() {
         let mut s = IntervalSeries::new(2, 10);
         s.record(Time::ZERO, 5, 1.0);
+    }
+
+    #[test]
+    fn merge_sums_intervals_elementwise() {
+        let mut a = IntervalSeries::new(2, 100);
+        a.record(Time::from_ticks(10), 0, 4.0);
+        let mut b = IntervalSeries::new(2, 100);
+        b.record(Time::from_ticks(20), 0, 8.0);
+        b.record(Time::from_ticks(150), 1, 3.0);
+        a.merge(&b);
+        assert_eq!(a.num_intervals(), 2);
+        assert_eq!(a.interval_averages(0)[0], Some(6.0));
+        assert_eq!(a.interval_averages(1)[1], Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different tau")]
+    fn merge_rejects_tau_mismatch() {
+        let mut a = IntervalSeries::new(2, 100);
+        a.merge(&IntervalSeries::new(2, 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "different class counts")]
+    fn merge_rejects_class_mismatch() {
+        let mut a = IntervalSeries::new(2, 100);
+        a.merge(&IntervalSeries::new(3, 100));
+    }
+
+    mod merge_laws {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// (tick, class, integer-valued delay) streams: the simulator only
+        /// ever records whole-tick delays, under which f64 sums are exact.
+        fn stream() -> impl Strategy<Value = Vec<(u64, usize, f64)>> {
+            prop::collection::vec(
+                (
+                    0u64..5_000,
+                    0usize..3,
+                    (0u64..1u64 << 30).prop_map(|d| d as f64),
+                ),
+                0..60,
+            )
+        }
+
+        fn series(events: &[(u64, usize, f64)]) -> IntervalSeries {
+            let mut s = IntervalSeries::new(3, 250);
+            for &(t, c, d) in events {
+                s.record(Time::from_ticks(t), c, d);
+            }
+            s
+        }
+
+        fn snapshot(s: &IntervalSeries) -> Vec<(u64, Vec<Option<f64>>)> {
+            (0..s.num_intervals())
+                .map(|k| (s.interval_departures(k), s.interval_averages(k)))
+                .collect()
+        }
+
+        proptest! {
+            #[test]
+            fn associative(a in stream(), b in stream(), c in stream()) {
+                let mut left = series(&a);
+                let mut bc = series(&b);
+                bc.merge(&series(&c));
+                left.merge(&bc);
+
+                let mut right = series(&a);
+                right.merge(&series(&b));
+                right.merge(&series(&c));
+
+                prop_assert_eq!(snapshot(&left), snapshot(&right));
+            }
+
+            #[test]
+            fn commutative(a in stream(), b in stream()) {
+                let mut ab = series(&a);
+                ab.merge(&series(&b));
+                let mut ba = series(&b);
+                ba.merge(&series(&a));
+                prop_assert_eq!(snapshot(&ab), snapshot(&ba));
+            }
+
+            #[test]
+            fn empty_is_identity(a in stream()) {
+                let mut merged = series(&a);
+                merged.merge(&IntervalSeries::new(3, 250));
+                prop_assert_eq!(snapshot(&merged), snapshot(&series(&a)));
+            }
+
+            /// Sharding the departure stream and merging is bit-identical
+            /// to single-stream accumulation (integer-tick delays).
+            #[test]
+            fn sharded_equals_single_stream(events in stream(), cut in 0usize..60) {
+                let cut = cut.min(events.len());
+                let mut sharded = series(&events[..cut]);
+                sharded.merge(&series(&events[cut..]));
+                prop_assert_eq!(snapshot(&sharded), snapshot(&series(&events)));
+            }
+        }
     }
 }

@@ -158,5 +158,75 @@ mod tests {
             let tol = 1e-9 * (1.0 + all.variance());
             prop_assert!((merged.variance() - all.variance()).abs() < tol);
         }
+
+        /// merge(a, merge(b, c)) ≈ merge(merge(a, b), c). The Welford
+        /// combination is float arithmetic, so associativity holds to
+        /// rounding tolerance (counts and min/max are exact).
+        #[test]
+        fn prop_merge_associative(
+            a in prop::collection::vec(-1e6f64..1e6, 0..40),
+            b in prop::collection::vec(-1e6f64..1e6, 0..40),
+            c in prop::collection::vec(-1e6f64..1e6, 0..40),
+        ) {
+            let mk = |xs: &[f64]| {
+                let mut s = Summary::new();
+                xs.iter().for_each(|&x| s.push(x));
+                s
+            };
+            let mut left = mk(&a);
+            let mut bc = mk(&b);
+            bc.merge(&mk(&c));
+            left.merge(&bc);
+
+            let mut right = mk(&a);
+            right.merge(&mk(&b));
+            right.merge(&mk(&c));
+
+            prop_assert_eq!(left.count(), right.count());
+            prop_assert_eq!(left.min(), right.min());
+            prop_assert_eq!(left.max(), right.max());
+            prop_assert!((left.mean() - right.mean()).abs() < 1e-6);
+            let tol = 1e-9 * (1.0 + right.variance());
+            prop_assert!((left.variance() - right.variance()).abs() < tol);
+        }
+
+        /// merge(a, b) ≈ merge(b, a).
+        #[test]
+        fn prop_merge_commutative(
+            a in prop::collection::vec(-1e6f64..1e6, 0..40),
+            b in prop::collection::vec(-1e6f64..1e6, 0..40),
+        ) {
+            let mk = |xs: &[f64]| {
+                let mut s = Summary::new();
+                xs.iter().for_each(|&x| s.push(x));
+                s
+            };
+            let mut ab = mk(&a);
+            ab.merge(&mk(&b));
+            let mut ba = mk(&b);
+            ba.merge(&mk(&a));
+            prop_assert_eq!(ab.count(), ba.count());
+            prop_assert_eq!(ab.min(), ba.min());
+            prop_assert_eq!(ab.max(), ba.max());
+            prop_assert!((ab.mean() - ba.mean()).abs() < 1e-6);
+            let tol = 1e-9 * (1.0 + ab.variance());
+            prop_assert!((ab.variance() - ba.variance()).abs() < tol);
+        }
+
+        /// merge(a, empty) == a and merge(empty, a) == a, bitwise — the
+        /// empty summary is a true identity element.
+        #[test]
+        fn prop_merge_empty_identity(a in prop::collection::vec(-1e6f64..1e6, 0..40)) {
+            let mut sa = Summary::new();
+            a.iter().for_each(|&x| sa.push(x));
+            let before = sa.clone();
+
+            sa.merge(&Summary::new());
+            prop_assert_eq!(&sa, &before);
+
+            let mut empty = Summary::new();
+            empty.merge(&before);
+            prop_assert_eq!(&empty, &before);
+        }
     }
 }

@@ -14,10 +14,20 @@
 //! * [`NoopProbe`] — the zero-cost default ([`Probe::ENABLED`] ` = false`).
 //!   The `perf_baseline` binary proves the "zero" empirically and records
 //!   the overhead in `BENCH_propdiff.json`.
-//! * [`CountingProbe`] — an allocation-light metrics recorder: per-class
-//!   counters (arrivals, departures, drops), queue-depth and backlog-byte
-//!   gauges with high-water marks, decision/winner tallies, event-loop
-//!   throughput, and the engine's heap-depth high-water mark.
+//! * [`MetricsRegistry`] — the mergeable metrics substrate: per-link
+//!   per-class counters, gauges with high-water marks, and log-bucketed
+//!   delay/backlog histograms, all with exact lossless
+//!   [`merge`](MetricsRegistry::merge) (shard N runs, merge, get the
+//!   single-stream registry bit-for-bit). Snapshots render to
+//!   deterministic JSON and to the Prometheus text format (checked by
+//!   [`validate_prometheus`]).
+//! * [`CountingProbe`] — an allocation-light metrics recorder: a thin
+//!   class-checked wrapper over the registry that adds wall-clock
+//!   throughput and the flat [`MetricsReport`] snapshot.
+//! * [`PddMonitor`] — online PDD conformance: rolling-window per-class
+//!   average delays and successive-pair ratios (the paper's Eq. 2)
+//!   against a target-epoch schedule, emitting structured [`Violation`]
+//!   events on drift outside a tolerance band or outright inversion.
 //! * [`JsonlSink`] — one JSON object per event, deterministic byte-for-byte
 //!   for a given event stream (golden-tested across replay paths).
 //! * [`ChromeTraceSink`] — Chrome `trace_event` JSON (open in
@@ -28,17 +38,24 @@
 //! * [`schema`] — a dependency-free validator for the JSONL export, used
 //!   by the `propdiff-trace --validate` flag and the CI telemetry job.
 //!
-//! Dependency-wise this crate sits at the bottom of the workspace (only
-//! `simcore`), so every layer — `sched`, `qsim`, `netsim`, `experiments`,
-//! `conformance` — can speak to the same probe vocabulary.
+//! Dependency-wise this crate sits near the bottom of the workspace
+//! (`simcore` for time, `stats` for the mergeable histogram), so every
+//! layer — `sched`, `qsim`, `netsim`, `experiments`, `conformance` — can
+//! speak to the same probe vocabulary.
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod metrics;
+mod monitor;
 mod probe;
+pub mod registry;
 pub mod schema;
 mod sink;
 
 pub use metrics::{ClassMetrics, CountingProbe, MetricsReport};
+pub use monitor::{MonitorConfig, PddMonitor, Violation, ViolationKind};
 pub use probe::{NoopProbe, PacketId, Probe, Tee};
+pub use registry::{
+    validate_prometheus, ChannelMetrics, ClassGauges, LinkMetrics, MetricsRegistry,
+};
 pub use sink::{ChromeTraceSink, JsonlSink};

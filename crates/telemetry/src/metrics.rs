@@ -6,6 +6,7 @@ use std::time::Instant;
 use simcore::Time;
 
 use crate::probe::{PacketId, Probe};
+use crate::registry::MetricsRegistry;
 
 /// Per-class counters and gauges accumulated by [`CountingProbe`].
 #[derive(Debug, Clone, Default)]
@@ -56,10 +57,12 @@ impl ClassMetrics {
 
 /// A metrics-recording probe: cheap enough to leave on for real runs.
 ///
-/// Tracks per-class counters/gauges, global decision and heartbeat tallies,
-/// the engine's event-queue high-water mark, the virtual-time span of the
-/// run, and wall-clock throughput. Snapshot with
-/// [`CountingProbe::report`].
+/// Since the registry landed this is a thin class-checked wrapper over
+/// [`MetricsRegistry`] (the wrapper adds the fixed class universe, the
+/// wall clock, and the flat [`MetricsReport`] snapshot shape — the
+/// registry itself is open-world and wall-clock-free so it stays
+/// mergeable). Reach the registry with [`CountingProbe::registry`] for
+/// per-link channels, histograms, and merging.
 ///
 /// On multi-hop runs, gauges aggregate over hops (the depth gauge counts
 /// queued packets anywhere in the network) while `departures` counts exit
@@ -67,14 +70,8 @@ impl ClassMetrics {
 /// still holds per class.
 #[derive(Debug, Clone)]
 pub struct CountingProbe {
-    classes: Vec<ClassMetrics>,
-    decisions: u64,
-    events: u64,
-    heartbeats: u64,
-    scenario_events: u64,
-    heap_high_water: usize,
-    first_event: Option<Time>,
-    last_event: Time,
+    registry: MetricsRegistry,
+    num_classes: usize,
     started: Instant,
 }
 
@@ -82,108 +79,106 @@ impl CountingProbe {
     /// A probe for `num_classes` service classes.
     pub fn new(num_classes: usize) -> Self {
         CountingProbe {
-            classes: vec![ClassMetrics::default(); num_classes],
-            decisions: 0,
-            events: 0,
-            heartbeats: 0,
-            scenario_events: 0,
-            heap_high_water: 0,
-            first_event: None,
-            last_event: Time::ZERO,
+            registry: MetricsRegistry::with_shape(1, num_classes),
+            num_classes,
             started: Instant::now(),
         }
     }
 
-    fn class(&mut self, class: u8) -> &mut ClassMetrics {
+    #[inline]
+    fn check(&self, class: u8) {
         let c = class as usize;
         assert!(
-            c < self.classes.len(),
+            c < self.num_classes,
             "probe saw class {c} but was built for {} classes",
-            self.classes.len()
+            self.num_classes
         );
-        &mut self.classes[c]
     }
 
-    fn touch(&mut self, at: Time) {
-        self.events += 1;
-        if self.first_event.is_none() {
-            self.first_event = Some(at);
-        }
-        self.last_event = self.last_event.max(at);
+    /// The underlying mergeable registry (per-link channels, histograms).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Consumes the probe, keeping the registry (e.g. to merge shards).
+    pub fn into_registry(self) -> MetricsRegistry {
+        self.registry
     }
 
     /// Freezes the counters into a [`MetricsReport`].
     pub fn report(&self) -> MetricsReport {
+        let classes = (0..self.num_classes)
+            .map(|c| {
+                let t = self.registry.class_total(c);
+                ClassMetrics {
+                    arrivals: t.arrivals,
+                    enqueues: t.enqueues,
+                    departures: t.departures,
+                    drops: t.drops,
+                    decisions_won: t.decisions_won,
+                    wait_ticks_sum: t.wait_ticks_sum,
+                    bytes_delivered: t.bytes_delivered,
+                    depth: t.depth,
+                    depth_high_water: t.depth_high_water,
+                    backlog_bytes: t.backlog_bytes,
+                    backlog_high_water: t.backlog_high_water,
+                }
+            })
+            .collect();
         MetricsReport {
-            classes: self.classes.clone(),
-            decisions: self.decisions,
-            probe_events: self.events,
-            heartbeats: self.heartbeats,
-            scenario_events: self.scenario_events,
-            heap_high_water: self.heap_high_water,
-            virtual_span_ticks: self
-                .last_event
-                .ticks()
-                .saturating_sub(self.first_event.unwrap_or(Time::ZERO).ticks()),
+            classes,
+            decisions: self.registry.decisions(),
+            probe_events: self.registry.probe_events(),
+            heartbeats: self.registry.heartbeats(),
+            scenario_events: self.registry.scenario_events(),
+            heap_high_water: self.registry.heap_high_water(),
+            virtual_span_ticks: self.registry.virtual_span_ticks(),
             wall_secs: self.started.elapsed().as_secs_f64(),
         }
     }
 }
 
 impl Probe for CountingProbe {
+    // Wraps the registry; the audit slice is forwarded but never read.
+    const WANTS_DECISION_VALUES: bool = false;
+
     fn on_arrival(&mut self, at: Time, id: PacketId) {
-        self.touch(at);
-        self.class(id.class).arrivals += 1;
+        self.check(id.class);
+        self.registry.on_arrival(at, id);
     }
 
     fn on_enqueue(&mut self, at: Time, id: PacketId) {
-        self.touch(at);
-        let m = self.class(id.class);
-        m.enqueues += 1;
-        m.depth += 1;
-        m.depth_high_water = m.depth_high_water.max(m.depth);
-        m.backlog_bytes += id.size as i64;
-        m.backlog_high_water = m.backlog_high_water.max(m.backlog_bytes);
+        self.check(id.class);
+        self.registry.on_enqueue(at, id);
     }
 
     fn on_decision(
         &mut self,
         at: Time,
-        _scheduler: &'static str,
+        scheduler: &'static str,
         winner: PacketId,
-        _values: &[(usize, f64)],
+        values: &[(usize, f64)],
     ) {
-        self.touch(at);
-        self.decisions += 1;
-        self.class(winner.class).decisions_won += 1;
+        self.check(winner.class);
+        self.registry.on_decision(at, scheduler, winner, values);
     }
 
     fn on_depart(&mut self, id: PacketId, arrival: Time, start: Time, finish: Time, eol: bool) {
-        self.touch(finish);
-        let m = self.class(id.class);
-        m.depth -= 1;
-        m.backlog_bytes -= id.size as i64;
-        m.wait_ticks_sum += start.saturating_since(arrival).ticks();
-        if eol {
-            m.departures += 1;
-            m.bytes_delivered += id.size as u64;
-        }
+        self.check(id.class);
+        self.registry.on_depart(id, arrival, start, finish, eol);
     }
 
-    fn on_drop(&mut self, at: Time, id: PacketId, _backlog_bytes: u64, _buffer_bytes: u64) {
-        self.touch(at);
-        self.class(id.class).drops += 1;
+    fn on_drop(&mut self, at: Time, id: PacketId, backlog_bytes: u64, buffer_bytes: u64) {
+        self.check(id.class);
+        self.registry.on_drop(at, id, backlog_bytes, buffer_bytes);
     }
 
-    fn on_heartbeat(&mut self, at: Time, _events_handled: u64, heap_depth: usize) {
-        self.touch(at);
-        self.heartbeats += 1;
-        self.heap_high_water = self.heap_high_water.max(heap_depth);
+    fn on_heartbeat(&mut self, at: Time, events_handled: u64, heap_depth: usize) {
+        self.registry.on_heartbeat(at, events_handled, heap_depth);
     }
 
-    fn on_scenario_event(&mut self, at: Time, _link: u16, _kind: &'static str, _value: f64) {
-        self.touch(at);
-        self.scenario_events += 1;
+    fn on_scenario_event(&mut self, at: Time, link: u16, kind: &'static str, value: f64) {
+        self.registry.on_scenario_event(at, link, kind, value);
     }
 }
 

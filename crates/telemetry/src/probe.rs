@@ -48,11 +48,23 @@ impl PacketId {
 /// All methods default to no-ops so probes implement only what they need.
 /// Within one hop, events for a packet arrive in lifecycle order
 /// (arrival → enqueue → decision naming its class → depart, or
-/// arrival → drop); times are nondecreasing per hop.
+/// arrival → drop); times are nondecreasing per hop. An arrival is
+/// followed immediately by its enqueue or drop *at the same instant*, and
+/// a decision at `t` by its departure at `finish >= t` — probes tracking
+/// the observed time span may rely on this (the metrics registry skips
+/// span upkeep in `on_arrival`/`on_decision` because of it).
 pub trait Probe {
     /// Whether instrumented code should construct and emit records at all.
     /// Leave `true` for any probe that observes anything.
     const ENABLED: bool = true;
+
+    /// Whether this probe consumes the `values` audit slice passed to
+    /// [`on_decision`](Self::on_decision). Computing it costs the scheduler
+    /// a full per-class pass *per decision*, so counter-only probes (the
+    /// metrics registry, the conformance monitor) opt out and receive an
+    /// empty slice; instrumented loops skip the audit when this is `false`.
+    /// Defaults to `true` so recording probes stay complete by default.
+    const WANTS_DECISION_VALUES: bool = true;
 
     /// A packet was offered to the system at `at` (before any buffer
     /// admission decision).
@@ -126,11 +138,13 @@ pub struct NoopProbe;
 
 impl Probe for NoopProbe {
     const ENABLED: bool = false;
+    const WANTS_DECISION_VALUES: bool = false;
 }
 
 /// Forwarding impl so loops can take `&mut P` without consuming the probe.
 impl<P: Probe + ?Sized> Probe for &mut P {
     const ENABLED: bool = P::ENABLED;
+    const WANTS_DECISION_VALUES: bool = P::WANTS_DECISION_VALUES;
 
     fn on_arrival(&mut self, at: Time, id: PacketId) {
         (**self).on_arrival(at, id);
@@ -174,6 +188,7 @@ pub struct Tee<A, B>(pub A, pub B);
 
 impl<A: Probe, B: Probe> Probe for Tee<A, B> {
     const ENABLED: bool = A::ENABLED || B::ENABLED;
+    const WANTS_DECISION_VALUES: bool = A::WANTS_DECISION_VALUES || B::WANTS_DECISION_VALUES;
 
     fn on_arrival(&mut self, at: Time, id: PacketId) {
         self.0.on_arrival(at, id);
