@@ -139,7 +139,28 @@ fn timeline(perturbation: Perturbation, scale: Scale) -> (Scenario, u64, Vec<f64
 
 /// Measures one (scheduler, perturbation) cell at `scale`: one perturbed
 /// Study-A run per seed, reduced to per-pair reconvergence times.
+///
+/// Implemented as the canonical shard pipeline ([`cell_seed`] per seed,
+/// folded by [`merge_seeds`] in seed order), so multi-process runs
+/// reproduce it bit-for-bit.
 pub fn cell(scheduler: SchedulerKind, perturbation: Perturbation, scale: Scale) -> DynamicsRow {
+    let per_seed: Vec<Vec<Option<u64>>> = scale
+        .seeds()
+        .iter()
+        .map(|&seed| cell_seed(scheduler, perturbation, scale, seed))
+        .collect();
+    merge_seeds(scheduler, perturbation, &per_seed)
+}
+
+/// Measures **one seed** of a dynamics cell — the farm's shard unit.
+/// Returns per successive class pair the settling time in ticks since the
+/// perturbation, or `None` if that pair never settled in this seed.
+pub fn cell_seed(
+    scheduler: SchedulerKind,
+    perturbation: Perturbation,
+    scale: Scale,
+    seed: u64,
+) -> Vec<Option<u64>> {
     let p = PAPER_MEAN_PACKET_BYTES as u64;
     let horizon = Time::from_ticks(scale.punits() * p);
     let (sc, perturb_at, targets) = timeline(perturbation, scale);
@@ -153,19 +174,28 @@ pub fn cell(scheduler: SchedulerKind, perturbation: Perturbation, scale: Scale) 
     let plan = LoadPlan::new(1.0, UTILIZATION, &[0.4, 0.3, 0.2, 0.1], SizeDist::paper())
         .expect("validated parameters");
     let sources = plan.pareto_sources().expect("valid plan");
+    let mut samples: Vec<(u64, usize, f64)> = Vec::new();
+    let mut s = scheduler.build(&sdp, 1.0);
+    Session::sources(&sources, horizon, seed, 1.0)
+        .scenario(sc)
+        .run(s.as_mut(), |d| {
+            samples.push((d.finish.ticks(), d.packet.class as usize, d.wait().as_f64()));
+        });
+    reconvergence_times(&samples, n, perturb_at, &targets, &cfg)
+}
 
+/// Folds per-seed partials (one [`cell_seed`] output per seed, **in seed
+/// order**) into the cell row with the single-process aggregation's exact
+/// arithmetic.
+pub fn merge_seeds(
+    scheduler: SchedulerKind,
+    perturbation: Perturbation,
+    per_seed: &[Vec<Option<u64>>],
+) -> DynamicsRow {
+    let n = start_sdp().num_classes();
     let mut settled = vec![0usize; n - 1];
     let mut sums = vec![0.0f64; n - 1];
-    let seeds = scale.seeds();
-    for &seed in &seeds {
-        let mut samples: Vec<(u64, usize, f64)> = Vec::new();
-        let mut s = scheduler.build(&sdp, 1.0);
-        Session::sources(&sources, horizon, seed, 1.0)
-            .scenario(sc.clone())
-            .run(s.as_mut(), |d| {
-                samples.push((d.finish.ticks(), d.packet.class as usize, d.wait().as_f64()));
-            });
-        let times = reconvergence_times(&samples, n, perturb_at, &targets, &cfg);
+    for times in per_seed {
         for (i, t) in times.iter().enumerate() {
             if let Some(t) = t {
                 settled[i] += 1;
@@ -181,7 +211,7 @@ pub fn cell(scheduler: SchedulerKind, perturbation: Perturbation, scale: Scale) 
     DynamicsRow {
         scheduler,
         perturbation,
-        seeds: seeds.len(),
+        seeds: per_seed.len(),
         settled,
         mean_settle_punits,
     }

@@ -49,19 +49,52 @@ pub fn cell(sdp_ratio: f64, utilization: f64, scale: Scale) -> Fig1Row {
 }
 
 /// As [`cell`], streaming packet-lifecycle events into `probe`.
+///
+/// Implemented as the canonical shard pipeline — each seed measured by
+/// [`cell_seed_probed`], partials folded by [`merge_seeds`] in seed order
+/// — so a multi-process run that ships per-seed partials between workers
+/// reproduces this bit-for-bit.
 pub fn cell_probed<P: Probe>(
     sdp_ratio: f64,
     utilization: f64,
     scale: Scale,
     probe: &mut P,
 ) -> Fig1Row {
+    let per_seed: Vec<Vec<Vec<f64>>> = scale
+        .seeds()
+        .iter()
+        .map(|&seed| cell_seed_probed(sdp_ratio, utilization, scale, seed, probe))
+        .collect();
+    merge_seeds(utilization, &per_seed)
+}
+
+/// Measures **one seed** of a Figure-1 cell — the farm's shard unit.
+/// Returns each scheduler's successive-class delay ratios for that seed,
+/// `[wtp, bpr]`.
+pub fn cell_seed_probed<P: Probe>(
+    sdp_ratio: f64,
+    utilization: f64,
+    scale: Scale,
+    seed: u64,
+    probe: &mut P,
+) -> Vec<Vec<f64>> {
     let sdp = Sdp::geometric(4, sdp_ratio).expect("static");
-    let e = Experiment::paper(utilization, sdp, scale.punits(), scale.seeds());
-    let results = e.run_many_probed(&[SchedulerKind::Wtp, SchedulerKind::Bpr], probe);
+    let e = Experiment::paper(utilization, sdp, scale.punits(), vec![seed]);
+    e.run_seed_probed(&[SchedulerKind::Wtp, SchedulerKind::Bpr], seed, probe)
+        .iter()
+        .map(|sr| sr.successive_ratios())
+        .collect()
+}
+
+/// Folds per-seed partials (one [`cell_seed_probed`] output per seed,
+/// **in seed order**) into the cell row, with the exact float arithmetic
+/// of the single-process seed aggregation.
+pub fn merge_seeds(utilization: f64, per_seed: &[Vec<Vec<f64>>]) -> Fig1Row {
+    let kind = |ki: usize| -> Vec<Vec<f64>> { per_seed.iter().map(|s| s[ki].clone()).collect() };
     Fig1Row {
         utilization,
-        wtp: results[0].ratios.clone(),
-        bpr: results[1].ratios.clone(),
+        wtp: pdd::qsim::average_rows(&kind(0)),
+        bpr: pdd::qsim::average_rows(&kind(1)),
     }
 }
 

@@ -58,20 +58,50 @@ pub fn cell(sdp_ratio: f64, fractions: [f64; 4], scale: Scale) -> Fig2Row {
 }
 
 /// As [`cell`], streaming packet-lifecycle events into `probe`.
+///
+/// Implemented as the canonical shard pipeline ([`cell_seed_probed`] per
+/// seed, folded by [`merge_seeds`] in seed order), so multi-process runs
+/// reproduce it bit-for-bit.
 pub fn cell_probed<P: Probe>(
     sdp_ratio: f64,
     fractions: [f64; 4],
     scale: Scale,
     probe: &mut P,
 ) -> Fig2Row {
+    let per_seed: Vec<Vec<Vec<f64>>> = scale
+        .seeds()
+        .iter()
+        .map(|&seed| cell_seed_probed(sdp_ratio, fractions, scale, seed, probe))
+        .collect();
+    merge_seeds(fractions, &per_seed)
+}
+
+/// Measures **one seed** of a Figure-2 cell — the farm's shard unit.
+/// Returns each scheduler's successive-class delay ratios, `[wtp, bpr]`.
+pub fn cell_seed_probed<P: Probe>(
+    sdp_ratio: f64,
+    fractions: [f64; 4],
+    scale: Scale,
+    seed: u64,
+    probe: &mut P,
+) -> Vec<Vec<f64>> {
     let sdp = Sdp::geometric(4, sdp_ratio).expect("static");
-    let mut e = Experiment::paper(0.95, sdp, scale.punits(), scale.seeds());
+    let mut e = Experiment::paper(0.95, sdp, scale.punits(), vec![seed]);
     e.class_fractions = fractions.to_vec();
-    let results = e.run_many_probed(&[SchedulerKind::Wtp, SchedulerKind::Bpr], probe);
+    e.run_seed_probed(&[SchedulerKind::Wtp, SchedulerKind::Bpr], seed, probe)
+        .iter()
+        .map(|sr| sr.successive_ratios())
+        .collect()
+}
+
+/// Folds per-seed partials (**seed order**) into the cell row with the
+/// single-process aggregation's exact float arithmetic.
+pub fn merge_seeds(fractions: [f64; 4], per_seed: &[Vec<Vec<f64>>]) -> Fig2Row {
+    let kind = |ki: usize| -> Vec<Vec<f64>> { per_seed.iter().map(|s| s[ki].clone()).collect() };
     Fig2Row {
         fractions,
-        wtp: results[0].ratios.clone(),
-        bpr: results[1].ratios.clone(),
+        wtp: pdd::qsim::average_rows(&kind(0)),
+        bpr: pdd::qsim::average_rows(&kind(1)),
     }
 }
 

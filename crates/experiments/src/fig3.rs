@@ -21,18 +21,50 @@ pub struct Fig3 {
     pub bpr: Vec<TimescaleResult>,
 }
 
-/// Measures one Figure-3 cell: the full τ ladder for one scheduler.
-pub fn cell(kind: SchedulerKind, scale: Scale) -> Vec<TimescaleResult> {
-    // The τ = 10000 column needs enough horizon to produce intervals; at
-    // bench scale drop it rather than report a single-interval percentile.
-    let taus: Vec<u64> = if scale.punits() >= 20_000 {
+/// The τ ladder measured at `scale`: the τ = 10000 column needs enough
+/// horizon to produce intervals, so small scales drop it rather than
+/// report a single-interval percentile.
+pub fn taus(scale: Scale) -> Vec<u64> {
+    if scale.punits() >= 20_000 {
         vec![10, 100, 1000, 10_000]
     } else {
         vec![10, 100, 1000]
-    };
+    }
+}
+
+/// Measures one Figure-3 cell: the full τ ladder for one scheduler.
+///
+/// Implemented as the canonical shard pipeline ([`cell_seed`] per seed,
+/// folded by [`merge_seeds`] in seed order), so multi-process runs
+/// reproduce it bit-for-bit.
+pub fn cell(kind: SchedulerKind, scale: Scale) -> Vec<TimescaleResult> {
+    let per_seed: Vec<Vec<Vec<f64>>> = scale
+        .seeds()
+        .iter()
+        .map(|&seed| cell_seed(kind, scale, seed))
+        .collect();
+    merge_seeds(kind, scale, &per_seed)
+}
+
+/// Measures **one seed** of a Figure-3 cell — the farm's shard unit.
+/// Returns the defined R_D values per τ (outer index = [`taus`] order,
+/// inner = interval order).
+pub fn cell_seed(kind: SchedulerKind, scale: Scale, seed: u64) -> Vec<Vec<f64>> {
+    let mut st = ShortTimescale::paper(scale.punits(), vec![seed]);
+    st.taus_punits = taus(scale);
+    st.run_seed(kind, seed)
+}
+
+/// Folds per-seed partials (**seed order**) into the per-τ percentile
+/// results, exactly as the single-process run does.
+pub fn merge_seeds(
+    kind: SchedulerKind,
+    scale: Scale,
+    per_seed: &[Vec<Vec<f64>>],
+) -> Vec<TimescaleResult> {
     let mut st = ShortTimescale::paper(scale.punits(), scale.seeds());
-    st.taus_punits = taus;
-    st.run(kind)
+    st.taus_punits = taus(scale);
+    st.finalize(kind, per_seed)
 }
 
 /// Regenerates Figure 3.

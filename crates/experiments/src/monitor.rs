@@ -121,11 +121,51 @@ pub fn cell(scheduler: SchedulerKind, window_punits: u64, scale: Scale) -> Monit
 /// into one — the production use of the registry's exact merge, and the
 /// per-cell metrics artifact the orchestrator writes next to its cache
 /// entry.
+///
+/// Implemented as the canonical shard pipeline ([`cell_seed_metered`] per
+/// seed, folded by [`merge_seeds`] in seed order), so multi-process runs
+/// reproduce both the row and the merged registry bit-for-bit.
 pub fn cell_metered(
     scheduler: SchedulerKind,
     window_punits: u64,
     scale: Scale,
 ) -> (MonitorRow, MetricsRegistry) {
+    let per_seed: Vec<(MonitorSeed, MetricsRegistry)> = scale
+        .seeds()
+        .iter()
+        .map(|&seed| cell_seed_metered(scheduler, window_punits, scale, seed))
+        .collect();
+    merge_seeds(scheduler, window_punits, &per_seed)
+}
+
+/// One seed's monitor verdicts — the shard partial of a monitor cell.
+#[derive(Debug, Clone)]
+pub struct MonitorSeed {
+    /// Windows closed in this seed's run.
+    pub windows_closed: u64,
+    /// (window, pair) evaluations with enough samples.
+    pub pairs_evaluated: u64,
+    /// Violations in windows that ended at or before the swap.
+    pub steady_violations: usize,
+    /// Violations in windows that ended after the swap.
+    pub transient_violations: usize,
+    /// Of the transient violations, how many were inversions.
+    pub inversions: usize,
+    /// This seed's quiet time: the last violating window's end minus the
+    /// swap instant, in p-units (0 when nothing violates after the swap).
+    pub quiet_punits: f64,
+    /// Largest relative ratio drift seen in this seed.
+    pub max_drift: f64,
+}
+
+/// Measures **one seed** of a monitor cell — the farm's shard unit —
+/// returning the seed's verdict tallies and its metrics registry.
+pub fn cell_seed_metered(
+    scheduler: SchedulerKind,
+    window_punits: u64,
+    scale: Scale,
+    seed: u64,
+) -> (MonitorSeed, MetricsRegistry) {
     let p = PAPER_MEAN_PACKET_BYTES as u64;
     let horizon = Time::from_ticks(scale.punits() * p);
     let mid = (scale.punits() / 2) * p;
@@ -139,11 +179,49 @@ pub fn cell_metered(
         .expect("validated parameters");
     let sources = plan.pareto_sources().expect("valid plan");
 
-    let seeds = scale.seeds();
+    let mut s = scheduler.build(&sdp, 1.0);
+    let (registry, monitor) = Session::sources(&sources, horizon, seed, 1.0)
+        .scenario(sc)
+        .run_monitored(cfg, s.as_mut(), |_| {});
+    let mut out = MonitorSeed {
+        windows_closed: monitor.windows_closed(),
+        pairs_evaluated: monitor.pairs_evaluated(),
+        steady_violations: 0,
+        transient_violations: 0,
+        inversions: 0,
+        quiet_punits: 0.0,
+        max_drift: 0.0,
+    };
+    let mut last_post_end = mid;
+    for v in monitor.violations() {
+        let end = v.window_start_ticks + v.window_ticks;
+        if end <= mid {
+            out.steady_violations += 1;
+        } else {
+            out.transient_violations += 1;
+            if v.kind == pdd::telemetry::ViolationKind::Inversion {
+                out.inversions += 1;
+            }
+            last_post_end = last_post_end.max(end);
+        }
+        out.max_drift = out.max_drift.max(v.drift());
+    }
+    out.quiet_punits = (last_post_end - mid) as f64 / PAPER_MEAN_PACKET_BYTES;
+    (out, registry)
+}
+
+/// Folds per-seed partials (one [`cell_seed_metered`] output per seed,
+/// **in seed order**) into the cell row and merged registry with the
+/// single-process aggregation's exact arithmetic.
+pub fn merge_seeds(
+    scheduler: SchedulerKind,
+    window_punits: u64,
+    per_seed: &[(MonitorSeed, MetricsRegistry)],
+) -> (MonitorRow, MetricsRegistry) {
     let mut row = MonitorRow {
         scheduler,
         window_punits,
-        seeds: seeds.len(),
+        seeds: per_seed.len(),
         windows_closed: 0,
         pairs_evaluated: 0,
         steady_violations: 0,
@@ -154,31 +232,17 @@ pub fn cell_metered(
     };
     let mut quiet_sum = 0.0f64;
     let mut merged = MetricsRegistry::new();
-    for &seed in &seeds {
-        let mut s = scheduler.build(&sdp, 1.0);
-        let (registry, monitor) = Session::sources(&sources, horizon, seed, 1.0)
-            .scenario(sc.clone())
-            .run_monitored(cfg.clone(), s.as_mut(), |_| {});
-        merged.merge(&registry);
-        row.windows_closed += monitor.windows_closed();
-        row.pairs_evaluated += monitor.pairs_evaluated();
-        let mut last_post_end = mid;
-        for v in monitor.violations() {
-            let end = v.window_start_ticks + v.window_ticks;
-            if end <= mid {
-                row.steady_violations += 1;
-            } else {
-                row.transient_violations += 1;
-                if v.kind == pdd::telemetry::ViolationKind::Inversion {
-                    row.inversions += 1;
-                }
-                last_post_end = last_post_end.max(end);
-            }
-            row.max_drift = row.max_drift.max(v.drift());
-        }
-        quiet_sum += (last_post_end - mid) as f64 / PAPER_MEAN_PACKET_BYTES;
+    for (seed, registry) in per_seed {
+        merged.merge(registry);
+        row.windows_closed += seed.windows_closed;
+        row.pairs_evaluated += seed.pairs_evaluated;
+        row.steady_violations += seed.steady_violations;
+        row.transient_violations += seed.transient_violations;
+        row.inversions += seed.inversions;
+        row.max_drift = row.max_drift.max(seed.max_drift);
+        quiet_sum += seed.quiet_punits;
     }
-    row.mean_quiet_punits = quiet_sum / seeds.len() as f64;
+    row.mean_quiet_punits = quiet_sum / per_seed.len() as f64;
     (row, merged)
 }
 

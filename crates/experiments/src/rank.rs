@@ -62,20 +62,51 @@ pub fn cell(sdp_ratio: f64, utilization: f64, scale: Scale) -> RankRow {
 }
 
 /// As [`cell`], streaming packet-lifecycle events into `probe`.
+///
+/// Implemented as the canonical shard pipeline ([`cell_seed_probed`] per
+/// seed, folded by [`merge_seeds`] in seed order), so multi-process runs
+/// reproduce it bit-for-bit.
 pub fn cell_probed<P: Probe>(
     sdp_ratio: f64,
     utilization: f64,
     scale: Scale,
     probe: &mut P,
 ) -> RankRow {
+    let per_seed: Vec<Vec<Vec<f64>>> = scale
+        .seeds()
+        .iter()
+        .map(|&seed| cell_seed_probed(sdp_ratio, utilization, scale, seed, probe))
+        .collect();
+    merge_seeds(sdp_ratio, utilization, &per_seed)
+}
+
+/// Measures **one seed** of a rank cell — the farm's shard unit. Returns
+/// each scheduler's successive-class delay ratios in [`SCHEDULERS`] order,
+/// `[lstf, wtp]`.
+pub fn cell_seed_probed<P: Probe>(
+    sdp_ratio: f64,
+    utilization: f64,
+    scale: Scale,
+    seed: u64,
+    probe: &mut P,
+) -> Vec<Vec<f64>> {
     let sdp = Sdp::geometric(4, sdp_ratio).expect("static");
-    let e = Experiment::paper(utilization, sdp, scale.punits(), scale.seeds());
-    let results = e.run_many_probed(&SCHEDULERS, probe);
+    let e = Experiment::paper(utilization, sdp, scale.punits(), vec![seed]);
+    e.run_seed_probed(&SCHEDULERS, seed, probe)
+        .iter()
+        .map(|sr| sr.successive_ratios())
+        .collect()
+}
+
+/// Folds per-seed partials (**seed order**) into the cell row with the
+/// single-process aggregation's exact float arithmetic.
+pub fn merge_seeds(sdp_ratio: f64, utilization: f64, per_seed: &[Vec<Vec<f64>>]) -> RankRow {
+    let kind = |ki: usize| -> Vec<Vec<f64>> { per_seed.iter().map(|s| s[ki].clone()).collect() };
     RankRow {
         sdp_ratio,
         utilization,
-        lstf: results[0].ratios.clone(),
-        wtp: results[1].ratios.clone(),
+        lstf: pdd::qsim::average_rows(&kind(0)),
+        wtp: pdd::qsim::average_rows(&kind(1)),
     }
 }
 

@@ -2,19 +2,23 @@
 //!
 //! ```text
 //! propdiff-run run    [--suite NAME] [--paper|--bench|--punits N --seeds K]
-//!                     [--threads N] [--cache-dir DIR] [--out FILE]
-//!                     [--csv-dir DIR] [--max-cells N] [--expect-all-cached]
-//!                     [--quiet]
+//!                     [--threads N] [--workers N] [--cache-dir DIR]
+//!                     [--out FILE] [--csv-dir DIR] [--max-cells N]
+//!                     [--expect-all-cached] [--quiet]
 //! propdiff-run render [--doc PATH] [--check] [--suite NAME] [scale flags…]
 //! propdiff-run list
+//! propdiff-run worker                  (internal: spawned by `run --workers`)
 //! ```
 //!
-//! `run` executes the suite's uncached cells in parallel, caches every
-//! result under `--cache-dir`, and writes the merged JSON (manifest order,
-//! byte-stable at any thread count) to `--out`. A warm re-run does zero
-//! simulation work; `--expect-all-cached` turns that into an assertion.
-//! `--max-cells N` bounds how many uncached cells run, so an interrupted
-//! sweep resumes where it left off.
+//! `run` executes the suite's uncached shards in parallel — on threads by
+//! default, or on `--workers N` separate worker *processes* fed over a
+//! stdin/stdout JSONL protocol — caches every shard and merged cell under
+//! `--cache-dir`, and writes the merged JSON (manifest order,
+//! byte-identical at any thread or worker count) to `--out`. A warm re-run
+//! does zero simulation work; `--expect-all-cached` turns that into an
+//! assertion. `--max-cells N` bounds how many uncached cells run, so an
+//! interrupted sweep resumes where it left off; a crashed run resumes from
+//! whatever shards it had already banked.
 //!
 //! `render` rewrites the `<!-- generated:NAME -->` blocks in EXPERIMENTS.md
 //! from (cached) results; `--check` instead fails if the document would
@@ -38,6 +42,9 @@ fn options_from_args(args: &[String]) -> runner::RunOptions {
     let mut opts = runner::RunOptions::new(Scale::from_args());
     if let Some(n) = arg_value(args, "--threads") {
         opts.workers = n.parse().unwrap_or(0);
+    }
+    if let Some(n) = arg_value(args, "--workers") {
+        opts.process_workers = n.parse().unwrap_or(0);
     }
     if let Some(dir) = arg_value(args, "--cache-dir") {
         opts.cache_dir = PathBuf::from(dir);
@@ -65,11 +72,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let started = std::time::Instant::now();
     let report = runner::run(&suite, &opts);
     eprintln!(
-        "suite={} scale={} cells={} executed={} cached={} skipped={} wall={:.1}s",
+        "suite={} scale={} cells={} executed={} shards={} cached={} skipped={} wall={:.1}s",
         suite.suite,
         scale_tag(opts.scale),
         suite.cells.len(),
         report.executed,
+        report.shards_executed,
         report.cached,
         report.skipped,
         started.elapsed().as_secs_f64()
@@ -154,9 +162,10 @@ fn main() -> ExitCode {
             cmd_list();
             Ok(())
         }
+        Some("worker") => orchestrator::worker::worker_main(),
         Some("--help" | "-h") | None => {
             eprintln!(
-                "usage: propdiff-run <run|render|list> [--suite NAME] [scale flags] …\n\
+                "usage: propdiff-run <run|render|list|worker> [--suite NAME] [scale flags] …\n\
                  see the crate docs (`cargo doc -p orchestrator`) for the full flag list"
             );
             Ok(())

@@ -5,11 +5,20 @@
 //!
 //! ```text
 //! <cache-dir>/<scale-tag>/<cell-id>.json
+//! <cache-dir>/<scale-tag>/shards/<cell-id>.s<K>of<N>.json
 //! ```
 //!
 //! where `<scale-tag>` is `quick`, `paper`, `bench`, or `p<punits>s<seeds>`
-//! for custom scales, and `<cell-id>` is [`CellSpec::id`]. Each file holds
-//! `{"key": "<16 hex digits>", "cell": {...params...}, "result": {...}}`.
+//! for custom scales, and `<cell-id>` is [`CellSpec::id`]. Each cell file
+//! holds `{"key": "<16 hex digits>", "cell": {...params...}, "result":
+//! {...}}`.
+//!
+//! The `shards/` subdirectory is the experiment farm's coordination
+//! substrate: shard `K` of a cell split `N` ways lands there the moment a
+//! worker finishes it, keyed by the cell key *extended with* `(K, N)`.
+//! A crashed or interrupted run resumes by re-running only shards with no
+//! valid entry, and once a cell's merged entry is stored its shard files
+//! are deleted — the steady state stays one file per cell per scale.
 //!
 //! # Invalidation rule
 //!
@@ -19,7 +28,9 @@
 //! schema version. Change a sweep parameter, the simulation source, or the
 //! result schema and the key changes; the stale file is simply overwritten
 //! on the next run (the cache never grows beyond one file per cell per
-//! scale). Corrupt or unreadable files behave as misses.
+//! scale). Corrupt or unreadable files behave as misses. Shard entries
+//! inherit the same rule through the embedded cell key, so no shard can
+//! ever be replayed across a source change or a different shard split.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -110,6 +121,92 @@ impl Cache {
         let tmp = path.with_extension("json.tmp");
         std::fs::write(&tmp, entry.serialize())?;
         std::fs::rename(&tmp, &path)
+    }
+
+    /// The content key a shard entry must carry: the cell key extended
+    /// with the shard coordinates, so a partial can never be replayed into
+    /// a different shard split (or a different shard of the same split).
+    pub fn shard_key(&self, cell: &CellSpec, scale: Scale, shard: usize, shards: usize) -> u64 {
+        let mut h = Fnv::new();
+        h.write(&self.key(cell, scale).to_le_bytes());
+        h.write(b"\0shard\0");
+        h.write(&(shard as u64).to_le_bytes());
+        h.write(&(shards as u64).to_le_bytes());
+        h.finish()
+    }
+
+    fn shard_path(&self, cell: &CellSpec, scale: Scale, shard: usize, shards: usize) -> PathBuf {
+        self.dir
+            .join(scale_tag(scale))
+            .join("shards")
+            .join(format!("{}.s{shard}of{shards}.json", cell.id()))
+    }
+
+    /// Loads shard `shard` of `shards` for `cell` — the partial result
+    /// JSON plus its optional registry snapshot — or `None` on a miss.
+    pub fn load_shard(
+        &self,
+        cell: &CellSpec,
+        scale: Scale,
+        shard: usize,
+        shards: usize,
+    ) -> Option<(Json, Option<String>)> {
+        let text = std::fs::read_to_string(self.shard_path(cell, scale, shard, shards)).ok()?;
+        let entry = Json::parse(&text).ok()?;
+        let stored_key = entry.get("key")?.as_str()?;
+        if stored_key != format!("{:016x}", self.shard_key(cell, scale, shard, shards)) {
+            return None;
+        }
+        let partial = entry.get("partial")?.clone();
+        let registry = match entry.get("registry") {
+            Some(Json::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
+        Some((partial, registry))
+    }
+
+    /// Stores one shard's partial (same atomic temp-file discipline as
+    /// [`store`](Self::store)), making it visible to resumed runs the
+    /// moment the worker that produced it finishes.
+    pub fn store_shard(
+        &self,
+        cell: &CellSpec,
+        scale: Scale,
+        shard: usize,
+        shards: usize,
+        partial: &Json,
+        registry: Option<&str>,
+    ) -> io::Result<()> {
+        let path = self.shard_path(cell, scale, shard, shards);
+        let parent = path.parent().expect("shard path has a parent");
+        std::fs::create_dir_all(parent)?;
+        let entry = Json::obj(vec![
+            (
+                "key",
+                Json::Str(format!(
+                    "{:016x}",
+                    self.shard_key(cell, scale, shard, shards)
+                )),
+            ),
+            ("shard", Json::Int(shard as i64)),
+            ("shards", Json::Int(shards as i64)),
+            ("partial", partial.clone()),
+            (
+                "registry",
+                registry.map(|s| Json::Str(s.into())).unwrap_or(Json::Null),
+            ),
+        ]);
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, entry.serialize())?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Best-effort removal of a cell's shard entries once its merged entry
+    /// is stored; the steady state stays one file per cell per scale.
+    pub fn remove_shards(&self, cell: &CellSpec, scale: Scale, shards: usize) {
+        for shard in 0..shards {
+            let _ = std::fs::remove_file(self.shard_path(cell, scale, shard, shards));
+        }
     }
 
     /// Writes a cell's metrics-registry snapshot next to its cache entry
@@ -221,6 +318,49 @@ mod tests {
         assert_eq!(std::fs::read_to_string(path).unwrap(), snapshot);
         // The sidecar is not a cache entry.
         assert!(cache.load(&cell(), Scale::Bench).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn shard_entries_round_trip_and_respect_their_split() {
+        let cache = temp_cache("shard", 7);
+        let partial = Json::obj(vec![("rows", Json::Arr(vec![Json::Int(3)]))]);
+        assert!(cache.load_shard(&cell(), Scale::Bench, 1, 4).is_none());
+        cache
+            .store_shard(&cell(), Scale::Bench, 1, 4, &partial, Some("{\"x\":1}"))
+            .unwrap();
+        assert_eq!(
+            cache.load_shard(&cell(), Scale::Bench, 1, 4),
+            Some((partial.clone(), Some("{\"x\":1}".into())))
+        );
+        // Same shard index under a different split is a different entry.
+        assert!(cache.load_shard(&cell(), Scale::Bench, 1, 2).is_none());
+        // The merged-entry namespace is untouched.
+        assert!(cache.load(&cell(), Scale::Bench).is_none());
+        // A registry-less shard loads back with `None`.
+        cache
+            .store_shard(&cell(), Scale::Bench, 0, 4, &partial, None)
+            .unwrap();
+        assert_eq!(
+            cache.load_shard(&cell(), Scale::Bench, 0, 4),
+            Some((partial, None))
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn remove_shards_clears_the_split() {
+        let cache = temp_cache("shardrm", 7);
+        let partial = Json::Int(1);
+        for shard in 0..3 {
+            cache
+                .store_shard(&cell(), Scale::Bench, shard, 3, &partial, None)
+                .unwrap();
+        }
+        cache.remove_shards(&cell(), Scale::Bench, 3);
+        for shard in 0..3 {
+            assert!(cache.load_shard(&cell(), Scale::Bench, shard, 3).is_none());
+        }
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -4,7 +4,7 @@
 use experiments::{ablations, dynamics, fig1, fig2, fig3, fig45, monitor, rank, table1, Scale};
 use pdd::netsim::StudyBConfig;
 use pdd::sched::SchedulerKind;
-use pdd::telemetry::{CountingProbe, MetricsReport};
+use pdd::telemetry::{ClassMetrics, CountingProbe, MetricsRegistry, MetricsReport};
 
 use crate::json::Json;
 
@@ -271,46 +271,197 @@ impl CellSpec {
         Json::obj(pairs)
     }
 
-    /// Runs the cell at `scale`, returning its result as JSON plus — for
-    /// the probed harnesses (fig1, fig2, table1, rank) — the run's
-    /// telemetry snapshot for progress reporting, plus — for cells that
-    /// run a [`telemetry::MetricsRegistry`](pdd::telemetry::MetricsRegistry)
-    /// — the full `propdiff-metrics-v1` snapshot text the runner writes as
-    /// a `<cell-id>.metrics.json` sidecar next to the cache entry.
-    pub fn execute(&self, scale: Scale) -> (Json, Option<MetricsReport>, Option<String>) {
+    /// How many shards [`execute`](Self::execute) splits into at `scale`.
+    ///
+    /// Seed-sweep cells shard one-seed-per-shard; everything else is a
+    /// single shard. The shard count is part of the shard-cache key, so a
+    /// scale change (different seed list) can never replay mismatched
+    /// partials.
+    pub fn shard_count(&self, scale: Scale) -> usize {
+        match self {
+            CellSpec::Fig1 { .. }
+            | CellSpec::Fig2 { .. }
+            | CellSpec::Fig3 { .. }
+            | CellSpec::Dynamics { .. }
+            | CellSpec::Rank { .. }
+            | CellSpec::Monitor { .. } => scale.seeds().len(),
+            _ => 1,
+        }
+    }
+
+    /// Runs one shard of the cell, returning the shard's partial result as
+    /// JSON plus — for metered cells — its `propdiff-metrics-v1` registry
+    /// snapshot.
+    ///
+    /// Shard partials are transport-safe: they round-trip through
+    /// [`Json`] serialization (the worker wire format and the shard cache)
+    /// without changing any value, so merging shipped partials is
+    /// byte-identical to merging in-memory ones.
+    pub fn execute_shard(&self, scale: Scale, shard: usize) -> (Json, Option<String>) {
+        let shards = self.shard_count(scale);
+        assert!(
+            shard < shards,
+            "shard {shard} out of range for {} ({shards} shards)",
+            self.id()
+        );
         match self {
             CellSpec::Fig1 {
                 sdp_ratio,
                 utilization,
             } => {
+                let seed = scale.seeds()[shard];
                 let mut probe = CountingProbe::new(4);
-                let row = fig1::cell_probed(*sdp_ratio, *utilization, scale, &mut probe);
+                let rows =
+                    fig1::cell_seed_probed(*sdp_ratio, *utilization, scale, seed, &mut probe);
                 (
+                    Json::obj(vec![("rows", rows_json(&rows))]),
+                    Some(probe.registry().to_json()),
+                )
+            }
+            CellSpec::Fig2 { sdp_ratio, dist } => {
+                let seed = scale.seeds()[shard];
+                let mut probe = CountingProbe::new(4);
+                let rows = fig2::cell_seed_probed(
+                    *sdp_ratio,
+                    fig2::DISTRIBUTIONS[*dist],
+                    scale,
+                    seed,
+                    &mut probe,
+                );
+                (
+                    Json::obj(vec![("rows", rows_json(&rows))]),
+                    Some(probe.registry().to_json()),
+                )
+            }
+            CellSpec::Rank {
+                sdp_ratio,
+                utilization,
+            } => {
+                let seed = scale.seeds()[shard];
+                let mut probe = CountingProbe::new(4);
+                let rows =
+                    rank::cell_seed_probed(*sdp_ratio, *utilization, scale, seed, &mut probe);
+                (
+                    Json::obj(vec![("rows", rows_json(&rows))]),
+                    Some(probe.registry().to_json()),
+                )
+            }
+            CellSpec::Fig3 { kind } => {
+                let seed = scale.seeds()[shard];
+                (
+                    Json::obj(vec![(
+                        "rows",
+                        rows_json(&fig3::cell_seed(*kind, scale, seed)),
+                    )]),
+                    None,
+                )
+            }
+            CellSpec::Dynamics { kind, perturbation } => {
+                let seed = scale.seeds()[shard];
+                let times = dynamics::cell_seed(*kind, *perturbation, scale, seed);
+                let times = times
+                    .iter()
+                    .map(|t| t.map(|v| Json::Int(v as i64)).unwrap_or(Json::Null))
+                    .collect();
+                (Json::obj(vec![("times", Json::Arr(times))]), None)
+            }
+            CellSpec::Monitor {
+                kind,
+                window_punits,
+            } => {
+                let seed = scale.seeds()[shard];
+                let (s, registry) = monitor::cell_seed_metered(*kind, *window_punits, scale, seed);
+                (
+                    Json::obj(vec![
+                        ("windows_closed", Json::Int(s.windows_closed as i64)),
+                        ("pairs_evaluated", Json::Int(s.pairs_evaluated as i64)),
+                        ("steady_violations", Json::Int(s.steady_violations as i64)),
+                        (
+                            "transient_violations",
+                            Json::Int(s.transient_violations as i64),
+                        ),
+                        ("inversions", Json::Int(s.inversions as i64)),
+                        ("quiet_punits", Json::num(s.quiet_punits)),
+                        ("max_drift", Json::num(s.max_drift)),
+                    ]),
+                    Some(registry.to_json()),
+                )
+            }
+            _ => self.execute_monolithic(scale),
+        }
+    }
+
+    /// Merges one partial per shard (**in shard order** — shard k is seed
+    /// k, and every seed fold is seed-ordered) into the cell's final
+    /// result JSON, its progress-report snapshot (probed cells; its
+    /// `wall_secs` is zero — the runner supplies wall time), and its
+    /// merged metrics sidecar.
+    ///
+    /// Errors on a shard-count mismatch or partials that don't decode —
+    /// the caller treats that as a cache miss and re-executes.
+    pub fn merge_shards(
+        &self,
+        scale: Scale,
+        shards: &[(Json, Option<String>)],
+    ) -> Result<(Json, Option<MetricsReport>, Option<String>), String> {
+        let want = self.shard_count(scale);
+        if shards.len() != want {
+            return Err(format!(
+                "{}: {} shard partials, expected {want}",
+                self.id(),
+                shards.len()
+            ));
+        }
+        match self {
+            CellSpec::Fig1 { utilization, .. } => {
+                let per_seed = decode_shard_rows(shards)?;
+                let row = fig1::merge_seeds(*utilization, &per_seed);
+                let registry = fold_registries(self, shards)?;
+                Ok((
                     Json::obj(vec![
                         ("utilization", Json::num(row.utilization)),
                         ("wtp", Json::nums(&row.wtp)),
                         ("bpr", Json::nums(&row.bpr)),
                     ]),
-                    Some(probe.report()),
-                    Some(probe.registry().to_json()),
-                )
+                    Some(report_from_registry(&registry, 4)),
+                    Some(registry.to_json()),
+                ))
             }
-            CellSpec::Fig2 { sdp_ratio, dist } => {
-                let mut probe = CountingProbe::new(4);
-                let row =
-                    fig2::cell_probed(*sdp_ratio, fig2::DISTRIBUTIONS[*dist], scale, &mut probe);
-                (
+            CellSpec::Fig2 { dist, .. } => {
+                let per_seed = decode_shard_rows(shards)?;
+                let row = fig2::merge_seeds(fig2::DISTRIBUTIONS[*dist], &per_seed);
+                let registry = fold_registries(self, shards)?;
+                Ok((
                     Json::obj(vec![
                         ("fractions", Json::nums(&row.fractions)),
                         ("wtp", Json::nums(&row.wtp)),
                         ("bpr", Json::nums(&row.bpr)),
                     ]),
-                    Some(probe.report()),
-                    Some(probe.registry().to_json()),
-                )
+                    Some(report_from_registry(&registry, 4)),
+                    Some(registry.to_json()),
+                ))
+            }
+            CellSpec::Rank {
+                sdp_ratio,
+                utilization,
+            } => {
+                let per_seed = decode_shard_rows(shards)?;
+                let row = rank::merge_seeds(*sdp_ratio, *utilization, &per_seed);
+                let registry = fold_registries(self, shards)?;
+                Ok((
+                    Json::obj(vec![
+                        ("sdp_ratio", Json::num(row.sdp_ratio)),
+                        ("utilization", Json::num(row.utilization)),
+                        ("lstf", Json::nums(&row.lstf)),
+                        ("wtp", Json::nums(&row.wtp)),
+                    ]),
+                    Some(report_from_registry(&registry, 4)),
+                    Some(registry.to_json()),
+                ))
             }
             CellSpec::Fig3 { kind } => {
-                let results = fig3::cell(*kind, scale);
+                let per_seed = decode_shard_rows(shards)?;
+                let results = fig3::merge_seeds(*kind, scale, &per_seed);
                 let taus = results
                     .iter()
                     .map(|r| {
@@ -321,15 +472,177 @@ impl CellSpec {
                         ])
                     })
                     .collect();
-                (
+                Ok((
                     Json::obj(vec![
                         ("scheduler", Json::Str(kind.name().into())),
                         ("taus", Json::Arr(taus)),
                     ]),
                     None,
                     None,
-                )
+                ))
             }
+            CellSpec::Dynamics { kind, perturbation } => {
+                let per_seed: Vec<Vec<Option<u64>>> = shards
+                    .iter()
+                    .map(|(p, _)| {
+                        let arr = p
+                            .get("times")
+                            .and_then(Json::as_arr)
+                            .ok_or_else(|| format!("{}: shard lacks `times`", self.id()))?;
+                        arr.iter()
+                            .map(|t| match t {
+                                Json::Null => Ok(None),
+                                other => other
+                                    .as_i64()
+                                    .map(|v| Some(v as u64))
+                                    .ok_or_else(|| format!("{}: bad settle time", self.id())),
+                            })
+                            .collect()
+                    })
+                    .collect::<Result<_, String>>()?;
+                let row = dynamics::merge_seeds(*kind, *perturbation, &per_seed);
+                let pairs = row
+                    .mean_settle_punits
+                    .iter()
+                    .zip(&row.settled)
+                    .map(|(mean, &settled)| {
+                        Json::obj(vec![
+                            (
+                                "mean_settle_punits",
+                                mean.map(Json::num).unwrap_or(Json::Null),
+                            ),
+                            ("settled", Json::Int(settled as i64)),
+                        ])
+                    })
+                    .collect();
+                Ok((
+                    Json::obj(vec![
+                        ("scheduler", Json::Str(row.scheduler.name().into())),
+                        ("perturbation", Json::Str(row.perturbation.name().into())),
+                        ("seeds", Json::Int(row.seeds as i64)),
+                        ("pairs", Json::Arr(pairs)),
+                        (
+                            "headline_punits",
+                            row.headline_punits().map(Json::num).unwrap_or(Json::Null),
+                        ),
+                    ]),
+                    None,
+                    None,
+                ))
+            }
+            CellSpec::Monitor {
+                kind,
+                window_punits,
+            } => {
+                let per_seed: Vec<(monitor::MonitorSeed, MetricsRegistry)> = shards
+                    .iter()
+                    .map(|(p, r)| {
+                        let text = r
+                            .as_deref()
+                            .ok_or_else(|| format!("{}: shard lacks a registry", self.id()))?;
+                        let registry = MetricsRegistry::from_json(text)
+                            .map_err(|e| format!("{}: bad shard registry: {e}", self.id()))?;
+                        let int = |field: &str| -> Result<i64, String> {
+                            p.get(field)
+                                .and_then(Json::as_i64)
+                                .ok_or_else(|| format!("{}: shard lacks `{field}`", self.id()))
+                        };
+                        let num = |field: &str| -> Result<f64, String> {
+                            match p.get(field) {
+                                Some(Json::Null) => Ok(f64::NAN),
+                                Some(v) => v
+                                    .as_f64()
+                                    .ok_or_else(|| format!("{}: bad `{field}`", self.id())),
+                                None => Err(format!("{}: shard lacks `{field}`", self.id())),
+                            }
+                        };
+                        Ok((
+                            monitor::MonitorSeed {
+                                windows_closed: int("windows_closed")? as u64,
+                                pairs_evaluated: int("pairs_evaluated")? as u64,
+                                steady_violations: int("steady_violations")? as usize,
+                                transient_violations: int("transient_violations")? as usize,
+                                inversions: int("inversions")? as usize,
+                                quiet_punits: num("quiet_punits")?,
+                                max_drift: num("max_drift")?,
+                            },
+                            registry,
+                        ))
+                    })
+                    .collect::<Result<_, String>>()?;
+                let (row, registry) = monitor::merge_seeds(*kind, *window_punits, &per_seed);
+                Ok((
+                    Json::obj(vec![
+                        ("scheduler", Json::Str(row.scheduler.name().into())),
+                        ("window_punits", Json::Int(row.window_punits as i64)),
+                        ("seeds", Json::Int(row.seeds as i64)),
+                        ("windows_closed", Json::Int(row.windows_closed as i64)),
+                        ("pairs_evaluated", Json::Int(row.pairs_evaluated as i64)),
+                        ("steady_violations", Json::Int(row.steady_violations as i64)),
+                        (
+                            "transient_violations",
+                            Json::Int(row.transient_violations as i64),
+                        ),
+                        ("inversions", Json::Int(row.inversions as i64)),
+                        ("violation_rate", Json::num(row.violation_rate())),
+                        ("mean_quiet_punits", Json::num(row.mean_quiet_punits)),
+                        ("max_drift", Json::num(row.max_drift)),
+                    ]),
+                    None,
+                    Some(registry.to_json()),
+                ))
+            }
+            CellSpec::Table1 {
+                k_hops,
+                utilization,
+                flow_len,
+                flow_rate_kbps,
+            } => {
+                let (partial, registry_text) = &shards[0];
+                let report = match registry_text.as_deref() {
+                    Some(text) => {
+                        let registry = MetricsRegistry::from_json(text)
+                            .map_err(|e| format!("{}: bad registry: {e}", self.id()))?;
+                        let classes =
+                            StudyBConfig::paper(*k_hops, *utilization, *flow_len, *flow_rate_kbps)
+                                .num_classes();
+                        Some(report_from_registry(&registry, classes))
+                    }
+                    None => None,
+                };
+                Ok((partial.clone(), report, registry_text.clone()))
+            }
+            _ => {
+                let (partial, registry) = &shards[0];
+                Ok((partial.clone(), None, registry.clone()))
+            }
+        }
+    }
+
+    /// Runs the cell at `scale`, returning its result as JSON plus — for
+    /// the probed harnesses (fig1, fig2, table1, rank) — the run's
+    /// telemetry snapshot for progress reporting, plus — for cells that
+    /// run a [`telemetry::MetricsRegistry`](pdd::telemetry::MetricsRegistry)
+    /// — the full `propdiff-metrics-v1` snapshot text the runner writes as
+    /// a `<cell-id>.metrics.json` sidecar next to the cache entry.
+    ///
+    /// Canonically implemented as [`execute_shard`](Self::execute_shard)
+    /// over every shard followed by [`merge_shards`](Self::merge_shards),
+    /// so a single process, the threaded runner, and the multi-process
+    /// farm all run the same arithmetic in the same order and produce
+    /// byte-identical results.
+    pub fn execute(&self, scale: Scale) -> (Json, Option<MetricsReport>, Option<String>) {
+        let shards: Vec<(Json, Option<String>)> = (0..self.shard_count(scale))
+            .map(|shard| self.execute_shard(scale, shard))
+            .collect();
+        self.merge_shards(scale, &shards)
+            .expect("self-produced shards merge")
+    }
+
+    /// The single-shard cells' direct execution (everything that is not a
+    /// per-seed sweep runs whole).
+    fn execute_monolithic(&self, scale: Scale) -> (Json, Option<String>) {
+        match self {
             CellSpec::Fig45 { kind } => {
                 let v = fig45::cell(*kind, scale);
                 let view1 = v
@@ -361,7 +674,6 @@ impl CellSpec {
                         ("view1", Json::Arr(view1)),
                         ("view2", Json::Arr(view2)),
                     ]),
-                    None,
                     None,
                 )
             }
@@ -399,7 +711,6 @@ impl CellSpec {
                         ("skipped_ratios", Json::Int(r.skipped_ratios as i64)),
                         ("class_median_ticks", Json::nums(&r.class_median_ticks)),
                     ]),
-                    Some(probe.report()),
                     Some(probe.registry().to_json()),
                 )
             }
@@ -416,7 +727,7 @@ impl CellSpec {
                         ])
                     })
                     .collect();
-                (Json::obj(vec![("rows", Json::Arr(rows))]), None, None)
+                (Json::obj(vec![("rows", Json::Arr(rows))]), None)
             }
             CellSpec::Feasibility {
                 utilization,
@@ -430,7 +741,6 @@ impl CellSpec {
                         ("feasible", Json::Bool(p.feasible)),
                         ("worst_slack", Json::num(p.worst_slack)),
                     ]),
-                    None,
                     None,
                 )
             }
@@ -448,7 +758,7 @@ impl CellSpec {
                         ])
                     })
                     .collect();
-                (Json::obj(vec![("probes", Json::Arr(rows))]), None, None)
+                (Json::obj(vec![("probes", Json::Arr(rows))]), None)
             }
             CellSpec::ModerateLoad { utilization } => {
                 let (rho, rows) = ablations::moderate_load_cell(*utilization, scale);
@@ -467,7 +777,6 @@ impl CellSpec {
                         ("rows", Json::Arr(rows)),
                     ]),
                     None,
-                    None,
                 )
             }
             CellSpec::Plr { sigma } => {
@@ -480,7 +789,6 @@ impl CellSpec {
                         ("delay_ratio", Json::num(delay_ratio)),
                     ]),
                     None,
-                    None,
                 )
             }
             CellSpec::Additive => {
@@ -492,7 +800,6 @@ impl CellSpec {
                         ("differences", Json::nums(&a.differences)),
                         ("targets", Json::nums(&a.targets)),
                     ]),
-                    None,
                     None,
                 )
             }
@@ -510,7 +817,7 @@ impl CellSpec {
                         ])
                     })
                     .collect();
-                (Json::obj(vec![("rows", Json::Arr(rows))]), None, None)
+                (Json::obj(vec![("rows", Json::Arr(rows))]), None)
             }
             CellSpec::MixedPath { scenario } => {
                 let (label, rd, inconsistent) = ablations::mixed_path_cell(*scenario, scale);
@@ -521,83 +828,9 @@ impl CellSpec {
                         ("inconsistent_experiments", Json::Int(inconsistent as i64)),
                     ]),
                     None,
-                    None,
                 )
             }
-            CellSpec::Dynamics { kind, perturbation } => {
-                let row = dynamics::cell(*kind, *perturbation, scale);
-                let pairs = row
-                    .mean_settle_punits
-                    .iter()
-                    .zip(&row.settled)
-                    .map(|(mean, &settled)| {
-                        Json::obj(vec![
-                            (
-                                "mean_settle_punits",
-                                mean.map(Json::num).unwrap_or(Json::Null),
-                            ),
-                            ("settled", Json::Int(settled as i64)),
-                        ])
-                    })
-                    .collect();
-                (
-                    Json::obj(vec![
-                        ("scheduler", Json::Str(row.scheduler.name().into())),
-                        ("perturbation", Json::Str(row.perturbation.name().into())),
-                        ("seeds", Json::Int(row.seeds as i64)),
-                        ("pairs", Json::Arr(pairs)),
-                        (
-                            "headline_punits",
-                            row.headline_punits().map(Json::num).unwrap_or(Json::Null),
-                        ),
-                    ]),
-                    None,
-                    None,
-                )
-            }
-            CellSpec::Rank {
-                sdp_ratio,
-                utilization,
-            } => {
-                let mut probe = CountingProbe::new(4);
-                let row = rank::cell_probed(*sdp_ratio, *utilization, scale, &mut probe);
-                (
-                    Json::obj(vec![
-                        ("sdp_ratio", Json::num(row.sdp_ratio)),
-                        ("utilization", Json::num(row.utilization)),
-                        ("lstf", Json::nums(&row.lstf)),
-                        ("wtp", Json::nums(&row.wtp)),
-                    ]),
-                    Some(probe.report()),
-                    Some(probe.registry().to_json()),
-                )
-            }
-            CellSpec::Monitor {
-                kind,
-                window_punits,
-            } => {
-                let (row, registry) = monitor::cell_metered(*kind, *window_punits, scale);
-                (
-                    Json::obj(vec![
-                        ("scheduler", Json::Str(row.scheduler.name().into())),
-                        ("window_punits", Json::Int(row.window_punits as i64)),
-                        ("seeds", Json::Int(row.seeds as i64)),
-                        ("windows_closed", Json::Int(row.windows_closed as i64)),
-                        ("pairs_evaluated", Json::Int(row.pairs_evaluated as i64)),
-                        ("steady_violations", Json::Int(row.steady_violations as i64)),
-                        (
-                            "transient_violations",
-                            Json::Int(row.transient_violations as i64),
-                        ),
-                        ("inversions", Json::Int(row.inversions as i64)),
-                        ("violation_rate", Json::num(row.violation_rate())),
-                        ("mean_quiet_punits", Json::num(row.mean_quiet_punits)),
-                        ("max_drift", Json::num(row.max_drift)),
-                    ]),
-                    None,
-                    Some(registry.to_json()),
-                )
-            }
+            _ => unreachable!("seed-sharded cells never take the monolithic path"),
         }
     }
 
@@ -616,6 +849,99 @@ impl CellSpec {
 
 fn kind_slug(kind: SchedulerKind) -> String {
     kind.name().to_ascii_lowercase().replace('+', "")
+}
+
+/// Encodes per-row f64 vectors as a JSON array of arrays. Non-finite
+/// values become `Null` — see [`decode_rows`] for the inverse.
+fn rows_json(rows: &[Vec<f64>]) -> Json {
+    Json::Arr(rows.iter().map(|r| Json::nums(r)).collect())
+}
+
+/// Decodes a `rows` field back into f64 vectors. `Null` decodes to NaN so
+/// a non-finite value poisons the merge arithmetic exactly as it would
+/// have in-process, instead of silently vanishing in transport.
+fn decode_rows(partial: &Json, id: &str) -> Result<Vec<Vec<f64>>, String> {
+    let rows = partial
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{id}: shard lacks `rows`"))?;
+    rows.iter()
+        .map(|row| {
+            let row = row
+                .as_arr()
+                .ok_or_else(|| format!("{id}: row is not an array"))?;
+            row.iter()
+                .map(|v| match v {
+                    Json::Null => Ok(f64::NAN),
+                    other => other
+                        .as_f64()
+                        .ok_or_else(|| format!("{id}: non-numeric row entry")),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Decodes every shard's `rows` field (seed order) for the row-averaging
+/// cells.
+fn decode_shard_rows(shards: &[(Json, Option<String>)]) -> Result<Vec<Vec<Vec<f64>>>, String> {
+    shards
+        .iter()
+        .map(|(p, _)| decode_rows(p, "shard"))
+        .collect()
+}
+
+/// Parses each shard's registry snapshot and merges them **in shard (=
+/// seed) order** from an empty registry — the same fold the monitor study
+/// uses, so every metered cell's sidecar is reproducible shard-by-shard.
+fn fold_registries(
+    cell: &CellSpec,
+    shards: &[(Json, Option<String>)],
+) -> Result<MetricsRegistry, String> {
+    let mut merged = MetricsRegistry::new();
+    for (shard, (_, text)) in shards.iter().enumerate() {
+        let text = text
+            .as_deref()
+            .ok_or_else(|| format!("{}: shard {shard} lacks a registry", cell.id()))?;
+        let parsed = MetricsRegistry::from_json(text)
+            .map_err(|e| format!("{}: shard {shard} registry: {e}", cell.id()))?;
+        merged.merge(&parsed);
+    }
+    Ok(merged)
+}
+
+/// Derives the flat progress-report snapshot from a merged registry.
+/// `wall_secs` is zero — shards may have run concurrently or in another
+/// process, so only the runner's own clock is meaningful.
+fn report_from_registry(registry: &MetricsRegistry, num_classes: usize) -> MetricsReport {
+    let classes = (0..num_classes)
+        .map(|c| {
+            let t = registry.class_total(c);
+            ClassMetrics {
+                arrivals: t.arrivals,
+                enqueues: t.enqueues,
+                departures: t.departures,
+                drops: t.drops,
+                decisions_won: t.decisions_won,
+                wait_ticks_sum: t.wait_ticks_sum,
+                bytes_delivered: t.bytes_delivered,
+                depth: t.depth,
+                depth_high_water: t.depth_high_water,
+                backlog_bytes: t.backlog_bytes,
+                backlog_high_water: t.backlog_high_water,
+            }
+        })
+        .collect();
+    MetricsReport {
+        classes,
+        decisions: registry.decisions(),
+        probe_events: registry.probe_events(),
+        heartbeats: registry.heartbeats(),
+        scenario_events: registry.scenario_events(),
+        heap_high_water: registry.heap_high_water(),
+        virtual_span_ticks: registry.virtual_span_ticks(),
+        wall_secs: 0.0,
+    }
 }
 
 #[cfg(test)]
@@ -659,5 +985,86 @@ mod tests {
         let (quick, _, _) = CellSpec::Starvation.execute(Scale::Quick);
         assert_eq!(bench.serialize(), quick.serialize());
         assert!(bench.get("probes").and_then(Json::as_arr).is_some());
+    }
+
+    #[test]
+    fn shard_counts_follow_the_seed_sweep() {
+        let scale = Scale::Custom {
+            punits: 2_000,
+            nseeds: 3,
+        };
+        let sharded = CellSpec::Fig1 {
+            sdp_ratio: 2.0,
+            utilization: 0.9,
+        };
+        assert_eq!(sharded.shard_count(scale), 3);
+        assert_eq!(CellSpec::Starvation.shard_count(scale), 1);
+        assert_eq!(CellSpec::Additive.shard_count(Scale::Quick), 1);
+    }
+
+    #[test]
+    fn serialized_shards_merge_byte_identically_to_execute() {
+        // The transport law the farm rests on: partials that round-trip
+        // through their wire encoding merge to the exact bytes `execute`
+        // produces, result and metrics sidecar both.
+        let scale = Scale::Custom {
+            punits: 2_000,
+            nseeds: 3,
+        };
+        for cell in [
+            CellSpec::Fig1 {
+                sdp_ratio: 2.0,
+                utilization: 0.9,
+            },
+            CellSpec::Dynamics {
+                kind: SchedulerKind::Wtp,
+                perturbation: dynamics::Perturbation::SdpStep,
+            },
+            CellSpec::Monitor {
+                kind: SchedulerKind::Wtp,
+                window_punits: 100,
+            },
+        ] {
+            let (direct, _, direct_registry) = cell.execute(scale);
+            let shipped: Vec<(Json, Option<String>)> = (0..cell.shard_count(scale))
+                .map(|shard| {
+                    let (partial, registry) = cell.execute_shard(scale, shard);
+                    let wire = partial.serialize();
+                    (Json::parse(&wire).expect("wire partial parses"), registry)
+                })
+                .collect();
+            let (merged, _, merged_registry) =
+                cell.merge_shards(scale, &shipped).expect("shards merge");
+            assert_eq!(
+                direct.serialize(),
+                merged.serialize(),
+                "{} result drifted through transport",
+                cell.id()
+            );
+            assert_eq!(
+                direct_registry,
+                merged_registry,
+                "{} metrics sidecar drifted through transport",
+                cell.id()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_rejects_wrong_shard_counts_and_corrupt_partials() {
+        let scale = Scale::Custom {
+            punits: 2_000,
+            nseeds: 2,
+        };
+        let cell = CellSpec::Fig1 {
+            sdp_ratio: 2.0,
+            utilization: 0.9,
+        };
+        assert!(cell.merge_shards(scale, &[]).is_err(), "wrong count");
+        let bogus = vec![
+            (Json::obj(vec![("nope", Json::Int(1))]), None),
+            (Json::obj(vec![("nope", Json::Int(1))]), None),
+        ];
+        assert!(cell.merge_shards(scale, &bogus).is_err(), "missing rows");
     }
 }

@@ -4,6 +4,7 @@
 //! never silently drift from the code (CI regenerates and diffs).
 
 use crate::json::Json;
+use crate::manifest;
 
 /// Renders every generated block derivable from a merged results document
 /// as `(name, markdown body)` pairs.
@@ -36,7 +37,33 @@ pub fn generated_blocks(merged: &Json) -> Vec<(String, String)> {
     push(&mut blocks, "dynamics", dynamics_table(merged));
     push(&mut blocks, "rank", rank_table(merged));
     push(&mut blocks, "monitor", monitor_table(merged));
+    push(&mut blocks, "suite-catalog", suite_catalog());
     blocks
+}
+
+/// The suite catalog, derived from the manifest itself (not from results),
+/// so hand-written cell totals in the docs can never drift from the code.
+fn suite_catalog() -> Option<String> {
+    let rows = manifest::SUITES
+        .iter()
+        .map(|name| {
+            let m = manifest::suite(name).expect("known suite");
+            let shards: usize = m
+                .cells
+                .iter()
+                .map(|c| c.shard_count(experiments::Scale::Quick))
+                .sum();
+            vec![
+                format!("`{name}`"),
+                format!("{}", m.cells.len()),
+                format!("{shards}"),
+            ]
+        })
+        .collect();
+    Some(markdown_table(
+        &["suite", "cells", "shards (quick scale)"],
+        rows,
+    ))
 }
 
 /// Rewrites every generated block that appears in `doc`.
@@ -770,6 +797,21 @@ mod tests {
         let merged = Json::obj(vec![("cells", Json::Arr(vec![]))]);
         let doc = "<!-- generated:bogus -->\n<!-- /generated:bogus -->";
         assert!(render_doc(doc, &merged).is_err());
+    }
+
+    #[test]
+    fn suite_catalog_tracks_the_manifest() {
+        let table = suite_catalog().expect("always renders");
+        let all = manifest::suite("all").unwrap();
+        assert!(
+            table.contains(&format!("| `all` | {} |", all.cells.len())),
+            "catalog must list the real `all` cell count:\n{table}"
+        );
+        assert_eq!(
+            table.lines().count(),
+            manifest::SUITES.len() + 2,
+            "one row per suite plus header"
+        );
     }
 
     #[test]

@@ -1,8 +1,16 @@
-//! The work-stealing runner: shards a manifest's cells across threads,
-//! consults the cache before simulating, and merges results in manifest
-//! order so the output is byte-stable regardless of thread count or
-//! completion order.
+//! The shard-aware runner: splits a manifest's uncached cells into
+//! deterministic seed-shards, executes the missing shards on worker
+//! threads or (with `process_workers > 0`) on a farm of separate worker
+//! processes, and merges everything back in manifest order and seed order
+//! — so the output is byte-identical regardless of worker count, worker
+//! kind, or completion order.
+//!
+//! The cache is consulted at two granularities. Merged per-cell entries
+//! short-circuit whole cells; shard entries (stored the moment each shard
+//! finishes) let a crashed or interrupted run resume mid-cell, paying only
+//! for the shards that never landed.
 
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -14,20 +22,29 @@ use crate::cell::CellSpec;
 use crate::fingerprint::{source_fingerprint, workspace_root};
 use crate::json::Json;
 use crate::manifest::Manifest;
+use crate::worker::{run_pool, ShardJob};
 
 /// Options governing one runner invocation.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
     /// The scale every cell runs at.
     pub scale: Scale,
-    /// Worker threads (0 = one per available core).
+    /// Worker threads (0 = one per available core). Ignored when
+    /// `process_workers` selects the process farm.
     pub workers: usize,
+    /// Worker *processes*: 0 runs shards on threads in this process; N > 0
+    /// spawns N `propdiff-run worker` children and feeds them shards over
+    /// the wire protocol. Output is byte-identical either way.
+    pub process_workers: usize,
+    /// Executable to spawn as the worker (`None` = this executable).
+    /// Mainly for tests driving the pool from a harness binary.
+    pub worker_exe: Option<PathBuf>,
     /// Cache root directory.
     pub cache_dir: PathBuf,
     /// Execute at most this many uncached cells (`None` = all). Cells past
     /// the budget are left for the next invocation — the resume mechanism.
     pub max_cells: Option<usize>,
-    /// Suppress per-cell progress lines on stderr.
+    /// Suppress per-shard progress lines on stderr.
     pub quiet: bool,
 }
 
@@ -37,6 +54,8 @@ impl RunOptions {
         RunOptions {
             scale,
             workers: 0,
+            process_workers: 0,
+            worker_exe: None,
             cache_dir: PathBuf::from("out/cache"),
             max_cells: None,
             quiet: false,
@@ -49,9 +68,12 @@ impl RunOptions {
 pub struct RunReport {
     /// The merged results document (manifest order, byte-stable).
     pub merged: Json,
-    /// Cells actually simulated this invocation.
+    /// Cells actually simulated (at least one shard ran) this invocation.
     pub executed: usize,
-    /// Cells served from the cache.
+    /// Shards actually simulated this invocation — the rest of the
+    /// executed cells' shards were resumed from the shard cache.
+    pub shards_executed: usize,
+    /// Cells served whole from the merged cache.
     pub cached: usize,
     /// Cells skipped by the `max_cells` budget.
     pub skipped: usize,
@@ -64,15 +86,26 @@ impl RunReport {
     }
 }
 
-/// Runs `manifest` under `opts`: cache lookups first, then the missing
-/// cells in parallel via the experiments crate's work-stealing
-/// [`parallel_map_on`], then a deterministic merge.
+/// A cell the runner must (re)assemble this invocation: its shard slots,
+/// some possibly pre-filled from the shard cache.
+struct Work<'a> {
+    idx: usize,
+    cell: &'a CellSpec,
+    slots: Vec<Option<(Json, Option<String>)>>,
+    secs: f64,
+}
+
+/// Runs `manifest` under `opts`: merged-cache lookups first, then the
+/// missing shards in parallel — in-process via the experiments crate's
+/// work-stealing [`parallel_map_on`], or across worker processes via
+/// the farm pool (`worker::run_pool`) — then a deterministic seed-order
+/// merge per cell.
 pub fn run(manifest: &Manifest, opts: &RunOptions) -> RunReport {
     let fingerprint = source_fingerprint(&workspace_root());
     let cache = Cache::new(opts.cache_dir.clone(), fingerprint);
     let scale = opts.scale;
 
-    // Phase 1: cache lookups, in manifest order.
+    // Phase 1: merged-entry cache lookups, in manifest order.
     let lookups: Vec<(usize, &CellSpec, Option<Json>)> = manifest
         .cells
         .iter()
@@ -86,68 +119,173 @@ pub fn run(manifest: &Manifest, opts: &RunOptions) -> RunReport {
         .map(|&(i, cell, _)| (i, cell))
         .collect();
 
-    // Phase 2: honor the resume budget, then execute the rest in parallel.
+    // Phase 2: honor the resume budget, then expand each missing cell into
+    // its shard slots. Shards already in the cache (a previous run crashed
+    // or was interrupted after storing them) are resumed, not re-run.
     let budget = opts.max_cells.unwrap_or(misses.len());
     let skipped = misses.len().saturating_sub(budget);
     let to_run = &misses[..misses.len() - skipped];
-    let workers = if opts.workers == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-    } else {
-        opts.workers
-    };
+
+    let mut works: Vec<Work> = Vec::with_capacity(to_run.len());
+    let mut jobs: Vec<ShardJob> = Vec::new();
+    for &(i, cell) in to_run {
+        let shards = cell.shard_count(scale);
+        let mut slots = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let slot = cache.load_shard(cell, scale, shard, shards);
+            if slot.is_none() {
+                jobs.push(ShardJob {
+                    cell: i,
+                    shard,
+                    shards,
+                });
+            }
+            slots.push(slot);
+        }
+        works.push(Work {
+            idx: i,
+            cell,
+            slots,
+            secs: 0.0,
+        });
+    }
 
     let done = AtomicUsize::new(0);
-    let total = to_run.len();
-    let jobs: Vec<_> = to_run
-        .iter()
-        .map(|&(i, cell)| {
-            let cache = &cache;
-            let done = &done;
-            move || {
-                let started = std::time::Instant::now();
-                let (result, metrics, registry_json) = cell.execute(scale);
-                if let Err(e) = cache.store(cell, scale, &result) {
-                    eprintln!("warning: could not cache {}: {e}", cell.id());
-                }
-                if let Some(snapshot) = &registry_json {
-                    if let Err(e) = cache.store_metrics(cell, scale, snapshot) {
+    let total_jobs = jobs.len();
+    let on_done = |cell_idx: usize, shard: usize, shards: usize, secs: f64| {
+        if opts.quiet {
+            return;
+        }
+        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        let _ = writeln!(
+            std::io::stderr().lock(),
+            "[{n:>3}/{total_jobs}] {:<28} s{}/{shards} {secs:>6.1}s",
+            manifest.cells[cell_idx].id(),
+            shard + 1
+        );
+    };
+
+    let shard_results: Vec<(usize, usize, Json, Option<String>, f64)> = if jobs.is_empty() {
+        Vec::new()
+    } else if opts.process_workers > 0 {
+        run_pool(
+            manifest,
+            scale,
+            &jobs,
+            opts.process_workers,
+            opts.worker_exe.as_deref(),
+            &cache,
+            &on_done,
+        )
+    } else {
+        let workers = if opts.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        } else {
+            opts.workers
+        };
+        let closures: Vec<_> = jobs
+            .iter()
+            .map(|&job| {
+                let cache = &cache;
+                let on_done = &on_done;
+                move || {
+                    let cell = &manifest.cells[job.cell];
+                    let started = std::time::Instant::now();
+                    let (partial, registry) = cell.execute_shard(scale, job.shard);
+                    if let Err(e) = cache.store_shard(
+                        cell,
+                        scale,
+                        job.shard,
+                        job.shards,
+                        &partial,
+                        registry.as_deref(),
+                    ) {
                         eprintln!(
-                            "warning: could not write metrics sidecar for {}: {e}",
+                            "warning: could not cache shard {} of {}: {e}",
+                            job.shard,
                             cell.id()
                         );
                     }
+                    let secs = started.elapsed().as_secs_f64();
+                    on_done(job.cell, job.shard, job.shards, secs);
+                    (job.cell, job.shard, partial, registry, secs)
                 }
-                if !opts.quiet {
-                    let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    let mut line = format!(
-                        "[{n:>3}/{total}] {:<28} {:>6.1}s",
-                        cell.id(),
-                        started.elapsed().as_secs_f64()
-                    );
-                    if let Some(m) = &metrics {
-                        line.push_str(&format!(
-                            "  {} departures, {:.1}M probe events/s",
-                            m.total_departures(),
-                            m.events_per_sec() / 1.0e6
-                        ));
-                    }
-                    let _ = writeln!(std::io::stderr().lock(), "{line}");
-                }
-                (i, result)
-            }
-        })
-        .collect();
-    let executed_results = parallel_map_on(jobs, workers);
-    let executed = executed_results.len();
+            })
+            .collect();
+        parallel_map_on(closures, workers)
+    };
+    let shards_executed = shard_results.len();
 
-    // Phase 3: deterministic merge — manifest order, independent of which
-    // thread finished which cell when.
-    let mut results: Vec<Option<Json>> = lookups.into_iter().map(|(_, _, r)| r).collect();
-    for (i, r) in executed_results {
-        results[i] = Some(r);
+    // Phase 3: slot the finished shards home, then merge each cell in seed
+    // order — the same arithmetic `CellSpec::execute` runs single-process,
+    // so the merged result is byte-identical to a run with no farm at all.
+    let work_of: HashMap<usize, usize> = works
+        .iter()
+        .enumerate()
+        .map(|(w, work)| (work.idx, w))
+        .collect();
+    for (cell_idx, shard, partial, registry, secs) in shard_results {
+        let w = work_of[&cell_idx];
+        works[w].slots[shard] = Some((partial, registry));
+        works[w].secs += secs;
     }
+    let executed = works.len();
+
+    let mut results: Vec<Option<Json>> = lookups.into_iter().map(|(_, _, r)| r).collect();
+    for work in works {
+        let shards = work.slots.len();
+        let parts: Vec<(Json, Option<String>)> = work
+            .slots
+            .into_iter()
+            .map(|s| s.expect("every shard executed or resumed"))
+            .collect();
+        let (result, metrics, registry_json) = match work.cell.merge_shards(scale, &parts) {
+            Ok(merged) => merged,
+            Err(e) => {
+                // Corrupt shard entries (e.g. a truncated cache file) are
+                // not worth dying over: redo the cell from scratch.
+                eprintln!(
+                    "warning: could not merge shards of {} ({e}); re-running the cell",
+                    work.cell.id()
+                );
+                work.cell.execute(scale)
+            }
+        };
+        if let Err(e) = cache.store(work.cell, scale, &result) {
+            eprintln!("warning: could not cache {}: {e}", work.cell.id());
+        }
+        if let Some(snapshot) = &registry_json {
+            if let Err(e) = cache.store_metrics(work.cell, scale, snapshot) {
+                eprintln!(
+                    "warning: could not write metrics sidecar for {}: {e}",
+                    work.cell.id()
+                );
+            }
+        }
+        cache.remove_shards(work.cell, scale, shards);
+        if !opts.quiet {
+            if let Some(m) = &metrics {
+                let rate = if work.secs > 0.0 {
+                    m.probe_events as f64 / work.secs
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    std::io::stderr().lock(),
+                    "      {:<28} merged: {} departures, {:.1}M probe events/s",
+                    work.cell.id(),
+                    m.total_departures(),
+                    rate / 1.0e6
+                );
+            }
+        }
+        results[work.idx] = Some(result);
+    }
+
+    // Phase 4: deterministic merge — manifest order, independent of which
+    // worker finished which shard when.
     let cells = manifest
         .cells
         .iter()
@@ -172,6 +310,7 @@ pub fn run(manifest: &Manifest, opts: &RunOptions) -> RunReport {
     RunReport {
         merged,
         executed,
+        shards_executed,
         cached,
         skipped,
     }

@@ -1,0 +1,172 @@
+//! End-to-end tests for the multi-process experiment farm: the merged
+//! output of `propdiff-run run --workers N` (real OS worker processes)
+//! must be byte-identical to the threaded single-process runner at any
+//! worker count, crashed workers must not change the answer, and a run
+//! must resume from shards banked by an earlier, interrupted run.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use experiments::Scale;
+use orchestrator::cache::Cache;
+use orchestrator::fingerprint::{source_fingerprint, workspace_root};
+use orchestrator::manifest;
+use orchestrator::runner::{run, RunOptions};
+
+const PROPDIFF_RUN: &str = env!("CARGO_BIN_EXE_propdiff-run");
+
+const SCALE: Scale = Scale::Custom {
+    punits: 2_000,
+    nseeds: 3,
+};
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("propdiff_farm_test_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs the threaded (no-farm) runner over `suite` and returns the merged
+/// document bytes exactly as `propdiff-run run` writes them.
+fn threaded_reference(suite: &str, cache_dir: &Path) -> String {
+    let m = manifest::suite(suite).unwrap();
+    let mut opts = RunOptions::new(SCALE);
+    opts.cache_dir = cache_dir.to_path_buf();
+    opts.quiet = true;
+    let report = run(&m, &opts);
+    assert!(report.complete());
+    report.merged.serialize()
+}
+
+/// Invokes the real binary: `propdiff-run run --workers <workers>` with a
+/// private cache, returning the merged document bytes it wrote.
+fn farm_run(suite: &str, workers: usize, dir: &Path, envs: &[(&str, &str)]) -> String {
+    let out = dir.join(format!("{suite}.json"));
+    let mut cmd = Command::new(PROPDIFF_RUN);
+    cmd.args([
+        "run",
+        "--suite",
+        suite,
+        "--punits",
+        "2000",
+        "--seeds",
+        "3",
+        "--workers",
+        &workers.to_string(),
+        "--quiet",
+        "--cache-dir",
+    ])
+    .arg(dir.join("cache"))
+    .arg("--out")
+    .arg(&out)
+    .arg("--csv-dir")
+    .arg(dir.join("csv"));
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let status = cmd.status().expect("spawn propdiff-run");
+    assert!(status.success(), "farm run failed for suite {suite}");
+    std::fs::read_to_string(&out).unwrap()
+}
+
+/// All `*.metrics.json` sidecars under a cache root, as (relative path,
+/// contents), sorted — the farm must reproduce these byte-for-byte too.
+fn metrics_sidecars(root: &Path) -> Vec<(String, String)> {
+    fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, root, out);
+            } else if path.to_string_lossy().ends_with(".metrics.json") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.push((rel, std::fs::read_to_string(&path).unwrap()));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(root, root, &mut out);
+    out.sort();
+    out
+}
+
+#[test]
+fn process_farm_is_byte_identical_to_the_threaded_runner() {
+    // Two suites, per the farm's acceptance bar: one metered (monitor
+    // carries registry sidecars through the pipe) and one not (fig3).
+    for suite in ["fig3", "monitor"] {
+        let dir = fresh_dir(&format!("identity_{suite}"));
+        let reference = threaded_reference(suite, &dir.join("threaded_cache"));
+        let one = farm_run(suite, 1, &dir.join("w1"), &[]);
+        let four = farm_run(suite, 4, &dir.join("w4"), &[]);
+        assert_eq!(reference, one, "{suite}: threaded vs --workers 1");
+        assert_eq!(reference, four, "{suite}: threaded vs --workers 4");
+        assert_eq!(
+            metrics_sidecars(&dir.join("threaded_cache")),
+            metrics_sidecars(&dir.join("w4").join("cache")),
+            "{suite}: metrics sidecars drifted between runner kinds"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn crashed_workers_respawn_and_the_answer_does_not_change() {
+    let dir = fresh_dir("crash");
+    let reference = threaded_reference("fig3", &dir.join("threaded_cache"));
+    // Every original worker exits with CRASH_STATUS after its first job;
+    // the pool respawns (hook stripped) and re-runs the lost shards.
+    let crashed = farm_run(
+        "fig3",
+        2,
+        &dir.join("crashy"),
+        &[(orchestrator::worker::EXIT_AFTER_ENV, "1")],
+    );
+    assert_eq!(reference, crashed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_new_run_resumes_from_shards_banked_by_an_interrupted_one() {
+    let dir = fresh_dir("resume");
+    let m = manifest::suite("fig3").unwrap();
+    let total_shards: usize = m.cells.iter().map(|c| c.shard_count(SCALE)).sum();
+
+    // Simulate an interrupted run: one cell got two of its three shards
+    // into the cache before dying.
+    let cache_dir = dir.join("cache");
+    let cache = Cache::new(cache_dir.clone(), source_fingerprint(&workspace_root()));
+    let cell = &m.cells[0];
+    let shards = cell.shard_count(SCALE);
+    assert_eq!(shards, 3, "fig3 cells shard per seed");
+    for shard in [0, 2] {
+        let (partial, registry) = cell.execute_shard(SCALE, shard);
+        cache
+            .store_shard(cell, SCALE, shard, shards, &partial, registry.as_deref())
+            .unwrap();
+    }
+
+    let mut opts = RunOptions::new(SCALE);
+    opts.cache_dir = cache_dir;
+    opts.quiet = true;
+    let report = run(&m, &opts);
+    assert_eq!(
+        report.shards_executed,
+        total_shards - 2,
+        "banked shards must be resumed, not re-run"
+    );
+    assert_eq!(report.executed, m.cells.len());
+
+    // And the merged document is still exactly the from-scratch answer.
+    let reference = threaded_reference("fig3", &dir.join("fresh_cache"));
+    assert_eq!(report.merged.serialize(), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}

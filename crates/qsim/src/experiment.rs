@@ -163,17 +163,11 @@ impl Experiment {
             .map(|_| Vec::with_capacity(self.seeds.len()))
             .collect();
         for &seed in &self.seeds {
-            let trace = self.trace_for_seed(seed);
-            for (results, &kind) in per_kind.iter_mut().zip(kinds) {
-                results.push(kind.build_and_visit(
-                    &self.sdp,
-                    1.0,
-                    MeasureTrace {
-                        e: self,
-                        trace: &trace,
-                        probe: &mut *probe,
-                    },
-                ));
+            for (results, sr) in per_kind
+                .iter_mut()
+                .zip(self.run_seed_probed(kinds, seed, probe))
+            {
+                results.push(sr);
             }
         }
         kinds
@@ -182,6 +176,63 @@ impl Experiment {
             .map(|(&kind, seed_results)| ExperimentResult::aggregate(kind, &self.sdp, seed_results))
             .collect()
     }
+
+    /// Measures **one seed** under every scheduler in `kinds` — the shard
+    /// unit of the multi-process experiment farm. The seed's trace is
+    /// materialized once and replayed through each scheduler, exactly as
+    /// one iteration of [`Experiment::run_many_probed`]'s seed loop, so
+    /// running every seed through this entry point and folding the results
+    /// with [`average_rows`] reproduces the aggregated run bit-for-bit.
+    pub fn run_seed_probed<P: Probe>(
+        &self,
+        kinds: &[SchedulerKind],
+        seed: u64,
+        probe: &mut P,
+    ) -> Vec<SeedResult> {
+        let trace = self.trace_for_seed(seed);
+        kinds
+            .iter()
+            .map(|&kind| {
+                kind.build_and_visit(
+                    &self.sdp,
+                    1.0,
+                    MeasureTrace {
+                        e: self,
+                        trace: &trace,
+                        probe: &mut *probe,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Averages per-seed value rows in **seed order** with the exact float
+/// arithmetic of the internal seed aggregation (`acc += x / k`, one fold
+/// per seed, in order), so shard-merged results are bit-identical to the
+/// single-process run.
+///
+/// Every row must have the same length; the result has that length
+/// (empty input yields an empty vector).
+///
+/// ```
+/// let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+/// let avg = qsim::average_rows(&rows);
+/// assert_eq!(avg, vec![1.0 / 2.0 + 3.0 / 2.0, 2.0 / 2.0 + 4.0 / 2.0]);
+/// ```
+pub fn average_rows(rows: &[Vec<f64>]) -> Vec<f64> {
+    let Some(first) = rows.first() else {
+        return Vec::new();
+    };
+    let k = rows.len() as f64;
+    let mut acc = vec![0.0; first.len()];
+    for row in rows {
+        assert_eq!(row.len(), acc.len(), "ragged per-seed rows");
+        for (a, v) in acc.iter_mut().zip(row) {
+            *a += v / k;
+        }
+    }
+    acc
 }
 
 /// Visitor measuring one seed of an experiment with an unboxed scheduler.
@@ -392,6 +443,45 @@ mod tests {
         for w in r.mean_delays.windows(2) {
             assert!(w[0] > w[1], "delays not ordered: {:?}", r.mean_delays);
         }
+    }
+
+    #[test]
+    fn sharded_seed_runs_reproduce_aggregate_bitwise() {
+        // The farm's merge law: run each seed separately (the shard unit),
+        // fold per-seed ratio/delay rows with `average_rows` in seed
+        // order, and the result must be bit-identical to the one-process
+        // `run_many_probed` aggregation.
+        let e = small(0.9);
+        let kinds = [SchedulerKind::Wtp, SchedulerKind::Bpr];
+        let whole = e.run_many(&kinds);
+
+        let per_seed: Vec<Vec<SeedResult>> = e
+            .seeds
+            .iter()
+            .map(|&seed| e.run_seed_probed(&kinds, seed, &mut telemetry::NoopProbe))
+            .collect();
+        for (ki, r) in whole.iter().enumerate() {
+            let ratios: Vec<Vec<f64>> = per_seed
+                .iter()
+                .map(|seeds| seeds[ki].successive_ratios())
+                .collect();
+            assert_eq!(average_rows(&ratios), r.ratios, "kind {ki} ratios drift");
+            let delays: Vec<Vec<f64>> = per_seed
+                .iter()
+                .map(|seeds| seeds[ki].mean_delays())
+                .collect();
+            assert_eq!(
+                average_rows(&delays),
+                r.mean_delays,
+                "kind {ki} delays drift"
+            );
+        }
+    }
+
+    #[test]
+    fn average_rows_handles_edges() {
+        assert!(average_rows(&[]).is_empty());
+        assert_eq!(average_rows(&[vec![5.0, 7.0]]), vec![5.0, 7.0]);
     }
 
     #[test]

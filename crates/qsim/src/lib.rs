@@ -38,7 +38,7 @@ mod session;
 mod shortts;
 mod streaming;
 
-pub use experiment::{Experiment, ExperimentResult, SeedResult};
+pub use experiment::{average_rows, Experiment, ExperimentResult, SeedResult};
 #[allow(deprecated)]
 pub use lossy::run_trace_lossy;
 pub use lossy::{run_trace_lossy_probed, LossMode, LossyReport};

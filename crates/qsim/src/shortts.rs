@@ -41,41 +41,74 @@ impl ShortTimescale {
     }
 
     /// Runs one scheduler, returning one result per τ.
+    ///
+    /// Implemented as the canonical shard pipeline — each seed measured by
+    /// [`run_seed`](Self::run_seed), partials folded by
+    /// [`finalize`](Self::finalize) in seed order — so a multi-process run
+    /// that ships per-seed partials between workers reproduces this
+    /// bit-for-bit.
     pub fn run(&self, kind: SchedulerKind) -> Vec<TimescaleResult> {
+        let per_seed: Vec<Vec<Vec<f64>>> = self
+            .base
+            .seeds
+            .iter()
+            .map(|&seed| self.run_seed(kind, seed))
+            .collect();
+        self.finalize(kind, &per_seed)
+    }
+
+    /// Measures **one seed**: the defined R_D values per τ (outer index =
+    /// τ, in [`taus_punits`](Self::taus_punits) order; inner = interval
+    /// order) — the shard partial of the Fig. 3 cell.
+    pub fn run_seed(&self, kind: SchedulerKind, seed: u64) -> Vec<Vec<f64>> {
         let p = traffic::PAPER_MEAN_PACKET_BYTES as u64;
         let n = self.base.sdp.num_classes();
-        // One collector per τ, filled across all seeds.
-        let mut collectors: Vec<RdCollector> = self
+        let trace: Trace = self.base.trace_for_seed(seed);
+        let mut series: Vec<IntervalSeries> = self
             .taus_punits
             .iter()
-            .map(|_| RdCollector::new())
+            .map(|&tau| IntervalSeries::new(n, tau * p))
             .collect();
-        for &seed in &self.base.seeds {
-            let trace: Trace = self.base.trace_for_seed(seed);
-            let mut series: Vec<IntervalSeries> = self
-                .taus_punits
-                .iter()
-                .map(|&tau| IntervalSeries::new(n, tau * p))
-                .collect();
-            let warmup = Time::from_ticks(self.base.warmup_ticks);
-            let mut s = kind.build(&self.base.sdp, 1.0);
-            crate::Session::trace(&trace, 1.0).run(s.as_mut(), |d| {
-                if d.start >= warmup {
-                    for ser in series.iter_mut() {
-                        ser.record(d.start, d.packet.class as usize, d.wait().as_f64());
-                    }
+        let warmup = Time::from_ticks(self.base.warmup_ticks);
+        let mut s = kind.build(&self.base.sdp, 1.0);
+        crate::Session::trace(&trace, 1.0).run(s.as_mut(), |d| {
+            if d.start >= warmup {
+                for ser in series.iter_mut() {
+                    ser.record(d.start, d.packet.class as usize, d.wait().as_f64());
                 }
-            });
-            for (ser, coll) in series.iter().zip(collectors.iter_mut()) {
+            }
+        });
+        series
+            .iter()
+            .map(|ser| {
+                let mut coll = RdCollector::new();
                 for avgs in ser.iter_averages() {
                     coll.push_interval(&avgs);
                 }
-            }
-        }
+                coll.values().to_vec()
+            })
+            .collect()
+    }
+
+    /// Folds per-seed partials (one [`run_seed`](Self::run_seed) output
+    /// per seed, **in seed order**) into the final per-τ percentile
+    /// results. `run(kind) == finalize(kind, seeds.map(run_seed))`,
+    /// bit-for-bit.
+    pub fn finalize(
+        &self,
+        kind: SchedulerKind,
+        per_seed: &[Vec<Vec<f64>>],
+    ) -> Vec<TimescaleResult> {
         self.taus_punits
             .iter()
-            .zip(collectors)
-            .map(|(&tau, coll)| {
+            .enumerate()
+            .map(|(ti, &tau)| {
+                let mut coll = RdCollector::new();
+                for seed_values in per_seed {
+                    for &rd in &seed_values[ti] {
+                        coll.push_value(rd);
+                    }
+                }
                 let intervals = coll.count();
                 let p: Percentiles = coll.into_percentiles();
                 TimescaleResult {

@@ -16,6 +16,24 @@ impl Histogram {
         Self::default()
     }
 
+    /// Reconstructs a histogram from raw bin counts, the inverse of
+    /// [`bins`](Self::bins) — the deserialization half of shipping
+    /// histograms between worker processes.
+    ///
+    /// ```
+    /// use stats::Histogram;
+    ///
+    /// let mut h = Histogram::new();
+    /// h.record_u64(3);
+    /// h.record_u64(100);
+    /// let rebuilt = Histogram::from_bins(h.bins().to_vec());
+    /// assert_eq!(rebuilt.bins(), h.bins());
+    /// assert_eq!(rebuilt.count(), h.count());
+    /// ```
+    pub fn from_bins(bins: Vec<u64>) -> Self {
+        Histogram { bins }
+    }
+
     /// Records a value.
     ///
     /// # Panics
@@ -58,6 +76,38 @@ impl Histogram {
     /// are fixed, so merging is an elementwise integer sum and therefore
     /// associative, commutative, and bit-identical to single-stream
     /// accumulation in any sharding).
+    ///
+    /// The merge laws that make a histogram shardable:
+    ///
+    /// ```
+    /// use stats::Histogram;
+    ///
+    /// let mk = |vals: &[u64]| {
+    ///     let mut h = Histogram::new();
+    ///     vals.iter().for_each(|&v| h.record_u64(v));
+    ///     h
+    /// };
+    /// let (a, b, c) = (mk(&[1, 5]), mk(&[900]), mk(&[0, 7, 7]));
+    ///
+    /// // Associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), bitwise.
+    /// let mut left = a.clone();
+    /// left.merge(&b);
+    /// left.merge(&c);
+    /// let mut bc = b.clone();
+    /// bc.merge(&c);
+    /// let mut right = a.clone();
+    /// right.merge(&bc);
+    /// assert_eq!(left.bins(), right.bins());
+    ///
+    /// // Identity: merging the empty histogram changes nothing.
+    /// let mut id = a.clone();
+    /// id.merge(&Histogram::new());
+    /// assert_eq!(id.bins(), a.bins());
+    ///
+    /// // Sharded == single-stream, exactly.
+    /// let whole = mk(&[1, 5, 900, 0, 7, 7]);
+    /// assert_eq!(left.bins(), whole.bins());
+    /// ```
     pub fn merge(&mut self, other: &Histogram) {
         if other.bins.len() > self.bins.len() {
             self.bins.resize(other.bins.len(), 0);

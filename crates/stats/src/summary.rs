@@ -79,6 +79,48 @@ impl Summary {
     }
 
     /// Merges another summary into this one (Chan's parallel combination).
+    ///
+    /// The merge laws a shardable summary must satisfy — exact identity,
+    /// and associativity up to float rounding (counts and min/max are
+    /// exact; mean/variance agree to rounding tolerance):
+    ///
+    /// ```
+    /// use stats::Summary;
+    ///
+    /// let mk = |xs: &[f64]| {
+    ///     let mut s = Summary::new();
+    ///     xs.iter().for_each(|&x| s.push(x));
+    ///     s
+    /// };
+    /// let (a, b, c) = (mk(&[1.0, 2.0]), mk(&[10.0]), mk(&[4.0, 4.0, 5.0]));
+    ///
+    /// // Identity: the empty summary is a true (bitwise) identity element.
+    /// let mut id = a.clone();
+    /// id.merge(&Summary::new());
+    /// assert_eq!(id, a);
+    /// let mut empty = Summary::new();
+    /// empty.merge(&a);
+    /// assert_eq!(empty, a);
+    ///
+    /// // Associative: (a ⊕ b) ⊕ c ≈ a ⊕ (b ⊕ c).
+    /// let mut left = a.clone();
+    /// left.merge(&b);
+    /// left.merge(&c);
+    /// let mut bc = b.clone();
+    /// bc.merge(&c);
+    /// let mut right = a.clone();
+    /// right.merge(&bc);
+    /// assert_eq!(left.count(), right.count());
+    /// assert_eq!(left.min(), right.min());
+    /// assert_eq!(left.max(), right.max());
+    /// assert!((left.mean() - right.mean()).abs() < 1e-12);
+    /// assert!((left.variance() - right.variance()).abs() < 1e-12);
+    /// ```
+    ///
+    /// Because associativity is only approximate, the experiment farm
+    /// never relies on it for byte-identity: shard partials are always
+    /// merged in canonical seed order, so every worker count runs the
+    /// same float operations in the same order.
     pub fn merge(&mut self, other: &Summary) {
         if other.n == 0 {
             return;

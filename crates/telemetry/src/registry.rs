@@ -363,6 +363,43 @@ impl MetricsRegistry {
     /// the registry that would have observed both event streams (see the
     /// [module docs](self) for the gauge caveat — shards must start and
     /// end drained for high-water marks to be single-stream-identical).
+    ///
+    /// The merge is order-insensitive — counters sum and high-water marks
+    /// take the max, both commutative — so any shard interleaving yields
+    /// the same snapshot:
+    ///
+    /// ```
+    /// use simcore::Time;
+    /// use telemetry::{MetricsRegistry, PacketId, Probe};
+    ///
+    /// let shard = |seq: u64| {
+    ///     let mut r = MetricsRegistry::with_shape(1, 2);
+    ///     let p = PacketId::single_link(seq, (seq % 2) as u8, 100);
+    ///     r.on_enqueue(Time::from_ticks(seq * 10), p);
+    ///     r.on_depart(
+    ///         p,
+    ///         Time::from_ticks(seq * 10),
+    ///         Time::from_ticks(seq * 10 + 3),
+    ///         Time::from_ticks(seq * 10 + 5),
+    ///         true,
+    ///     );
+    ///     r
+    /// };
+    /// let (a, b, c) = (shard(0), shard(1), shard(2));
+    ///
+    /// let mut abc = a.clone();
+    /// abc.merge(&b);
+    /// abc.merge(&c);
+    /// let mut cba = c.clone();
+    /// cba.merge(&b);
+    /// cba.merge(&a);
+    /// assert_eq!(abc.to_json(), cba.to_json());
+    ///
+    /// // Identity: merging an empty registry changes nothing.
+    /// let mut id = a.clone();
+    /// id.merge(&MetricsRegistry::new());
+    /// assert_eq!(id.to_json(), a.to_json());
+    /// ```
     pub fn merge(&mut self, other: &MetricsRegistry) {
         if other.num_classes > 0 || other.num_links > 0 {
             self.grow(
@@ -474,6 +511,160 @@ impl MetricsRegistry {
         }
         s.push_str("]}");
         s
+    }
+
+    /// Reconstructs a registry from the exact JSON [`to_json`](Self::to_json)
+    /// emits — the deserialization half of shipping per-shard metrics
+    /// sidecars between worker processes.
+    ///
+    /// The parser is a strict sequential scanner over the deterministic
+    /// snapshot format (fixed key order, integers only, no whitespace):
+    /// anything else is rejected. Derived fields (`decisions`,
+    /// `probe_events`, `virtual_span_ticks`, per-link `decisions`,
+    /// histogram `count`) are cross-checked against the reconstructed
+    /// state, so corruption fails loudly instead of merging quietly.
+    ///
+    /// Round trip is exact: `from_json(r.to_json())` rebuilds a registry
+    /// whose own `to_json` is byte-identical, and which merges exactly
+    /// like the original.
+    ///
+    /// ```
+    /// use simcore::Time;
+    /// use telemetry::{MetricsRegistry, PacketId, Probe};
+    ///
+    /// let mut r = MetricsRegistry::with_shape(1, 4);
+    /// let p = PacketId::single_link(0, 2, 100);
+    /// r.on_enqueue(Time::from_ticks(7), p);
+    /// r.on_depart(p, Time::from_ticks(7), Time::from_ticks(9), Time::from_ticks(12), true);
+    ///
+    /// let rebuilt = MetricsRegistry::from_json(&r.to_json()).unwrap();
+    /// assert_eq!(rebuilt.to_json(), r.to_json());
+    /// ```
+    pub fn from_json(s: &str) -> Result<MetricsRegistry, String> {
+        let mut c = Cursor { s, pos: 0 };
+        c.lit("{\"schema\":\"propdiff-metrics-v1\",\"decisions\":")?;
+        let decisions = c.u64()?;
+        c.lit(",\"probe_events\":")?;
+        let probe_events = c.u64()?;
+        c.lit(",\"heartbeats\":")?;
+        let heartbeats = c.u64()?;
+        c.lit(",\"scenario_events\":")?;
+        let scenario_events = c.u64()?;
+        c.lit(",\"heap_high_water\":")?;
+        let heap_high_water = c.u64()? as usize;
+        c.lit(",\"first_event_ticks\":")?;
+        let first_event_ticks = if c.peek("null") {
+            c.lit("null")?;
+            u64::MAX
+        } else {
+            c.u64()?
+        };
+        c.lit(",\"last_event_ticks\":")?;
+        let last_event_ticks = c.u64()?;
+        c.lit(",\"virtual_span_ticks\":")?;
+        let span = c.u64()?;
+        c.lit(",\"class_gauges\":[")?;
+        let mut gauges: Vec<ClassGauges> = Vec::new();
+        while !c.peek("]") {
+            if !gauges.is_empty() {
+                c.lit(",")?;
+            }
+            c.lit(&format!("{{\"class\":{},\"depth\":", gauges.len()))?;
+            let depth = c.i64()?;
+            c.lit(",\"depth_high_water\":")?;
+            let depth_high_water = c.i64()?;
+            c.lit(",\"backlog_bytes\":")?;
+            let backlog_bytes = c.i64()?;
+            c.lit(",\"backlog_high_water\":")?;
+            let backlog_high_water = c.i64()?;
+            c.lit("}")?;
+            gauges.push(ClassGauges {
+                depth,
+                depth_high_water,
+                backlog_bytes,
+                backlog_high_water,
+            });
+        }
+        let num_classes = gauges.len();
+        c.lit("],\"links\":[")?;
+        let mut channels: Vec<ChannelMetrics> = Vec::new();
+        let mut num_links = 0usize;
+        while !c.peek("]") {
+            if num_links > 0 {
+                c.lit(",")?;
+            }
+            c.lit(&format!("{{\"link\":{num_links},\"decisions\":"))?;
+            let link_decisions = c.u64()?;
+            c.lit(",\"classes\":[")?;
+            let mut classes_this_link = 0usize;
+            let mut link_decisions_sum = 0u64;
+            while !c.peek("]") {
+                if classes_this_link > 0 {
+                    c.lit(",")?;
+                }
+                let ch = c.channel(classes_this_link)?;
+                link_decisions_sum += ch.decisions_won;
+                channels.push(ch);
+                classes_this_link += 1;
+            }
+            c.lit("]}")?;
+            if classes_this_link != num_classes {
+                return Err(format!(
+                    "metrics JSON: link {num_links} has {classes_this_link} classes, \
+                     class_gauges has {num_classes}"
+                ));
+            }
+            if link_decisions != link_decisions_sum {
+                return Err(format!(
+                    "metrics JSON: link {num_links} decisions {link_decisions} != \
+                     per-class sum {link_decisions_sum}"
+                ));
+            }
+            num_links += 1;
+        }
+        c.lit("]}")?;
+        if c.pos != s.len() {
+            return Err(format!("metrics JSON: trailing bytes at {}", c.pos));
+        }
+        let multi_link = num_links > 1;
+        let r = MetricsRegistry {
+            channels,
+            // A single-link registry derives its aggregate gauges from its
+            // one link at read time; storing defaults here reproduces the
+            // in-memory state exactly. Multi-link rollups are first-class.
+            class_gauges: if multi_link {
+                gauges
+            } else {
+                vec![ClassGauges::default(); num_classes]
+            },
+            num_links,
+            num_classes,
+            multi_link,
+            heartbeats,
+            scenario_events,
+            heap_high_water,
+            first_event_ticks,
+            last_event_ticks,
+        };
+        if r.decisions() != decisions {
+            return Err(format!(
+                "metrics JSON: decisions {decisions} != reconstructed {}",
+                r.decisions()
+            ));
+        }
+        if r.probe_events() != probe_events {
+            return Err(format!(
+                "metrics JSON: probe_events {probe_events} != reconstructed {}",
+                r.probe_events()
+            ));
+        }
+        if r.virtual_span_ticks() != span {
+            return Err(format!(
+                "metrics JSON: virtual_span_ticks {span} != reconstructed {}",
+                r.virtual_span_ticks()
+            ));
+        }
+        Ok(r)
     }
 
     /// Renders the registry in the Prometheus text exposition format
@@ -661,6 +852,127 @@ impl MetricsRegistry {
             ));
         }
         out
+    }
+}
+
+/// Strict sequential scanner over the deterministic snapshot format —
+/// every structural byte is matched literally, so any deviation from
+/// [`MetricsRegistry::to_json`]'s output is a parse error.
+struct Cursor<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn lit(&mut self, lit: &str) -> Result<(), String> {
+        if self.s[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            let found = &self.s[self.pos..self.s.len().min(self.pos + 24)];
+            Err(format!(
+                "metrics JSON: expected {lit:?} at byte {}, found {found:?}",
+                self.pos
+            ))
+        }
+    }
+
+    fn peek(&self, lit: &str) -> bool {
+        self.s[self.pos..].starts_with(lit)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let rest = &self.s[self.pos..];
+        let len = rest.bytes().take_while(u8::is_ascii_digit).count();
+        let v = rest[..len]
+            .parse()
+            .map_err(|e| format!("metrics JSON: bad integer at byte {}: {e}", self.pos))?;
+        self.pos += len;
+        Ok(v)
+    }
+
+    fn i64(&mut self) -> Result<i64, String> {
+        let rest = &self.s[self.pos..];
+        let sign = usize::from(rest.starts_with('-'));
+        let len = sign + rest[sign..].bytes().take_while(u8::is_ascii_digit).count();
+        let v = rest[..len]
+            .parse()
+            .map_err(|e| format!("metrics JSON: bad integer at byte {}: {e}", self.pos))?;
+        self.pos += len;
+        Ok(v)
+    }
+
+    fn histogram(&mut self) -> Result<Histogram, String> {
+        self.lit("{\"count\":")?;
+        let count = self.u64()?;
+        self.lit(",\"bins\":[")?;
+        let mut bins = Vec::new();
+        while !self.peek("]") {
+            if !bins.is_empty() {
+                self.lit(",")?;
+            }
+            bins.push(self.u64()?);
+        }
+        self.lit("]}")?;
+        let h = Histogram::from_bins(bins);
+        if h.count() != count {
+            return Err(format!(
+                "metrics JSON: histogram count {count} != bin sum {}",
+                h.count()
+            ));
+        }
+        Ok(h)
+    }
+
+    fn channel(&mut self, class: usize) -> Result<ChannelMetrics, String> {
+        self.lit(&format!("{{\"class\":{class},\"arrivals\":"))?;
+        let arrivals = self.u64()?;
+        self.lit(",\"enqueues\":")?;
+        let enqueues = self.u64()?;
+        self.lit(",\"departures\":")?;
+        let departures = self.u64()?;
+        self.lit(",\"hop_departures\":")?;
+        let hop_departures = self.u64()?;
+        self.lit(",\"drops\":")?;
+        let drops = self.u64()?;
+        self.lit(",\"decisions_won\":")?;
+        let decisions_won = self.u64()?;
+        self.lit(",\"wait_ticks_sum\":")?;
+        let wait_ticks_sum = self.u64()?;
+        self.lit(",\"bytes_delivered\":")?;
+        let bytes_delivered = self.u64()?;
+        self.lit(",\"backlog_bytes_sum\":")?;
+        let backlog_bytes_sum = self.u64()?;
+        self.lit(",\"depth\":")?;
+        let depth = self.i64()?;
+        self.lit(",\"depth_high_water\":")?;
+        let depth_high_water = self.i64()?;
+        self.lit(",\"backlog_bytes\":")?;
+        let backlog_bytes = self.i64()?;
+        self.lit(",\"backlog_high_water\":")?;
+        let backlog_high_water = self.i64()?;
+        self.lit(",\"delay_hist\":")?;
+        let delay_hist = self.histogram()?;
+        self.lit(",\"backlog_hist\":")?;
+        let backlog_hist = self.histogram()?;
+        self.lit("}")?;
+        Ok(ChannelMetrics {
+            arrivals,
+            enqueues,
+            departures,
+            hop_departures,
+            drops,
+            decisions_won,
+            wait_ticks_sum,
+            bytes_delivered,
+            backlog_bytes_sum,
+            depth,
+            depth_high_water,
+            backlog_bytes,
+            backlog_high_water,
+            delay_hist,
+            backlog_hist,
+        })
     }
 }
 
@@ -1050,6 +1362,67 @@ mod tests {
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(j.contains("\"schema\":\"propdiff-metrics-v1\""));
         assert_eq!(j, r.clone().to_json());
+    }
+
+    #[test]
+    fn from_json_round_trips_byte_identically() {
+        // Empty.
+        let empty = MetricsRegistry::new();
+        let parsed = MetricsRegistry::from_json(&empty.to_json()).unwrap();
+        assert_eq!(parsed.to_json(), empty.to_json());
+
+        // Single-link with traffic (the Study-A shard sidecar shape).
+        let mut r = MetricsRegistry::with_shape(1, 4);
+        for s in 0..25 {
+            one_packet(&mut r, s, (s % 4) as u8, s * 13, s % 7);
+        }
+        r.on_heartbeat(Time::from_ticks(999), 50, 12);
+        let parsed = MetricsRegistry::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.to_json(), r.to_json());
+
+        // Multi-link (Study B shape) — the rollup gauges survive.
+        let mut m = MetricsRegistry::new();
+        m.on_enqueue(Time::ZERO, hop_id(0, 1, 100, 0));
+        m.on_enqueue(Time::ZERO, hop_id(0, 1, 100, 2));
+        let parsed = MetricsRegistry::from_json(&m.to_json()).unwrap();
+        assert_eq!(parsed.to_json(), m.to_json());
+        assert_eq!(parsed.class_gauges()[1].depth, 2);
+    }
+
+    #[test]
+    fn parsed_registry_merges_like_the_original() {
+        // Per-shard sidecars round-tripped through JSON must merge into
+        // the same snapshot as the in-memory registries — the property the
+        // multi-process farm's metrics path rests on.
+        let shard = |lo: u64, hi: u64| {
+            let mut r = MetricsRegistry::with_shape(1, 3);
+            for s in lo..hi {
+                one_packet(&mut r, s, (s % 3) as u8, s * 10, s % 5);
+            }
+            r
+        };
+        let (a, b) = (shard(0, 9), shard(9, 20));
+        let mut direct = a.clone();
+        direct.merge(&b);
+
+        let mut via_json = MetricsRegistry::from_json(&a.to_json()).unwrap();
+        via_json.merge(&MetricsRegistry::from_json(&b.to_json()).unwrap());
+        assert_eq!(via_json.to_json(), direct.to_json());
+    }
+
+    #[test]
+    fn from_json_rejects_corruption() {
+        let mut r = MetricsRegistry::with_shape(1, 2);
+        one_packet(&mut r, 0, 1, 5, 3);
+        let good = r.to_json();
+        assert!(MetricsRegistry::from_json("").is_err());
+        assert!(MetricsRegistry::from_json("{}").is_err());
+        assert!(MetricsRegistry::from_json(&good[..good.len() - 1]).is_err());
+        assert!(MetricsRegistry::from_json(&format!("{good} ")).is_err());
+        // A tampered derived field is caught by the cross-check.
+        let tampered = good.replacen("\"decisions\":1", "\"decisions\":9", 1);
+        assert_ne!(tampered, good);
+        assert!(MetricsRegistry::from_json(&tampered).is_err());
     }
 
     #[test]
