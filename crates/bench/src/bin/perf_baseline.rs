@@ -14,6 +14,10 @@
 //!   4-class workload of [`pdd_bench::saturate`].
 //! * **experiments** — wall milliseconds to regenerate Fig. 1 and Table 1
 //!   at bench scale.
+//! * **mesh** — packet-hops/second through the link-level decomposition
+//!   engine at bench scale, plus the paper-scale acceptance run: the
+//!   1500-link, million-probe-flow mesh suite cold through the process
+//!   farm, with its aggregate simulation throughput.
 //!
 //! Every measurement is best-of-`REPS` after one warmup run, which is the
 //! cheapest defensible protocol on a noisy shared box. Run it release-mode:
@@ -24,7 +28,7 @@
 
 use std::time::Instant;
 
-use experiments::{fig1, table1, Scale};
+use experiments::{fig1, mesh, table1, Scale};
 use pdd::qsim::{run_trace_on, run_trace_probed, Departure, Experiment, Session};
 use pdd::sched::{Packet, RankKind, Scheduler, SchedulerKind, SchedulerVisitor, Sdp, Wtp};
 use pdd::simcore::{Context, Dur, Model, Simulation, Time};
@@ -400,15 +404,9 @@ fn scheduler_packets_per_sec() -> Vec<(&'static str, f64)> {
 /// (140 at paper scale) to keep 4 workers busy.
 const FARM_SUITE: &str = "fig1";
 
-/// Cold wall seconds of `propdiff-run run --suite fig1 --paper
-/// --workers N` with a private cache, for N = 1 and N = 4 — the tracked
-/// evidence that the multi-process farm actually buys wall-clock time
-/// (the merged output is byte-identical either way, so this is the only
-/// number the farm can move). The speedup saturates at the box's core
-/// count: on a single-core container it is honestly ~1.0×. Builds the
-/// orchestrator binary if the sibling `propdiff-run` is not already next
-/// to this executable.
-fn farm_wall_secs() -> (f64, f64) {
+/// Locates the sibling `propdiff-run` binary, building the orchestrator
+/// first if it is not already next to this executable.
+fn propdiff_run_exe() -> std::path::PathBuf {
     let exe = std::env::current_exe()
         .expect("current exe")
         .with_file_name("propdiff-run");
@@ -423,37 +421,109 @@ fn farm_wall_secs() -> (f64, f64) {
             "farm measurement needs the propdiff-run binary (cargo build --release -p orchestrator)"
         );
     }
-    let run = |workers: usize| -> f64 {
-        let dir = std::env::temp_dir().join(format!(
-            "propdiff_bench_farm_w{workers}_{}",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
-        let t0 = Instant::now();
-        let status = std::process::Command::new(&exe)
-            .args([
-                "run",
-                "--suite",
-                FARM_SUITE,
-                "--paper",
-                "--quiet",
-                "--workers",
-                &workers.to_string(),
-                "--cache-dir",
-            ])
-            .arg(dir.join("cache"))
-            .arg("--out")
-            .arg(dir.join("out.json"))
-            .arg("--csv-dir")
-            .arg(dir.join("csv"))
-            .status()
-            .expect("spawn propdiff-run");
-        let secs = t0.elapsed().as_secs_f64();
-        let _ = std::fs::remove_dir_all(&dir);
-        assert!(status.success(), "farm run failed ({workers} workers)");
-        secs
-    };
-    (run(1), run(4))
+    exe
+}
+
+/// One cold `propdiff-run run` against a private temp cache: wall seconds
+/// plus the merged output document. The temp tree is removed before the
+/// status check so a failed run leaves nothing behind.
+fn cold_farm_run(exe: &std::path::Path, suite: &str, workers: usize) -> (f64, String) {
+    let dir = std::env::temp_dir().join(format!(
+        "propdiff_bench_{suite}_w{workers}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let t0 = Instant::now();
+    let status = std::process::Command::new(exe)
+        .args([
+            "run",
+            "--suite",
+            suite,
+            "--paper",
+            "--quiet",
+            "--workers",
+            &workers.to_string(),
+            "--cache-dir",
+        ])
+        .arg(dir.join("cache"))
+        .arg("--out")
+        .arg(dir.join("out.json"))
+        .arg("--csv-dir")
+        .arg(dir.join("csv"))
+        .status()
+        .expect("spawn propdiff-run");
+    let secs = t0.elapsed().as_secs_f64();
+    let merged = std::fs::read_to_string(dir.join("out.json")).unwrap_or_default();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        status.success(),
+        "farm run failed ({suite}, {workers} workers)"
+    );
+    (secs, merged)
+}
+
+/// Cold wall seconds of `propdiff-run run --suite fig1 --paper
+/// --workers N` with a private cache, for N = 1 and N = 4 — the tracked
+/// evidence that the multi-process farm actually buys wall-clock time
+/// (the merged output is byte-identical either way, so this is the only
+/// number the farm can move). The speedup saturates at the box's core
+/// count: on a single-core container it is honestly ~1.0×.
+fn farm_wall_secs() -> (f64, f64) {
+    let exe = propdiff_run_exe();
+    (
+        cold_farm_run(&exe, FARM_SUITE, 1).0,
+        cold_farm_run(&exe, FARM_SUITE, 4).0,
+    )
+}
+
+/// Threads the bench-scale mesh decomposition fans link jobs across.
+const MESH_WORKERS: usize = 4;
+/// Farm worker processes for the paper-scale mesh acceptance run.
+const MESH_FARM_WORKERS: usize = 4;
+
+/// Packet-hops per second through the link-level decomposition engine at
+/// bench scale (`mesh::run_decomposed`, k = 4 fat-tree, [`MESH_WORKERS`]
+/// threads): the in-process cost of one simulated packet transmission
+/// including routing, cross-traffic generation, and composition.
+fn mesh_decomposed_pps() -> (f64, u64) {
+    let cfg = mesh::cell_config(SchedulerKind::Wtp, Scale::Bench);
+    let mut hops = 0u64;
+    let secs = best_of(|| {
+        let out = mesh::run_decomposed(&cfg, MESH_WORKERS).expect("bench mesh is valid");
+        hops = out.link_departures.iter().sum();
+        hops
+    });
+    (hops as f64 / secs, hops)
+}
+
+/// Sums every `"key":<int>` occurrence in a compact JSON document (the
+/// exact shape `orchestrator::Json` serializes — no spaces around `:`).
+fn sum_json_ints(text: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let mut total = 0u64;
+    let mut rest = text;
+    while let Some(i) = rest.find(&needle) {
+        rest = &rest[i + needle.len()..];
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        total += digits.parse::<u64>().unwrap_or(0);
+    }
+    total
+}
+
+/// The mesh acceptance run: one cold `propdiff-run run --suite mesh
+/// --paper --workers 4` (k = 10 fat-tree, 1500 links, 10⁶ probe flows
+/// per cell, three schedulers, 12 shard processes), timed once — it runs
+/// for tens of seconds, so a best-of protocol would triple the baseline's
+/// runtime for a number that is already an aggregate over millions of
+/// packet-hops. Returns wall seconds and total packet-hops summed from
+/// the merged document, whose ratio is the farm's aggregate simulation
+/// throughput.
+fn mesh_farm_paper() -> (f64, u64) {
+    let exe = propdiff_run_exe();
+    let (secs, merged) = cold_farm_run(&exe, "mesh", MESH_FARM_WORKERS);
+    let hops = sum_json_ints(&merged, "packet_hops");
+    assert!(hops > 0, "mesh farm document carries no packet_hops");
+    (secs, hops)
 }
 
 /// Short hash of the repo's current HEAD. Anchored to the bench crate's
@@ -523,8 +593,14 @@ fn main() {
     eprintln!("perf_baseline: Table 1 at bench scale...");
     let table1_ms = best_of(|| table1::run(Scale::Bench)) * 1000.0;
 
+    eprintln!("perf_baseline: mesh decomposition at bench scale ({MESH_WORKERS} threads)...");
+    let (mesh_pps, mesh_hops) = mesh_decomposed_pps();
+
     eprintln!("perf_baseline: farm speedup (cold `{FARM_SUITE}` paper, 1 vs 4 workers)...");
     let (farm_w1_s, farm_w4_s) = farm_wall_secs();
+
+    eprintln!("perf_baseline: mesh paper acceptance (cold farm, {MESH_FARM_WORKERS} workers)...");
+    let (mesh_farm_s, mesh_farm_hops) = mesh_farm_paper();
 
     // Hand-rolled JSON: stable key order, one line per scalar, so the file
     // diffs cleanly under version control. No serde dependency needed.
@@ -599,6 +675,32 @@ fn main() {
     json.push_str(&format!(
         "    \"speedup_x\": {:.2}\n",
         farm_w1_s / farm_w4_s
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"mesh\": {\n");
+    json.push_str(&format!(
+        "    \"decompose_bench_threads\": {MESH_WORKERS},\n"
+    ));
+    json.push_str(&format!(
+        "    \"decompose_bench_packet_hops\": {mesh_hops},\n"
+    ));
+    json.push_str(&format!(
+        "    \"decompose_bench_packet_hops_per_sec\": {},\n",
+        num(mesh_pps)
+    ));
+    json.push_str(&format!(
+        "    \"farm_paper_workers\": {MESH_FARM_WORKERS},\n"
+    ));
+    json.push_str(&format!(
+        "    \"farm_paper_wall_s\": {},\n",
+        num(mesh_farm_s)
+    ));
+    json.push_str(&format!(
+        "    \"farm_paper_packet_hops\": {mesh_farm_hops},\n"
+    ));
+    json.push_str(&format!(
+        "    \"farm_paper_packet_hops_per_sec\": {}\n",
+        num(mesh_farm_hops as f64 / mesh_farm_s)
     ));
     json.push_str("  }\n");
     json.push_str("}\n");

@@ -5,7 +5,7 @@
 //! rates, i.e. `argmin(L_i − v_i)`) never lets any class's cumulative
 //! service drift more than one maximum packet from the exact fluid server
 //! of Eq. (8)–(9). This module measures that drift directly: it replays a
-//! workload through the production [`sched::Bpr`] via `qsim::run_trace`,
+//! workload through the production [`sched::Bpr`] via `qsim::Session::trace`,
 //! co-simulates [`sched::FluidBpr`] over the same arrival impulses, and
 //! compares per-class **cumulative served bytes** at every packet finish
 //! instant.

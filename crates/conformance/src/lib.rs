@@ -22,13 +22,19 @@
 //!   [`sched::SchedulerKind`]s plus the rank-core `Pifo(_)` kinds: the
 //!   Eq. 5 conservation audit on overloaded traffic, exact time/size
 //!   rescaling invariance, statistical class-label permutation invariance
-//!   of delay ratios, and `run_trace` ↔ streaming `MergedStream`
+//!   of delay ratios, and trace-replay ↔ streaming `MergedStream`
 //!   interleave equivalence.
 //! * [`rank_diff`] — the rank-core differential: every bespoke scheduler
 //!   replayed in lockstep against its `sched::rank` PIFO twin, asserting
 //!   bit-identical per-decision winners (via decision-value audits and
 //!   `peek_winner` hooks) and departure timestamps on both the trace and
 //!   streaming replay paths.
+//! * [`decompose`] — the mesh-decomposition differential: the link-level
+//!   decomposition engine vs the exact mesh engine on seeded small
+//!   fabrics (exact packet conservation at any load, per-class
+//!   end-to-end waits within a documented tolerance at moderate load), a
+//!   from-scratch ECMP route-hash oracle, shard-schedule invariance, and
+//!   a byte-axis dilation metamorphic check.
 //!
 //! [`suite`] names each check so the `conformance` binary (the **mutation
 //! smoke-runner**) can run them all and prove the net catches a seeded
@@ -41,6 +47,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod decompose;
 pub mod fluid;
 pub mod metamorphic;
 pub mod oracle;

@@ -23,7 +23,7 @@
 //!   10/13): the ratios are a property of the SDPs, not of which stream
 //!   carries which label. Statistical, for the proportional schedulers
 //!   (WTP/PAD/HPD) under sustained overload;
-//! * **interleave equivalence** — the materialized `run_trace` path (dyn
+//! * **interleave equivalence** — the materialized `Session::trace` path (dyn
 //!   dispatch) and the streaming `MergedStream` path (monomorphized via
 //!   [`sched::SchedulerVisitor`]) must produce identical departures.
 

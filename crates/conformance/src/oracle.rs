@@ -164,7 +164,7 @@ pub struct Divergence {
     /// The last [`AUDIT_TAIL`] decision-audit records from the manual
     /// drive, oldest first. For decision-instant and manual-drive
     /// divergences these are the decisions immediately preceding the
-    /// failure; for the `run_trace` stages (where the manual drive
+    /// failure; for the replay stages (where the manual drive
     /// completed cleanly) they are the tail of the whole run.
     pub audit: Vec<AuditRecord>,
 }
@@ -193,7 +193,7 @@ impl fmt::Display for Divergence {
 ///    service decision *before* dequeuing;
 /// 2. **departure sequence** — the `(seq, class, start)` record of that
 ///    drive must equal the oracle's;
-/// 3. **replay path** — the production `qsim::run_trace` path must produce
+/// 3. **replay path** — the production `qsim::Session::trace` path must produce
 ///    the same record, so the dyn-dispatch loop is covered too.
 ///
 /// The `Err` variant is deliberately fat (it carries the audit tail): it
@@ -282,7 +282,7 @@ pub fn diff_wtp(sdp: &Sdp, arrivals: &[Arrival], rate: f64) -> Result<(), Diverg
         index += 1;
     }
 
-    // Production replay path (run_trace + Box<dyn Scheduler>).
+    // Production replay path (Session::trace + Box<dyn Scheduler>).
     let system_deps = replay(SchedulerKind::Wtp, sdp, arrivals, rate);
     for (i, (s, o)) in system_deps.iter().zip(&oracle_deps).enumerate() {
         if (s.seq, s.class, s.start) != (o.seq, o.class, o.start) {
@@ -290,7 +290,7 @@ pub fn diff_wtp(sdp: &Sdp, arrivals: &[Arrival], rate: f64) -> Result<(), Diverg
                 index: i,
                 oracle: Some(*o),
                 system: Some(*s),
-                stage: "departure sequence (run_trace)",
+                stage: "departure sequence (trace replay)",
                 audit: audit.iter().cloned().collect(),
             });
         }

@@ -13,7 +13,7 @@ use crate::metamorphic::{
 };
 use crate::oracle::{diff_wtp, feasibility_witness, oracle_self_check};
 use crate::overloaded_arrivals;
-use crate::{fluid, rank_diff, Arrival};
+use crate::{decompose, fluid, rank_diff, Arrival};
 
 /// One named conformance check, runnable on any seed.
 pub struct Check {
@@ -121,6 +121,33 @@ fn check_rank_stream(seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+fn check_mesh_conservation(seed: u64) -> Result<(), String> {
+    decompose::packet_conservation(&decompose::scenario(seed, 0.7))
+}
+
+fn check_mesh_e2e_tolerance(seed: u64) -> Result<(), String> {
+    decompose::e2e_within_tolerance(
+        &decompose::scenario(seed, 0.7),
+        decompose::E2E_REL_TOLERANCE,
+    )
+}
+
+fn check_mesh_shard_invariance(seed: u64) -> Result<(), String> {
+    decompose::shard_invariance(&decompose::scenario(seed, 0.7), &[1, 2, 5])
+}
+
+fn check_ecmp_route_oracle(seed: u64) -> Result<(), String> {
+    let spec = netsim::LinkSpec::new(25_000_000.0, sched::SchedulerKind::Wtp);
+    let topology =
+        netsim::Topology::leaf_spine(2 + (seed % 2) as usize, 1 + (seed % 3) as usize, 2, &spec)
+            .expect("valid dims");
+    decompose::route_oracle(&topology, seed, 3)
+}
+
+fn check_mesh_dilation(seed: u64) -> Result<(), String> {
+    decompose::size_rate_rescale(&decompose::scenario(seed, 0.7))
+}
+
 /// Every check in the suite, in execution order (cheapest first).
 pub fn all_checks() -> Vec<Check> {
     vec![
@@ -159,6 +186,26 @@ pub fn all_checks() -> Vec<Check> {
         Check {
             name: "rank-stream-diff",
             run: check_rank_stream,
+        },
+        Check {
+            name: "ecmp-route-oracle",
+            run: check_ecmp_route_oracle,
+        },
+        Check {
+            name: "mesh-packet-conservation",
+            run: check_mesh_conservation,
+        },
+        Check {
+            name: "mesh-shard-invariance",
+            run: check_mesh_shard_invariance,
+        },
+        Check {
+            name: "mesh-e2e-tolerance",
+            run: check_mesh_e2e_tolerance,
+        },
+        Check {
+            name: "mesh-byte-dilation",
+            run: check_mesh_dilation,
         },
         Check {
             name: "interleave-equivalence",

@@ -3,6 +3,9 @@
 //! (the shim cannot shrink through mapped values), so a failing case is
 //! minimized — small vectors, small times — before it is printed.
 
+use conformance::decompose::{
+    packet_conservation, route_oracle, shard_invariance, SCENARIO_SCHEDULERS,
+};
 use conformance::fluid::bpr_service_lag;
 use conformance::metamorphic::{
     conservation_audit, size_rescale_check, size_rescale_kinds, time_rescale_check,
@@ -10,6 +13,8 @@ use conformance::metamorphic::{
 };
 use conformance::oracle::{diff_wtp, feasibility_witness, oracle_self_check};
 use conformance::{rank_diff, Arrival};
+use netsim::mesh::FlowModel;
+use netsim::{HostFlow, LinkSpec, Topology, TopologyConfig};
 use proptest::prelude::*;
 use sched::{SchedulerKind, Sdp};
 
@@ -150,6 +155,103 @@ proptest! {
             if let Err(e) = feasibility_witness(kind, &Sdp::paper_default(), &arrivals) {
                 prop_assert!(false, "{e}");
             }
+        }
+    }
+}
+
+/// Raw material for a random small leaf-spine scenario: fabric dims, an
+/// SDP spacing knob, a scheduler pick, and unrouted flow tuples
+/// `(src_pick, dst_hop, gap_step, phase)`. Plain tuples, so a failing
+/// fabric shrinks toward one leaf, one spine, one flow.
+type MeshCase = ((usize, usize, usize), u32, Vec<(u16, u16, u32, u32)>);
+
+fn mesh_case_strategy() -> impl Strategy<Value = MeshCase> {
+    (
+        (1usize..4, 1usize..3, 1usize..3),
+        0u32..6,
+        prop::collection::vec((0u16..64, 0u16..64, 1u32..8, 0u32..1_000_000), 1..10),
+    )
+}
+
+/// Lowers a [`MeshCase`] to a routed mesh. Gaps step in units of 200k
+/// ticks (≈1.25 packet tx times at 25 Mbps), so dense cases overload
+/// links — the conservation and sharding laws must hold regardless.
+fn lower_case(case: &MeshCase, seed: u64) -> Result<netsim::mesh::MeshConfig, String> {
+    let &((leaves, spines, hosts_per_leaf), sched_pick, ref raw) = case;
+    let spec = LinkSpec::new(
+        25_000_000.0,
+        SCENARIO_SCHEDULERS[sched_pick as usize % SCENARIO_SCHEDULERS.len()],
+    );
+    // Guarantee at least two hosts so src != dst is satisfiable.
+    let hosts_per_leaf = if leaves == 1 { 2 } else { hosts_per_leaf };
+    let topology = Topology::leaf_spine(leaves, spines, hosts_per_leaf, &spec)?;
+    let hosts = topology.hosts();
+    let flows = raw
+        .iter()
+        .enumerate()
+        .map(|(i, &(src_pick, dst_hop, gap_step, phase))| {
+            let src = hosts[src_pick as usize % hosts.len()];
+            let hop = 1 + dst_hop as usize % (hosts.len() - 1);
+            let dst = hosts[(src_pick as usize + hop) % hosts.len()];
+            HostFlow {
+                src,
+                dst,
+                class: (i % 4) as u8,
+                packet_bytes: 500,
+                model: FlowModel::Periodic {
+                    gap_ticks: 200_000 * gap_step as u64,
+                    count: 8,
+                },
+                start_ticks: phase as u64,
+            }
+        })
+        .collect();
+    TopologyConfig {
+        topology,
+        sdp: Sdp::paper_default(),
+        flows,
+        seed,
+        cross_horizon_ticks: 0,
+    }
+    .to_mesh()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Packet conservation is a theorem, not a tolerance: on any random
+    /// fabric at any load (including overload), exact and decomposed
+    /// engines transmit identical per-link and per-flow packet counts.
+    #[test]
+    fn prop_mesh_packet_conservation(case in mesh_case_strategy(), seed in 0u64..1_000) {
+        let cfg = lower_case(&case, seed).expect("case lowers");
+        if let Err(e) = packet_conservation(&cfg) {
+            prop_assert!(false, "{e}");
+        }
+    }
+
+    /// Link reports computed under any shard partition compose
+    /// bit-identically to the serial run on any random fabric.
+    #[test]
+    fn prop_mesh_shard_invariance(case in mesh_case_strategy(), seed in 0u64..1_000) {
+        let cfg = lower_case(&case, seed).expect("case lowers");
+        if let Err(e) = shard_invariance(&cfg, &[2, 3]) {
+            prop_assert!(false, "{e}");
+        }
+    }
+
+    /// Production ECMP routes match the from-scratch oracle on any random
+    /// fabric and seed.
+    #[test]
+    fn prop_ecmp_route_oracle(
+        leaves in 1usize..4,
+        spines in 1usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let spec = LinkSpec::new(25_000_000.0, SchedulerKind::Wtp);
+        let topology = Topology::leaf_spine(leaves, spines, 2, &spec).expect("valid dims");
+        if let Err(e) = route_oracle(&topology, seed, 3) {
+            prop_assert!(false, "{e}");
         }
     }
 }

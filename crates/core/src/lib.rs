@@ -27,9 +27,15 @@
 //!   link without touching the lower-level crates.
 //! * Re-exports of the substrate crates: [`simcore`], [`traffic`],
 //!   [`sched`], [`stats`], [`qsim`] (single-link Study A), [`netsim`]
-//!   (multi-hop Study B), [`scenario`] (dynamic perturbation timelines
-//!   for `Session` runs), and [`telemetry`] (zero-cost probes, trace
-//!   sinks, run metrics).
+//!   (multi-hop Study B, meshes, and datacenter topologies with
+//!   link-level decomposition), [`scenario`] (dynamic perturbation
+//!   timelines for `Session` runs), and [`telemetry`] (zero-cost probes,
+//!   trace sinks, run metrics).
+//!
+//! Network simulations are configured exclusively through the `Session`
+//! front doors (`qsim::Session`, `netsim::Session`) with links described
+//! by the shared [`netsim::LinkSpec`]; there are no freestanding `run_*`
+//! entry points.
 //!
 //! ## Quick start
 //!
@@ -74,7 +80,10 @@ pub use traffic;
 pub mod prelude {
     pub use crate::model::{Ddp, ProportionalModel};
     pub use crate::system::PddSystem;
-    pub use netsim::{analyze, StudyBConfig};
+    pub use netsim::{
+        analyze, LinkSpec, MeshWorkload, Session as NetSession, StudyBConfig, Topology,
+        TopologyConfig,
+    };
     pub use qsim::{Experiment, Microscope, ShortTimescale};
     pub use scenario::{DownPolicy, Scenario};
     pub use sched::{Scheduler, SchedulerKind, Sdp};

@@ -19,6 +19,7 @@
 //! | [`dynamics`] | reconvergence after live perturbations (SDP step, link flap) |
 //! | [`rank`] | LSTF universality probe — static-slack LSTF vs WTP over the Fig.-1 grid |
 //! | [`monitor`] | online conformance monitor — violation rate vs monitoring timescale |
+//! | [`mesh`] | datacenter fat-tree via link-level decomposition — PDD at fabric scale |
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
@@ -28,6 +29,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod fig45;
+pub mod mesh;
 pub mod monitor;
 pub mod rank;
 pub mod table1;

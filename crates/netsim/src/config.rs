@@ -2,6 +2,7 @@
 
 use sched::{SchedulerKind, Sdp};
 
+use crate::link::{CrossTraffic, LinkSpec};
 use crate::TICKS_PER_SEC;
 
 /// How cross-traffic sources generate load.
@@ -229,6 +230,25 @@ impl StudyBConfig {
             .unwrap_or(self.scheduler)
     }
 
+    /// Hop `l` as a [`LinkSpec`] — the shared per-link description every
+    /// simulator in this crate consumes. The cross model's utilization is
+    /// the *cross share alone*: the chain's total target minus the
+    /// pass-through user traffic.
+    pub fn link_spec(&self, l: usize) -> LinkSpec {
+        LinkSpec {
+            bps: self.link_bps,
+            scheduler: self.scheduler_for_link(l),
+            propagation_ns: self.propagation_ns,
+            cross: Some(CrossTraffic {
+                model: self.cross_model.clone(),
+                utilization: self.cross_total_bps_for_link(l) / self.link_bps,
+                sources: self.cross_sources,
+                class_fractions: self.cross_class_fractions.clone(),
+                packet_bytes: self.packet_bytes,
+            }),
+        }
+    }
+
     /// Duration of one user flow in seconds.
     pub fn flow_duration_secs(&self) -> f64 {
         self.flow_len as f64 * self.user_packet_gap_ticks() as f64 / TICKS_PER_SEC as f64
@@ -245,15 +265,8 @@ impl StudyBConfig {
                 self.utilization
             ));
         }
-        let s: f64 = self.cross_class_fractions.iter().sum();
-        if (s - 1.0).abs() > 1e-6 || self.cross_class_fractions.len() != self.num_classes() {
-            return Err("cross-class fractions must sum to 1, one per class".into());
-        }
         if self.flow_len == 0 || self.experiments == 0 {
             return Err("flow_len and experiments must be positive".into());
-        }
-        if self.utilization * self.link_bps <= self.user_avg_bps() {
-            return Err("user traffic alone exceeds the utilization target".into());
         }
         if let Some(ls) = &self.link_schedulers {
             if ls.len() != self.k_hops {
@@ -281,6 +294,22 @@ impl StudyBConfig {
             return Err(format!(
                 "user_path ({entry}, {exit}) must satisfy entry < exit <= k_hops"
             ));
+        }
+        // Per-hop checks funnel through the shared LinkSpec validator. The
+        // overload guard must run first: `link_spec` derives the cross
+        // share as target − user, which asserts positivity.
+        for l in 0..self.k_hops {
+            let user = if l >= entry && l < exit {
+                self.user_avg_bps()
+            } else {
+                0.0
+            };
+            if self.utilization_for_link(l) * self.link_bps <= user {
+                return Err("user traffic alone exceeds the utilization target".into());
+            }
+            self.link_spec(l)
+                .validate(self.num_classes())
+                .map_err(|e| format!("hop {l}: {e}"))?;
         }
         Ok(())
     }

@@ -5,7 +5,7 @@ use rand::{RngExt, SeedableRng};
 use scenario::{Command, DownPolicy, Scenario, ScenarioRuntime};
 use sched::{Packet, ReconfigureError, Scheduler};
 use simcore::{Context, Dur, Model, RunOutcome, Simulation, Time};
-use telemetry::{NoopProbe, PacketId, Probe};
+use telemetry::{PacketId, Probe};
 use traffic::IatDist;
 
 use crate::analysis::ExperimentRecord;
@@ -386,24 +386,6 @@ impl<P: Probe> Model for Net<'_, P> {
             }
         }
     }
-}
-
-/// Runs one Study-B configuration to completion and returns the per-
-/// experiment records (end-to-end queueing waits per class, in ticks).
-///
-/// # Panics
-/// Panics if the configuration fails [`StudyBConfig::validate`] or if any
-/// user flow fails to deliver all its packets (an engine invariant).
-#[deprecated(note = "use netsim::Session::study_b(cfg).run().0")]
-pub fn run_study_b(cfg: &StudyBConfig) -> Vec<ExperimentRecord> {
-    run_study_b_probed(cfg, &mut NoopProbe).0
-}
-
-/// Like `run_study_b`, additionally returning per-link statistics
-/// (achieved utilization, throughput, per-hop class waits).
-#[deprecated(note = "use netsim::Session::study_b(cfg).run()")]
-pub fn run_study_b_with_links(cfg: &StudyBConfig) -> (Vec<ExperimentRecord>, Vec<LinkStats>) {
-    run_study_b_probed(cfg, &mut NoopProbe)
 }
 
 /// Stationary (scenario-free) probed run.

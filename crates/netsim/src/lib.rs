@@ -16,10 +16,17 @@
 //! topologies (flows routed over explicit link sequences) so crossing
 //! paths and shared bottlenecks can be studied.
 //!
-//! [`Session`] is the unified entry point for both workloads: chain or
-//! mesh, with optional probe and scenario axes (the legacy `run_*`
-//! functions survive as deprecated one-line wrappers over it). Dynamic
-//! scenarios ([`scenario::Scenario`]) perturb a run mid-flight: live SDP
+//! Beyond explicit meshes, the [`topology`] module generates datacenter
+//! fabrics (fat-tree, leaf-spine) with deterministic hashed ECMP routing,
+//! and the [`decompose`] module approximates such meshes as independent
+//! per-link simulations whose per-hop delays compose into end-to-end
+//! distributions — the shape that scales to thousands of links.
+//!
+//! [`Session`] is the single entry point for every workload: chain
+//! ([`Session::study_b`]), mesh ([`Session::mesh`]), or generated topology
+//! ([`Session::topology`]), with optional probe and scenario axes. Links
+//! are described everywhere by the shared [`LinkSpec`]. Dynamic scenarios
+//! ([`scenario::Scenario`]) perturb a run mid-flight: live SDP
 //! reconfiguration, link-rate changes, link faults, class joins/leaves.
 //!
 //! Time unit: 1 tick = 1 ns.
@@ -28,16 +35,19 @@
 
 mod analysis;
 mod config;
+pub mod decompose;
 mod engine;
+mod link;
 pub mod mesh;
 mod session;
+pub mod topology;
 
 pub use analysis::{analyze, packet_time_tolerance, ExperimentRecord, StudyBResult};
 pub use config::{CrossModel, StudyBConfig, StudyBConfigBuilder};
-#[allow(deprecated)]
-pub use engine::{run_study_b, run_study_b_with_links};
 pub use engine::{run_study_b_probed, run_study_b_scenario_probed, LinkStats};
-pub use session::{MeshWorkload, Session, StudyBWorkload};
+pub use link::{CrossTraffic, LinkSpec};
+pub use session::{MeshWorkload, Session, StudyBWorkload, TopologyWorkload};
+pub use topology::{HostFlow, NodeKind, Routes, TopoLink, Topology, TopologyConfig};
 
 /// Ticks per second (1 tick = 1 ns).
 pub const TICKS_PER_SEC: u64 = 1_000_000_000;

@@ -6,27 +6,28 @@
 //! link — and the §6 question ("consistent end-to-end differentiation,
 //! independent of the network path") can be probed on meshes.
 //!
-//! The model stays deliberately simple: unidirectional links, each with a
-//! capacity and a scheduler; flows carry an explicit route (a sequence of
-//! link indices); zero propagation delay; queueing waits accumulate per
-//! hop exactly as in the chain engine.
+//! The model stays deliberately simple: unidirectional links described by
+//! the shared [`LinkSpec`]; flows carry an explicit route (a sequence of
+//! link indices); propagation delay shifts arrivals between hops but is
+//! excluded from the queueing-wait metric; waits accumulate per hop
+//! exactly as in the chain engine.
+//!
+//! Background load is expressed either as explicit Pareto [`MeshFlow`]s or
+//! as a [`CrossTraffic`](crate::CrossTraffic) model on a [`LinkSpec`] —
+//! the latter must be expanded into flows via
+//! [`MeshConfig::materialize_cross`] before the engine will accept the
+//! config, so the event loop only ever sees one kind of traffic.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scenario::{Command, DownPolicy, Scenario, ScenarioRuntime};
-use sched::{Packet, ReconfigureError, Scheduler, SchedulerKind, Sdp};
+use sched::{Packet, ReconfigureError, Scheduler, Sdp};
 use simcore::{Context, Dur, Model, Simulation, Time};
-use telemetry::{NoopProbe, PacketId, Probe};
+use telemetry::{PacketId, Probe};
 use traffic::IatDist;
 
-/// One unidirectional link of the mesh.
-#[derive(Debug, Clone)]
-pub struct MeshLink {
-    /// Capacity in bits per second.
-    pub bps: f64,
-    /// The scheduler at this link's queue.
-    pub scheduler: SchedulerKind,
-}
+use crate::config::CrossModel;
+use crate::link::LinkSpec;
 
 /// How a flow emits packets.
 #[derive(Debug, Clone)]
@@ -68,8 +69,8 @@ pub struct MeshFlow {
 pub struct MeshConfig {
     /// Scheduler Differentiation Parameters shared by all links.
     pub sdp: Sdp,
-    /// The links.
-    pub links: Vec<MeshLink>,
+    /// The links, described by the shared [`LinkSpec`].
+    pub links: Vec<LinkSpec>,
     /// The flows.
     pub flows: Vec<MeshFlow>,
     /// RNG seed for the Pareto flows.
@@ -96,17 +97,33 @@ impl MeshConfig {
         if self.links.is_empty() {
             return Err("mesh needs at least one link".into());
         }
-        // `partial_cmp` so NaN capacities are rejected along with ≤ 0.
-        let positive = |x: f64| x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
-        if self.links.iter().any(|l| !positive(l.bps)) {
-            return Err("link capacities must be positive".into());
+        for (l, spec) in self.links.iter().enumerate() {
+            spec.validate(self.sdp.num_classes())
+                .map_err(|e| format!("link {l}: {e}"))?;
+            if spec.cross.is_some() {
+                return Err(format!(
+                    "link {l} has an unmaterialized cross-traffic model; \
+                     call MeshConfig::materialize_cross(horizon) first"
+                ));
+            }
         }
+        let positive = |x: f64| x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
         for (i, f) in self.flows.iter().enumerate() {
             if f.route.is_empty() {
                 return Err(format!("flow {i} has an empty route"));
             }
             if f.route.iter().any(|&l| l >= self.links.len()) {
                 return Err(format!("flow {i} routes over an unknown link"));
+            }
+            // A route that revisits a link would let a packet race itself
+            // through the same queue; the engine's per-packet hop counter
+            // assumes loop-free routes.
+            let mut seen = vec![false; self.links.len()];
+            for &l in &f.route {
+                if seen[l] {
+                    return Err(format!("flow {i} visits link {l} twice"));
+                }
+                seen[l] = true;
             }
             if f.class as usize >= self.sdp.num_classes() {
                 return Err(format!("flow {i} uses class {} without an SDP", f.class));
@@ -126,6 +143,57 @@ impl MeshConfig {
         }
         Ok(())
     }
+
+    /// Expands every link's [`CrossTraffic`](crate::CrossTraffic) model
+    /// into explicit single-hop Pareto [`MeshFlow`]s emitting from tick 1
+    /// until `until_ticks`, and clears the models. The engine only accepts
+    /// configs without unmaterialized cross models, so this is the bridge
+    /// from the declarative [`LinkSpec`] surface to the event loop.
+    ///
+    /// Expansion is deterministic: links in index order, classes in
+    /// ascending order, then one flow per source, appended after the
+    /// existing flows. Classes with a zero share produce no flows.
+    ///
+    /// Rejects `EcnAdaptive` cross models (closed-loop sources cannot be
+    /// expressed as open-loop flows) and invalid cross parameters.
+    pub fn materialize_cross(&self, until_ticks: u64) -> Result<MeshConfig, String> {
+        let mut out = self.clone();
+        for (l, spec) in self.links.iter().enumerate() {
+            let Some(cross) = &spec.cross else { continue };
+            cross
+                .validate(self.sdp.num_classes())
+                .map_err(|e| format!("link {l}: {e}"))?;
+            if !matches!(cross.model, CrossModel::Pareto) {
+                return Err(format!(
+                    "link {l}: only Pareto cross traffic can be materialized \
+                     into mesh flows"
+                ));
+            }
+            for (c, &frac) in cross.class_fractions.iter().enumerate() {
+                if frac <= 0.0 {
+                    continue;
+                }
+                let per_source_bps = cross.utilization * spec.bps * frac / cross.sources as f64;
+                let mean_gap_ticks =
+                    cross.packet_bytes as f64 * 8.0 / per_source_bps * crate::TICKS_PER_SEC as f64;
+                for _ in 0..cross.sources {
+                    out.flows.push(MeshFlow {
+                        route: vec![l],
+                        class: c as u8,
+                        packet_bytes: cross.packet_bytes,
+                        model: FlowModel::Pareto {
+                            mean_gap_ticks,
+                            until_ticks,
+                        },
+                        start_ticks: 1,
+                    });
+                }
+            }
+            out.links[l].cross = None;
+        }
+        out.validate()?;
+        Ok(out)
+    }
 }
 
 /// Builder for [`MeshConfig`] whose [`build`](Self::build) validates the
@@ -137,7 +205,7 @@ pub struct MeshConfigBuilder {
 
 impl MeshConfigBuilder {
     /// Adds a unidirectional link (index = insertion order).
-    pub fn link(mut self, link: MeshLink) -> Self {
+    pub fn link(mut self, link: LinkSpec) -> Self {
         self.cfg.links.push(link);
         self
     }
@@ -189,6 +257,11 @@ enum Ev {
     Emit { flow: u32, idx: u32 },
     /// Link finished its in-flight packet.
     TxDone { link: u16 },
+    /// Packet `tag` finished propagating and arrives at its next hop.
+    /// Only scheduled for links with a nonzero propagation delay — with
+    /// zero propagation the engine hands the packet to the next hop
+    /// synchronously, so existing zero-propagation results are unchanged.
+    Arrive { tag: u64 },
     /// The next scenario event is due.
     ScenarioTick,
 }
@@ -392,14 +465,25 @@ impl<P: Probe> Model for Mesh<'_, P> {
                     );
                 }
                 if !delivered {
-                    let next_link = route[meta.hop as usize];
-                    let (class, size, tag) = (pkt.class, pkt.size, pkt.tag);
-                    self.arrive(next_link, class, size, tag, ctx);
+                    let prop = self.cfg.links[link].propagation_ns;
+                    if prop > 0 {
+                        ctx.schedule_in(Dur::from_ticks(prop), Ev::Arrive { tag: pkt.tag });
+                    } else {
+                        let next_link = route[meta.hop as usize];
+                        let (class, size, tag) = (pkt.class, pkt.size, pkt.tag);
+                        self.arrive(next_link, class, size, tag, ctx);
+                    }
                 } else {
                     let (flow, acc) = (meta.flow, meta.acc_wait);
                     self.waits[flow as usize].push(acc);
                 }
                 self.start_tx(link, ctx);
+            }
+            Ev::Arrive { tag } => {
+                let meta = &self.metas[tag as usize];
+                let f = &self.cfg.flows[meta.flow as usize];
+                let (link, class, size) = (f.route[meta.hop as usize], f.class, f.packet_bytes);
+                self.arrive(link, class, size, tag, ctx);
             }
             Ev::ScenarioTick => {
                 self.apply_scenario(ctx);
@@ -411,17 +495,7 @@ impl<P: Probe> Model for Mesh<'_, P> {
     }
 }
 
-/// Runs a mesh scenario to completion (all finite flows delivered, all
-/// Pareto flows past their horizons, queues drained).
-///
-/// # Panics
-/// Panics if the configuration fails [`MeshConfig::validate`].
-#[deprecated(note = "use netsim::Session::mesh(cfg).run()")]
-pub fn run_mesh(cfg: &MeshConfig) -> MeshOutcome {
-    run_mesh_scenario_probed(cfg, &Scenario::empty(), &mut NoopProbe)
-}
-
-/// [`run_mesh`](crate::Session::mesh) under a perturbation timeline with a
+/// [`Session::mesh`](crate::Session::mesh) under a perturbation timeline with a
 /// [`Probe`] observing every hop: scenario events (live SDP swaps,
 /// link-rate changes, link faults, class joins/leaves) apply to the whole
 /// mesh at their timestamps. With a non-empty scenario, flows may
@@ -445,10 +519,8 @@ pub fn run_mesh_scenario_probed<P: Probe>(
         .links
         .iter()
         .map(|l| LinkState {
-            scheduler: l
-                .scheduler
-                .build(&cfg.sdp, l.bps / 8.0 / crate::TICKS_PER_SEC as f64),
-            rate: l.bps / 8.0 / crate::TICKS_PER_SEC as f64,
+            scheduler: l.scheduler.build(&cfg.sdp, l.bytes_per_tick()),
+            rate: l.bytes_per_tick(),
             in_flight: None,
             tx_start: Time::ZERO,
             departures: 0,
@@ -503,14 +575,12 @@ pub fn run_mesh_scenario_probed<P: Probe>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sched::SchedulerKind;
 
     const MBPS25: f64 = 25_000_000.0;
 
-    fn wtp_link() -> MeshLink {
-        MeshLink {
-            bps: MBPS25,
-            scheduler: SchedulerKind::Wtp,
-        }
+    fn wtp_link() -> LinkSpec {
+        LinkSpec::new(MBPS25, SchedulerKind::Wtp)
     }
 
     fn probe(route: Vec<usize>, class: u8, start: u64) -> MeshFlow {
@@ -775,5 +845,92 @@ mod tests {
         let mut bad = ok.clone();
         bad.links.clear();
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_looping_routes() {
+        let cfg = MeshConfig {
+            sdp: Sdp::paper_default(),
+            links: vec![wtp_link(), wtp_link()],
+            flows: vec![probe(vec![0, 1, 0], 0, 0)],
+            seed: 0,
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("visits link 0 twice"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_unmaterialized_cross() {
+        let cfg = MeshConfig {
+            sdp: Sdp::paper_default(),
+            links: vec![wtp_link().with_cross(crate::CrossTraffic::paper(0.5))],
+            flows: vec![probe(vec![0], 0, 0)],
+            seed: 0,
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("materialize_cross"), "{err}");
+    }
+
+    #[test]
+    fn materialize_cross_expands_to_pareto_flows() {
+        let cfg = MeshConfig {
+            sdp: Sdp::paper_default(),
+            links: vec![
+                wtp_link().with_cross(crate::CrossTraffic::paper(0.5)),
+                wtp_link(),
+            ],
+            flows: vec![probe(vec![0, 1], 3, 0)],
+            seed: 9,
+        };
+        let horizon = crate::TICKS_PER_SEC;
+        let mat = cfg.materialize_cross(horizon).unwrap();
+        // 8 sources × 4 classes with nonzero share, appended after the probe.
+        assert_eq!(mat.flows.len(), 1 + 8 * 4);
+        assert!(mat.links.iter().all(|l| l.cross.is_none()));
+        for f in &mat.flows[1..] {
+            assert_eq!(f.route, vec![0]);
+            assert!(matches!(
+                f.model,
+                FlowModel::Pareto { until_ticks, .. } if until_ticks == horizon
+            ));
+        }
+        // The expansion runs and congests the probe's first hop.
+        let out = crate::Session::mesh(&mat).run();
+        assert_eq!(out.per_flow_waits[0].len(), 50);
+        assert!(out.link_departures[0] > out.link_departures[1]);
+    }
+
+    #[test]
+    fn materialize_cross_rejects_closed_loop_models() {
+        let mut cross = crate::CrossTraffic::paper(0.5);
+        cross.model = CrossModel::EcnAdaptive {
+            mark_threshold_bytes: 10_000,
+            increase_bps: 1e6,
+            min_rate_fraction: 0.1,
+        };
+        let cfg = MeshConfig {
+            sdp: Sdp::paper_default(),
+            links: vec![wtp_link().with_cross(cross)],
+            flows: vec![probe(vec![0], 0, 0)],
+            seed: 0,
+        };
+        let err = cfg.materialize_cross(crate::TICKS_PER_SEC).unwrap_err();
+        assert!(err.contains("Pareto cross traffic"), "{err}");
+    }
+
+    #[test]
+    fn propagation_shifts_arrivals_but_not_waits() {
+        // An unloaded 2-hop route: propagation delays hop-2 arrivals but
+        // queueing waits stay zero, and every packet still gets delivered.
+        let cfg = MeshConfig {
+            sdp: Sdp::paper_default(),
+            links: vec![wtp_link().with_propagation(5_000_000), wtp_link()],
+            flows: vec![probe(vec![0, 1], 3, 0)],
+            seed: 1,
+        };
+        let out = crate::Session::mesh(&cfg).run();
+        assert_eq!(out.per_flow_waits[0].len(), 50);
+        assert!(out.per_flow_waits[0].iter().all(|&w| w == 0));
+        assert_eq!(out.link_departures, vec![50, 50]);
     }
 }

@@ -25,8 +25,10 @@ use telemetry::{MetricsRegistry, NoopProbe, Probe};
 
 use crate::analysis::ExperimentRecord;
 use crate::config::StudyBConfig;
+use crate::decompose::{DecomposeInput, DecomposedOutcome};
 use crate::engine::{run_study_b_scenario_probed, LinkStats};
 use crate::mesh::{run_mesh_scenario_probed, MeshConfig, MeshOutcome};
+use crate::topology::TopologyConfig;
 
 /// The Figure-6 chain workload (a [`StudyBConfig`]).
 #[derive(Debug)]
@@ -38,6 +40,13 @@ pub struct StudyBWorkload<'a> {
 #[derive(Debug)]
 pub struct MeshWorkload<'a> {
     cfg: &'a MeshConfig,
+}
+
+/// A generated-fabric workload: a [`TopologyConfig`] lowered to its mesh
+/// (routes resolved, cross traffic materialized).
+#[derive(Debug)]
+pub struct TopologyWorkload {
+    cfg: MeshConfig,
 }
 
 /// A composable network simulation run: workload × probe × scenario. See
@@ -68,6 +77,21 @@ impl<'a> Session<MeshWorkload<'a>> {
             scenario: Scenario::empty(),
             probe: NoopProbe,
         }
+    }
+}
+
+impl Session<TopologyWorkload> {
+    /// Lowers a topology-level scenario (fabric + ECMP-routed host flows)
+    /// to its mesh and wraps it in a session. Fails on invalid flows or
+    /// unroutable host pairs; see [`TopologyConfig::to_mesh`].
+    pub fn topology(cfg: &TopologyConfig) -> Result<Self, String> {
+        Ok(Session {
+            workload: TopologyWorkload {
+                cfg: cfg.to_mesh()?,
+            },
+            scenario: Scenario::empty(),
+            probe: NoopProbe,
+        })
     }
 }
 
@@ -113,6 +137,40 @@ impl<'a, P: Probe> Session<MeshWorkload<'a>, P> {
     /// contains a load surge (unsupported on the mesh engine).
     pub fn run(mut self) -> MeshOutcome {
         run_mesh_scenario_probed(self.workload.cfg, &self.scenario, &mut self.probe)
+    }
+}
+
+impl<P: Probe> Session<TopologyWorkload, P> {
+    /// The lowered mesh (resolved routes, materialized cross traffic).
+    /// Useful for inspecting route choices or feeding the decomposition
+    /// engine directly.
+    pub fn mesh_config(&self) -> &MeshConfig {
+        &self.workload.cfg
+    }
+
+    /// Runs the lowered mesh through the **exact** event loop — every
+    /// link coupled, tractable for small fabrics.
+    pub fn run(mut self) -> MeshOutcome {
+        run_mesh_scenario_probed(&self.workload.cfg, &self.scenario, &mut self.probe)
+    }
+
+    /// Runs the **decomposed** approximation serially: independent
+    /// per-link simulations composed in link order (see
+    /// [`decompose`](crate::decompose)). The parallel driver is
+    /// `experiments::mesh::run_decomposed`, which produces byte-identical
+    /// results.
+    ///
+    /// # Panics
+    /// Panics if a scenario is attached — the decomposition has no notion
+    /// of mid-run perturbations.
+    pub fn run_decomposed(self) -> DecomposedOutcome {
+        assert!(
+            self.scenario.is_empty(),
+            "decomposition does not support scenarios"
+        );
+        DecomposeInput::new(&self.workload.cfg)
+            .expect("lowered mesh is validated")
+            .run()
     }
 }
 

@@ -1,7 +1,9 @@
 //! One cell of the experiment sweep: its identity, its parameters as
 //! canonical JSON (the cache key input), and its execution.
 
-use experiments::{ablations, dynamics, fig1, fig2, fig3, fig45, monitor, rank, table1, Scale};
+use experiments::{
+    ablations, dynamics, fig1, fig2, fig3, fig45, mesh, monitor, rank, table1, Scale,
+};
 use pdd::netsim::StudyBConfig;
 use pdd::sched::SchedulerKind;
 use pdd::telemetry::{ClassMetrics, CountingProbe, MetricsRegistry, MetricsReport};
@@ -105,6 +107,12 @@ pub enum CellSpec {
         /// Monitoring window width in p-units.
         window_punits: u64,
     },
+    /// One scheduler's decomposed fat-tree fabric cell of the mesh study
+    /// (links dealt round-robin across [`mesh::SHARDS`] process shards).
+    Mesh {
+        /// The scheduler every link runs.
+        kind: SchedulerKind,
+    },
 }
 
 /// Formats an f64 parameter compactly and losslessly for ids/keys.
@@ -134,6 +142,7 @@ impl CellSpec {
             CellSpec::Dynamics { .. } => "dynamics",
             CellSpec::Rank { .. } => "rank",
             CellSpec::Monitor { .. } => "monitor",
+            CellSpec::Mesh { .. } => "mesh",
         }
     }
 
@@ -198,6 +207,7 @@ impl CellSpec {
             } => {
                 format!("monitor-{}-w{window_punits}", kind_slug(*kind))
             }
+            CellSpec::Mesh { kind } => format!("mesh-{}", kind_slug(*kind)),
         }
     }
 
@@ -265,6 +275,15 @@ impl CellSpec {
                 pairs.push(("scheduler", Json::Str(kind.name().into())));
                 pairs.push(("window_punits", Json::Int(*window_punits as i64)));
             }
+            CellSpec::Mesh { kind } => {
+                pairs.push(("scheduler", Json::Str(kind.name().into())));
+                let d = mesh::dims(Scale::Quick);
+                // The fabric dimensions are scale-derived at execution
+                // time; keying the quick-scale shape here means any change
+                // to the generator invalidates cached results.
+                pairs.push(("fat_tree_k", Json::Int(d.k as i64)));
+                pairs.push(("probe_packets", Json::Int(mesh::PROBE_PACKETS as i64)));
+            }
             CellSpec::Shootout | CellSpec::Starvation | CellSpec::Additive | CellSpec::Analytic => {
             }
         }
@@ -285,6 +304,8 @@ impl CellSpec {
             | CellSpec::Dynamics { .. }
             | CellSpec::Rank { .. }
             | CellSpec::Monitor { .. } => scale.seeds().len(),
+            // Mesh cells shard by link (round-robin), not by seed.
+            CellSpec::Mesh { .. } => mesh::SHARDS,
             _ => 1,
         }
     }
@@ -386,6 +407,10 @@ impl CellSpec {
                     ]),
                     Some(registry.to_json()),
                 )
+            }
+            CellSpec::Mesh { kind } => {
+                let s = mesh::cell_shard(*kind, scale, shard, mesh::SHARDS);
+                (mesh_shard_json(&s), None)
             }
             _ => self.execute_monolithic(scale),
         }
@@ -590,6 +615,28 @@ impl CellSpec {
                     ]),
                     None,
                     Some(registry.to_json()),
+                ))
+            }
+            CellSpec::Mesh { kind } => {
+                let parts: Vec<mesh::MeshShard> = shards
+                    .iter()
+                    .map(|(p, _)| decode_mesh_shard(p, &self.id()))
+                    .collect::<Result<_, String>>()?;
+                let row = mesh::cell_row(*kind, scale, &mesh::merge_shards(&parts));
+                Ok((
+                    Json::obj(vec![
+                        ("scheduler", Json::Str(row.scheduler.name().into())),
+                        ("links", Json::Int(row.links as i64)),
+                        ("flows", Json::Int(row.flows as i64)),
+                        ("probe_flows", Json::Int(row.probe_flows as i64)),
+                        ("packet_hops", Json::Int(row.packet_hops as i64)),
+                        ("class_mean_hop_wait", Json::nums(&row.class_mean_hop_wait)),
+                        ("class_mean_e2e", Json::nums(&row.class_mean_e2e)),
+                        ("hop_ratios", Json::nums(&row.hop_ratios())),
+                        ("e2e_ratios", Json::nums(&row.e2e_ratios())),
+                    ]),
+                    None,
+                    None,
                 ))
             }
             CellSpec::Table1 {
@@ -848,7 +895,62 @@ impl CellSpec {
 }
 
 fn kind_slug(kind: SchedulerKind) -> String {
-    kind.name().to_ascii_lowercase().replace('+', "")
+    kind.name()
+        .to_ascii_lowercase()
+        .replace('+', "")
+        .replace('(', "-")
+        .replace(')', "")
+}
+
+/// Encodes a u64 vector as a JSON integer array.
+fn ints_json(v: &[u64]) -> Json {
+    Json::Arr(v.iter().map(|&x| Json::Int(x as i64)).collect())
+}
+
+/// A mesh shard aggregate as its wire/cache JSON (integer sums only, so
+/// transport is lossless by construction).
+fn mesh_shard_json(s: &mesh::MeshShard) -> Json {
+    Json::obj(vec![
+        ("links", Json::Int(s.links as i64)),
+        ("departures", Json::Int(s.departures as i64)),
+        ("class_hop_packets", ints_json(&s.class_hop_packets)),
+        ("class_hop_wait_sum", ints_json(&s.class_hop_wait_sum)),
+        ("probe_wait_sum", ints_json(&s.probe_wait_sum)),
+        ("probe_hop_packets", ints_json(&s.probe_hop_packets)),
+    ])
+}
+
+/// Decodes a mesh shard partial, rejecting anything malformed so the
+/// runner treats it as a cache miss.
+fn decode_mesh_shard(partial: &Json, id: &str) -> Result<mesh::MeshShard, String> {
+    let int = |field: &str| -> Result<u64, String> {
+        partial
+            .get(field)
+            .and_then(Json::as_i64)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("{id}: shard lacks `{field}`"))
+    };
+    let ints = |field: &str| -> Result<Vec<u64>, String> {
+        partial
+            .get(field)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{id}: shard lacks `{field}`"))?
+            .iter()
+            .map(|v| {
+                v.as_i64()
+                    .map(|x| x as u64)
+                    .ok_or_else(|| format!("{id}: non-integer entry in `{field}`"))
+            })
+            .collect()
+    };
+    Ok(mesh::MeshShard {
+        links: int("links")?,
+        departures: int("departures")?,
+        class_hop_packets: ints("class_hop_packets")?,
+        class_hop_wait_sum: ints("class_hop_wait_sum")?,
+        probe_wait_sum: ints("probe_wait_sum")?,
+        probe_hop_packets: ints("probe_hop_packets")?,
+    })
 }
 
 /// Encodes per-row f64 vectors as a JSON array of arrays. Non-finite
@@ -1023,6 +1125,9 @@ mod tests {
             CellSpec::Monitor {
                 kind: SchedulerKind::Wtp,
                 window_punits: 100,
+            },
+            CellSpec::Mesh {
+                kind: SchedulerKind::Wtp,
             },
         ] {
             let (direct, _, direct_registry) = cell.execute(scale);

@@ -2,7 +2,7 @@
 //! list of [`CellSpec`]s built from the experiment crate's own sweep
 //! constants, so the manifest can never drift from the harness.
 
-use experiments::{ablations, dynamics, fig1, fig2, monitor, rank};
+use experiments::{ablations, dynamics, fig1, fig2, mesh, monitor, rank};
 use pdd::sched::SchedulerKind;
 
 use crate::cell::CellSpec;
@@ -17,7 +17,7 @@ pub struct Manifest {
 }
 
 /// The suite names [`suite`] accepts, in canonical order.
-pub const SUITES: [&str; 19] = [
+pub const SUITES: [&str; 20] = [
     "all",
     "figures",
     "ablations",
@@ -37,6 +37,7 @@ pub const SUITES: [&str; 19] = [
     "dynamics",
     "rank",
     "monitor",
+    "mesh",
 ];
 
 fn fig1_cells() -> Vec<CellSpec> {
@@ -172,6 +173,13 @@ fn monitor_cells() -> Vec<CellSpec> {
     cells
 }
 
+fn mesh_cells() -> Vec<CellSpec> {
+    mesh::SCHEDULERS
+        .iter()
+        .map(|&kind| CellSpec::Mesh { kind })
+        .collect()
+}
+
 fn figures_cells() -> Vec<CellSpec> {
     let mut cells = fig1_cells();
     cells.extend(fig2_cells());
@@ -200,13 +208,14 @@ fn ablation_cells() -> Vec<CellSpec> {
 ///
 /// `figures` covers Figures 1–5 + Table 1; `ablations` the eight ablation
 /// studies plus the dynamics reconvergence study, the LSTF rank probe, and
-/// the online conformance-monitor study; `all` both; the remaining names
-/// select one experiment each.
+/// the online conformance-monitor study; `mesh` the fat-tree decomposition
+/// study; `all` everything; the remaining names select one experiment each.
 pub fn suite(name: &str) -> Option<Manifest> {
     let cells = match name {
         "all" => {
             let mut cells = figures_cells();
             cells.extend(ablation_cells());
+            cells.extend(mesh_cells());
             cells
         }
         "figures" => figures_cells(),
@@ -227,6 +236,7 @@ pub fn suite(name: &str) -> Option<Manifest> {
         "dynamics" => dynamics_cells(),
         "rank" => rank_cells(),
         "monitor" => monitor_cells(),
+        "mesh" => mesh_cells(),
         _ => return None,
     };
     Some(Manifest {
@@ -249,11 +259,12 @@ mod tests {
     }
 
     #[test]
-    fn all_is_figures_plus_ablations() {
+    fn all_is_figures_plus_ablations_plus_mesh() {
         let all = suite("all").unwrap().cells.len();
         let figures = suite("figures").unwrap().cells.len();
         let ablations = suite("ablations").unwrap().cells.len();
-        assert_eq!(all, figures + ablations);
+        let mesh = suite("mesh").unwrap().cells.len();
+        assert_eq!(all, figures + ablations + mesh);
         // The sweep sizes the per-figure binaries used to run.
         assert_eq!(suite("fig1").unwrap().cells.len(), 14);
         assert_eq!(suite("fig2").unwrap().cells.len(), 14);
@@ -264,5 +275,6 @@ mod tests {
         assert_eq!(suite("monitor").unwrap().cells.len(), 8);
         assert_eq!(figures, 48);
         assert_eq!(ablations, 60);
+        assert_eq!(mesh, 3);
     }
 }

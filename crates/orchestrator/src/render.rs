@@ -37,6 +37,7 @@ pub fn generated_blocks(merged: &Json) -> Vec<(String, String)> {
     push(&mut blocks, "dynamics", dynamics_table(merged));
     push(&mut blocks, "rank", rank_table(merged));
     push(&mut blocks, "monitor", monitor_table(merged));
+    push(&mut blocks, "mesh", mesh_table(merged));
     push(&mut blocks, "suite-catalog", suite_catalog());
     blocks
 }
@@ -759,6 +760,47 @@ fn monitor_table(merged: &Json) -> Option<String> {
             "transient viol",
             "quiet after (p)",
             "max drift",
+        ],
+        rows,
+    ))
+}
+
+fn mesh_table(merged: &Json) -> Option<String> {
+    let cells = group_cells(merged, "mesh");
+    if cells.is_empty() {
+        return None;
+    }
+    let rows = cells
+        .iter()
+        .map(|c| {
+            let r = result(c);
+            let int = |key: &str| r.get(key).and_then(Json::as_i64).unwrap_or(0);
+            let mut row = vec![
+                r.get("scheduler")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                format!("{}", int("links")),
+                format!("{}", int("flows")),
+                format!("{}", int("packet_hops")),
+            ];
+            row.extend(ratio_cells(r, "hop_ratios"));
+            row.extend(ratio_cells(r, "e2e_ratios"));
+            row
+        })
+        .collect();
+    Some(markdown_table(
+        &[
+            "scheduler",
+            "links",
+            "flows",
+            "packet-hops",
+            "hop 1/2",
+            "hop 2/3",
+            "hop 3/4",
+            "e2e 1/2",
+            "e2e 2/3",
+            "e2e 3/4",
         ],
         rows,
     ))

@@ -10,8 +10,7 @@
 //! *identical* input.
 //!
 //! * [`Session`] — the unified entry point: workload (trace or live
-//!   sources) × probe × scenario × buffer, one builder chain. The legacy
-//!   `run_*` functions survive as deprecated one-line wrappers over it.
+//!   sources) × probe × scenario × buffer, one builder chain.
 //! * [`run_trace_on`] / [`run_trace_probed`] — the generic (monomorphized)
 //!   replay engine underneath (1 tick = 1 byte at link rate 1, or any rate
 //!   you pass), taking any scheduler and any arrival iterator (e.g. a
@@ -39,15 +38,9 @@ mod shortts;
 mod streaming;
 
 pub use experiment::{average_rows, Experiment, ExperimentResult, SeedResult};
-#[allow(deprecated)]
-pub use lossy::run_trace_lossy;
 pub use lossy::{run_trace_lossy_probed, LossMode, LossyReport};
 pub use micro::{MicroViews, Microscope};
-#[allow(deprecated)]
-pub use server::run_trace;
 pub use server::{run_trace_on, run_trace_probed, Departure};
 pub use session::{LossySession, Session, SourcesWorkload, TraceWorkload};
 pub use shortts::{ShortTimescale, TimescaleResult};
-#[allow(deprecated)]
-pub use streaming::run_sources;
 pub use streaming::run_sources_probed;

@@ -19,7 +19,7 @@ use stats::Summary;
 use telemetry::{PacketId, Probe};
 use traffic::Trace;
 
-/// The drop policy for [`run_trace_lossy`].
+/// The drop policy for a lossy session ([`run_trace_lossy_probed`]).
 #[derive(Debug, Clone)]
 pub enum LossMode {
     /// Drop the arriving packet when the buffer is full.
@@ -66,27 +66,9 @@ impl LossyReport {
 
 /// Replays `trace` through `scheduler` on a link of `rate` bytes/tick with
 /// a shared buffer of `buffer_bytes` (queued bytes only; the packet in
-/// service does not occupy buffer).
-///
-/// # Panics
-/// Panics if `buffer_bytes` cannot hold the largest packet in the trace,
-/// or `rate` is not positive.
-#[deprecated(
-    note = "use qsim::Session::trace(trace, rate).lossy(buffer_bytes, mode).run(scheduler)"
-)]
-pub fn run_trace_lossy(
-    scheduler: &mut dyn Scheduler,
-    trace: &Trace,
-    rate: f64,
-    buffer_bytes: u64,
-    mode: LossMode,
-) -> LossyReport {
-    crate::Session::trace(trace, rate)
-        .lossy(buffer_bytes, mode)
-        .run(scheduler)
-}
-
-/// [`run_trace_lossy`] with a [`Probe`] observing the packet lifecycle.
+/// service does not occupy buffer), with a [`Probe`] observing the packet
+/// lifecycle. The probe-free form is
+/// `qsim::Session::trace(trace, rate).lossy(buffer_bytes, mode).run(scheduler)`.
 ///
 /// In addition to the lossless events
 /// ([`run_trace_probed`](crate::run_trace_probed)), every rejected packet

@@ -3,7 +3,7 @@
 use sched::{Packet, Scheduler};
 use simcore::{Dur, Time};
 use telemetry::{NoopProbe, PacketId, Probe};
-use traffic::{Trace, TraceEntry};
+use traffic::TraceEntry;
 
 /// One packet departure from the link.
 #[derive(Debug, Clone, Copy)]
@@ -35,8 +35,9 @@ fn tx_ticks(size: u32, rate: f64) -> u64 {
     ((size as f64 / rate).round() as u64).max(1)
 }
 
-/// Replays `trace` through `scheduler` on a link of `rate` bytes/tick,
-/// invoking `on_depart` for every departure in order.
+/// Replays any stream of time-ordered arrivals through any scheduler on a
+/// link of `rate` bytes/tick, invoking `on_depart` for every departure in
+/// order.
 ///
 /// Semantics (matching the paper's model):
 /// * non-preemptive: once transmission starts it completes;
@@ -44,26 +45,14 @@ fn tx_ticks(size: u32, rate: f64) -> u64 {
 /// * arrivals at exactly a decision instant are enqueued *before* the
 ///   decision (arrival-before-departure tie rule);
 /// * queues are unbounded (the §3 lossless ECN-regulated regime).
-#[deprecated(note = "use qsim::Session::trace(trace, rate).run(scheduler, on_depart)")]
-pub fn run_trace(
-    scheduler: &mut dyn Scheduler,
-    trace: &Trace,
-    rate: f64,
-    on_depart: impl FnMut(&Departure),
-) {
-    crate::Session::trace(trace, rate).run(scheduler, on_depart)
-}
-
-/// The generic (monomorphized) form of [`run_trace`]: replays any stream
-/// of time-ordered arrivals through any scheduler.
 ///
-/// Semantics are identical to [`run_trace`] — same tie rules, same
-/// transmission times — but both the scheduler and the arrival source are
-/// statically dispatched, so the per-packet enqueue/dequeue calls inline
-/// into the loop. `arrivals` may be a materialized trace
-/// (`trace.entries().iter().copied()`) or a lazy generator such as
-/// [`traffic::MergedStream`], which replays the identical workload in
-/// O(sources) memory.
+/// Both the scheduler and the arrival source are statically dispatched, so
+/// the per-packet enqueue/dequeue calls inline into the loop. `arrivals`
+/// may be a materialized trace (`trace.entries().iter().copied()`) or a
+/// lazy generator such as [`traffic::MergedStream`], which replays the
+/// identical workload in O(sources) memory.
+/// [`qsim::Session::trace`](crate::Session::trace) is the trace-level
+/// front door over this loop.
 ///
 /// `arrivals` must yield entries in nondecreasing time order; the k-way
 /// merge and the trace generators both guarantee that.
@@ -155,7 +144,7 @@ pub fn run_trace_probed<S, I, F, P>(
 mod tests {
     use super::*;
     use sched::{Fcfs, SchedulerKind, Sdp};
-    use traffic::TraceEntry;
+    use traffic::{Trace, TraceEntry};
 
     fn trace(entries: &[(u64, u8, u32)]) -> Trace {
         Trace::from_entries(

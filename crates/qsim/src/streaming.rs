@@ -1,7 +1,7 @@
 //! Streaming (constant-memory) single-link simulation.
 //!
-//! [`run_trace`](crate::run_trace) needs the whole trace in memory, which
-//! is ideal for scheduler comparisons on identical input but wasteful for
+//! Trace replay needs the whole trace in memory, which is ideal for
+//! scheduler comparisons on identical input but wasteful for
 //! very long single-scheduler runs. This runner pulls arrivals from live
 //! [`ClassSource`]s instead — a [`traffic::MergedStream`] k-way merge fed
 //! straight into the generic replay loop
@@ -18,7 +18,9 @@ use traffic::{ClassSource, MergedStream};
 use crate::server::{run_trace_probed, Departure};
 
 /// Replays live sources through `scheduler` until `horizon` (arrivals
-/// after the horizon are discarded), on a link of `rate` bytes/tick.
+/// after the horizon are discarded), on a link of `rate` bytes/tick, with
+/// a [`Probe`] observing the packet lifecycle. The probe-free front door
+/// is `qsim::Session::sources(sources, horizon, base_seed, rate)`.
 ///
 /// `base_seed` derives one RNG per source exactly as
 /// [`traffic::Trace::generate_per_source`] does, so for the same sources,
@@ -26,21 +28,6 @@ use crate::server::{run_trace_probed, Departure};
 /// This is the `dyn` entry point; call
 /// [`run_trace_on`](crate::run_trace_on) with a [`MergedStream`] directly
 /// for a fully monomorphized loop.
-#[deprecated(
-    note = "use qsim::Session::sources(sources, horizon, base_seed, rate).run(scheduler, on_depart)"
-)]
-pub fn run_sources(
-    scheduler: &mut dyn Scheduler,
-    sources: &[ClassSource],
-    horizon: Time,
-    base_seed: u64,
-    rate: f64,
-    on_depart: impl FnMut(&Departure),
-) {
-    crate::Session::sources(sources, horizon, base_seed, rate).run(scheduler, on_depart)
-}
-
-/// [`run_sources`] with a [`Probe`] observing the packet lifecycle.
 ///
 /// Emits exactly the event stream of
 /// [`run_trace_probed`](crate::run_trace_probed) on the equivalent

@@ -1,10 +1,10 @@
 //! Golden-determinism regression test for the optimized replay paths.
 //!
 //! The perf work introduced three ways to drive the same single-link
-//! simulation: the original `dyn` trace replay (`run_trace`), the
+//! simulation: the `dyn` trace replay (`Session::trace`), the
 //! monomorphized generic loop (`run_trace_on` via
 //! `SchedulerKind::build_and_visit`), and the streaming source path
-//! (`run_sources`, O(sources) memory). They must be **bit-identical**: for
+//! (`Session::sources`, O(sources) memory). They must be **bit-identical**: for
 //! a fixed seed, every scheduler must produce exactly the same departure
 //! sequence — same packets, same start and finish ticks — on all three.
 //!

@@ -3,7 +3,15 @@
 //! Facade crate for the workspace: re-exports the full [`pdd`] public API
 //! (the proportional delay differentiation model, the WTP and BPR
 //! schedulers with all baselines, the single-link Study-A simulator, and
-//! the multi-hop Study-B simulator).
+//! the multi-hop Study-B simulator, plus `netsim`'s mesh/topology layer
+//! with link-level decomposition).
+//!
+//! Simulations are configured through the `Session` front doors —
+//! [`pdd::qsim::Session`] for a single link, [`pdd::netsim::Session`] for
+//! chains ([`pdd::netsim::StudyBConfig`]), meshes
+//! ([`pdd::netsim::mesh::MeshConfig`]), and generated fabrics
+//! ([`pdd::netsim::TopologyConfig`]) — with every link described by the
+//! shared [`pdd::netsim::LinkSpec`].
 //!
 //! See the workspace README for the architecture overview and the
 //! `examples/` directory for runnable entry points:
